@@ -1,0 +1,46 @@
+"""Ablation: encoded SQL detection vs. naive per-pattern Python detection.
+
+The paper's remark in Section V-A argues that encoding the pattern tableaux
+as data (rather than expanding them into query text or evaluating them one
+by one) keeps the number of database passes fixed and the space linear in
+|Σ|.  This ablation pits BATCHDETECT against the reference pure-Python
+detector, whose cost grows with the number of pattern tuples because every
+pattern triggers its own scan.  Expected shape: the naive detector degrades
+much faster as |Tp| grows.
+"""
+
+import pytest
+
+from conftest import BENCH_SIZE, dataset_rows, prepared_batch_detector, sweep, workload_with_tableau
+from repro.datagen.generator import DatasetGenerator
+from repro.detection.naive import NaiveDetector
+
+TABLEAU_SIZES = sweep([50, 200, 500])
+SIZE = max(BENCH_SIZE // 4, 250)
+
+
+@pytest.mark.parametrize("tableau_size", TABLEAU_SIZES)
+def test_ablation_sql_batchdetect(benchmark, tableau_size):
+    rows = dataset_rows(SIZE)
+    sigma = workload_with_tableau(tableau_size)
+
+    def setup():
+        return (prepared_batch_detector(rows, sigma),), {}
+
+    def run(detector):
+        return detector.detect()
+
+    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["tableau_size"] = tableau_size
+    benchmark.extra_info["dirty"] = len(violations)
+
+
+@pytest.mark.parametrize("tableau_size", TABLEAU_SIZES)
+def test_ablation_naive_python_detector(benchmark, tableau_size):
+    relation = DatasetGenerator(seed=0).generate(SIZE, 5.0)
+    sigma = workload_with_tableau(tableau_size)
+    detector = NaiveDetector(sigma)
+
+    violations = benchmark.pedantic(lambda: detector.detect(relation), rounds=1, iterations=1)
+    benchmark.extra_info["tableau_size"] = tableau_size
+    benchmark.extra_info["dirty"] = len(violations)

@@ -1,0 +1,26 @@
+"""Fig. 5(a): BATCHDETECT scalability in the number of tuples |D|.
+
+Paper setting: |Tp| = 10, noise = 5%, |D| swept from 10k to 100k.  Expected
+shape: running time grows roughly linearly in |D|.
+"""
+
+import pytest
+
+from conftest import BENCH_SIZE, dataset_rows, prepared_batch_detector, sweep
+
+SIZES = sweep([BENCH_SIZE // 2, BENCH_SIZE, 2 * BENCH_SIZE, 3 * BENCH_SIZE, 4 * BENCH_SIZE, 5 * BENCH_SIZE])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig5a_batchdetect_scalability_in_tuples(benchmark, size, base_workload):
+    rows = dataset_rows(size)
+
+    def setup():
+        return (prepared_batch_detector(rows, base_workload),), {}
+
+    def run(detector):
+        return detector.detect()
+
+    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["tuples"] = size
+    benchmark.extra_info["dirty"] = len(violations)

@@ -1,0 +1,27 @@
+"""Fig. 5(b): BATCHDETECT scalability in the error rate (noise %).
+
+Paper setting: |D| = 100k, |Tp| = 10, noise swept from 0% to 9%.  Expected
+shape: running time is essentially flat in the noise rate (detection cost is
+dominated by the scan, not by how many violations exist).
+"""
+
+import pytest
+
+from conftest import BENCH_SIZE, dataset_rows, prepared_batch_detector, sweep
+
+NOISE_LEVELS = sweep([0.0, 1.0, 3.0, 5.0, 7.0, 9.0])
+
+
+@pytest.mark.parametrize("noise", NOISE_LEVELS)
+def test_fig5b_batchdetect_scalability_in_noise(benchmark, noise, base_workload):
+    rows = dataset_rows(BENCH_SIZE, noise=noise)
+
+    def setup():
+        return (prepared_batch_detector(rows, base_workload),), {}
+
+    def run(detector):
+        return detector.detect()
+
+    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["noise_percent"] = noise
+    benchmark.extra_info["dirty"] = len(violations)

@@ -1,0 +1,29 @@
+"""Fig. 5(c): BATCHDETECT scalability in the number of pattern tuples |Tp|.
+
+Paper setting: |D| = 100k, noise = 5%, the selected eCFD's tableau swept from
+50 to 500 pattern tuples.  Expected shape: running time grows linearly in
+|Tp| (the data is scanned a fixed number of times; each tuple is joined
+against more encoded pattern rows).
+"""
+
+import pytest
+
+from conftest import BENCH_SIZE, dataset_rows, prepared_batch_detector, sweep, workload_with_tableau
+
+TABLEAU_SIZES = sweep([50, 100, 200, 300, 400, 500])
+
+
+@pytest.mark.parametrize("tableau_size", TABLEAU_SIZES)
+def test_fig5c_batchdetect_scalability_in_tableau(benchmark, tableau_size):
+    rows = dataset_rows(BENCH_SIZE)
+    sigma = workload_with_tableau(tableau_size)
+
+    def setup():
+        return (prepared_batch_detector(rows, sigma),), {}
+
+    def run(detector):
+        return detector.detect()
+
+    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["tableau_size"] = tableau_size
+    benchmark.extra_info["dirty"] = len(violations)

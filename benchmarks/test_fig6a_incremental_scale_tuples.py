@@ -1,0 +1,60 @@
+"""Fig. 6(a): INCDETECT vs BATCHDETECT as the database size |D| grows.
+
+Paper setting: |ΔD⁺| = |ΔD⁻| = 10k, |D| swept from 10k to 100k; the batch
+detector is re-run from scratch on the updated data, the incremental
+detector processes only the update.  Expected shape: both scale with |D|,
+and INCDETECT is faster than re-running BATCHDETECT at every size.
+"""
+
+import pytest
+
+from conftest import (
+    BENCH_SIZE,
+    dataset_rows,
+    prepared_batch_detector,
+    prepared_incremental_detector,
+    sweep,
+    update_batch,
+)
+
+SIZES = sweep([BENCH_SIZE, 2 * BENCH_SIZE, 3 * BENCH_SIZE, 4 * BENCH_SIZE, 5 * BENCH_SIZE])
+UPDATE_FRACTION = 0.1
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig6a_incdetect_scalability_in_tuples(benchmark, size, base_workload):
+    rows = dataset_rows(size)
+    batch = update_batch(len(rows), int(size * UPDATE_FRACTION))
+
+    def setup():
+        return (prepared_incremental_detector(rows, base_workload),), {}
+
+    def run(detector):
+        detector.delete_tuples(batch.delete_tids)
+        return detector.insert_tuples(list(batch.insert_rows))
+
+    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["tuples"] = size
+    benchmark.extra_info["update_size"] = batch.insert_count
+    benchmark.extra_info["dirty"] = len(violations)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig6a_batchdetect_after_update_in_tuples(benchmark, size, base_workload):
+    rows = dataset_rows(size)
+    batch = update_batch(len(rows), int(size * UPDATE_FRACTION))
+
+    def setup():
+        detector = prepared_batch_detector(rows, base_workload)
+        detector.detect()
+        detector.database.delete_tuples(batch.delete_tids)
+        detector.database.insert_tuples(list(batch.insert_rows))
+        return (detector,), {}
+
+    def run(detector):
+        return detector.detect()
+
+    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["tuples"] = size
+    benchmark.extra_info["update_size"] = batch.insert_count
+    benchmark.extra_info["dirty"] = len(violations)

@@ -1,0 +1,57 @@
+"""Fig. 6(b): INCDETECT vs BATCHDETECT as the error rate grows.
+
+Paper setting: |D| = 100k, |ΔD⁺| = |ΔD⁻| = 10k, noise swept from 0% to 9%.
+Expected shape: both curves are roughly flat in the noise rate, with
+INCDETECT below BATCHDETECT throughout.
+"""
+
+import pytest
+
+from conftest import (
+    BENCH_SIZE,
+    dataset_rows,
+    prepared_batch_detector,
+    prepared_incremental_detector,
+    sweep,
+    update_batch,
+)
+
+NOISE_LEVELS = sweep([0.0, 1.0, 3.0, 5.0, 7.0, 9.0])
+UPDATE_SIZE = max(BENCH_SIZE // 10, 50)
+
+
+@pytest.mark.parametrize("noise", NOISE_LEVELS)
+def test_fig6b_incdetect_scalability_in_noise(benchmark, noise, base_workload):
+    rows = dataset_rows(BENCH_SIZE, noise=noise)
+    batch = update_batch(len(rows), UPDATE_SIZE, noise=noise)
+
+    def setup():
+        return (prepared_incremental_detector(rows, base_workload),), {}
+
+    def run(detector):
+        detector.delete_tuples(batch.delete_tids)
+        return detector.insert_tuples(list(batch.insert_rows))
+
+    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["noise_percent"] = noise
+    benchmark.extra_info["dirty"] = len(violations)
+
+
+@pytest.mark.parametrize("noise", NOISE_LEVELS)
+def test_fig6b_batchdetect_after_update_in_noise(benchmark, noise, base_workload):
+    rows = dataset_rows(BENCH_SIZE, noise=noise)
+    batch = update_batch(len(rows), UPDATE_SIZE, noise=noise)
+
+    def setup():
+        detector = prepared_batch_detector(rows, base_workload)
+        detector.detect()
+        detector.database.delete_tuples(batch.delete_tids)
+        detector.database.insert_tuples(list(batch.insert_rows))
+        return (detector,), {}
+
+    def run(detector):
+        return detector.detect()
+
+    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["noise_percent"] = noise
+    benchmark.extra_info["dirty"] = len(violations)

@@ -1,0 +1,60 @@
+"""Fig. 6(c): INCDETECT vs BATCHDETECT as the tableau size |Tp| grows.
+
+Paper setting: |D| = 100k, |ΔD⁺| = |ΔD⁻| = 10k, the selected eCFD's tableau
+swept from 50 to 500.  Expected shape: both grow roughly linearly in |Tp|,
+INCDETECT staying below BATCHDETECT.
+"""
+
+import pytest
+
+from conftest import (
+    BENCH_SIZE,
+    dataset_rows,
+    prepared_batch_detector,
+    prepared_incremental_detector,
+    sweep,
+    update_batch,
+    workload_with_tableau,
+)
+
+TABLEAU_SIZES = sweep([50, 100, 200, 300, 400, 500])
+UPDATE_SIZE = max(BENCH_SIZE // 10, 50)
+
+
+@pytest.mark.parametrize("tableau_size", TABLEAU_SIZES)
+def test_fig6c_incdetect_scalability_in_tableau(benchmark, tableau_size):
+    rows = dataset_rows(BENCH_SIZE)
+    sigma = workload_with_tableau(tableau_size)
+    batch = update_batch(len(rows), UPDATE_SIZE)
+
+    def setup():
+        return (prepared_incremental_detector(rows, sigma),), {}
+
+    def run(detector):
+        detector.delete_tuples(batch.delete_tids)
+        return detector.insert_tuples(list(batch.insert_rows))
+
+    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["tableau_size"] = tableau_size
+    benchmark.extra_info["dirty"] = len(violations)
+
+
+@pytest.mark.parametrize("tableau_size", TABLEAU_SIZES)
+def test_fig6c_batchdetect_after_update_in_tableau(benchmark, tableau_size):
+    rows = dataset_rows(BENCH_SIZE)
+    sigma = workload_with_tableau(tableau_size)
+    batch = update_batch(len(rows), UPDATE_SIZE)
+
+    def setup():
+        detector = prepared_batch_detector(rows, sigma)
+        detector.detect()
+        detector.database.delete_tuples(batch.delete_tids)
+        detector.database.insert_tuples(list(batch.insert_rows))
+        return (detector,), {}
+
+    def run(detector):
+        return detector.detect()
+
+    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["tableau_size"] = tableau_size
+    benchmark.extra_info["dirty"] = len(violations)

@@ -1,0 +1,61 @@
+"""Fig. 7(a): INCDETECT vs BATCHDETECT as the update size |ΔD| grows.
+
+Paper setting: |D| = 100k, noise = 5%, |Tp| = 10, |ΔD⁺| = |ΔD⁻| swept from
+2k to 12k and then from 20k to 60k (so up to 60% of the data is replaced).
+Expected shape: INCDETECT wins clearly for small updates, the gap narrows as
+the update grows, and BATCHDETECT overtakes when roughly half of the data is
+updated.
+"""
+
+import pytest
+
+from conftest import (
+    BENCH_SIZE,
+    dataset_rows,
+    prepared_batch_detector,
+    prepared_incremental_detector,
+    sweep,
+    update_batch,
+)
+
+#: Update sizes as fractions of |D|, covering the paper's 2%..60% range.
+UPDATE_FRACTIONS = sweep([0.02, 0.05, 0.1, 0.2, 0.4, 0.6])
+
+
+@pytest.mark.parametrize("fraction", UPDATE_FRACTIONS)
+def test_fig7a_incdetect_by_update_size(benchmark, fraction, base_workload):
+    rows = dataset_rows(BENCH_SIZE)
+    batch = update_batch(len(rows), int(BENCH_SIZE * fraction))
+
+    def setup():
+        return (prepared_incremental_detector(rows, base_workload),), {}
+
+    def run(detector):
+        detector.delete_tuples(batch.delete_tids)
+        return detector.insert_tuples(list(batch.insert_rows))
+
+    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["update_fraction"] = fraction
+    benchmark.extra_info["update_size"] = batch.insert_count
+    benchmark.extra_info["dirty"] = len(violations)
+
+
+@pytest.mark.parametrize("fraction", UPDATE_FRACTIONS)
+def test_fig7a_batchdetect_by_update_size(benchmark, fraction, base_workload):
+    rows = dataset_rows(BENCH_SIZE)
+    batch = update_batch(len(rows), int(BENCH_SIZE * fraction))
+
+    def setup():
+        detector = prepared_batch_detector(rows, base_workload)
+        detector.detect()
+        detector.database.delete_tuples(batch.delete_tids)
+        detector.database.insert_tuples(list(batch.insert_rows))
+        return (detector,), {}
+
+    def run(detector):
+        return detector.detect()
+
+    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["update_fraction"] = fraction
+    benchmark.extra_info["update_size"] = batch.insert_count
+    benchmark.extra_info["dirty"] = len(violations)

@@ -1,0 +1,49 @@
+"""Fig. 7(b): growth of the number of single / multiple tuple violations.
+
+Paper setting: |D| = 100k, noise = 5%, |Tp| = 10; the number of single-tuple
+violations (DSV) and multiple-tuple violations (DMV) is reported as the
+update size grows.  Expected shape: DSV grows roughly linearly with the
+update size, while DMV grows much faster for large updates — the effect the
+paper uses to explain why BATCHDETECT wins for very large updates.
+
+The benchmark times the post-update detection (so the suite still produces a
+timing row) and attaches the SV / MV counts to ``extra_info``, which is the
+actual figure series.
+"""
+
+import pytest
+
+from conftest import (
+    BENCH_SIZE,
+    dataset_rows,
+    prepared_batch_detector,
+    sweep,
+    update_batch,
+)
+
+UPDATE_FRACTIONS = sweep([0.02, 0.1, 0.2, 0.4, 0.6])
+
+
+@pytest.mark.parametrize("fraction", UPDATE_FRACTIONS)
+def test_fig7b_violation_growth_with_update_size(benchmark, fraction, base_workload):
+    rows = dataset_rows(BENCH_SIZE)
+    batch = update_batch(len(rows), int(BENCH_SIZE * fraction))
+
+    def setup():
+        detector = prepared_batch_detector(rows, base_workload)
+        before = detector.detect()
+        detector.database.delete_tuples(batch.delete_tids)
+        detector.database.insert_tuples(list(batch.insert_rows))
+        return (detector,), {"before": before}
+
+    def run(detector, before):
+        after = detector.detect()
+        return before, after, detector.violation_counts()
+
+    before, after, counts = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["update_size"] = batch.insert_count
+    benchmark.extra_info["sv_before"] = len(before.sv_tids)
+    benchmark.extra_info["mv_before"] = len(before.mv_tids)
+    benchmark.extra_info["sv_after"] = counts["sv"]
+    benchmark.extra_info["mv_after"] = counts["mv"]
+    benchmark.extra_info["dirty_after"] = len(after)

@@ -1,0 +1,73 @@
+"""Static analysis of an eCFD rule base: satisfiability, implication, MAXSS, discovery.
+
+A data steward maintains a growing set of eCFDs.  Before using them for
+cleaning she wants to know: do they make sense together (satisfiability,
+Section III)?  Which ones are redundant (implication)?  If the set is
+inconsistent, which subset can be kept (the MAXSS approximation of
+Section IV)?  And can new candidate rules be mined from a trusted sample
+(the discovery extension)?
+
+Run with::
+
+    python examples/constraint_analysis.py
+"""
+
+from repro.analysis import (
+    find_witness,
+    implies,
+    irredundant_cover,
+    is_satisfiable,
+    max_satisfiable_subset,
+)
+from repro.core import ECFD, cust_schema, format_ecfd, parse_ecfd
+from repro.datagen import DatasetGenerator
+from repro.discovery import discover_ecfd
+
+
+def main() -> None:
+    schema = cust_schema()
+
+    psi1 = parse_ecfd(
+        "(cust: [CT] -> [AC], { (!{NYC, LI} || _); ({Albany, Colonie, Troy} || {518}) })", schema
+    )
+    psi2 = parse_ecfd("(cust: [CT] -> [] | [AC], { ({NYC} || {212, 347, 646, 718, 917}) })", schema)
+    narrower = parse_ecfd("(cust: [CT] -> [] | [AC], { ({NYC} || {212, 718}) })", schema)
+
+    print("Satisfiability (Proposition 3.1)")
+    sigma = [psi1, psi2, narrower]
+    print(f"  Σ = {{ψ1, ψ2, ψ2'}} satisfiable: {is_satisfiable(sigma)}")
+    witness = find_witness(sigma)
+    print(f"  single-tuple witness: CT={witness['CT']!r}, AC={witness['AC']!r}\n")
+
+    print("Implication (Proposition 3.2)")
+    print(f"  ψ2' ⊨ ψ2 (narrower area-code set implies the wider one): {implies([narrower], psi2)}")
+    print(f"  ψ2 ⊨ ψ2': {implies([psi2], narrower)}")
+    cover = irredundant_cover(sigma)
+    print(f"  irredundant cover keeps {len(cover)} of {len(sigma)} constraints\n")
+
+    print("Maximum satisfiable subset (Section IV)")
+    contradiction = ECFD(
+        schema, ["CT"], ["CT"],
+        tableau=[({"CT": {"NYC"}}, {"CT": {"LI"}}), ({"CT": "_"}, {"CT": {"NYC"}})],
+        name="contradiction",
+    )
+    broken = sigma + [contradiction]
+    print(f"  Σ ∪ {{contradiction}} satisfiable: {is_satisfiable(broken)}")
+    result = max_satisfiable_subset(broken)
+    kept = [ecfd.name or format_ecfd(ecfd) for ecfd in result.satisfiable_subset]
+    print(f"  MAXSS keeps {result.cardinality} of {len(broken)} constraints; verdict: {result.verdict()}")
+    print(f"  dropped: {[e.name for e in broken if e not in result.satisfiable_subset]}\n")
+
+    print("Discovery from a trusted sample (future-work extension)")
+    sample = DatasetGenerator(seed=3, schema=None).generate(400, noise_percent=0.0)
+    discovered = discover_ecfd(sample, ["CT"], "AC", min_support=4, min_confidence=1.0)
+    assert discovered.ecfd is not None
+    print(f"  mined {len(discovered.patterns)} pattern constraints; first three:")
+    for mined in discovered.patterns[:3]:
+        kind = "complement" if mined.complement else "set"
+        print(f"    CT={mined.lhs_value!r} -> AC {kind} {sorted(mined.rhs_values)} "
+              f"(support {mined.support}, confidence {mined.confidence:.2f})")
+
+
+if __name__ == "__main__":
+    main()

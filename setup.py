@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can be installed in environments without the ``wheel``
+package (where PEP 660 editable installs are unavailable) via::
+
+    python setup.py develop
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "eCFDs: extended Conditional Functional Dependencies — "
+        "reproduction of Bravo, Fan, Geerts, Ma (ICDE 2008)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,91 @@
+"""repro — extended Conditional Functional Dependencies (eCFDs).
+
+A complete, from-scratch Python implementation of
+
+    L. Bravo, W. Fan, F. Geerts, S. Ma.
+    "Increasing the Expressivity of Conditional Functional Dependencies
+    without Extra Complexity", ICDE 2008.
+
+The library provides:
+
+* the eCFD constraint language (:mod:`repro.core`) — pattern tableaux with
+  wildcards, value sets (disjunction) and complement sets (inequality),
+  together with CFDs and standard FDs as special cases;
+* static analyses (:mod:`repro.analysis`) — exact satisfiability and
+  implication checkers based on the paper's small-model properties, and the
+  MAXSS approximation algorithm built on the MAXGSAT reduction of
+  Section IV;
+* a MAXGSAT solver suite (:mod:`repro.sat`) — exact, greedy and local-search
+  solvers over a small Boolean-expression AST;
+* SQL-based violation detection on SQLite (:mod:`repro.detection`) — the
+  BATCHDETECT and INCDETECT algorithms of Section V plus a pure-Python
+  oracle;
+* synthetic data / workload generation (:mod:`repro.datagen`) matching the
+  experimental setting of Section VI;
+* experiment drivers (:mod:`repro.experiments`) that regenerate every figure
+  of the paper's evaluation;
+* extensions sketched as future work in the paper: violation repair
+  (:mod:`repro.repair`) and eCFD discovery (:mod:`repro.discovery`).
+
+Quickstart
+----------
+
+>>> from repro import cust_schema, parse_ecfd, Relation
+>>> schema = cust_schema()
+>>> phi = parse_ecfd(
+...     "(cust: [CT] -> [AC], { (!{NYC, LI} || _);"
+...     " ({Albany, Troy, Colonie} || {518}) })", schema)
+>>> d0 = Relation(schema, [
+...     {"AC": "718", "PN": "1111111", "NM": "Mike", "STR": "Tree Ave.",
+...      "CT": "Albany", "ZIP": "12238"},
+... ])
+>>> phi.is_satisfied_by(d0)
+False
+"""
+
+from repro.core import (
+    CFD,
+    ECFD,
+    ECFDSet,
+    FunctionalDependency,
+    PatternTuple,
+    Relation,
+    RelationSchema,
+    RelationTuple,
+    ViolationSet,
+    ComplementSet,
+    ValueSet,
+    Wildcard,
+    cfd_from_ecfd,
+    cust_ext_schema,
+    cust_schema,
+    format_ecfd,
+    parse_ecfd,
+    parse_ecfd_set,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CFD",
+    "ComplementSet",
+    "ECFD",
+    "ECFDSet",
+    "FunctionalDependency",
+    "PatternTuple",
+    "Relation",
+    "RelationSchema",
+    "RelationTuple",
+    "ReproError",
+    "ValueSet",
+    "ViolationSet",
+    "Wildcard",
+    "cfd_from_ecfd",
+    "cust_ext_schema",
+    "cust_schema",
+    "format_ecfd",
+    "parse_ecfd",
+    "parse_ecfd_set",
+    "__version__",
+]

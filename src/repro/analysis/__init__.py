@@ -1,0 +1,50 @@
+"""Static analyses of eCFDs (paper Sections III and IV).
+
+* :mod:`repro.analysis.satisfiability` — exact satisfiability via the
+  single-tuple small-model property (Proposition 3.1);
+* :mod:`repro.analysis.implication` — exact implication via the two-tuple
+  counterexample search (Proposition 3.2), plus redundancy removal;
+* :mod:`repro.analysis.tractable` — the infinite-domain rewriting of
+  Proposition 3.3;
+* :mod:`repro.analysis.reduction` / :mod:`repro.analysis.maxss` — the
+  MAXSS → MAXGSAT approximation-factor-preserving reduction of Section IV
+  and the resulting approximation algorithm for the maximum satisfiable
+  subset.
+"""
+
+from repro.analysis.active_domain import active_domains, mentioned_attributes
+from repro.analysis.implication import (
+    find_counterexample,
+    implies,
+    irredundant_cover,
+    is_redundant,
+)
+from repro.analysis.maxss import MaxSSResult, max_satisfiable_subset
+from repro.analysis.reduction import ReductionResult, reduce_to_maxgsat, variable_name
+from repro.analysis.satisfiability import (
+    find_witness,
+    is_satisfiable,
+    is_satisfiable_via_reduction,
+    witness_or_raise,
+)
+from repro.analysis.tractable import domain_restriction_ecfd, rewrite_to_infinite_domains
+
+__all__ = [
+    "MaxSSResult",
+    "ReductionResult",
+    "active_domains",
+    "domain_restriction_ecfd",
+    "find_counterexample",
+    "find_witness",
+    "implies",
+    "irredundant_cover",
+    "is_redundant",
+    "is_satisfiable",
+    "is_satisfiable_via_reduction",
+    "max_satisfiable_subset",
+    "mentioned_attributes",
+    "reduce_to_maxgsat",
+    "rewrite_to_infinite_domains",
+    "variable_name",
+    "witness_or_raise",
+]

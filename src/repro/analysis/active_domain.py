@@ -1,0 +1,89 @@
+"""Active domains for the static analyses of Sections III and IV.
+
+All three constructions in the paper — the single-tuple witness search for
+satisfiability (Proposition 3.1), the two-tuple counterexample search for
+implication (Proposition 3.2), and the MAXSS → MAXGSAT reduction
+(Section IV) — reason over a restricted *active domain* per attribute:
+
+    adom(A) = the constants appearing in some pattern entry ``tp[A]``
+              of the input constraints,
+            + a bounded number of "fresh" values of ``dom(A)`` not among
+              those constants (if the domain still has unused values).
+
+The key observation is that pattern entries only test membership of the
+mentioned constant sets, so any two values outside every mentioned set are
+interchangeable; one fresh value suffices for a single-tuple model, and two
+fresh values suffice for a two-tuple model (they allow the two tuples to
+disagree on an attribute without touching any constant).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.ecfd import ECFD
+from repro.core.schema import RelationSchema, Value
+
+__all__ = ["active_domains", "mentioned_attributes"]
+
+
+def mentioned_attributes(constraints: Sequence[ECFD]) -> list[str]:
+    """Attributes mentioned by at least one constraint, in schema order."""
+    if not constraints:
+        return []
+    schema = constraints[0].schema
+    mentioned: set[str] = set()
+    for constraint in constraints:
+        mentioned |= constraint.attributes()
+    return [name for name in schema.attribute_names if name in mentioned]
+
+
+def active_domains(
+    constraints: Sequence[ECFD],
+    schema: RelationSchema,
+    fresh_per_attribute: int = 1,
+    extra_constants: dict[str, Iterable[Value]] | None = None,
+) -> dict[str, list[Value]]:
+    """The per-attribute active domains of a constraint set.
+
+    Parameters
+    ----------
+    constraints:
+        The eCFDs whose pattern constants seed the active domains.
+    schema:
+        The relation schema (the result covers every schema attribute, so
+        callers can always build complete tuples).
+    fresh_per_attribute:
+        How many values outside the mentioned constants to add — 1 for the
+        satisfiability construction, 2 for the implication construction.
+        Fewer are added when a finite domain has no unused values left,
+        mirroring the paper's "if there exists any" caveat.
+    extra_constants:
+        Additional constants to seed specific attributes with (the
+        implication analysis adds the constants of the candidate eCFD).
+
+    Returns
+    -------
+    dict
+        Maps every attribute name of ``schema`` to a deterministic, sorted
+        list of candidate values.
+    """
+    seeds: dict[str, set[Value]] = {name: set() for name in schema.attribute_names}
+    for constraint in constraints:
+        for attribute, values in constraint.constants().items():
+            seeds[attribute].update(values)
+    if extra_constants:
+        for attribute, values in extra_constants.items():
+            seeds[attribute].update(values)
+
+    result: dict[str, list[Value]] = {}
+    for attribute in schema.attribute_names:
+        domain = schema.domain(attribute)
+        candidates = {value for value in seeds[attribute] if value in domain}
+        for _ in range(fresh_per_attribute):
+            fresh = domain.fresh_value(exclude=candidates)
+            if fresh is None:
+                break
+            candidates.add(fresh)
+        result[attribute] = sorted(candidates, key=str)
+    return result

@@ -1,0 +1,162 @@
+"""Exact implication analysis of eCFDs (Proposition 3.2).
+
+The implication problem asks, for a set Σ of eCFDs and a candidate eCFD φ
+over the same schema, whether every instance satisfying Σ also satisfies φ
+(written Σ ⊨ φ).  The paper proves the problem coNP-complete via the
+small-model property used here:
+
+    Σ ⊭ φ  ⟺  there is a counterexample instance I with **at most two
+               tuples** such that I ⊨ Σ and I ⊭ φ.
+
+(Two tuples suffice because a violation of φ is witnessed either by one
+tuple breaking a pattern constraint or by two tuples breaking the embedded
+FD; removing every other tuple can only remove violations of Σ.)
+
+The checker therefore searches for a two-tuple counterexample.  Candidate
+values per attribute are drawn from the active domain of Σ ∪ {φ} extended
+with *two* fresh values (so the two tuples can disagree on an attribute
+without touching any mentioned constant), and a backtracking search assigns
+the two tuples attribute by attribute with sound pruning against Σ's
+pattern constraints and embedded FDs.
+
+The module also exposes the classical consequence operations built on top
+of ``implies``: detecting redundant constraints and pruning a constraint
+set to an irredundant "cover", which is the optimization use-case the paper
+motivates the implication analysis with.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.active_domain import active_domains, mentioned_attributes
+from repro.core.ecfd import ECFD, ECFDSet
+from repro.core.instance import Relation
+from repro.core.schema import Value
+from repro.exceptions import ConstraintError
+
+__all__ = ["implies", "find_counterexample", "is_redundant", "irredundant_cover"]
+
+
+def find_counterexample(
+    sigma: ECFDSet | Sequence[ECFD], candidate: ECFD
+) -> Relation | None:
+    """Search for an instance I (|I| ≤ 2) with I ⊨ Σ and I ⊭ φ.
+
+    Returns the counterexample relation, or ``None`` when Σ ⊨ φ.
+    """
+    constraints = list(sigma)
+    schema = candidate.schema
+    for constraint in constraints:
+        if constraint.schema != schema:
+            raise ConstraintError("Σ and the candidate eCFD must share one schema")
+
+    sigma_fragments = [f for constraint in constraints for f in constraint.normalize()]
+    all_fragments = sigma_fragments + candidate.normalize()
+    domains = active_domains(all_fragments, schema, fresh_per_attribute=2)
+    search_order = mentioned_attributes(all_fragments)
+
+    first: dict[str, Value] = {}
+    second: dict[str, Value] = {}
+
+    def sigma_consistent() -> bool:
+        """Prune branches that already violate Σ irrecoverably."""
+        for fragment in sigma_fragments:
+            pattern = fragment.tableau[0]
+            for partial in (first, second):
+                if not all(a in partial for a in fragment.lhs):
+                    continue
+                if not pattern.matches_lhs(partial):
+                    continue
+                for attribute in fragment.rhs_all:
+                    if attribute in partial and not pattern.rhs_entry(attribute).matches(
+                        partial[attribute]
+                    ):
+                        return False
+            # Embedded FD between the two partial tuples.
+            if fragment.rhs and all(a in first and a in second for a in fragment.lhs):
+                if pattern.matches_lhs(first) and pattern.matches_lhs(second):
+                    if all(first[a] == second[a] for a in fragment.lhs):
+                        for attribute in fragment.rhs:
+                            if (
+                                attribute in first
+                                and attribute in second
+                                and first[attribute] != second[attribute]
+                            ):
+                                return False
+        return True
+
+    def build_instance() -> Relation:
+        relation = Relation(schema)
+        for partial in (first, second):
+            row = dict(partial)
+            for attribute in schema.attribute_names:
+                if attribute not in row:
+                    fresh = schema.domain(attribute).fresh_value()
+                    row[attribute] = fresh if fresh is not None else domains[attribute][0]
+            relation.insert(row)
+        return relation
+
+    def backtrack(position: int) -> Relation | None:
+        if position == len(search_order):
+            instance = build_instance()
+            if all(c.is_satisfied_by(instance) for c in constraints) and not candidate.is_satisfied_by(
+                instance
+            ):
+                return instance
+            return None
+        attribute = search_order[position]
+        for value_one in domains[attribute]:
+            first[attribute] = value_one
+            for value_two in domains[attribute]:
+                second[attribute] = value_two
+                if sigma_consistent():
+                    found = backtrack(position + 1)
+                    if found is not None:
+                        return found
+                del second[attribute]
+            del first[attribute]
+        return None
+
+    return backtrack(0)
+
+
+def implies(sigma: ECFDSet | Sequence[ECFD], candidate: ECFD) -> bool:
+    """Decide Σ ⊨ φ exactly (via the two-tuple counterexample search)."""
+    return find_counterexample(sigma, candidate) is None
+
+
+def is_redundant(sigma: ECFDSet | Sequence[ECFD], candidate: ECFD) -> bool:
+    """Whether ``candidate`` is entailed by the *other* members of Σ.
+
+    ``candidate`` must be a member of ``sigma``; the check removes the first
+    occurrence and tests implication from the remainder.
+    """
+    constraints = list(sigma)
+    if candidate not in constraints:
+        raise ConstraintError("is_redundant expects the candidate to be a member of Σ")
+    remainder = list(constraints)
+    remainder.remove(candidate)
+    if not remainder:
+        return False
+    return implies(remainder, candidate)
+
+
+def irredundant_cover(sigma: ECFDSet | Sequence[ECFD]) -> list[ECFD]:
+    """Remove eCFDs entailed by the rest of the set, greedily and in order.
+
+    This is the "removing redundancies in a given set of eCFDs" optimization
+    the paper motivates the implication analysis with.  The result is
+    equivalent to the input set (every removed constraint is implied by the
+    remainder at the time of removal).
+    """
+    remaining = list(sigma)
+    index = 0
+    while index < len(remaining):
+        candidate = remaining[index]
+        rest = remaining[:index] + remaining[index + 1 :]
+        if rest and implies(rest, candidate):
+            remaining = rest
+        else:
+            index += 1
+    return remaining

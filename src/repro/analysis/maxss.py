@@ -1,0 +1,112 @@
+"""The maximum satisfiable subset problem (MAXSS) for eCFDs.
+
+Given a set Σ of eCFDs, MAXSS asks for a maximum-cardinality subset of Σ
+that is satisfiable.  Section IV of the paper attacks it through the
+approximation-factor-preserving reduction to MAXGSAT implemented in
+:mod:`repro.analysis.reduction`:
+
+1. build ``f(Σ)``;
+2. run any MAXGSAT (approximation) algorithm to obtain an assignment ``p``
+   and its satisfied-formula set ``Φ_m``;
+3. return ``g(Φ_m)`` — the eCFDs of Σ satisfied by the template tuple
+   decoded from ``p`` — which is guaranteed to be a satisfiable subset with
+   ``card(g(Φ_m)) ≥ card(Φ_m)``.
+
+The paper then reads off a three-way verdict for the satisfiability of the
+whole set: if the returned subset is all of Σ, Σ is satisfiable; if it is
+smaller than ``(1 - ε)·|Σ|`` for an ε-approximate MAXGSAT algorithm, Σ is
+certainly unsatisfiable; otherwise the approximation is inconclusive.
+:class:`MaxSSResult.verdict` exposes exactly that trichotomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.reduction import ReductionResult, reduce_to_maxgsat
+from repro.core.ecfd import ECFD, ECFDSet
+from repro.core.schema import Value
+from repro.sat.maxgsat import MaxGSATInstance, MaxGSATResult, solve_best
+
+__all__ = ["MaxSSResult", "max_satisfiable_subset"]
+
+Solver = Callable[[MaxGSATInstance], MaxGSATResult]
+
+
+@dataclass(frozen=True)
+class MaxSSResult:
+    """Outcome of the MAXSS approximation.
+
+    Attributes
+    ----------
+    constraints:
+        The input Σ, in order.
+    satisfiable_indices:
+        Indices (into ``constraints``) of the satisfiable subset ``g(Φ_m)``.
+    witness:
+        The decoded template tuple; the single-tuple database ``{witness}``
+        satisfies every constraint in the returned subset.
+    maxgsat_score:
+        ``card(Φ_m)`` — the number of formulas the MAXGSAT solver satisfied
+        (always ``≤ card(g(Φ_m))``, property (3) of the reduction).
+    """
+
+    constraints: tuple[ECFD, ...]
+    satisfiable_indices: tuple[int, ...]
+    witness: dict[str, Value]
+    maxgsat_score: int
+
+    @property
+    def satisfiable_subset(self) -> list[ECFD]:
+        """The eCFDs of the satisfiable subset, in input order."""
+        return [self.constraints[index] for index in self.satisfiable_indices]
+
+    @property
+    def cardinality(self) -> int:
+        """``card(g(Φ_m))``."""
+        return len(self.satisfiable_indices)
+
+    def verdict(self, epsilon: float = 0.0) -> str:
+        """The paper's three-way satisfiability verdict.
+
+        * ``"satisfiable"`` — the subset is all of Σ;
+        * ``"unsatisfiable"`` — the subset has fewer than ``(1 - ε)·|Σ|``
+          members, which an ε-approximation could not produce if Σ were
+          satisfiable;
+        * ``"unknown"`` — anything in between.
+        """
+        total = len(self.constraints)
+        if self.cardinality == total:
+            return "satisfiable"
+        if self.cardinality < (1.0 - epsilon) * total:
+            return "unsatisfiable"
+        return "unknown"
+
+
+def max_satisfiable_subset(
+    sigma: ECFDSet | Sequence[ECFD],
+    solver: Solver = solve_best,
+) -> MaxSSResult:
+    """Approximate the maximum satisfiable subset of Σ.
+
+    Parameters
+    ----------
+    sigma:
+        The input eCFDs (all over one schema).
+    solver:
+        Any MAXGSAT solver from :mod:`repro.sat` (or a user-supplied one);
+        the approximation factor of the returned subset is inherited from
+        the solver, per Proposition 4.1.
+    """
+    constraints = list(sigma)
+    reduction: ReductionResult = reduce_to_maxgsat(constraints)
+    outcome = solver(reduction.instance)
+    satisfied_indices = reduction.decode_satisfied(outcome.assignment)
+    witness = reduction.decode_tuple(outcome.assignment)
+    return MaxSSResult(
+        constraints=tuple(constraints),
+        satisfiable_indices=tuple(satisfied_indices),
+        witness=witness,
+        maxgsat_score=outcome.score,
+    )

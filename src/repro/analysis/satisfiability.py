@@ -1,0 +1,139 @@
+"""Exact satisfiability analysis of eCFDs (Proposition 3.1).
+
+The satisfiability problem asks, for a set Σ of eCFDs over a schema R,
+whether some *nonempty* instance of R satisfies Σ.  The paper proves the
+problem NP-complete and establishes the small-model property used here:
+
+    Σ is satisfiable  ⟺  some instance consisting of a **single tuple**
+                          satisfies Σ.
+
+(The "if" direction is immediate; for "only if", any tuple of a satisfying
+instance already satisfies every pattern constraint, and a one-tuple
+instance can never violate an embedded FD.)
+
+The checker therefore searches for a single witness tuple.  Candidate
+values per attribute come from the active domain (pattern constants plus
+one fresh value — values outside every mentioned constant set are
+interchangeable), and the search is a straightforward backtracking over the
+attributes mentioned by Σ with sound pruning:
+
+* as soon as every LHS attribute of a (normalized, single-pattern)
+  constraint is assigned and matches, any assigned RHS/Yp attribute that
+  fails its pattern prunes the branch;
+* attributes not mentioned by Σ are filled with an arbitrary domain value
+  at the end.
+
+For cross-validation, :func:`is_satisfiable_via_reduction` decides the same
+question through the Section IV reduction (Σ is satisfiable iff the optimal
+MAXGSAT solution of ``f(Σ)`` satisfies *all* formulas); the two paths are
+compared in the test-suite and in the MAXSS ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.active_domain import active_domains, mentioned_attributes
+from repro.core.ecfd import ECFD, ECFDSet
+from repro.core.schema import Value
+from repro.exceptions import UnsatisfiableError
+
+__all__ = ["find_witness", "is_satisfiable", "is_satisfiable_via_reduction", "witness_or_raise"]
+
+
+def _as_list(sigma: ECFDSet | Sequence[ECFD]) -> list[ECFD]:
+    return list(sigma)
+
+
+def find_witness(sigma: ECFDSet | Sequence[ECFD]) -> dict[str, Value] | None:
+    """Return a single-tuple witness ``{t} ⊨ Σ``, or ``None`` if Σ is unsatisfiable.
+
+    The returned mapping covers every attribute of the schema, so it can be
+    inserted directly into a :class:`~repro.core.instance.Relation`.
+    """
+    constraints = _as_list(sigma)
+    if not constraints:
+        return None
+    schema = constraints[0].schema
+
+    fragments = [fragment for constraint in constraints for fragment in constraint.normalize()]
+    domains = active_domains(fragments, schema, fresh_per_attribute=1)
+    search_order = mentioned_attributes(fragments)
+
+    assignment: dict[str, Value] = {}
+
+    def consistent() -> bool:
+        """Sound pruning: no fragment is already irrecoverably violated."""
+        for fragment in fragments:
+            pattern = fragment.tableau[0]
+            lhs_assigned = all(a in assignment for a in fragment.lhs)
+            if not lhs_assigned:
+                continue
+            if not pattern.matches_lhs(assignment):
+                continue
+            for attribute in fragment.rhs_all:
+                if attribute in assignment and not pattern.rhs_entry(attribute).matches(
+                    assignment[attribute]
+                ):
+                    return False
+        return True
+
+    def backtrack(position: int) -> bool:
+        if position == len(search_order):
+            return True
+        attribute = search_order[position]
+        for value in domains[attribute]:
+            assignment[attribute] = value
+            if consistent() and backtrack(position + 1):
+                return True
+            del assignment[attribute]
+        return False
+
+    if not backtrack(0):
+        return None
+
+    # Complete the witness over unmentioned attributes with arbitrary values.
+    witness = dict(assignment)
+    for attribute in schema.attribute_names:
+        if attribute not in witness:
+            value = schema.domain(attribute).fresh_value()
+            witness[attribute] = value if value is not None else domains[attribute][0]
+
+    # Defensive final check (cheap, and guards the pruning logic).
+    full_set = ECFDSet(constraints)
+    assert full_set.satisfied_by_single_tuple(witness)
+    return witness
+
+
+def is_satisfiable(sigma: ECFDSet | Sequence[ECFD]) -> bool:
+    """Decide satisfiability of Σ (empty Σ counts as satisfiable)."""
+    constraints = _as_list(sigma)
+    if not constraints:
+        return True
+    return find_witness(constraints) is not None
+
+
+def witness_or_raise(sigma: ECFDSet | Sequence[ECFD]) -> dict[str, Value]:
+    """Like :func:`find_witness` but raises :class:`UnsatisfiableError` on failure."""
+    witness = find_witness(sigma)
+    if witness is None:
+        raise UnsatisfiableError("the given set of eCFDs is unsatisfiable")
+    return witness
+
+
+def is_satisfiable_via_reduction(sigma: ECFDSet | Sequence[ECFD]) -> bool:
+    """Decide satisfiability through the Section IV MAXGSAT reduction.
+
+    Σ is satisfiable iff there is a truth assignment satisfying *every*
+    formula of ``f(Σ)``; the exact MAXGSAT solver provides that answer for
+    the small instances this path is intended for (tests, ablations).
+    """
+    from repro.analysis.reduction import reduce_to_maxgsat
+    from repro.sat.maxgsat import solve_exact
+
+    constraints = _as_list(sigma)
+    if not constraints:
+        return True
+    reduction = reduce_to_maxgsat(constraints)
+    result = solve_exact(reduction.instance, max_variables=24)
+    return result.score == reduction.instance.size

@@ -1,0 +1,93 @@
+"""The infinite-domain construction of Proposition 3.3.
+
+For CFDs, the satisfiability and implication analyses become tractable when
+no attribute has a finite domain.  Proposition 3.3 shows that eCFDs lose
+this tractable special case: an eCFD can force an attribute with an
+*infinite* domain to take values from a finite set only, so the
+finite-domain behaviour can always be re-created.  The proof is by the
+following reduction, which this module makes executable:
+
+Given constraints Σ over a schema R that may have finite-domain attributes,
+build
+
+* a schema R' identical to R except that every attribute has an infinite
+  domain, and
+* Σ' = Σ (re-expressed over R') ∪ { φ_A | A had a finite domain }, where
+
+      φ_A = (R' : [A] -> ∅, {A}, {( _  ||  dom(A) )})
+
+  i.e. a single-pattern eCFD whose LHS wildcard matches every tuple and
+  whose Yp pattern restricts A to the original finite domain.
+
+Then Σ' is satisfiable over R' iff Σ is satisfiable over R, and likewise
+for implication — which is how the NP/coNP lower bounds carry over to the
+infinite-domain-only setting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ecfd import ECFD, ECFDSet, PatternTuple
+from repro.core.patterns import ValueSet, Wildcard
+from repro.core.schema import Attribute, Domain, RelationSchema
+from repro.exceptions import ConstraintError
+
+__all__ = ["domain_restriction_ecfd", "rewrite_to_infinite_domains"]
+
+
+def domain_restriction_ecfd(schema: RelationSchema, attribute: str, values) -> ECFD:
+    """The eCFD φ_A forcing ``attribute`` to take values from ``values``.
+
+    ``(R: [A] -> ∅, {A}, {(_ || values)})`` — every tuple matches the LHS
+    wildcard, and the Yp pattern then requires ``t[A] ∈ values``.
+    """
+    return ECFD(
+        schema,
+        lhs=[attribute],
+        rhs=[],
+        pattern_rhs=[attribute],
+        tableau=[PatternTuple({attribute: Wildcard()}, {attribute: ValueSet(values)})],
+        name=f"domain_restriction_{attribute}",
+    )
+
+
+def rewrite_to_infinite_domains(
+    sigma: ECFDSet | Sequence[ECFD],
+) -> tuple[RelationSchema, ECFDSet]:
+    """The Proposition 3.3 construction.
+
+    Returns the infinite-domain schema R' and the constraint set Σ' such
+    that Σ' is satisfiable iff the input is.  Constraints over a schema with
+    no finite-domain attributes are returned unchanged (modulo the schema
+    object identity).
+    """
+    constraints = list(sigma)
+    if not constraints:
+        raise ConstraintError("cannot rewrite an empty constraint set")
+    schema = constraints[0].schema
+
+    finite_attributes = [a for a in schema.attributes if a.domain.is_finite]
+    infinite_schema = RelationSchema(
+        schema.name,
+        [Attribute(a.name, Domain(f"{a.domain.name}_inf")) for a in schema.attributes],
+    )
+
+    rewritten: list[ECFD] = []
+    for constraint in constraints:
+        rewritten.append(
+            ECFD(
+                infinite_schema,
+                constraint.lhs,
+                constraint.rhs,
+                constraint.pattern_rhs,
+                constraint.tableau,
+                name=constraint.name,
+            )
+        )
+    for attribute in finite_attributes:
+        assert attribute.domain.values is not None
+        rewritten.append(
+            domain_restriction_ecfd(infinite_schema, attribute.name, attribute.domain.values)
+        )
+    return infinite_schema, ECFDSet(rewritten)

@@ -1,0 +1,73 @@
+"""Core data model: schemas, patterns, FDs, CFDs and eCFDs.
+
+This package implements Section II of the paper — the eCFD constraint
+language itself — together with the relational substrate it is defined
+over (schemas, domains, in-memory instances) and the baseline formalisms it
+extends (standard FDs and CFDs).
+"""
+
+from repro.core.cfd import CFD, cfd_from_ecfd
+from repro.core.ecfd import ECFD, ECFDSet, PatternTuple
+from repro.core.fd import (
+    FunctionalDependency,
+    attribute_closure,
+    check_fd,
+    implies,
+    minimal_cover,
+)
+from repro.core.instance import Relation, RelationTuple
+from repro.core.parser import format_ecfd, parse_ecfd, parse_ecfd_set
+from repro.core.patterns import (
+    WILDCARD,
+    ComplementSet,
+    PatternValue,
+    ValueSet,
+    Wildcard,
+    constant,
+    pattern_from_literal,
+)
+from repro.core.schema import (
+    Attribute,
+    Domain,
+    RelationSchema,
+    cust_ext_schema,
+    cust_schema,
+)
+from repro.core.violations import (
+    MultiTupleViolation,
+    SingleTupleViolation,
+    ViolationSet,
+)
+
+__all__ = [
+    "Attribute",
+    "CFD",
+    "ComplementSet",
+    "Domain",
+    "ECFD",
+    "ECFDSet",
+    "FunctionalDependency",
+    "MultiTupleViolation",
+    "PatternTuple",
+    "PatternValue",
+    "Relation",
+    "RelationSchema",
+    "RelationTuple",
+    "SingleTupleViolation",
+    "ValueSet",
+    "ViolationSet",
+    "WILDCARD",
+    "Wildcard",
+    "attribute_closure",
+    "cfd_from_ecfd",
+    "check_fd",
+    "constant",
+    "cust_ext_schema",
+    "cust_schema",
+    "format_ecfd",
+    "implies",
+    "minimal_cover",
+    "parse_ecfd",
+    "parse_ecfd_set",
+    "pattern_from_literal",
+]

@@ -1,0 +1,176 @@
+"""Conditional Functional Dependencies (CFDs) — the baseline formalism.
+
+CFDs were introduced by Bohannon, Fan, Geerts, Jia and Kementsietsidis
+(ICDE 2007) and are the formalism the paper extends.  A CFD is a pair
+``(R: X -> Y, Tp)`` whose pattern-tableau entries are either the unnamed
+variable ``'_'`` or a *single constant*.  The paper's Remark in Section II
+observes that a CFD is exactly an eCFD ``(R: X -> Y, ∅, T'p)`` in which
+every constant ``a`` is replaced by the singleton set ``{a}`` — no
+disjunction, no inequality, no ``Yp`` attributes.
+
+This module implements CFDs as first-class objects so that
+
+* the baseline comparisons of the experimental study can run real CFDs
+  through the same detection pipeline,
+* the lower-bound constructions of Section III (which reduce from CFD
+  satisfiability / implication) are expressible, and
+* users migrating from CFD tooling have a familiar constructor.
+
+Internally a :class:`CFD` delegates all semantics to the eCFD obtained by
+:meth:`CFD.to_ecfd`, which guarantees the two formalisms can never drift
+apart.  The reverse direction, :func:`cfd_from_ecfd`, succeeds exactly when
+:meth:`repro.core.ecfd.ECFD.is_cfd` holds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.ecfd import ECFD, PatternTuple
+from repro.core.instance import Relation
+from repro.core.patterns import ValueSet, Wildcard
+from repro.core.schema import RelationSchema, Value
+from repro.core.violations import ViolationSet
+from repro.exceptions import ConstraintError
+
+__all__ = ["CFD", "cfd_from_ecfd"]
+
+
+class CFD:
+    """A conditional functional dependency ``(R: X -> Y, Tp)``.
+
+    Tableau rows are mappings from attribute name to either the string
+    ``"_"`` (or ``None``) for the unnamed variable, or a single constant.
+    Every attribute of ``X ∪ Y`` must be covered by every row.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        lhs: Iterable[str],
+        rhs: Iterable[str],
+        tableau: Sequence[Mapping[str, Value | None]],
+        name: str | None = None,
+    ):
+        self.schema = schema
+        self.lhs = tuple(schema.check_attributes(lhs, context="CFD LHS"))
+        self.rhs = tuple(schema.check_attributes(rhs, context="CFD RHS"))
+        self.name = name
+        if not self.rhs:
+            raise ConstraintError("a CFD requires a non-empty RHS")
+        if not tableau:
+            raise ConstraintError("a CFD tableau must contain at least one pattern row")
+        self.tableau: list[dict[str, Value | None]] = []
+        for row in tableau:
+            self.tableau.append(self._validate_row(row))
+
+    def _validate_row(self, row: Mapping[str, Value | None]) -> dict[str, Value | None]:
+        expected = set(self.lhs) | set(self.rhs)
+        given = set(row)
+        if given != expected:
+            raise ConstraintError(
+                f"CFD pattern row attributes {sorted(given)} must be exactly "
+                f"X ∪ Y = {sorted(expected)}"
+            )
+        cleaned: dict[str, Value | None] = {}
+        for attribute, value in row.items():
+            if value is None or value == "_":
+                cleaned[attribute] = None
+            elif isinstance(value, (str, int)):
+                cleaned[attribute] = value
+            else:
+                raise ConstraintError(
+                    f"CFD pattern entries must be '_' or a single constant, got {value!r} "
+                    f"for attribute {attribute!r}"
+                )
+        return cleaned
+
+    # ------------------------------------------------------------------
+    # Conversion (the Section II remark, made executable)
+    # ------------------------------------------------------------------
+    def to_ecfd(self) -> ECFD:
+        """The equivalent eCFD ``(R: X -> Y, ∅, T'p)``.
+
+        Constants become singleton :class:`~repro.core.patterns.ValueSet`
+        entries; wildcards stay wildcards; ``Yp`` is empty.
+        """
+        patterns = []
+        for row in self.tableau:
+            lhs_map = {a: ("_" if row[a] is None else {row[a]}) for a in self.lhs}
+            rhs_map = {a: ("_" if row[a] is None else {row[a]}) for a in self.rhs}
+            patterns.append(PatternTuple(lhs_map, rhs_map))
+        return ECFD(
+            self.schema,
+            self.lhs,
+            self.rhs,
+            pattern_rhs=(),
+            tableau=patterns,
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Semantics (delegated to the eCFD form)
+    # ------------------------------------------------------------------
+    def violations(self, relation: Relation, constraint_id: int = 0) -> ViolationSet:
+        """All violations of this CFD in ``relation``."""
+        return self.to_ecfd().violations(relation, constraint_id=constraint_id)
+
+    def is_satisfied_by(self, relation: Relation) -> bool:
+        """Whether ``relation ⊨`` this CFD."""
+        return self.to_ecfd().is_satisfied_by(relation)
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        lhs = ", ".join(self.lhs)
+        rhs = ", ".join(self.rhs)
+        rows = "; ".join(
+            "("
+            + ", ".join(
+                f"{a}: {'_' if row[a] is None else row[a]}" for a in self.lhs + self.rhs
+            )
+            + ")"
+            for row in self.tableau
+        )
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}({self.schema.name}: [{lhs}] -> [{rhs}], {{{rows}}})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CFD({self!s})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CFD):
+            return (
+                self.schema == other.schema
+                and self.lhs == other.lhs
+                and self.rhs == other.rhs
+                and self.tableau == other.tableau
+            )
+        return NotImplemented
+
+
+def cfd_from_ecfd(ecfd: ECFD) -> CFD:
+    """Convert an eCFD back into a CFD when possible.
+
+    Raises
+    ------
+    ConstraintError
+        If the eCFD uses ``Yp`` attributes, complement sets, or non-singleton
+        value sets — i.e. whenever :meth:`ECFD.is_cfd` is ``False``.
+    """
+    if not ecfd.is_cfd():
+        raise ConstraintError(
+            f"eCFD {ecfd} uses disjunction, inequality or Yp attributes and has no CFD form"
+        )
+    rows: list[dict[str, Value | None]] = []
+    for pattern in ecfd.tableau:
+        row: dict[str, Value | None] = {}
+        for attribute in ecfd.lhs:
+            entry = pattern.lhs_entry(attribute)
+            row[attribute] = None if isinstance(entry, Wildcard) else next(iter(entry.constants()))
+        for attribute in ecfd.rhs:
+            entry = pattern.rhs_entry(attribute)
+            row[attribute] = None if isinstance(entry, Wildcard) else next(iter(entry.constants()))
+        rows.append(row)
+    return CFD(ecfd.schema, ecfd.lhs, ecfd.rhs, rows, name=ecfd.name)

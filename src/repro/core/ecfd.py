@@ -1,0 +1,512 @@
+"""Extended Conditional Functional Dependencies (eCFDs) — the paper's core.
+
+An eCFD (Section II) is a triple ``φ = (R: X -> Y, Yp, Tp)`` where
+
+* ``X``, ``Y``, ``Yp ⊆ attr(R)`` with ``Y ∩ Yp = ∅``;
+* ``X -> Y`` is a standard FD, the *embedded FD* of ``φ``;
+* ``Tp`` is a *pattern tableau*: a finite set of pattern tuples over the
+  attributes ``X ∪ Y ∪ Yp``, where each entry is a wildcard ``'_'``, a
+  finite value set ``S`` or a complement set ``S̄``.  If an attribute ``A``
+  occurs on both sides, the pattern tuple carries two entries ``tp[A_L]``
+  and ``tp[A_R]``.
+
+Semantics.  For an instance ``I`` and a pattern tuple ``tp``, let
+``I(tp) = {t ∈ I | t[X] ≍ tp[X]}``.  Then ``I ⊨ φ`` iff for every
+``tp ∈ Tp``:
+
+1. ``I(tp)`` satisfies the embedded FD ``X -> Y``; and
+2. every ``t ∈ I(tp)`` matches the RHS pattern: ``t[Y ∪ Yp] ≍ tp[Y ∪ Yp]``.
+
+Violations of (2) involve a *single* tuple (SV); violations of (1) need at
+least two tuples (MV).
+
+This module provides :class:`PatternTuple`, :class:`ECFD` and
+:class:`ECFDSet` with the operations the rest of the library relies on:
+matching, violation enumeration (the reference semantics used by the naive
+detector and by the tests), normalisation into single-pattern eCFDs (the
+form assumed by the SQL encoding of Section V), and active-domain
+computation (the basis of the Section III/IV constructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.fd import FunctionalDependency
+from repro.core.instance import Relation, RelationTuple
+from repro.core.patterns import PatternValue, Wildcard, pattern_from_literal
+from repro.core.schema import RelationSchema, Value
+from repro.core.violations import (
+    MultiTupleViolation,
+    SingleTupleViolation,
+    ViolationSet,
+)
+from repro.exceptions import ConstraintError, PatternError
+
+__all__ = ["PatternTuple", "ECFD", "ECFDSet"]
+
+
+class PatternTuple:
+    """One pattern tuple (one *pattern constraint*) of an eCFD tableau.
+
+    A pattern tuple maps each attribute position to a :class:`PatternValue`.
+    Positions are identified by ``(attribute, side)`` where ``side`` is
+    ``"L"`` for LHS occurrences and ``"R"`` for RHS / Yp occurrences; the
+    distinction only matters when an attribute appears on both sides of the
+    embedded FD (the ``tp[A_L]`` / ``tp[A_R]`` notation of the paper).
+
+    Construction accepts convenient literals via
+    :func:`repro.core.patterns.pattern_from_literal`: strings/ints become
+    singleton sets, Python sets become value sets, ``"_"``/``None`` becomes
+    the wildcard.
+    """
+
+    def __init__(
+        self,
+        lhs: Mapping[str, object],
+        rhs: Mapping[str, object],
+    ):
+        self._lhs: dict[str, PatternValue] = {
+            attribute: pattern_from_literal(value) for attribute, value in lhs.items()
+        }
+        self._rhs: dict[str, PatternValue] = {
+            attribute: pattern_from_literal(value) for attribute, value in rhs.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def lhs(self) -> dict[str, PatternValue]:
+        """Pattern entries for the LHS attributes ``X``."""
+        return dict(self._lhs)
+
+    @property
+    def rhs(self) -> dict[str, PatternValue]:
+        """Pattern entries for the RHS attributes ``Y ∪ Yp``."""
+        return dict(self._rhs)
+
+    def lhs_entry(self, attribute: str) -> PatternValue:
+        """The LHS pattern entry for ``attribute``."""
+        return self._lhs[attribute]
+
+    def rhs_entry(self, attribute: str) -> PatternValue:
+        """The RHS pattern entry for ``attribute``."""
+        return self._rhs[attribute]
+
+    def constants(self) -> dict[str, frozenset[Value]]:
+        """Constants mentioned per attribute (merging both sides).
+
+        This is the per-pattern contribution to the *active domain* used by
+        the satisfiability / implication / MAXSS constructions.
+        """
+        merged: dict[str, set[Value]] = {}
+        for attribute, pattern in list(self._lhs.items()) + list(self._rhs.items()):
+            merged.setdefault(attribute, set()).update(pattern.constants())
+        return {attribute: frozenset(values) for attribute, values in merged.items()}
+
+    # ------------------------------------------------------------------
+    # Matching (the ≍ relation lifted to tuples)
+    # ------------------------------------------------------------------
+    def matches_lhs(self, t: RelationTuple | Mapping[str, Value]) -> bool:
+        """Whether ``t[X] ≍ tp[X]``."""
+        return all(pattern.matches(t[attribute]) for attribute, pattern in self._lhs.items())
+
+    def matches_rhs(self, t: RelationTuple | Mapping[str, Value]) -> bool:
+        """Whether ``t[Y ∪ Yp] ≍ tp[Y ∪ Yp]``."""
+        return all(pattern.matches(t[attribute]) for attribute, pattern in self._rhs.items())
+
+    def failing_rhs_attribute(self, t: RelationTuple | Mapping[str, Value]) -> str | None:
+        """The first RHS attribute whose value fails to match, if any."""
+        for attribute in sorted(self._rhs):
+            if not self._rhs[attribute].matches(t[attribute]):
+                return attribute
+        return None
+
+    # ------------------------------------------------------------------
+    # Equality / display
+    # ------------------------------------------------------------------
+    def _key(self) -> tuple:
+        return (
+            tuple(sorted((a, p.to_text()) for a, p in self._lhs.items())),
+            tuple(sorted((a, p.to_text()) for a, p in self._rhs.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PatternTuple):
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def to_text(self) -> str:
+        """Render in the paper-like ``(lhs || rhs)`` notation."""
+        lhs = ", ".join(f"{a}: {p.to_text()}" for a, p in sorted(self._lhs.items()))
+        rhs = ", ".join(f"{a}: {p.to_text()}" for a, p in sorted(self._rhs.items()))
+        return f"({lhs} || {rhs})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PatternTuple{self.to_text()}"
+
+
+class ECFD:
+    """An extended conditional functional dependency ``(R: X -> Y, Yp, Tp)``.
+
+    Parameters
+    ----------
+    schema:
+        The relation schema ``R``.
+    lhs:
+        The attributes ``X`` of the embedded FD.
+    rhs:
+        The attributes ``Y`` of the embedded FD (may be empty, as in eCFD
+        ψ2 of Fig. 2 where the constraint is carried entirely by ``Yp``).
+    pattern_rhs:
+        The attributes ``Yp`` (may be empty; a plain CFD has ``Yp = ∅``).
+    tableau:
+        The pattern tuples.  Each may be a :class:`PatternTuple` or a pair
+        ``(lhs_mapping, rhs_mapping)`` of literal mappings.
+    name:
+        Optional human-readable identifier used in diagnostics.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        lhs: Iterable[str],
+        rhs: Iterable[str],
+        pattern_rhs: Iterable[str] = (),
+        tableau: Iterable[PatternTuple | tuple[Mapping[str, object], Mapping[str, object]]] = (),
+        name: str | None = None,
+    ):
+        self.schema = schema
+        self.lhs: tuple[str, ...] = tuple(schema.check_attributes(lhs, context="eCFD LHS"))
+        self.rhs: tuple[str, ...] = tuple(schema.check_attributes(rhs, context="eCFD RHS"))
+        self.pattern_rhs: tuple[str, ...] = tuple(
+            schema.check_attributes(pattern_rhs, context="eCFD Yp")
+        )
+        self.name = name
+
+        if set(self.rhs) & set(self.pattern_rhs):
+            raise ConstraintError(
+                f"Y and Yp must be disjoint; both contain "
+                f"{sorted(set(self.rhs) & set(self.pattern_rhs))}"
+            )
+        if len(set(self.lhs)) != len(self.lhs):
+            raise ConstraintError(f"duplicate attributes in eCFD LHS {self.lhs}")
+        if len(set(self.rhs)) != len(self.rhs):
+            raise ConstraintError(f"duplicate attributes in eCFD RHS {self.rhs}")
+        if len(set(self.pattern_rhs)) != len(self.pattern_rhs):
+            raise ConstraintError(f"duplicate attributes in eCFD Yp {self.pattern_rhs}")
+        if not self.rhs and not self.pattern_rhs:
+            raise ConstraintError("an eCFD needs a non-empty Y or Yp")
+
+        self.tableau: list[PatternTuple] = []
+        for entry in tableau:
+            self.add_pattern(entry)
+        if not self.tableau:
+            raise ConstraintError("an eCFD tableau must contain at least one pattern tuple")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_pattern(
+        self, entry: PatternTuple | tuple[Mapping[str, object], Mapping[str, object]]
+    ) -> PatternTuple:
+        """Validate and append one pattern tuple to the tableau."""
+        if isinstance(entry, PatternTuple):
+            pattern = entry
+        else:
+            lhs_map, rhs_map = entry
+            pattern = PatternTuple(lhs_map, rhs_map)
+        self._validate_pattern(pattern)
+        self.tableau.append(pattern)
+        return pattern
+
+    def _validate_pattern(self, pattern: PatternTuple) -> None:
+        lhs_attrs = set(pattern.lhs)
+        rhs_attrs = set(pattern.rhs)
+        expected_lhs = set(self.lhs)
+        expected_rhs = set(self.rhs) | set(self.pattern_rhs)
+        if lhs_attrs != expected_lhs:
+            raise PatternError(
+                f"pattern tuple LHS attributes {sorted(lhs_attrs)} do not cover the "
+                f"eCFD LHS {sorted(expected_lhs)}"
+            )
+        if rhs_attrs != expected_rhs:
+            raise PatternError(
+                f"pattern tuple RHS attributes {sorted(rhs_attrs)} do not cover the "
+                f"eCFD RHS ∪ Yp {sorted(expected_rhs)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived objects
+    # ------------------------------------------------------------------
+    @property
+    def embedded_fd(self) -> FunctionalDependency:
+        """The embedded FD ``X -> Y``."""
+        return FunctionalDependency(self.schema, self.lhs, self.rhs)
+
+    @property
+    def rhs_all(self) -> tuple[str, ...]:
+        """``RHS(φ) = Y ∪ Yp`` in a deterministic order (Y first, then Yp)."""
+        return self.rhs + self.pattern_rhs
+
+    def attributes(self) -> frozenset[str]:
+        """All attributes mentioned by the eCFD."""
+        return frozenset(self.lhs) | frozenset(self.rhs) | frozenset(self.pattern_rhs)
+
+    def is_cfd(self) -> bool:
+        """Whether this eCFD is expressible as a plain CFD.
+
+        True when ``Yp = ∅`` and every pattern entry is a wildcard or a
+        singleton value set (no disjunction, no inequality).
+        """
+        if self.pattern_rhs:
+            return False
+        for pattern in self.tableau:
+            for entry in list(pattern.lhs.values()) + list(pattern.rhs.values()):
+                if entry.is_wildcard:
+                    continue
+                constants = entry.constants()
+                if entry.to_text().startswith("!") or len(constants) != 1:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Normalisation (Section V assumes single-pattern eCFDs)
+    # ------------------------------------------------------------------
+    def normalize(self) -> list["ECFD"]:
+        """Split into one eCFD per pattern tuple.
+
+        The SQL encoding of Section V "may assume that the eCFDs in Σ all
+        contain a single pattern tuple only", splitting multi-pattern eCFDs
+        beforehand.  Satisfaction is preserved: ``I ⊨ φ`` iff ``I`` satisfies
+        every single-pattern fragment.
+        """
+        fragments = []
+        for index, pattern in enumerate(self.tableau):
+            fragment_name = self.name if len(self.tableau) == 1 else (
+                f"{self.name}#{index}" if self.name else None
+            )
+            fragments.append(
+                ECFD(
+                    self.schema,
+                    self.lhs,
+                    self.rhs,
+                    self.pattern_rhs,
+                    [pattern],
+                    name=fragment_name,
+                )
+            )
+        return fragments
+
+    # ------------------------------------------------------------------
+    # Semantics on in-memory relations (reference implementation)
+    # ------------------------------------------------------------------
+    def matching_tuples(self, relation: Relation, pattern: PatternTuple) -> list[RelationTuple]:
+        """``I(tp)`` — the tuples whose ``X`` projection matches ``tp[X]``."""
+        return relation.select(pattern.matches_lhs)
+
+    def violations(self, relation: Relation, constraint_id: int = 0) -> ViolationSet:
+        """All violations of this eCFD in ``relation`` (reference semantics).
+
+        ``constraint_id`` is attached to the produced records so callers
+        detecting against a whole :class:`ECFDSet` can attribute violations.
+        When the eCFD has several pattern tuples the fragment index is mixed
+        into the identifier (pattern ``i`` gets ``constraint_id * 1000 + i``)
+        — identifiers only need to be unique per detection run.
+        """
+        result = ViolationSet()
+        for index, pattern in enumerate(self.tableau):
+            cid = constraint_id if len(self.tableau) == 1 else constraint_id * 1000 + index
+            matching = self.matching_tuples(relation, pattern)
+            # (2) single-tuple violations of the RHS pattern constraint.
+            for t in matching:
+                if not pattern.matches_rhs(t):
+                    assert t.tid is not None
+                    result.add_single(
+                        SingleTupleViolation(
+                            tid=t.tid,
+                            constraint_id=cid,
+                            attribute=pattern.failing_rhs_attribute(t),
+                        )
+                    )
+            # (1) multiple-tuple violations of the embedded FD.
+            if self.rhs:
+                for key, group in self.embedded_fd.violating_groups(matching).items():
+                    result.add_multi(
+                        MultiTupleViolation(
+                            constraint_id=cid,
+                            lhs_values=key,
+                            tids=frozenset(t.tid for t in group if t.tid is not None),
+                        )
+                    )
+        return result
+
+    def is_satisfied_by(self, relation: Relation) -> bool:
+        """Whether ``relation ⊨ φ``."""
+        return self.violations(relation).is_clean()
+
+    def satisfied_by_single_tuple(self, values: Mapping[str, Value]) -> bool:
+        """Whether the single-tuple database ``{t}`` satisfies this eCFD.
+
+        This is the check at the heart of the small-model property of
+        Proposition 3.1: a singleton instance can only incur single-tuple
+        (pattern-constraint) violations, never embedded-FD ones.
+        """
+        for pattern in self.tableau:
+            if pattern.matches_lhs(values) and not pattern.matches_rhs(values):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Active domain (Sections III & IV)
+    # ------------------------------------------------------------------
+    def constants(self) -> dict[str, frozenset[Value]]:
+        """Constants mentioned per attribute across the whole tableau."""
+        merged: dict[str, set[Value]] = {}
+        for pattern in self.tableau:
+            for attribute, values in pattern.constants().items():
+                merged.setdefault(attribute, set()).update(values)
+        return {attribute: frozenset(values) for attribute, values in merged.items()}
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        lhs = ", ".join(self.lhs)
+        rhs = ", ".join(self.rhs)
+        yp = ", ".join(self.pattern_rhs)
+        patterns = "; ".join(p.to_text() for p in self.tableau)
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}({self.schema.name}: [{lhs}] -> [{rhs}] | [{yp}], {{{patterns}}})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ECFD({self!s})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ECFD):
+            return (
+                self.schema == other.schema
+                and self.lhs == other.lhs
+                and self.rhs == other.rhs
+                and self.pattern_rhs == other.pattern_rhs
+                and self.tableau == other.tableau
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.schema, self.lhs, self.rhs, self.pattern_rhs, tuple(self.tableau))
+        )
+
+
+class ECFDSet:
+    """An ordered set ``Σ`` of eCFDs over a single schema.
+
+    Provides the whole-set operations the library needs: normalisation into
+    single-pattern constraints with stable integer identifiers (the ``CID``
+    of the SQL encoding), violation detection against in-memory relations,
+    and active-domain computation across the set.
+    """
+
+    def __init__(self, ecfds: Iterable[ECFD] = ()):
+        self._ecfds: list[ECFD] = []
+        self._schema: RelationSchema | None = None
+        for ecfd in ecfds:
+            self.add(ecfd)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, ecfd: ECFD) -> None:
+        """Append an eCFD, enforcing the single-schema invariant."""
+        if self._schema is None:
+            self._schema = ecfd.schema
+        elif ecfd.schema != self._schema:
+            raise ConstraintError(
+                f"ECFDSet is over schema {self._schema.name!r}; cannot add an eCFD over "
+                f"{ecfd.schema.name!r}"
+            )
+        self._ecfds.append(ecfd)
+
+    @property
+    def schema(self) -> RelationSchema:
+        if self._schema is None:
+            raise ConstraintError("empty ECFDSet has no schema")
+        return self._schema
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[ECFD]:
+        return iter(self._ecfds)
+
+    def __len__(self) -> int:
+        return len(self._ecfds)
+
+    def __getitem__(self, index: int) -> ECFD:
+        return self._ecfds[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ECFDSet):
+            return self._ecfds == other._ecfds
+        return NotImplemented
+
+    # ------------------------------------------------------------------
+    # Whole-set operations
+    # ------------------------------------------------------------------
+    def normalize(self) -> list[tuple[int, ECFD]]:
+        """Single-pattern fragments with stable 1-based constraint identifiers.
+
+        The identifiers are exactly the ``CID`` values used by the SQL
+        encoding relations, so violation records can be traced back from the
+        database to the source constraints.
+        """
+        counter = count(1)
+        fragments: list[tuple[int, ECFD]] = []
+        for ecfd in self._ecfds:
+            for fragment in ecfd.normalize():
+                fragments.append((next(counter), fragment))
+        return fragments
+
+    def pattern_count(self) -> int:
+        """Total number of pattern tuples across the set (``|Tp|`` summed)."""
+        return sum(len(ecfd.tableau) for ecfd in self._ecfds)
+
+    def violations(self, relation: Relation) -> ViolationSet:
+        """All violations of every eCFD in the set (reference semantics)."""
+        result = ViolationSet()
+        for cid, fragment in self.normalize():
+            result = result.merge(fragment.violations(relation, constraint_id=cid))
+        return result
+
+    def is_satisfied_by(self, relation: Relation) -> bool:
+        """Whether ``relation ⊨ Σ``."""
+        return all(ecfd.is_satisfied_by(relation) for ecfd in self._ecfds)
+
+    def satisfied_by_single_tuple(self, values: Mapping[str, Value]) -> bool:
+        """Whether the singleton database ``{t}`` satisfies every eCFD."""
+        return all(ecfd.satisfied_by_single_tuple(values) for ecfd in self._ecfds)
+
+    def constants(self) -> dict[str, frozenset[Value]]:
+        """Constants mentioned per attribute across the whole set."""
+        merged: dict[str, set[Value]] = {}
+        for ecfd in self._ecfds:
+            for attribute, values in ecfd.constants().items():
+                merged.setdefault(attribute, set()).update(values)
+        return {attribute: frozenset(values) for attribute, values in merged.items()}
+
+    def attributes(self) -> frozenset[str]:
+        """All attributes mentioned by any eCFD in the set."""
+        result: set[str] = set()
+        for ecfd in self._ecfds:
+            result |= ecfd.attributes()
+        return frozenset(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ECFDSet({len(self._ecfds)} eCFDs, {self.pattern_count()} patterns)"

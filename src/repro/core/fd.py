@@ -1,0 +1,180 @@
+"""Standard functional dependencies — the substrate eCFDs embed.
+
+Every eCFD ``(R: X -> Y, Yp, Tp)`` carries an *embedded* FD ``X -> Y`` that
+is enforced on the tuples matching each pattern's LHS.  The library
+therefore needs ordinary FD machinery:
+
+* :class:`FunctionalDependency` — ``X -> Y`` over a schema;
+* :func:`attribute_closure` — ``X⁺`` under a set of FDs (Armstrong axioms);
+* :func:`implies` — classical FD implication via the closure test;
+* :func:`minimal_cover` — canonical cover computation, used by the eCFD
+  workload generator and by the discovery extension to de-duplicate the
+  embedded FDs it produces;
+* :func:`check_fd` — does an in-memory relation satisfy an FD, and if not,
+  which tuple groups witness the violation.  This is the reference
+  semantics the naive detector builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.instance import Relation, RelationTuple
+from repro.core.schema import RelationSchema, Value
+from repro.exceptions import ConstraintError
+
+__all__ = [
+    "FunctionalDependency",
+    "attribute_closure",
+    "implies",
+    "minimal_cover",
+    "check_fd",
+]
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A standard FD ``X -> Y`` over a relation schema.
+
+    ``lhs`` and ``rhs`` are stored as sorted tuples of attribute names so
+    that FDs are hashable and order-insensitive.  An empty ``lhs`` is legal
+    (it asserts that the ``rhs`` attributes are constant across the
+    relation); an empty ``rhs`` is also legal and trivially satisfied — the
+    paper uses the form ``[CT] -> []`` in eCFD ψ2 where all the work is done
+    by the ``Yp`` pattern attributes.
+    """
+
+    schema: RelationSchema
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+
+    def __init__(self, schema: RelationSchema, lhs: Iterable[str], rhs: Iterable[str]):
+        lhs_checked = tuple(sorted(set(schema.check_attributes(lhs, context="FD LHS"))))
+        rhs_checked = tuple(sorted(set(schema.check_attributes(rhs, context="FD RHS"))))
+        object.__setattr__(self, "schema", schema)
+        object.__setattr__(self, "lhs", lhs_checked)
+        object.__setattr__(self, "rhs", rhs_checked)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def holds_on(self, tuples: Iterable[RelationTuple]) -> bool:
+        """Whether the FD holds on the given collection of tuples."""
+        return not self.violating_groups(tuples)
+
+    def violating_groups(
+        self, tuples: Iterable[RelationTuple]
+    ) -> dict[tuple[Value, ...], list[RelationTuple]]:
+        """Groups of tuples that agree on ``lhs`` but disagree on ``rhs``.
+
+        The returned mapping is keyed by the shared LHS value vector; each
+        value is the full list of tuples in the offending group.  An empty
+        mapping means the FD holds.
+        """
+        if not self.rhs:
+            return {}
+        groups: dict[tuple[Value, ...], list[RelationTuple]] = {}
+        for t in tuples:
+            groups.setdefault(t.project(self.lhs), []).append(t)
+        violating: dict[tuple[Value, ...], list[RelationTuple]] = {}
+        for key, members in groups.items():
+            rhs_values = {m.project(self.rhs) for m in members}
+            if len(rhs_values) > 1:
+                violating[key] = members
+        return violating
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        lhs = ", ".join(self.lhs) or "∅"
+        rhs = ", ".join(self.rhs) or "∅"
+        return f"{self.schema.name}: [{lhs}] -> [{rhs}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionalDependency({self.schema.name!r}, {self.lhs!r} -> {self.rhs!r})"
+
+
+def attribute_closure(
+    attributes: Iterable[str], fds: Sequence[FunctionalDependency]
+) -> frozenset[str]:
+    """The closure ``X⁺`` of ``attributes`` under ``fds`` (Armstrong axioms).
+
+    Standard fixed-point computation: repeatedly add the RHS of every FD
+    whose LHS is already contained in the closure.
+    """
+    closure = set(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if set(fd.lhs) <= closure and not set(fd.rhs) <= closure:
+                closure.update(fd.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def implies(fds: Sequence[FunctionalDependency], candidate: FunctionalDependency) -> bool:
+    """Classical FD implication: does ``fds ⊨ candidate``?
+
+    Decided with the closure test ``rhs ⊆ lhs⁺``; sound and complete for
+    standard FDs.
+    """
+    closure = attribute_closure(candidate.lhs, fds)
+    return set(candidate.rhs) <= closure
+
+
+def minimal_cover(fds: Sequence[FunctionalDependency]) -> list[FunctionalDependency]:
+    """Compute a minimal (canonical) cover of ``fds``.
+
+    The cover has (1) singleton right-hand sides, (2) no extraneous LHS
+    attributes, and (3) no redundant FDs.  Deterministic: ties are broken by
+    sorted attribute order so tests can rely on stable output.
+    """
+    if not fds:
+        return []
+    schema = fds[0].schema
+    for fd in fds:
+        if fd.schema != schema:
+            raise ConstraintError("minimal_cover requires FDs over a single schema")
+
+    # Step 1: singleton RHS.
+    split: list[FunctionalDependency] = []
+    for fd in fds:
+        for attribute in fd.rhs:
+            split.append(FunctionalDependency(schema, fd.lhs, [attribute]))
+
+    # Step 2: remove extraneous LHS attributes.
+    reduced: list[FunctionalDependency] = []
+    for fd in split:
+        lhs = list(fd.lhs)
+        for attribute in sorted(fd.lhs):
+            if len(lhs) == 1:
+                break
+            trial = [a for a in lhs if a != attribute]
+            if set(fd.rhs) <= attribute_closure(trial, split):
+                lhs = trial
+        reduced.append(FunctionalDependency(schema, lhs, fd.rhs))
+
+    # Step 3: remove redundant FDs.
+    result = list(dict.fromkeys(reduced))  # de-duplicate, preserve order
+    index = 0
+    while index < len(result):
+        fd = result[index]
+        remainder = result[:index] + result[index + 1 :]
+        if remainder and implies(remainder, fd):
+            result = remainder
+        else:
+            index += 1
+    return result
+
+
+def check_fd(relation: Relation, fd: FunctionalDependency) -> dict[tuple[Value, ...], list[RelationTuple]]:
+    """Check an FD on a whole relation; returns the violating groups."""
+    if relation.schema != fd.schema:
+        raise ConstraintError(
+            f"FD over {fd.schema.name!r} cannot be checked on a relation over "
+            f"{relation.schema.name!r}"
+        )
+    return fd.violating_groups(relation.tuples())

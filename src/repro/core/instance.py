@@ -1,0 +1,236 @@
+"""In-memory relation instances.
+
+The detection algorithms of Section V run over a real RDBMS substrate
+(:mod:`repro.detection`), but the static analyses of Sections III-IV, the
+naive oracle detector, the data generators and the test-suite all work with
+plain in-memory instances.  This module provides those:
+
+* :class:`RelationTuple` — an immutable tuple over a schema with
+  dictionary-style access by attribute name;
+* :class:`Relation` — a (multi)set of tuples over a schema, with the small
+  amount of relational algebra the library needs (selection by pattern,
+  projection, grouping by attributes, insertion/deletion deltas).
+
+A :class:`Relation` is deliberately a *bag*: the paper's violation semantics
+is defined per data tuple, and generated datasets may legitimately contain
+duplicate rows.  Each tuple therefore carries a ``tid`` (tuple identifier)
+assigned at insertion time, which is also what the SQLite substrate uses as
+its primary key so that violation sets can be compared across detectors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.schema import RelationSchema, Value
+from repro.exceptions import SchemaError
+
+__all__ = ["RelationTuple", "Relation"]
+
+
+class RelationTuple(Mapping[str, Value]):
+    """An immutable data tuple over a relation schema.
+
+    Access values with ``t["CT"]`` or ``t.project(["CT", "AC"])``.  Equality
+    ignores the tuple identifier (``tid``): two tuples are equal when they
+    agree on every attribute, which is the notion the FD semantics needs.
+    """
+
+    __slots__ = ("_schema", "_values", "tid")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        values: Mapping[str, Value] | Sequence[Value],
+        tid: int | None = None,
+    ):
+        self._schema = schema
+        if isinstance(values, Mapping):
+            missing = [a for a in schema.attribute_names if a not in values]
+            extra = [a for a in values if a not in schema]
+            if missing or extra:
+                raise SchemaError(
+                    f"tuple over {schema.name!r} has missing attributes {missing} "
+                    f"and unknown attributes {extra}"
+                )
+            ordered = tuple(values[a] for a in schema.attribute_names)
+        else:
+            if len(values) != len(schema):
+                raise SchemaError(
+                    f"tuple over {schema.name!r} needs {len(schema)} values, "
+                    f"got {len(values)}"
+                )
+            ordered = tuple(values)
+        self._values: tuple[Value, ...] = ordered
+        self.tid = tid
+
+    # ------------------------------------------------------------------
+    # Mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, attribute: str) -> Value:
+        index = self._schema.index_of(attribute)
+        return self._values[index]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._schema.attribute_names)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # ------------------------------------------------------------------
+    # Relational helpers
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    def values(self) -> tuple[Value, ...]:  # type: ignore[override]
+        """The attribute values in schema order."""
+        return self._values
+
+    def project(self, attributes: Iterable[str]) -> tuple[Value, ...]:
+        """Return the values of ``attributes``, in the order given."""
+        return tuple(self[a] for a in attributes)
+
+    def replace(self, **changes: Value) -> "RelationTuple":
+        """Return a copy of this tuple with some attribute values replaced."""
+        data = dict(zip(self._schema.attribute_names, self._values))
+        for attribute, value in changes.items():
+            if attribute not in self._schema:
+                raise SchemaError(
+                    f"cannot set unknown attribute {attribute!r} on a "
+                    f"{self._schema.name!r} tuple"
+                )
+            data[attribute] = value
+        return RelationTuple(self._schema, data, tid=self.tid)
+
+    def as_dict(self) -> dict[str, Value]:
+        """A plain ``dict`` copy of the tuple."""
+        return dict(zip(self._schema.attribute_names, self._values))
+
+    # ------------------------------------------------------------------
+    # Equality / hashing ignore tid
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RelationTuple):
+            return self._schema == other._schema and self._values == other._values
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._schema.name, self._values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rendered = ", ".join(
+            f"{a}={v!r}" for a, v in zip(self._schema.attribute_names, self._values)
+        )
+        tid = f", tid={self.tid}" if self.tid is not None else ""
+        return f"RelationTuple({rendered}{tid})"
+
+
+class Relation:
+    """A bag of tuples over a fixed schema, with tuple identifiers.
+
+    The class supports the operations the library needs and nothing more:
+    bulk insertion, deletion by identifier or by value, selection with an
+    arbitrary predicate, grouping by a list of attributes, and computation
+    of active domains (the set of constants appearing in a column).
+    """
+
+    def __init__(self, schema: RelationSchema, tuples: Iterable[RelationTuple | Mapping[str, Value] | Sequence[Value]] = ()):
+        self.schema = schema
+        self._tuples: dict[int, RelationTuple] = {}
+        self._next_tid = 1
+        self.extend(tuples)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: RelationTuple | Mapping[str, Value] | Sequence[Value]) -> RelationTuple:
+        """Insert one row and return the stored tuple (with its ``tid``)."""
+        if isinstance(row, RelationTuple):
+            if row.schema != self.schema:
+                raise SchemaError(
+                    f"cannot insert a {row.schema.name!r} tuple into a "
+                    f"{self.schema.name!r} relation"
+                )
+            stored = RelationTuple(self.schema, row.values(), tid=self._next_tid)
+        else:
+            stored = RelationTuple(self.schema, row, tid=self._next_tid)
+        self._tuples[self._next_tid] = stored
+        self._next_tid += 1
+        return stored
+
+    def extend(self, rows: Iterable[RelationTuple | Mapping[str, Value] | Sequence[Value]]) -> list[RelationTuple]:
+        """Insert many rows; returns the stored tuples."""
+        return [self.insert(row) for row in rows]
+
+    def delete(self, tid: int) -> RelationTuple:
+        """Remove and return the tuple with identifier ``tid``."""
+        try:
+            return self._tuples.pop(tid)
+        except KeyError:
+            raise SchemaError(f"relation {self.schema.name!r} has no tuple with tid={tid}") from None
+
+    def delete_matching(self, predicate: Callable[[RelationTuple], bool]) -> list[RelationTuple]:
+        """Remove every tuple satisfying ``predicate``; returns the removed tuples."""
+        doomed = [t for t in self._tuples.values() if predicate(t)]
+        for t in doomed:
+            assert t.tid is not None
+            del self._tuples[t.tid]
+        return doomed
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[RelationTuple]:
+        return iter(self._tuples.values())
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, row: object) -> bool:
+        if isinstance(row, RelationTuple):
+            return any(t == row for t in self._tuples.values())
+        return False
+
+    def get(self, tid: int) -> RelationTuple | None:
+        """The tuple with identifier ``tid``, or ``None``."""
+        return self._tuples.get(tid)
+
+    def tids(self) -> list[int]:
+        """All tuple identifiers, ascending."""
+        return sorted(self._tuples)
+
+    def tuples(self) -> list[RelationTuple]:
+        """All tuples, in insertion (tid) order."""
+        return [self._tuples[tid] for tid in self.tids()]
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+    def select(self, predicate: Callable[[RelationTuple], bool]) -> list[RelationTuple]:
+        """All tuples satisfying ``predicate``, in tid order."""
+        return [t for t in self.tuples() if predicate(t)]
+
+    def group_by(self, attributes: Sequence[str]) -> dict[tuple[Value, ...], list[RelationTuple]]:
+        """Group the tuples by their projection onto ``attributes``."""
+        self.schema.check_attributes(attributes, context="group_by")
+        groups: dict[tuple[Value, ...], list[RelationTuple]] = {}
+        for t in self.tuples():
+            groups.setdefault(t.project(attributes), []).append(t)
+        return groups
+
+    def active_domain(self, attribute: str) -> set[Value]:
+        """The set of values occurring in column ``attribute``."""
+        self.schema.check_attributes([attribute], context="active_domain")
+        return {t[attribute] for t in self._tuples.values()}
+
+    def copy(self) -> "Relation":
+        """A deep copy preserving tuple identifiers."""
+        clone = Relation(self.schema)
+        clone._tuples = dict(self._tuples)
+        clone._next_tid = self._next_tid
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.schema.name!r}, {len(self)} tuples)"

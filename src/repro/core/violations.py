@@ -1,0 +1,198 @@
+"""Violation records and violation sets.
+
+Section V of the paper represents violations by extending the data schema
+with two Boolean attributes:
+
+* ``SV`` ("single-tuple violation") — the tuple violates the *pattern
+  constraint* of some eCFD all by itself: it matches the LHS pattern but its
+  RHS / Yp values do not match the RHS pattern;
+* ``MV`` ("multiple-tuple violation") — the tuple participates in a
+  violation of the *embedded FD* of some eCFD: it matches the LHS pattern,
+  and there is another matching tuple that agrees on ``X`` but differs on
+  ``Y``.
+
+A tuple belongs to the violation set ``vio(D)`` iff ``SV = 1`` or ``MV = 1``.
+
+This module defines explicit record types for both kinds (so the naive
+detector, the analyses and the repair extension can report *why* a tuple is
+dirty, not only *that* it is), plus :class:`ViolationSet`, the uniform
+result object returned by every detector in the library and compared by the
+equivalence tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.schema import Value
+
+__all__ = [
+    "SingleTupleViolation",
+    "MultiTupleViolation",
+    "ViolationSet",
+]
+
+
+@dataclass(frozen=True)
+class SingleTupleViolation:
+    """One tuple violating the pattern constraint of one pattern tuple.
+
+    Attributes
+    ----------
+    tid:
+        Identifier of the offending data tuple.
+    constraint_id:
+        Identifier of the (single-pattern) eCFD whose pattern constraint is
+        violated — the ``CID`` of the SQL encoding.
+    attribute:
+        A RHS / Yp attribute whose value fails to match, for diagnostics.
+        ``None`` when the caller did not track the specific attribute.
+    """
+
+    tid: int
+    constraint_id: int
+    attribute: str | None = None
+
+
+@dataclass(frozen=True)
+class MultiTupleViolation:
+    """A group of tuples jointly violating an embedded FD.
+
+    Attributes
+    ----------
+    constraint_id:
+        Identifier of the (single-pattern) eCFD whose embedded FD is violated.
+    lhs_values:
+        The shared ``X`` value vector of the group (in the eCFD's LHS
+        attribute order).
+    tids:
+        Identifiers of every tuple in the offending group.
+    """
+
+    constraint_id: int
+    lhs_values: tuple[Value, ...]
+    tids: frozenset[int]
+
+
+class ViolationSet:
+    """The violation set ``vio(D)`` of a database w.r.t. a set of eCFDs.
+
+    The object stores both the per-tuple SV/MV flags (the paper's uniform
+    representation) and the detailed violation records that produced them.
+    Two violation sets compare equal when their SV and MV tid-sets are equal
+    — detailed records may legitimately differ between detectors (e.g. the
+    SQL detectors do not report which attribute failed to match).
+    """
+
+    def __init__(
+        self,
+        single: Iterable[SingleTupleViolation] = (),
+        multi: Iterable[MultiTupleViolation] = (),
+    ):
+        self._single: list[SingleTupleViolation] = []
+        self._multi: list[MultiTupleViolation] = []
+        self._sv_tids: set[int] = set()
+        self._mv_tids: set[int] = set()
+        for record in single:
+            self.add_single(record)
+        for record in multi:
+            self.add_multi(record)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_single(self, record: SingleTupleViolation) -> None:
+        """Record a single-tuple violation."""
+        self._single.append(record)
+        self._sv_tids.add(record.tid)
+
+    def add_multi(self, record: MultiTupleViolation) -> None:
+        """Record a multiple-tuple (embedded-FD) violation."""
+        self._multi.append(record)
+        self._mv_tids.update(record.tids)
+
+    @classmethod
+    def from_flags(cls, sv_tids: Iterable[int], mv_tids: Iterable[int]) -> "ViolationSet":
+        """Build a violation set directly from SV / MV tid collections.
+
+        Used by the SQL detectors, which read the flags back from the
+        database rather than keeping per-record detail.
+        """
+        result = cls()
+        result._sv_tids = set(sv_tids)
+        result._mv_tids = set(mv_tids)
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def sv_tids(self) -> frozenset[int]:
+        """Tuple identifiers with ``SV = 1``."""
+        return frozenset(self._sv_tids)
+
+    @property
+    def mv_tids(self) -> frozenset[int]:
+        """Tuple identifiers with ``MV = 1``."""
+        return frozenset(self._mv_tids)
+
+    @property
+    def violating_tids(self) -> frozenset[int]:
+        """Identifiers of all tuples in ``vio(D)`` (``SV = 1`` or ``MV = 1``)."""
+        return frozenset(self._sv_tids | self._mv_tids)
+
+    @property
+    def single_records(self) -> tuple[SingleTupleViolation, ...]:
+        """Detailed single-tuple violation records (possibly empty for SQL detectors)."""
+        return tuple(self._single)
+
+    @property
+    def multi_records(self) -> tuple[MultiTupleViolation, ...]:
+        """Detailed multiple-tuple violation records (possibly empty for SQL detectors)."""
+        return tuple(self._multi)
+
+    def is_clean(self) -> bool:
+        """``True`` when no tuple violates any constraint."""
+        return not self._sv_tids and not self._mv_tids
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self._sv_tids or tid in self._mv_tids
+
+    def __len__(self) -> int:
+        return len(self.violating_tids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self.violating_tids))
+
+    # ------------------------------------------------------------------
+    # Comparison / combination
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ViolationSet):
+            return self.sv_tids == other.sv_tids and self.mv_tids == other.mv_tids
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.sv_tids, self.mv_tids))
+
+    def merge(self, other: "ViolationSet") -> "ViolationSet":
+        """The union of two violation sets (flags and records)."""
+        merged = ViolationSet(self._single + list(other._single), self._multi + list(other._multi))
+        merged._sv_tids |= self._sv_tids | other._sv_tids
+        merged._mv_tids |= self._mv_tids | other._mv_tids
+        return merged
+
+    def summary(self) -> dict[str, int]:
+        """Counts used by the Fig. 7(b) experiment: #SV, #MV and #dirty tuples."""
+        return {
+            "sv": len(self._sv_tids),
+            "mv": len(self._mv_tids),
+            "dirty": len(self.violating_tids),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ViolationSet(sv={len(self._sv_tids)}, mv={len(self._mv_tids)}, "
+            f"dirty={len(self.violating_tids)})"
+        )

@@ -1,0 +1,40 @@
+"""Synthetic data and workload generation (paper Section VI experimental setting).
+
+The paper's experiments use real scraped city/area-code/zip and store-item
+data; this package provides deterministic synthetic stand-ins with the same
+structural properties, a dataset generator with controlled noise injection,
+the 10-eCFD workload (including the Fig. 2 constraints verbatim), tableau-
+size sweeps, and update-batch generation for the incremental experiments.
+"""
+
+from repro.datagen.generator import DatasetGenerator
+from repro.datagen.geography import CityRecord, area_codes, city_catalog, find_city
+from repro.datagen.items import ITEM_TYPES, ItemRecord, item_catalog, price_band, titles_by_type
+from repro.datagen.updates import UpdateBatch, UpdateGenerator
+from repro.datagen.workload import (
+    LI_AREA_CODES,
+    NYC_AREA_CODES,
+    paper_workload,
+    paper_workload_with_tableau_size,
+    tableau_sweep_ecfd,
+)
+
+__all__ = [
+    "CityRecord",
+    "DatasetGenerator",
+    "ITEM_TYPES",
+    "ItemRecord",
+    "LI_AREA_CODES",
+    "NYC_AREA_CODES",
+    "UpdateBatch",
+    "UpdateGenerator",
+    "area_codes",
+    "city_catalog",
+    "find_city",
+    "item_catalog",
+    "paper_workload",
+    "paper_workload_with_tableau_size",
+    "price_band",
+    "tableau_sweep_ecfd",
+    "titles_by_type",
+]

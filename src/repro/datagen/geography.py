@@ -1,0 +1,120 @@
+"""A synthetic US-style geography catalogue (cities, area codes, zip codes).
+
+The paper's experimental study "scraped real-life CT, AC, ZIP data for
+cities and towns in the US ... from online stores" and generated synthetic
+datasets from that catalogue.  The scraped catalogue is not available, so
+this module builds a deterministic synthetic stand-in with the structural
+properties the experiments rely on:
+
+* most cities have exactly one area code (so ``CT -> AC`` holds outside the
+  exceptional cities — the motivation for eCFD ψ1);
+* a small number of metropolitan cities (NYC, LI) legitimately have several
+  area codes (the motivation for the disjunction in ψ2);
+* every city has a small set of zip codes, disjoint across cities, so
+  ``ZIP -> CT`` is a reasonable constraint for the workload to use;
+* the catalogue is large enough (hundreds of cities) that pattern sets of
+  50-500 entries, as used in the Fig. 5(c)/6(c) sweeps, are meaningful.
+
+The paper's running-example cities (Albany, Troy, Colonie with area code
+518; NYC with its five codes) are included verbatim so the Fig. 1 / Fig. 2
+examples hold over generated data as well.
+
+Everything is deterministic: the same catalogue is produced on every call,
+which keeps the experiments reproducible without shipping data files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CityRecord", "city_catalog", "area_codes", "find_city"]
+
+
+@dataclass(frozen=True)
+class CityRecord:
+    """One city with its admissible area codes and zip codes.
+
+    ``area_codes`` has a single element for ordinary cities and several for
+    the metropolitan exceptions; ``zip_codes`` are unique to the city.
+    """
+
+    name: str
+    area_codes: tuple[str, ...]
+    zip_codes: tuple[str, ...]
+
+    @property
+    def canonical_area_code(self) -> str:
+        """The first (deterministic) area code — what the generator uses by default."""
+        return self.area_codes[0]
+
+
+#: The paper's running-example cities, kept verbatim.
+_PAPER_CITIES: list[CityRecord] = [
+    CityRecord("Albany", ("518",), ("12205", "12206", "12238")),
+    CityRecord("Troy", ("518",), ("12180", "12181", "12182")),
+    CityRecord("Colonie", ("518",), ("12203", "12204", "12211")),
+    CityRecord("NYC", ("212", "718", "646", "347", "917"), ("10001", "10011", "10016", "10021", "10027")),
+    CityRecord("LI", ("516", "631"), ("11501", "11701", "11901")),
+]
+
+#: Name fragments used to synthesise additional city names deterministically.
+_PREFIXES = [
+    "Spring", "River", "Oak", "Maple", "Cedar", "Pine", "Lake", "Hill",
+    "Green", "Fair", "Brook", "Clear", "Stone", "Mill", "North", "South",
+    "East", "West", "Glen", "Bay",
+]
+_SUFFIXES = [
+    "field", "ville", "ton", "burg", "port", "wood", "dale", "haven",
+    "mont", "view", "ford", "side",
+]
+
+
+def _synthetic_cities(count: int) -> list[CityRecord]:
+    """Deterministically synthesise ``count`` single-area-code cities."""
+    cities: list[CityRecord] = []
+    # Area codes outside the real NYC-state ones, three digits, no leading 0/1 clash.
+    next_area = 301
+    next_zip = 20000
+    index = 0
+    while len(cities) < count:
+        prefix = _PREFIXES[index % len(_PREFIXES)]
+        suffix = _SUFFIXES[(index // len(_PREFIXES)) % len(_SUFFIXES)]
+        serial = index // (len(_PREFIXES) * len(_SUFFIXES))
+        name = f"{prefix}{suffix}" if serial == 0 else f"{prefix}{suffix}{serial}"
+        area = str(next_area)
+        zips = tuple(str(next_zip + offset) for offset in range(3))
+        cities.append(CityRecord(name, (area,), zips))
+        next_area += 1
+        # Skip codes that collide with the paper cities' area codes.
+        while str(next_area) in {"518", "212", "718", "646", "347", "917", "516", "631"}:
+            next_area += 1
+        next_zip += 10
+        index += 1
+    return cities
+
+
+def city_catalog(size: int = 300) -> list[CityRecord]:
+    """The full catalogue: the 5 paper cities plus ``size - 5`` synthetic ones.
+
+    Parameters
+    ----------
+    size:
+        Total number of cities (minimum 5, the paper cities).
+    """
+    extra = max(0, size - len(_PAPER_CITIES))
+    return list(_PAPER_CITIES) + _synthetic_cities(extra)
+
+
+def area_codes(catalog: list[CityRecord] | None = None) -> dict[str, tuple[str, ...]]:
+    """Mapping ``city name -> admissible area codes`` for a catalogue."""
+    records = catalog if catalog is not None else city_catalog()
+    return {record.name: record.area_codes for record in records}
+
+
+def find_city(name: str, catalog: list[CityRecord] | None = None) -> CityRecord | None:
+    """Look a city up by name, or ``None`` when absent."""
+    records = catalog if catalog is not None else city_catalog()
+    for record in records:
+        if record.name == name:
+            return record
+    return None

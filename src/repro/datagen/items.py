@@ -1,0 +1,81 @@
+"""A synthetic store-item catalogue (books, CDs, DVDs).
+
+Section VI extends the customer relation with "information about items
+bought by different customers ... such as books, CDs and DVDs, from online
+stores".  As with the geography data, the scraped catalogue is unavailable;
+this module synthesises a deterministic one with the properties the
+workload needs:
+
+* three item types (``book``, ``cd``, ``dvd``), so an eCFD can restrict the
+  admissible type set (a natural disjunction pattern);
+* titles unique within a type and disjoint across types, so
+  ``ITEM_TITLE -> ITEM_TYPE`` is a reasonable embedded FD;
+* a deterministic price per title drawn from a type-specific band, so
+  ``ITEM_TYPE -> price band`` constraints can be expressed with value-set
+  patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ItemRecord", "ITEM_TYPES", "item_catalog", "titles_by_type", "price_band"]
+
+#: The admissible item types, used by the workload's disjunction patterns.
+ITEM_TYPES: tuple[str, ...] = ("book", "cd", "dvd")
+
+#: Price bands per item type (whole-dollar strings; the data is string-typed).
+_PRICE_BANDS: dict[str, tuple[int, int]] = {
+    "book": (8, 40),
+    "cd": (5, 25),
+    "dvd": (10, 35),
+}
+
+_TITLE_HEADS = [
+    "Midnight", "Silent", "Golden", "Broken", "Hidden", "Electric", "Distant",
+    "Crimson", "Forgotten", "Wandering", "Silver", "Burning",
+]
+_TITLE_TAILS = [
+    "Garden", "River", "Sky", "Mirror", "Road", "Harbor", "Letters", "Echo",
+    "Winter", "Voyage", "Signal", "Orchard",
+]
+
+
+@dataclass(frozen=True)
+class ItemRecord:
+    """One catalogue item: its type, title and (string) price."""
+
+    item_type: str
+    title: str
+    price: str
+
+
+def price_band(item_type: str) -> tuple[int, int]:
+    """The inclusive (low, high) whole-dollar price band of an item type."""
+    return _PRICE_BANDS[item_type]
+
+
+def item_catalog(per_type: int = 100) -> list[ItemRecord]:
+    """A deterministic catalogue with ``per_type`` items of each type."""
+    records: list[ItemRecord] = []
+    for type_index, item_type in enumerate(ITEM_TYPES):
+        low, high = _PRICE_BANDS[item_type]
+        span = high - low
+        for index in range(per_type):
+            head = _TITLE_HEADS[index % len(_TITLE_HEADS)]
+            tail = _TITLE_TAILS[(index // len(_TITLE_HEADS)) % len(_TITLE_TAILS)]
+            serial = index // (len(_TITLE_HEADS) * len(_TITLE_TAILS))
+            suffix = "" if serial == 0 else f" {serial + 1}"
+            title = f"{head} {tail}{suffix} ({item_type})"
+            price = str(low + (index * 7 + type_index * 3) % (span + 1))
+            records.append(ItemRecord(item_type, title, price))
+    return records
+
+
+def titles_by_type(catalog: list[ItemRecord] | None = None) -> dict[str, list[str]]:
+    """Mapping ``item type -> titles`` for a catalogue."""
+    records = catalog if catalog is not None else item_catalog()
+    result: dict[str, list[str]] = {item_type: [] for item_type in ITEM_TYPES}
+    for record in records:
+        result[record.item_type].append(record.title)
+    return result

@@ -1,0 +1,80 @@
+"""Update-batch generation for the incremental-detection experiments.
+
+Experiment 2 of the paper applies batches of tuple insertions (ΔD⁺) and
+deletions (ΔD⁻) to a generated dataset and compares INCDETECT against
+re-running BATCHDETECT.  The batches are parameterised by their sizes
+(|ΔD⁺| and |ΔD⁻|, from 2k to 60k) and are always disjoint: "we always
+ensure that ΔD⁺ and ΔD⁻ do not overlap".  When both sizes are equal the
+database size |D| stays fixed across the update, which is what the Fig. 7
+sweeps rely on.
+
+:class:`UpdateGenerator` produces such batches deterministically:
+
+* deletions are a uniform sample (without replacement) of the *current*
+  tuple identifiers;
+* insertions are fresh rows from a :class:`~repro.datagen.generator.DatasetGenerator`
+  with the same noise rate as the base dataset, so the update does not
+  change the dirtiness profile of the data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.datagen.generator import DatasetGenerator
+
+__all__ = ["UpdateBatch", "UpdateGenerator"]
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One update ΔD: rows to insert and tuple identifiers to delete."""
+
+    insert_rows: tuple[dict[str, str], ...]
+    delete_tids: tuple[int, ...]
+
+    @property
+    def insert_count(self) -> int:
+        return len(self.insert_rows)
+
+    @property
+    def delete_count(self) -> int:
+        return len(self.delete_tids)
+
+
+class UpdateGenerator:
+    """Generates disjoint insertion/deletion batches over an existing dataset."""
+
+    def __init__(self, generator: DatasetGenerator, seed: int = 0):
+        self.generator = generator
+        self.rng = random.Random(seed)
+
+    def make_batch(
+        self,
+        existing_tids: Sequence[int],
+        insert_count: int,
+        delete_count: int,
+        noise_percent: float = 0.0,
+    ) -> UpdateBatch:
+        """One update batch.
+
+        Parameters
+        ----------
+        existing_tids:
+            The tuple identifiers currently present in the database; the
+            deletions are sampled from these.
+        insert_count / delete_count:
+            Sizes of ΔD⁺ and ΔD⁻.
+        noise_percent:
+            Noise rate of the inserted rows (match the base dataset's rate
+            to keep the overall error rate stable across the update).
+        """
+        if delete_count > len(existing_tids):
+            raise ValueError(
+                f"cannot delete {delete_count} tuples from a database of {len(existing_tids)}"
+            )
+        delete_tids = tuple(sorted(self.rng.sample(list(existing_tids), delete_count)))
+        insert_rows = tuple(self.generator.generate_rows(insert_count, noise_percent))
+        return UpdateBatch(insert_rows=insert_rows, delete_tids=delete_tids)

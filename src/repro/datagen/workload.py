@@ -1,0 +1,240 @@
+"""The eCFD workload of the experimental study (Section VI).
+
+The paper "used a set Σ consisting of 10 eCFDs to express real-life
+semantics of the real-life data, including the two eCFDs of Fig. 2" and
+measured constraint complexity as the number of pattern tuples |Tp|,
+"ranging from 10 to 500 pattern tuples", with wildcards, positive domain
+constraints (S) and negative domain constraints (S̄) uniformly distributed.
+
+This module builds the corresponding workload over the extended customer
+schema:
+
+* :func:`paper_workload` — the 10 eCFDs (the two Fig. 2 constraints verbatim
+  plus eight more covering the LI area codes, zip/city bindings, item types,
+  price bands and cross-attribute complements);
+* :func:`tableau_sweep_ecfd` — a single eCFD whose tableau size is a
+  parameter, used by the Fig. 5(c) / 6(c) sweeps; its pattern tuples bind
+  one city each and cycle uniformly through value-set, complement-set and
+  wildcard RHS entries;
+* :func:`paper_workload_with_tableau_size` — the 10-constraint workload with
+  one constraint swapped for a sweep eCFD of the requested size (this is
+  exactly the paper's "we selected an eCFD from Σ and varied its |Tp|").
+"""
+
+from __future__ import annotations
+
+from repro.core.ecfd import ECFD, ECFDSet, PatternTuple
+from repro.core.patterns import ComplementSet, ValueSet, Wildcard
+from repro.core.schema import RelationSchema, cust_ext_schema
+from repro.datagen.geography import CityRecord, city_catalog
+from repro.datagen.items import ITEM_TYPES, item_catalog, price_band
+from repro.exceptions import ConstraintError
+
+__all__ = [
+    "paper_workload",
+    "tableau_sweep_ecfd",
+    "paper_workload_with_tableau_size",
+    "NYC_AREA_CODES",
+    "LI_AREA_CODES",
+]
+
+#: The NYC / LI area-code disjunctions used by ψ2 / ψ3.
+NYC_AREA_CODES = ("212", "718", "646", "347", "917")
+LI_AREA_CODES = ("516", "631")
+
+
+def _psi1(schema: RelationSchema) -> ECFD:
+    """ψ1 of Fig. 2: CT -> AC outside NYC/LI, and 518 for the three capital-area cities."""
+    return ECFD(
+        schema,
+        ["CT"],
+        ["AC"],
+        tableau=[
+            PatternTuple({"CT": ComplementSet(["NYC", "LI"])}, {"AC": Wildcard()}),
+            PatternTuple({"CT": ValueSet(["Albany", "Troy", "Colonie"])}, {"AC": ValueSet(["518"])}),
+        ],
+        name="psi1_city_determines_ac",
+    )
+
+
+def _psi2(schema: RelationSchema) -> ECFD:
+    """ψ2 of Fig. 2: NYC tuples use one of the five NYC area codes."""
+    return ECFD(
+        schema,
+        ["CT"],
+        [],
+        ["AC"],
+        tableau=[PatternTuple({"CT": ValueSet(["NYC"])}, {"AC": ValueSet(NYC_AREA_CODES)})],
+        name="psi2_nyc_area_codes",
+    )
+
+
+def _psi3(schema: RelationSchema) -> ECFD:
+    """The LI analogue of ψ2 ("similarly one can specify the area codes for LI")."""
+    return ECFD(
+        schema,
+        ["CT"],
+        [],
+        ["AC"],
+        tableau=[PatternTuple({"CT": ValueSet(["LI"])}, {"AC": ValueSet(LI_AREA_CODES)})],
+        name="psi3_li_area_codes",
+    )
+
+
+def _psi4(schema: RelationSchema) -> ECFD:
+    """ZIP -> CT as a plain (wildcard) embedded FD: a zip code determines its city."""
+    return ECFD(
+        schema,
+        ["ZIP"],
+        ["CT"],
+        tableau=[PatternTuple({"ZIP": Wildcard()}, {"CT": Wildcard()})],
+        name="psi4_zip_determines_city",
+    )
+
+
+def _psi5(schema: RelationSchema, cities: list[CityRecord]) -> ECFD:
+    """Zip codes of the paper cities are bound to those cities (value sets)."""
+    patterns = [
+        PatternTuple({"ZIP": ValueSet(record.zip_codes)}, {"CT": ValueSet([record.name])})
+        for record in cities[:5]
+    ]
+    return ECFD(schema, ["ZIP"], [], ["CT"], tableau=patterns, name="psi5_zip_city_bindings")
+
+
+def _psi6(schema: RelationSchema) -> ECFD:
+    """ITEM_TITLE -> ITEM_TYPE: a title belongs to a single item type."""
+    return ECFD(
+        schema,
+        ["ITEM_TITLE"],
+        ["ITEM_TYPE"],
+        tableau=[PatternTuple({"ITEM_TITLE": Wildcard()}, {"ITEM_TYPE": Wildcard()})],
+        name="psi6_title_determines_type",
+    )
+
+
+def _psi7(schema: RelationSchema) -> ECFD:
+    """ITEM_TYPE is one of the three store types (a domain-restriction disjunction)."""
+    return ECFD(
+        schema,
+        ["ITEM_TYPE"],
+        [],
+        ["ITEM_TYPE"],
+        tableau=[PatternTuple({"ITEM_TYPE": Wildcard()}, {"ITEM_TYPE": ValueSet(ITEM_TYPES)})],
+        name="psi7_item_type_domain",
+    )
+
+
+def _psi8(schema: RelationSchema) -> ECFD:
+    """Each item type draws its price from the type's band (one pattern per type)."""
+    patterns = []
+    for item_type in ITEM_TYPES:
+        low, high = price_band(item_type)
+        prices = [str(value) for value in range(low, high + 1)]
+        patterns.append(
+            PatternTuple({"ITEM_TYPE": ValueSet([item_type])}, {"PRICE": ValueSet(prices)})
+        )
+    return ECFD(schema, ["ITEM_TYPE"], [], ["PRICE"], tableau=patterns, name="psi8_price_bands")
+
+
+def _psi9(schema: RelationSchema, cities: list[CityRecord]) -> ECFD:
+    """Paper cities only use their own zip codes (value-set Yp patterns)."""
+    patterns = [
+        PatternTuple({"CT": ValueSet([record.name])}, {"ZIP": ValueSet(record.zip_codes)})
+        for record in cities[:5]
+    ]
+    return ECFD(schema, ["CT"], [], ["ZIP"], tableau=patterns, name="psi9_city_zip_bindings")
+
+
+def _psi10(schema: RelationSchema) -> ECFD:
+    """Cities outside NYC/LI never use NYC/LI area codes (complement on both sides)."""
+    metro_codes = list(NYC_AREA_CODES) + list(LI_AREA_CODES)
+    return ECFD(
+        schema,
+        ["CT"],
+        [],
+        ["AC"],
+        tableau=[
+            PatternTuple({"CT": ComplementSet(["NYC", "LI"])}, {"AC": ComplementSet(metro_codes)})
+        ],
+        name="psi10_metro_codes_reserved",
+    )
+
+
+def paper_workload(
+    schema: RelationSchema | None = None,
+    catalog: list[CityRecord] | None = None,
+) -> ECFDSet:
+    """The 10-eCFD workload Σ of the experimental study."""
+    schema = schema if schema is not None else cust_ext_schema()
+    cities = catalog if catalog is not None else city_catalog()
+    return ECFDSet(
+        [
+            _psi1(schema),
+            _psi2(schema),
+            _psi3(schema),
+            _psi4(schema),
+            _psi5(schema, cities),
+            _psi6(schema),
+            _psi7(schema),
+            _psi8(schema),
+            _psi9(schema, cities),
+            _psi10(schema),
+        ]
+    )
+
+
+def tableau_sweep_ecfd(
+    schema: RelationSchema | None = None,
+    size: int = 50,
+    catalog: list[CityRecord] | None = None,
+) -> ECFD:
+    """An eCFD with ``size`` pattern tuples for the |Tp| scalability sweeps.
+
+    Pattern tuple ``i`` constrains the ``i``-th catalogue city and cycles
+    uniformly through the three entry kinds on the RHS:
+
+    * ``i % 3 == 0`` — value set: the city's admissible area codes;
+    * ``i % 3 == 1`` — complement set: the city must avoid the *other*
+      paper cities' codes (a negative domain constraint);
+    * ``i % 3 == 2`` — wildcard (only the embedded FD applies).
+    """
+    schema = schema if schema is not None else cust_ext_schema()
+    cities = catalog if catalog is not None else city_catalog(max(size + 5, 300))
+    if size < 1:
+        raise ConstraintError("a tableau sweep eCFD needs at least one pattern tuple")
+    if size > len(cities):
+        cities = city_catalog(size + 5)
+
+    metro_codes = list(NYC_AREA_CODES) + list(LI_AREA_CODES)
+    patterns = []
+    for index in range(size):
+        record = cities[index % len(cities)]
+        lhs = {"CT": ValueSet([record.name])}
+        kind = index % 3
+        if kind == 0:
+            rhs = {"AC": ValueSet(record.area_codes)}
+        elif kind == 1:
+            forbidden = [code for code in metro_codes if code not in record.area_codes]
+            rhs = {"AC": ComplementSet(forbidden or ["000"])}
+        else:
+            rhs = {"AC": Wildcard()}
+        patterns.append(PatternTuple(lhs, rhs))
+    return ECFD(schema, ["CT"], ["AC"], tableau=patterns, name=f"sweep_tableau_{size}")
+
+
+def paper_workload_with_tableau_size(
+    size: int,
+    schema: RelationSchema | None = None,
+    catalog: list[CityRecord] | None = None,
+) -> ECFDSet:
+    """The 10-constraint workload with one constraint swapped for a size-``size`` sweep eCFD.
+
+    This mirrors the Fig. 5(c) / 6(c) setup: the overall workload stays at 10
+    eCFDs while the selected constraint's tableau grows from 50 to 500.
+    """
+    schema = schema if schema is not None else cust_ext_schema()
+    cities = catalog if catalog is not None else city_catalog(max(size + 5, 300))
+    base = list(paper_workload(schema, cities))
+    sweep = tableau_sweep_ecfd(schema, size, cities)
+    # Replace ψ1 (the first constraint, which the sweep eCFD generalises).
+    return ECFDSet([sweep] + base[1:])

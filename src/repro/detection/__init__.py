@@ -1,0 +1,51 @@
+"""SQL-based eCFD violation detection on SQLite (paper Section V).
+
+* :mod:`repro.detection.database` — the RDBMS substrate (SQLite wrapper);
+* :mod:`repro.detection.encoding` — the ``enc`` / constant-table encoding of
+  Σ (Fig. 3);
+* :mod:`repro.detection.sqlgen` — generation of the ``Q_sv`` / ``Q_mv``
+  queries and the flag-update statements (Fig. 4);
+* :mod:`repro.detection.batch` — BATCHDETECT;
+* :mod:`repro.detection.incremental` — INCDETECT;
+* :mod:`repro.detection.naive` — the pure-Python oracle detector.
+"""
+
+from repro.detection.batch import BatchDetector
+from repro.detection.database import BLANK, ECFDDatabase, quote_identifier
+from repro.detection.encoding import (
+    AUX_TABLE,
+    ENC_TABLE,
+    MACRO_TABLE,
+    ConstraintEncoding,
+    encode_constraints,
+    install_encoding,
+)
+from repro.detection.incremental import IncrementalDetector
+from repro.detection.naive import NaiveDetector
+from repro.detection.sqlgen import (
+    group_query,
+    macro_query,
+    qmv_query,
+    qsv_query,
+    sv_update_statement,
+)
+
+__all__ = [
+    "AUX_TABLE",
+    "BLANK",
+    "BatchDetector",
+    "ConstraintEncoding",
+    "ECFDDatabase",
+    "ENC_TABLE",
+    "IncrementalDetector",
+    "MACRO_TABLE",
+    "NaiveDetector",
+    "encode_constraints",
+    "group_query",
+    "install_encoding",
+    "macro_query",
+    "qmv_query",
+    "qsv_query",
+    "quote_identifier",
+    "sv_update_statement",
+]

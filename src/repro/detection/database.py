@@ -1,0 +1,264 @@
+"""The RDBMS substrate: a thin SQLite wrapper used by the SQL detectors.
+
+The detection algorithms of Section V are *SQL-generation* algorithms: the
+paper's point is that a fixed pair of SQL queries (plus a handful of update
+statements) detects all violations of an arbitrary set of eCFDs, so the work
+can be pushed into any RDBMS.  The authors ran a commercial DBMS; this
+reproduction uses SQLite through the standard-library :mod:`sqlite3` module,
+which preserves the property that matters (everything is expressed in SQL
+executed by the database engine) while remaining laptop-friendly and
+dependency-free.
+
+:class:`ECFDDatabase` owns the connection and the data table:
+
+* the data table is named after the relation schema and has an integer
+  primary key ``tid`` (matching the tuple identifiers of
+  :class:`~repro.core.instance.Relation`), one ``TEXT`` column per attribute
+  and the two violation flags ``SV`` / ``MV`` of Section V;
+* helpers load in-memory relations or plain dictionaries, read violation
+  flags back as a :class:`~repro.core.violations.ViolationSet`, and expose
+  a tiny ``execute`` / ``query`` API used by the encoder and the detectors.
+
+All attribute values are stored as text.  The paper's data (cities, area
+codes, zip codes, item titles) is string-typed; storing a single type keeps
+value comparisons between the data table and the pattern tables exact.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.instance import Relation, RelationTuple
+from repro.core.schema import RelationSchema, Value
+from repro.core.violations import ViolationSet
+from repro.exceptions import DatabaseError
+
+__all__ = ["ECFDDatabase", "quote_identifier"]
+
+#: Name of the blank marker used by the Q_mv GROUP BY trick (Section V-A):
+#: attributes irrelevant to an embedded FD are replaced by this constant,
+#: which must not occur in the data.  The paper uses "@".
+BLANK = "@"
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an SQL identifier (table or column name) for SQLite."""
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+class ECFDDatabase:
+    """A SQLite-backed store for one relation plus the eCFD encoding tables.
+
+    Parameters
+    ----------
+    schema:
+        The relation schema of the data table.
+    path:
+        SQLite database path; the default ``":memory:"`` keeps everything
+        in-process, which is what the tests and benchmarks use.
+    """
+
+    def __init__(self, schema: RelationSchema, path: str = ":memory:"):
+        self.schema = schema
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA journal_mode = MEMORY")
+        self.connection.execute("PRAGMA synchronous = OFF")
+        self._create_data_table()
+
+    # ------------------------------------------------------------------
+    # Schema / DDL
+    # ------------------------------------------------------------------
+    @property
+    def table_name(self) -> str:
+        """Name of the data table (the relation name of the schema)."""
+        return self.schema.name
+
+    def _create_data_table(self) -> None:
+        columns = ", ".join(
+            f"{quote_identifier(a)} TEXT" for a in self.schema.attribute_names
+        )
+        self.connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {quote_identifier(self.table_name)} ("
+            f"tid INTEGER PRIMARY KEY, {columns}, SV INTEGER NOT NULL DEFAULT 0, "
+            f"MV INTEGER NOT NULL DEFAULT 0)"
+        )
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # Loading data
+    # ------------------------------------------------------------------
+    def load_relation(self, relation: Relation) -> int:
+        """Load an in-memory relation, preserving its tuple identifiers.
+
+        Returns the number of rows inserted.
+        """
+        if relation.schema != self.schema:
+            raise DatabaseError(
+                f"relation over {relation.schema.name!r} cannot be loaded into a database "
+                f"for {self.schema.name!r}"
+            )
+        rows = [
+            (t.tid, *[str(t[a]) for a in self.schema.attribute_names])
+            for t in relation.tuples()
+        ]
+        return self._insert_rows(rows)
+
+    def insert_tuples(
+        self, rows: Iterable[Mapping[str, Value] | RelationTuple], tids: Sequence[int] | None = None
+    ) -> list[int]:
+        """Insert rows (dictionaries or tuples) and return their assigned tids.
+
+        When ``tids`` is given it must align with ``rows``; otherwise fresh
+        identifiers continuing from the current maximum are assigned.
+        """
+        materialised = list(rows)
+        if tids is None:
+            start = self.max_tid() + 1
+            assigned = list(range(start, start + len(materialised)))
+        else:
+            assigned = list(tids)
+            if len(assigned) != len(materialised):
+                raise DatabaseError("tids and rows must have the same length")
+        packed = []
+        for tid, row in zip(assigned, materialised):
+            packed.append((tid, *[str(row[a]) for a in self.schema.attribute_names]))
+        self._insert_rows(packed)
+        return assigned
+
+    def _insert_rows(self, rows: list[tuple]) -> int:
+        placeholders = ", ".join(["?"] * (len(self.schema) + 1))
+        columns = ", ".join(
+            ["tid"] + [quote_identifier(a) for a in self.schema.attribute_names]
+        )
+        self.connection.executemany(
+            f"INSERT INTO {quote_identifier(self.table_name)} ({columns}) "
+            f"VALUES ({placeholders})",
+            rows,
+        )
+        self.connection.commit()
+        return len(rows)
+
+    def delete_tuples(self, tids: Iterable[int]) -> int:
+        """Delete the rows with the given identifiers; returns the count removed."""
+        tid_list = list(tids)
+        self.connection.executemany(
+            f"DELETE FROM {quote_identifier(self.table_name)} WHERE tid = ?",
+            [(tid,) for tid in tid_list],
+        )
+        self.connection.commit()
+        return len(tid_list)
+
+    # ------------------------------------------------------------------
+    # Generic SQL access (used by the encoder and detectors)
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, parameters: Sequence = ()) -> sqlite3.Cursor:
+        """Execute one SQL statement and return the cursor."""
+        return self.connection.execute(sql, parameters)
+
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        """Execute one SQL statement for many parameter rows."""
+        self.connection.executemany(sql, rows)
+
+    def executescript(self, sql: str) -> None:
+        """Execute an SQL script (multiple ;-separated statements)."""
+        self.connection.executescript(sql)
+
+    def query(self, sql: str, parameters: Sequence = ()) -> list[tuple]:
+        """Execute a query and fetch all rows."""
+        return self.connection.execute(sql, parameters).fetchall()
+
+    def commit(self) -> None:
+        """Commit the current transaction."""
+        self.connection.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self.connection.close()
+
+    def __enter__(self) -> "ECFDDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Data-table convenience queries
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Number of rows in the data table."""
+        [(count,)] = self.query(f"SELECT COUNT(*) FROM {quote_identifier(self.table_name)}")
+        return count
+
+    def max_tid(self) -> int:
+        """Largest tuple identifier in use (0 when the table is empty)."""
+        [(value,)] = self.query(
+            f"SELECT COALESCE(MAX(tid), 0) FROM {quote_identifier(self.table_name)}"
+        )
+        return value
+
+    def all_tids(self) -> list[int]:
+        """All tuple identifiers, ascending."""
+        return [tid for (tid,) in self.query(
+            f"SELECT tid FROM {quote_identifier(self.table_name)} ORDER BY tid"
+        )]
+
+    def fetch_row(self, tid: int) -> dict[str, str] | None:
+        """The attribute values of one row as a dict, or ``None``."""
+        columns = ", ".join(quote_identifier(a) for a in self.schema.attribute_names)
+        rows = self.query(
+            f"SELECT {columns} FROM {quote_identifier(self.table_name)} WHERE tid = ?",
+            (tid,),
+        )
+        if not rows:
+            return None
+        return dict(zip(self.schema.attribute_names, rows[0]))
+
+    def to_relation(self) -> Relation:
+        """Materialise the data table back into an in-memory relation.
+
+        Tuple identifiers are preserved, so violation sets computed in SQL
+        and in memory are directly comparable.
+        """
+        relation = Relation(self.schema)
+        columns = ", ".join(quote_identifier(a) for a in self.schema.attribute_names)
+        rows = self.query(
+            f"SELECT tid, {columns} FROM {quote_identifier(self.table_name)} ORDER BY tid"
+        )
+        for tid, *values in rows:
+            stored = RelationTuple(self.schema, list(values), tid=tid)
+            relation._tuples[tid] = stored  # preserve the original identifier
+            relation._next_tid = max(relation._next_tid, tid + 1)
+        return relation
+
+    # ------------------------------------------------------------------
+    # Violation flags
+    # ------------------------------------------------------------------
+    def reset_flags(self) -> None:
+        """Set SV = MV = 0 on every row."""
+        self.execute(f"UPDATE {quote_identifier(self.table_name)} SET SV = 0, MV = 0")
+        self.commit()
+
+    def violations(self) -> ViolationSet:
+        """Read the SV / MV flags back as a :class:`ViolationSet`."""
+        sv = [tid for (tid,) in self.query(
+            f"SELECT tid FROM {quote_identifier(self.table_name)} WHERE SV = 1"
+        )]
+        mv = [tid for (tid,) in self.query(
+            f"SELECT tid FROM {quote_identifier(self.table_name)} WHERE MV = 1"
+        )]
+        return ViolationSet.from_flags(sv_tids=sv, mv_tids=mv)
+
+    def flag_counts(self) -> dict[str, int]:
+        """Counts of SV / MV / dirty rows straight from SQL (Fig. 7(b) series)."""
+        [(sv,)] = self.query(
+            f"SELECT COUNT(*) FROM {quote_identifier(self.table_name)} WHERE SV = 1"
+        )
+        [(mv,)] = self.query(
+            f"SELECT COUNT(*) FROM {quote_identifier(self.table_name)} WHERE MV = 1"
+        )
+        [(dirty,)] = self.query(
+            f"SELECT COUNT(*) FROM {quote_identifier(self.table_name)} WHERE SV = 1 OR MV = 1"
+        )
+        return {"sv": sv, "mv": mv, "dirty": dirty}

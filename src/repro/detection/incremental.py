@@ -1,0 +1,247 @@
+"""INCDETECT — incremental detection of eCFD violations (Section V-B).
+
+Re-running BATCHDETECT after every update wastes work when the update ΔD
+touches only a small part of D.  The incremental algorithm maintains, across
+updates, the invariant
+
+    * the SV / MV flags of the data table describe vio(D) exactly,
+    * the auxiliary relation Aux(D) (``ecfd_aux``) holds exactly the
+      violating ``(cid, p)`` groups — the ``Q_mv`` result — of the current D,
+    * the materialised macro relation (``ecfd_macro``) holds one row per
+      (tuple, constraint) pair whose tuple matches the constraint's LHS
+      pattern,
+
+and repairs all three using a fixed number of SQL statements per update,
+each of which touches only the *affected* part of the database (index-driven
+joins on the ``(cid, xv_key)`` group identity and on ``tid``).
+
+Deletions (ΔD⁻)
+    Deletions can only remove violations.  The affected groups are read off
+    the macro rows of the deleted tuples; those macro rows are dropped; the
+    affected groups are re-derived from the remaining macro rows and the
+    auxiliary rows of groups that stopped violating are deleted; finally
+    ``MV`` is cleared on flagged tuples that no longer belong to any
+    violating group.  ``SV`` needs no attention (a deleted tuple takes its
+    flag with it).
+
+Insertions (ΔD⁺)
+    New single-tuple violations can only be inserted tuples, so ``Q_sv`` is
+    run restricted to the new tids.  The macro rows of the new tuples are
+    computed (a scan of ΔD⁺ only) and appended; the affected groups are the
+    groups of those new rows; they are re-derived over the (updated) macro
+    relation and merged into Aux(D); finally ``MV`` is set on tuples
+    belonging to a (re)derived affected group.  Groups untouched by the
+    insertion keep their auxiliary rows unchanged — an insertion can never
+    repair an existing violation.
+
+This matches the paper's steps (1)-(2.e); consecutive sub-steps are fused
+where one SQL statement covers several of them, which the paper explicitly
+allows ("they can all be performed using SQL statements").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.ecfd import ECFD, ECFDSet
+from repro.core.schema import Value
+from repro.core.violations import ViolationSet
+from repro.detection.batch import BatchDetector
+from repro.detection.database import ECFDDatabase, quote_identifier
+from repro.detection.encoding import AUX_TABLE, MACRO_TABLE
+from repro.detection.sqlgen import (
+    aux_columns,
+    group_key_join,
+    group_query,
+    macro_query,
+    mv_clear_statement,
+    mv_set_statement,
+    sv_update_statement,
+)
+
+__all__ = ["IncrementalDetector"]
+
+#: Temporary table names used inside one update transaction.
+_NEW_TIDS = "ecfd_tmp_new_tids"
+_AFFECTED_GROUPS = "ecfd_tmp_affected"
+_REGROUPED = "ecfd_tmp_regrouped"
+
+
+class IncrementalDetector:
+    """The INCDETECT algorithm, maintaining vio(D) across updates.
+
+    The detector wraps a :class:`BatchDetector` for the initial state (the
+    paper assumes the SV/MV flags and Aux(D) are initialised by a batch run)
+    and then processes updates through :meth:`delete_tuples` /
+    :meth:`insert_tuples`, each of which returns the violation set of the
+    updated database.
+    """
+
+    def __init__(self, database: ECFDDatabase, sigma: ECFDSet | Sequence[ECFD]):
+        self.database = database
+        self.batch = BatchDetector(database, sigma)
+        self.sigma = self.batch.sigma
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Initialisation
+    # ------------------------------------------------------------------
+    def initialize(self) -> ViolationSet:
+        """Run the initial batch detection (computes flags, Aux(D) and the macro rows)."""
+        result = self.batch.detect()
+        self._initialized = True
+        return result
+
+    def _ensure_initialized(self) -> None:
+        if not self._initialized:
+            self.initialize()
+
+    # ------------------------------------------------------------------
+    # Shared steps
+    # ------------------------------------------------------------------
+    def _regroup_affected(self) -> None:
+        """Re-derive the groups listed in the affected-groups temp table.
+
+        The still/newly violating groups among them are written to the
+        ``_REGROUPED`` temp table; the computation joins the macro relation
+        down to the affected groups, so its cost is proportional to the
+        number of tuples in those groups.
+        """
+        schema = self.database.schema
+        source = (
+            f"(SELECT m.* FROM {quote_identifier(MACRO_TABLE)} m "
+            f"JOIN {quote_identifier(_AFFECTED_GROUPS)} g ON {group_key_join('m', 'g')}) AS affected_macro"
+        )
+        self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(_REGROUPED)}")
+        self.database.execute(
+            f"CREATE TEMP TABLE {quote_identifier(_REGROUPED)} AS "
+            f"{group_query(schema, source)}"
+        )
+
+    def _aux_group_filter(self, groups_table: str, negate: bool = False) -> str:
+        """An EXISTS filter testing Aux rows' membership in a groups temp table."""
+        keyword = "NOT EXISTS" if negate else "EXISTS"
+        return (
+            f"{keyword} (SELECT 1 FROM {quote_identifier(groups_table)} x "
+            f"WHERE {group_key_join('x', quote_identifier(AUX_TABLE))})"
+        )
+
+    # ------------------------------------------------------------------
+    # Deletions
+    # ------------------------------------------------------------------
+    def delete_tuples(self, tids: Iterable[int]) -> ViolationSet:
+        """Apply ΔD⁻ (a set of tuple identifiers) and repair vio(D)."""
+        self._ensure_initialized()
+        schema = self.database.schema
+        tid_list = [int(tid) for tid in tids]
+
+        self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(_NEW_TIDS)}")
+        self.database.execute(
+            f"CREATE TEMP TABLE {quote_identifier(_NEW_TIDS)} (tid INTEGER PRIMARY KEY)"
+        )
+        self.database.executemany(
+            f"INSERT INTO {quote_identifier(_NEW_TIDS)} (tid) VALUES (?)",
+            [(tid,) for tid in tid_list],
+        )
+
+        # Affected groups: the groups the deleted tuples belonged to.
+        self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(_AFFECTED_GROUPS)}")
+        self.database.execute(
+            f"CREATE TEMP TABLE {quote_identifier(_AFFECTED_GROUPS)} AS "
+            f"SELECT DISTINCT m.cid AS cid, m.xv_key AS xv_key "
+            f"FROM {quote_identifier(MACRO_TABLE)} m "
+            f"WHERE m.tid IN (SELECT tid FROM {quote_identifier(_NEW_TIDS)})"
+        )
+
+        # Remove the deleted tuples from the data and from the macro relation.
+        self.database.execute(
+            f"DELETE FROM {quote_identifier(MACRO_TABLE)} "
+            f"WHERE tid IN (SELECT tid FROM {quote_identifier(_NEW_TIDS)})"
+        )
+        self.database.delete_tuples(tid_list)
+
+        # Re-derive the affected groups; drop auxiliary rows that stopped violating.
+        self._regroup_affected()
+        self.database.execute(
+            f"DELETE FROM {quote_identifier(AUX_TABLE)} "
+            f"WHERE {self._aux_group_filter(_AFFECTED_GROUPS)} "
+            f"AND {self._aux_group_filter(_REGROUPED, negate=True)}"
+        )
+
+        # Clear MV on flagged tuples that no longer belong to any violating group.
+        self.database.execute(mv_clear_statement(schema, MACRO_TABLE, AUX_TABLE))
+        self.database.commit()
+        return self.database.violations()
+
+    # ------------------------------------------------------------------
+    # Insertions
+    # ------------------------------------------------------------------
+    def insert_tuples(self, rows: Sequence[Mapping[str, Value]]) -> ViolationSet:
+        """Apply ΔD⁺ (new tuples) and repair vio(D); returns the new violation set."""
+        self._ensure_initialized()
+        schema = self.database.schema
+        new_tids = self.database.insert_tuples(rows)
+
+        self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(_NEW_TIDS)}")
+        self.database.execute(
+            f"CREATE TEMP TABLE {quote_identifier(_NEW_TIDS)} (tid INTEGER PRIMARY KEY)"
+        )
+        self.database.executemany(
+            f"INSERT INTO {quote_identifier(_NEW_TIDS)} (tid) VALUES (?)",
+            [(tid,) for tid in new_tids],
+        )
+        new_tid_restriction = f"t.tid IN (SELECT tid FROM {quote_identifier(_NEW_TIDS)})"
+
+        # Single-tuple violations among the inserted tuples only.
+        self.database.execute(sv_update_statement(schema, restriction=new_tid_restriction))
+
+        # Extend the macro relation with the new tuples' rows (a ΔD⁺-only scan).
+        macro_columns = (
+            ["cid", "tid"]
+            + [quote_identifier(name) for name in aux_columns(schema)]
+            + ["xv_key", "yv_key"]
+        )
+        self.database.execute(
+            f"INSERT INTO {quote_identifier(MACRO_TABLE)} ({', '.join(macro_columns)})\n"
+            f"{macro_query(schema, restriction=new_tid_restriction)}"
+        )
+
+        # Affected groups: the groups the new tuples belong to.
+        self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(_AFFECTED_GROUPS)}")
+        self.database.execute(
+            f"CREATE TEMP TABLE {quote_identifier(_AFFECTED_GROUPS)} AS "
+            f"SELECT DISTINCT m.cid AS cid, m.xv_key AS xv_key "
+            f"FROM {quote_identifier(MACRO_TABLE)} m "
+            f"WHERE m.tid IN (SELECT tid FROM {quote_identifier(_NEW_TIDS)})"
+        )
+
+        # Re-derive the affected groups and merge them into Aux(D).
+        self._regroup_affected()
+        aux_insert_columns = (
+            ["cid"] + [quote_identifier(name) for name in aux_columns(schema)] + ["xv_key"]
+        )
+        self.database.execute(
+            f"DELETE FROM {quote_identifier(AUX_TABLE)} "
+            f"WHERE {self._aux_group_filter(_REGROUPED)}"
+        )
+        self.database.execute(
+            f"INSERT INTO {quote_identifier(AUX_TABLE)} ({', '.join(aux_insert_columns)}) "
+            f"SELECT {', '.join(aux_insert_columns)} FROM {quote_identifier(_REGROUPED)}"
+        )
+
+        # Flag every tuple belonging to a (re)derived affected group.
+        self.database.execute(mv_set_statement(schema, MACRO_TABLE, _REGROUPED))
+        self.database.commit()
+        return self.database.violations()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def violations(self) -> ViolationSet:
+        """The current violation set (from the maintained SV / MV flags)."""
+        self._ensure_initialized()
+        return self.database.violations()
+
+    def aux_rows(self) -> list[tuple]:
+        """The current auxiliary relation contents."""
+        return self.batch.aux_rows()

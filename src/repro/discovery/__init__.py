@@ -1,0 +1,10 @@
+"""eCFD discovery from data samples (paper future work, Section VIII)."""
+
+from repro.discovery.discover import (
+    DiscoveredPattern,
+    DiscoveryResult,
+    discover_ecfd,
+    discover_patterns,
+)
+
+__all__ = ["DiscoveredPattern", "DiscoveryResult", "discover_ecfd", "discover_patterns"]

@@ -1,0 +1,185 @@
+"""eCFD discovery from data samples (paper future work, Section VIII).
+
+The paper's conclusion names "effective methods for automatically
+discovering eCFDs from data samples" as an open practical topic.  This
+module implements a first, support/confidence-based discovery algorithm in
+the spirit of later CFD-discovery work (e.g. CFDMiner / CTANE): it mines,
+for a given pair of attribute lists (X, A), pattern constraints of the form
+
+    ( X: S_x  ||  A: S_a )
+
+where ``S_x`` is a frequent left-hand-side value (as a singleton set) and
+``S_a`` is the smallest set of right-hand-side values covering at least
+``confidence`` of the matching tuples.  Constraints whose RHS set is a
+singleton correspond to classic constant CFDs; larger sets use the eCFD
+disjunction; and when the complement of the covered values is smaller than
+the covered set, the constraint is emitted with a complement pattern
+instead (the eCFD inequality construct).
+
+The discovered eCFD is returned together with per-pattern support and
+confidence statistics so callers can filter or rank.  Discovery is
+deliberately restricted to single-attribute RHS and constant LHS patterns —
+the same restriction the first generation of CFD-discovery algorithms
+adopted — which keeps the search space linear in the number of distinct LHS
+values.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.ecfd import ECFD, PatternTuple
+from repro.core.instance import Relation
+from repro.core.patterns import ComplementSet, ValueSet
+from repro.core.schema import Value
+from repro.exceptions import DiscoveryError
+
+__all__ = ["DiscoveredPattern", "DiscoveryResult", "discover_patterns", "discover_ecfd"]
+
+
+@dataclass(frozen=True)
+class DiscoveredPattern:
+    """One mined pattern constraint with its quality statistics.
+
+    ``support`` is the number of tuples matching the LHS value; ``covered``
+    is how many of those the RHS pattern accepts; ``confidence`` is their
+    ratio.
+    """
+
+    lhs_value: Value
+    rhs_values: frozenset[Value]
+    complement: bool
+    support: int
+    covered: int
+
+    @property
+    def confidence(self) -> float:
+        return self.covered / self.support if self.support else 0.0
+
+
+@dataclass(frozen=True)
+class DiscoveryResult:
+    """The outcome of one discovery run: the eCFD plus per-pattern statistics."""
+
+    ecfd: ECFD | None
+    patterns: tuple[DiscoveredPattern, ...]
+
+
+def discover_patterns(
+    relation: Relation,
+    lhs: Sequence[str],
+    rhs: str,
+    min_support: int = 2,
+    min_confidence: float = 0.95,
+    max_rhs_values: int = 5,
+) -> list[DiscoveredPattern]:
+    """Mine pattern constraints ``(lhs value -> rhs value set)`` from the data.
+
+    Parameters
+    ----------
+    relation:
+        The (possibly dirty) sample to mine.
+    lhs / rhs:
+        The candidate embedded-FD attributes; ``lhs`` may list several
+        attributes (their value combination becomes the LHS key), ``rhs`` is
+        a single attribute.
+    min_support:
+        Minimum number of tuples sharing the LHS value for a pattern to be
+        considered.
+    min_confidence:
+        Minimum fraction of those tuples that the RHS set must cover.
+    max_rhs_values:
+        Upper bound on the size of the mined RHS value set; LHS values whose
+        RHS distribution is more spread out than this produce no pattern.
+    """
+    if not lhs:
+        raise DiscoveryError("discovery needs at least one LHS attribute")
+    if rhs in lhs:
+        raise DiscoveryError("the RHS attribute must not occur in the LHS")
+    if not 0.0 < min_confidence <= 1.0:
+        raise DiscoveryError("min_confidence must lie in (0, 1]")
+    relation.schema.check_attributes(list(lhs) + [rhs], context="discovery")
+
+    groups: dict[tuple[Value, ...], Counter] = defaultdict(Counter)
+    for t in relation:
+        groups[t.project(lhs)][t[rhs]] += 1
+
+    mined: list[DiscoveredPattern] = []
+    for key, distribution in sorted(groups.items(), key=lambda item: str(item[0])):
+        support = sum(distribution.values())
+        if support < min_support:
+            continue
+        # Take RHS values by decreasing frequency until the confidence target
+        # is reached (or the size cap is hit).
+        covered = 0
+        chosen: list[Value] = []
+        for value, count in distribution.most_common():
+            if covered / support >= min_confidence:
+                break
+            if len(chosen) >= max_rhs_values:
+                break
+            chosen.append(value)
+            covered += count
+        if not chosen or covered / support < min_confidence:
+            continue
+        lhs_value = key[0] if len(lhs) == 1 else key
+        # Prefer the complement form when it is strictly smaller than the
+        # positive form (the eCFD inequality construct).
+        excluded = [value for value in distribution if value not in chosen]
+        use_complement = 0 < len(excluded) < len(chosen)
+        mined.append(
+            DiscoveredPattern(
+                lhs_value=lhs_value,
+                rhs_values=frozenset(excluded if use_complement else chosen),
+                complement=use_complement,
+                support=support,
+                covered=covered,
+            )
+        )
+    return mined
+
+
+def discover_ecfd(
+    relation: Relation,
+    lhs: Sequence[str],
+    rhs: str,
+    min_support: int = 2,
+    min_confidence: float = 0.95,
+    max_rhs_values: int = 5,
+    name: str | None = None,
+) -> DiscoveryResult:
+    """Mine a complete eCFD ``(R: X -> ∅, {A}, Tp)`` from the data sample.
+
+    The mined pattern constraints become the tableau of a single eCFD whose
+    ``Yp`` is the RHS attribute (pattern constraints only — the embedded FD
+    is left empty so that dirty samples do not force spurious FD semantics).
+    Returns a result with ``ecfd=None`` when nothing reaches the thresholds.
+    """
+    patterns = discover_patterns(
+        relation, lhs, rhs, min_support, min_confidence, max_rhs_values
+    )
+    if not patterns:
+        return DiscoveryResult(ecfd=None, patterns=())
+
+    tableau = []
+    for mined in patterns:
+        if isinstance(mined.lhs_value, tuple):
+            lhs_map = {a: ValueSet([v]) for a, v in zip(lhs, mined.lhs_value)}
+        else:
+            lhs_map = {lhs[0]: ValueSet([mined.lhs_value])}
+        rhs_entry = (
+            ComplementSet(mined.rhs_values) if mined.complement else ValueSet(mined.rhs_values)
+        )
+        tableau.append(PatternTuple(lhs_map, {rhs: rhs_entry}))
+
+    ecfd = ECFD(
+        relation.schema,
+        lhs=list(lhs),
+        rhs=[],
+        pattern_rhs=[rhs],
+        tableau=tableau,
+        name=name or f"discovered_{'_'.join(lhs)}_to_{rhs}",
+    )
+    return DiscoveryResult(ecfd=ecfd, patterns=tuple(patterns))

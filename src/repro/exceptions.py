@@ -1,0 +1,79 @@
+"""Exception hierarchy for the eCFD reproduction library.
+
+Every error raised intentionally by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or referenced inconsistently.
+
+    Raised, for example, when an attribute name is duplicated, when a
+    constraint mentions an attribute that does not belong to the schema, or
+    when a tuple is built with missing / extra attributes.
+    """
+
+
+class DomainError(ReproError):
+    """A value is used outside the declared domain of its attribute."""
+
+
+class PatternError(ReproError):
+    """A pattern tuple or pattern value is malformed.
+
+    Examples: an empty value set, a pattern tuple that does not cover
+    exactly the attributes of its eCFD, or overlapping ``Y`` / ``Yp``
+    attribute lists.
+    """
+
+
+class ConstraintError(ReproError):
+    """An eCFD / CFD / FD object is structurally invalid."""
+
+
+class ParseError(ReproError):
+    """The textual eCFD syntax could not be parsed.
+
+    Attributes
+    ----------
+    text:
+        The full input text being parsed.
+    position:
+        Character offset at which parsing failed, if known.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class UnsatisfiableError(ReproError):
+    """Raised when an operation requires a satisfiable constraint set.
+
+    For instance, asking for a witness tuple of an unsatisfiable set of
+    eCFDs raises this error rather than returning ``None`` silently.
+    """
+
+
+class DetectionError(ReproError):
+    """A violation-detection run failed (bad encoding, missing table, ...)."""
+
+
+class DatabaseError(ReproError):
+    """The SQLite substrate was used incorrectly (unknown table, reload, ...)."""
+
+
+class RepairError(ReproError):
+    """A repair could not be constructed (e.g. unsatisfiable constraints)."""
+
+
+class DiscoveryError(ReproError):
+    """eCFD discovery was invoked with invalid parameters."""

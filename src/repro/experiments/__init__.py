@@ -1,0 +1,58 @@
+"""Experiment harness regenerating every figure of the paper's evaluation.
+
+See :mod:`repro.experiments.figures` for the per-figure drivers,
+:mod:`repro.experiments.runner` for scales and timing plumbing, and
+``python -m repro.experiments.run_all`` for the command-line entry point.
+"""
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    ablation_encoding,
+    ablation_maxss,
+    fig5a,
+    fig5b,
+    fig5c,
+    fig6a,
+    fig6b,
+    fig6c,
+    fig7a,
+    fig7b,
+)
+from repro.experiments.reporting import ExperimentResult, format_table, to_csv
+from repro.experiments.runner import (
+    SCALES,
+    Scale,
+    current_scale,
+    load_database,
+    timed_batch_after_update,
+    timed_batch_detection,
+    timed_incremental_update,
+)
+from repro.experiments.timing import Measurement, Timer, stopwatch
+
+__all__ = [
+    "ALL_FIGURES",
+    "ExperimentResult",
+    "Measurement",
+    "SCALES",
+    "Scale",
+    "Timer",
+    "ablation_encoding",
+    "ablation_maxss",
+    "current_scale",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig7a",
+    "fig7b",
+    "format_table",
+    "load_database",
+    "stopwatch",
+    "timed_batch_after_update",
+    "timed_batch_detection",
+    "timed_incremental_update",
+    "to_csv",
+]

@@ -1,0 +1,345 @@
+"""One driver per figure of the paper's evaluation (Section VI).
+
+Each ``figXX`` function regenerates the corresponding figure's data series
+at a configurable scale and returns an
+:class:`~repro.experiments.reporting.ExperimentResult` whose rows are the
+same quantities the paper plots:
+
+==========  ===============================================================
+Driver      Paper figure
+==========  ===============================================================
+``fig5a``   BATCHDETECT running time vs. |D| (noise 5%, base workload)
+``fig5b``   BATCHDETECT running time vs. noise% (|D| fixed)
+``fig5c``   BATCHDETECT running time vs. |Tp| (|D|, noise fixed)
+``fig6a``   INCDETECT (insertions and deletions) vs. BATCHDETECT, vs. |D|
+``fig6b``   same comparison vs. noise%
+``fig6c``   same comparison vs. |Tp|
+``fig7a``   INCDETECT vs. BATCHDETECT vs. update size |ΔD|
+``fig7b``   growth of #SV / #MV violations vs. update size
+==========  ===============================================================
+
+Two ablation drivers accompany them (they have no paper counterpart but
+exercise design decisions called out in DESIGN.md):
+
+* ``ablation_encoding`` — the encoded SQL detector vs. the naive per-pattern
+  Python detector as the workload's tableau grows;
+* ``ablation_maxss`` — MAXSS approximation quality (greedy / walksat /
+  portfolio) against the exact optimum on small random constraint sets.
+
+Absolute times are not comparable to the paper's (different hardware and
+DBMS); EXPERIMENTS.md records the *shape* comparison for every figure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.ecfd import ECFDSet
+from repro.core.schema import cust_ext_schema
+from repro.datagen.generator import DatasetGenerator
+from repro.datagen.updates import UpdateGenerator
+from repro.datagen.workload import paper_workload, paper_workload_with_tableau_size
+from repro.detection.naive import NaiveDetector
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import (
+    Scale,
+    current_scale,
+    load_database,
+    timed_batch_after_update,
+    timed_batch_detection,
+    timed_incremental_update,
+)
+from repro.experiments.timing import Measurement, stopwatch
+
+__all__ = [
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig7a",
+    "fig7b",
+    "ablation_encoding",
+    "ablation_maxss",
+    "ALL_FIGURES",
+]
+
+
+def _workload() -> ECFDSet:
+    return paper_workload(cust_ext_schema())
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — BATCHDETECT scalability
+# ----------------------------------------------------------------------
+def fig5a(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 5(a): BATCHDETECT running time as |D| grows (noise fixed at 5%)."""
+    scale = scale or current_scale()
+    sigma = _workload()
+    result = ExperimentResult("fig5a", "BATCHDETECT scalability in |D|")
+    for size in scale.dataset_sizes:
+        rows = DatasetGenerator(seed=seed).generate_rows(size, scale.default_noise)
+        measurement, _ = timed_batch_detection(rows, sigma, parameter=size)
+        result.measurements.append(measurement)
+    return result
+
+
+def fig5b(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 5(b): BATCHDETECT running time as the noise rate grows (|D| fixed)."""
+    scale = scale or current_scale()
+    sigma = _workload()
+    result = ExperimentResult("fig5b", "BATCHDETECT scalability in noise%")
+    for noise in scale.noise_levels:
+        rows = DatasetGenerator(seed=seed).generate_rows(scale.default_size, noise)
+        measurement, _ = timed_batch_detection(rows, sigma, parameter=noise)
+        result.measurements.append(measurement)
+    return result
+
+
+def fig5c(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 5(c): BATCHDETECT running time as |Tp| grows (|D|, noise fixed)."""
+    scale = scale or current_scale()
+    result = ExperimentResult("fig5c", "BATCHDETECT scalability in |Tp|")
+    rows = DatasetGenerator(seed=seed).generate_rows(scale.default_size, scale.default_noise)
+    for tableau_size in scale.tableau_sizes:
+        sigma = paper_workload_with_tableau_size(tableau_size)
+        measurement, _ = timed_batch_detection(rows, sigma, parameter=tableau_size)
+        result.measurements.append(measurement)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — INCDETECT vs BATCHDETECT under the same sweeps
+# ----------------------------------------------------------------------
+def _compare_on_update(
+    result: ExperimentResult,
+    rows: list[dict[str, str]],
+    sigma: ECFDSet,
+    parameter: float,
+    update_size: int,
+    noise: float,
+    seed: int,
+) -> None:
+    """Append the three compared series for one sweep point."""
+    generator = DatasetGenerator(seed=seed + 1)
+    updates = UpdateGenerator(generator, seed=seed + 2)
+    batch = updates.make_batch(
+        existing_tids=range(1, len(rows) + 1),
+        insert_count=update_size,
+        delete_count=min(update_size, len(rows)),
+        noise_percent=noise,
+    )
+    deletions, insertions, _ = timed_incremental_update(rows, sigma, batch, parameter)
+    baseline, _ = timed_batch_after_update(rows, sigma, batch, parameter)
+    result.measurements.extend([deletions, insertions, baseline])
+
+
+def fig6a(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 6(a): INCDETECT vs BATCHDETECT as |D| grows (fixed update size)."""
+    scale = scale or current_scale()
+    sigma = _workload()
+    result = ExperimentResult("fig6a", "INCDETECT vs BATCHDETECT in |D|")
+    for size in scale.dataset_sizes:
+        rows = DatasetGenerator(seed=seed).generate_rows(size, scale.default_noise)
+        update_size = min(scale.fixed_update_size, size)
+        _compare_on_update(result, rows, sigma, size, update_size, scale.default_noise, seed)
+    return result
+
+
+def fig6b(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 6(b): INCDETECT vs BATCHDETECT as the noise rate grows."""
+    scale = scale or current_scale()
+    sigma = _workload()
+    result = ExperimentResult("fig6b", "INCDETECT vs BATCHDETECT in noise%")
+    for noise in scale.noise_levels:
+        rows = DatasetGenerator(seed=seed).generate_rows(scale.default_size, noise)
+        _compare_on_update(result, rows, sigma, noise, scale.fixed_update_size, noise, seed)
+    return result
+
+
+def fig6c(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 6(c): INCDETECT vs BATCHDETECT as |Tp| grows."""
+    scale = scale or current_scale()
+    result = ExperimentResult("fig6c", "INCDETECT vs BATCHDETECT in |Tp|")
+    rows = DatasetGenerator(seed=seed).generate_rows(scale.default_size, scale.default_noise)
+    for tableau_size in scale.tableau_sizes:
+        sigma = paper_workload_with_tableau_size(tableau_size)
+        _compare_on_update(
+            result, rows, sigma, tableau_size, scale.fixed_update_size, scale.default_noise, seed
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — effect of the update size
+# ----------------------------------------------------------------------
+def fig7a(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 7(a): INCDETECT vs BATCHDETECT as the update size |ΔD| grows."""
+    scale = scale or current_scale()
+    sigma = _workload()
+    result = ExperimentResult("fig7a", "Effect of update size on detection cost")
+    rows = DatasetGenerator(seed=seed).generate_rows(scale.default_size, scale.default_noise)
+    for update_size in scale.update_sizes:
+        bounded = min(update_size, len(rows))
+        _compare_on_update(result, rows, sigma, bounded, bounded, scale.default_noise, seed)
+    return result
+
+
+def fig7b(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
+    """Fig. 7(b): growth of the number of SV / MV violation changes with the update size.
+
+    The paper reports how much the single- and multiple-tuple violation sets
+    change between the database before and after the update (DSV / DMV): the
+    larger the update, the more violations appear and disappear.  The series
+    therefore records, per update size, the size of the symmetric difference
+    of the SV tid-sets and of the MV tid-sets before and after the update,
+    alongside the absolute counts.
+    """
+    scale = scale or current_scale()
+    sigma = _workload()
+    result = ExperimentResult("fig7b", "Violation growth with update size")
+    rows = DatasetGenerator(seed=seed).generate_rows(scale.default_size, scale.default_noise)
+    baseline, before = timed_batch_detection(rows, sigma, parameter=0, label="before-update")
+    result.measurements.append(baseline)
+    for update_size in scale.update_sizes:
+        bounded = min(update_size, len(rows))
+        generator = DatasetGenerator(seed=seed + 1)
+        updates = UpdateGenerator(generator, seed=seed + 2)
+        batch = updates.make_batch(
+            existing_tids=range(1, len(rows) + 1),
+            insert_count=bounded,
+            delete_count=bounded,
+            noise_percent=scale.default_noise,
+        )
+        measurement, after = timed_batch_after_update(rows, sigma, batch, parameter=bounded)
+        measurement.label = "after-update"
+        measurement.extra["dsv"] = len(before.sv_tids ^ after.sv_tids)
+        measurement.extra["dmv"] = len(before.mv_tids ^ after.mv_tids)
+        result.measurements.append(measurement)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+def ablation_encoding(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
+    """Encoded SQL detection vs. the naive per-pattern detector as |Tp| grows.
+
+    The paper argues that treating the tableaux as data keeps the number of
+    SQL queries (and database passes) constant; the naive detector instead
+    scans the data once per pattern tuple.  This ablation measures both on
+    the same datasets so the scaling difference is visible.
+    """
+    scale = scale or current_scale()
+    result = ExperimentResult("ablation-encoding", "Encoded SQL detection vs naive per-pattern detection")
+    size = max(scale.dataset_sizes[0], scale.default_size // 10)
+    rows = DatasetGenerator(seed=seed).generate_rows(size, scale.default_noise)
+    for tableau_size in scale.tableau_sizes:
+        sigma = paper_workload_with_tableau_size(tableau_size)
+        sql_measurement, sql_violations = timed_batch_detection(
+            rows, sigma, parameter=tableau_size, label="batchdetect-sql"
+        )
+        result.measurements.append(sql_measurement)
+
+        relation = DatasetGenerator(seed=seed).generate(size, scale.default_noise)
+        naive = NaiveDetector(sigma)
+        with stopwatch() as timer:
+            naive_violations = naive.detect(relation)
+        result.measurements.append(
+            Measurement(
+                label="naive-python",
+                parameter=tableau_size,
+                seconds=timer.elapsed,
+                extra={
+                    "tuples": size,
+                    "dirty": len(naive_violations),
+                    "agrees_with_sql": float(naive_violations == sql_violations),
+                },
+            )
+        )
+    return result
+
+
+def ablation_maxss(seed: int = 0, trials: int = 5, sigma_size: int = 8) -> ExperimentResult:
+    """MAXSS approximation quality against the exact optimum on random constraint sets.
+
+    Random small constraint sets (some deliberately conflicting) are solved
+    with each MAXGSAT solver; the recovered satisfiable-subset cardinality is
+    compared to the exact optimum, giving an empirical view of the
+    approximation guarantee of Section IV.
+    """
+    from repro.analysis.maxss import max_satisfiable_subset
+    from repro.core.ecfd import ECFD
+    from repro.core.schema import cust_schema
+    from repro.sat import SOLVERS
+
+    rng = random.Random(seed)
+    schema = cust_schema()
+    cities = ["NYC", "LI", "Albany", "Troy", "Colonie", "Utica"]
+    codes = ["212", "518", "315", "646", "716"]
+    result = ExperimentResult("ablation-maxss", "MAXSS approximation quality vs exact optimum")
+
+    for trial in range(trials):
+        constraints = []
+        for index in range(sigma_size):
+            city = rng.choice(cities)
+            allowed = rng.sample(codes, rng.randint(1, 2))
+            if rng.random() < 0.35:
+                # A conflicting constraint: the same city must avoid those codes.
+                constraints.append(
+                    ECFD(
+                        schema, ["CT"], [], ["AC"],
+                        tableau=[({"CT": {city}}, {"AC": set(allowed)})],
+                        name=f"t{trial}_force_{index}",
+                    )
+                )
+                constraints.append(
+                    ECFD(
+                        schema, ["AC"], [], ["CT"],
+                        tableau=[({"AC": "_"}, {"CT": {city}})],
+                        name=f"t{trial}_pin_{index}",
+                    )
+                )
+            else:
+                constraints.append(
+                    ECFD(
+                        schema, ["CT"], [], ["AC"],
+                        tableau=[({"CT": {city}}, {"AC": set(allowed)})],
+                        name=f"t{trial}_bind_{index}",
+                    )
+                )
+        constraints = constraints[:sigma_size]
+
+        exact = max_satisfiable_subset(constraints, solver=SOLVERS["exact"])
+        for name in ("greedy", "walksat", "best"):
+            with stopwatch() as timer:
+                approx = max_satisfiable_subset(constraints, solver=SOLVERS[name])
+            result.measurements.append(
+                Measurement(
+                    label=name,
+                    parameter=trial,
+                    seconds=timer.elapsed,
+                    extra={
+                        "sigma_size": len(constraints),
+                        "exact_optimum": exact.cardinality,
+                        "approx_cardinality": approx.cardinality,
+                        "ratio": round(approx.cardinality / max(exact.cardinality, 1), 3),
+                    },
+                )
+            )
+    return result
+
+
+#: Registry used by ``run_all`` and the benchmark suite.
+ALL_FIGURES = {
+    "fig5a": fig5a,
+    "fig5b": fig5b,
+    "fig5c": fig5c,
+    "fig6a": fig6a,
+    "fig6b": fig6b,
+    "fig6c": fig6c,
+    "fig7a": fig7a,
+    "fig7b": fig7b,
+    "ablation-encoding": ablation_encoding,
+}

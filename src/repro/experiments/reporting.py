@@ -1,0 +1,78 @@
+"""Plain-text and CSV rendering of experiment series."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.timing import Measurement
+
+__all__ = ["ExperimentResult", "format_table", "to_csv"]
+
+
+def _columns(rows: Sequence[dict[str, float | str]]) -> list[str]:
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def format_table(rows: Sequence[dict[str, float | str]]) -> str:
+    """Render rows as an aligned plain-text table (one line per row)."""
+    if not rows:
+        return "(no data)"
+    columns = _columns(rows)
+    rendered = [[str(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(columns[index]), *(len(line[index]) for line in rendered))
+        for index in range(len(columns))
+    ]
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(value.ljust(width) for value, width in zip(line, widths))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def to_csv(rows: Sequence[dict[str, float | str]]) -> str:
+    """Render rows as CSV text (useful for re-plotting the figures)."""
+    if not rows:
+        return ""
+    columns = _columns(rows)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({column: row.get(column, "") for column in columns})
+    return buffer.getvalue()
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one figure driver: an identified series of measurements."""
+
+    experiment_id: str
+    title: str
+    measurements: list[Measurement] = field(default_factory=list)
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """The measurements flattened to plain dict rows."""
+        return [m.as_row() for m in self.measurements]
+
+    def series(self, label: str) -> list[Measurement]:
+        """The measurements of one named series, in sweep order."""
+        return [m for m in self.measurements if m.label == label]
+
+    def to_table(self) -> str:
+        """A printable report (title + aligned table)."""
+        return f"== {self.experiment_id}: {self.title} ==\n{format_table(self.rows())}"
+
+    def to_csv(self) -> str:
+        """The measurements as CSV text."""
+        return to_csv(self.rows())

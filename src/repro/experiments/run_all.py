@@ -1,0 +1,44 @@
+"""Command-line entry point: regenerate every figure of the paper's evaluation.
+
+Usage::
+
+    python -m repro.experiments.run_all                 # bench scale (default)
+    REPRO_SCALE=paper python -m repro.experiments.run_all   # the paper's sizes
+    python -m repro.experiments.run_all fig5a fig7b         # a subset of figures
+
+Each driver prints its series as an aligned text table; redirect to a file
+to keep a record (EXPERIMENTS.md was produced this way).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.figures import ALL_FIGURES, ablation_maxss
+from repro.experiments.runner import current_scale
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested figure drivers (all of them by default)."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    scale = current_scale()
+    requested = arguments or list(ALL_FIGURES) + ["ablation-maxss"]
+
+    print(f"# eCFD reproduction experiments (scale: {scale.name})\n")
+    for name in requested:
+        if name == "ablation-maxss":
+            result = ablation_maxss()
+        elif name in ALL_FIGURES:
+            result = ALL_FIGURES[name](scale)
+        else:
+            print(f"unknown experiment {name!r}; known: {sorted(ALL_FIGURES) + ['ablation-maxss']}")
+            return 2
+        print(result.to_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

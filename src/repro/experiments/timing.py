@@ -1,0 +1,82 @@
+"""Timing primitives and measurement records for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Measurement", "Timer", "stopwatch"]
+
+
+@dataclass
+class Measurement:
+    """One measured point of an experiment series.
+
+    Attributes
+    ----------
+    label:
+        Which algorithm / configuration produced the point (e.g.
+        ``"batchdetect"`` or ``"incdetect-insert"``).
+    parameter:
+        The swept parameter value (|D|, noise%, |Tp|, |ΔD|, ...).
+    seconds:
+        Wall-clock time of the measured operation.
+    extra:
+        Additional readings attached to the point (violation counts,
+        realised sizes, ...).
+    """
+
+    label: str
+    parameter: float
+    seconds: float
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, float | str]:
+        """Flatten into a plain dict, convenient for table rendering."""
+        row: dict[str, float | str] = {
+            "series": self.label,
+            "parameter": self.parameter,
+            "seconds": round(self.seconds, 4),
+        }
+        row.update(self.extra)
+        return row
+
+
+class Timer:
+    """A tiny accumulating wall-clock timer."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: float | None = None
+
+    def start(self) -> None:
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        delta = time.perf_counter() - self._started
+        self.elapsed += delta
+        self._started = None
+        return delta
+
+
+@contextmanager
+def stopwatch() -> Iterator[Timer]:
+    """Context manager yielding a running :class:`Timer`.
+
+    >>> with stopwatch() as timer:
+    ...     sum(range(1000))
+    499500
+    >>> timer.elapsed >= 0.0
+    True
+    """
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        if timer._started is not None:
+            timer.stop()

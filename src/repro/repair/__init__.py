@@ -1,0 +1,6 @@
+"""Value-modification repair of eCFD violations (paper future work, Section VIII)."""
+
+from repro.repair.cost import CellChange, RepairCostModel
+from repro.repair.repairer import GreedyRepairer, RepairResult
+
+__all__ = ["CellChange", "GreedyRepairer", "RepairCostModel", "RepairResult"]

@@ -1,0 +1,57 @@
+"""Cost model for value-modification repairs.
+
+The paper's conclusion lists "algorithms for eliminating eCFD violations and
+repairing data" as future work; the :mod:`repro.repair` package implements a
+first such algorithm in the style of the cost-based value-modification
+repairs of Bohannon et al. (SIGMOD 2005), which the paper cites as the
+standard approach for CFD-era constraints.
+
+A repair is a sequence of *cell changes*: ``(tid, attribute, old, new)``.
+Its cost is the (weighted) number of changed cells; attribute weights let a
+user mark some columns as more trustworthy than others (changing a trusted
+column costs more).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.schema import Value
+
+__all__ = ["CellChange", "RepairCostModel"]
+
+
+@dataclass(frozen=True)
+class CellChange:
+    """One modified cell of a repair."""
+
+    tid: int
+    attribute: str
+    old_value: Value
+    new_value: Value
+
+
+@dataclass
+class RepairCostModel:
+    """Weighted cell-count cost of a repair.
+
+    Parameters
+    ----------
+    attribute_weights:
+        Cost of changing one cell of each attribute; attributes not listed
+        cost ``default_weight``.
+    default_weight:
+        Weight used for attributes without an explicit entry.
+    """
+
+    attribute_weights: Mapping[str, float] = field(default_factory=dict)
+    default_weight: float = 1.0
+
+    def cell_cost(self, attribute: str) -> float:
+        """Cost of changing one cell of ``attribute``."""
+        return float(self.attribute_weights.get(attribute, self.default_weight))
+
+    def cost(self, changes: Iterable[CellChange]) -> float:
+        """Total cost of a sequence of cell changes."""
+        return sum(self.cell_cost(change.attribute) for change in changes)

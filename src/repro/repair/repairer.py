@@ -1,0 +1,212 @@
+"""Greedy value-modification repair of eCFD violations.
+
+Given a relation D and a *satisfiable* set Σ of eCFDs, a repair is a
+modified relation D' that satisfies Σ; a good repair changes as little as
+possible.  Finding a minimum-cost repair is already intractable for plain
+CFDs, so — like the heuristic of Bohannon et al. (SIGMOD 2005) that the
+paper points to — :class:`GreedyRepairer` applies local, greedy fixes and
+iterates until the data is clean:
+
+* a **single-tuple violation** of a pattern constraint is fixed by
+  overwriting the failing RHS / Yp attribute with a value admitted by the
+  pattern (the cheapest local fix; the replacement is chosen
+  deterministically and re-checked against the other constraints on the next
+  round);
+* a **multiple-tuple violation** of an embedded FD is fixed by electing the
+  most frequent RHS combination inside the offending group and rewriting the
+  minority tuples to it (majority voting minimises the number of changed
+  cells for that group).
+
+Each round runs the reference detector, applies one batch of fixes and
+recounts; the loop stops when the relation is clean or when ``max_rounds``
+is exhausted (the greedy fixes are not guaranteed to converge for every
+constraint interaction, in which case a :class:`~repro.exceptions.RepairError`
+is raised rather than returning dirty data silently).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.satisfiability import is_satisfiable
+from repro.core.ecfd import ECFD, ECFDSet
+from repro.core.instance import Relation
+from repro.core.schema import Value
+from repro.core.violations import ViolationSet
+from repro.detection.naive import NaiveDetector
+from repro.exceptions import RepairError
+from repro.repair.cost import CellChange, RepairCostModel
+
+__all__ = ["RepairResult", "GreedyRepairer"]
+
+
+class RepairResult:
+    """The outcome of a repair: the repaired relation plus an audit trail."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        changes: list[CellChange],
+        cost: float,
+        rounds: int,
+    ):
+        self.relation = relation
+        self.changes = tuple(changes)
+        self.cost = cost
+        self.rounds = rounds
+
+    @property
+    def change_count(self) -> int:
+        """Number of modified cells."""
+        return len(self.changes)
+
+    def changed_tids(self) -> frozenset[int]:
+        """Identifiers of the tuples touched by the repair."""
+        return frozenset(change.tid for change in self.changes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RepairResult(cells={self.change_count}, cost={self.cost}, rounds={self.rounds})"
+        )
+
+
+class GreedyRepairer:
+    """Greedy value-modification repair for a set of eCFDs."""
+
+    def __init__(
+        self,
+        sigma: ECFDSet | Sequence[ECFD],
+        cost_model: RepairCostModel | None = None,
+        max_rounds: int = 10,
+    ):
+        self.sigma = sigma if isinstance(sigma, ECFDSet) else ECFDSet(list(sigma))
+        self.cost_model = cost_model if cost_model is not None else RepairCostModel()
+        self.max_rounds = max_rounds
+        self.detector = NaiveDetector(self.sigma)
+        self._fragments = self.sigma.normalize()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def repair(self, relation: Relation) -> RepairResult:
+        """Return a repaired copy of ``relation`` satisfying Σ.
+
+        Raises
+        ------
+        RepairError
+            If Σ is unsatisfiable (no repair can exist) or the greedy loop
+            fails to converge within ``max_rounds``.
+        """
+        if not is_satisfiable(self.sigma):
+            raise RepairError("the constraint set is unsatisfiable; no repair exists")
+
+        working = relation.copy()
+        changes: list[CellChange] = []
+        for round_number in range(1, self.max_rounds + 1):
+            violations = self.detector.detect(working)
+            if violations.is_clean():
+                return RepairResult(
+                    working, changes, self.cost_model.cost(changes), rounds=round_number - 1
+                )
+            changes.extend(self._fix_single_violations(working, violations))
+            changes.extend(self._fix_multi_violations(working, violations))
+
+        final = self.detector.detect(working)
+        if final.is_clean():
+            return RepairResult(working, changes, self.cost_model.cost(changes), rounds=self.max_rounds)
+        raise RepairError(
+            f"greedy repair did not converge within {self.max_rounds} rounds; "
+            f"{len(final)} tuples remain dirty"
+        )
+
+    # ------------------------------------------------------------------
+    # Single-tuple (pattern-constraint) fixes
+    # ------------------------------------------------------------------
+    def _fix_single_violations(
+        self, relation: Relation, violations: ViolationSet
+    ) -> list[CellChange]:
+        changes: list[CellChange] = []
+        fragment_by_cid = dict(self._fragments)
+        for record in violations.single_records:
+            tuple_ = relation.get(record.tid)
+            if tuple_ is None:
+                continue
+            fragment = fragment_by_cid.get(record.constraint_id)
+            if fragment is None:
+                continue
+            pattern = fragment.tableau[0]
+            if not pattern.matches_lhs(tuple_) or pattern.matches_rhs(tuple_):
+                continue  # already fixed by an earlier change this round
+            attribute = pattern.failing_rhs_attribute(tuple_)
+            if attribute is None:
+                continue
+            replacement = self._pick_replacement(fragment, attribute, tuple_[attribute], relation)
+            if replacement is None or replacement == tuple_[attribute]:
+                continue
+            changes.append(
+                CellChange(record.tid, attribute, tuple_[attribute], replacement)
+            )
+            self._apply_change(relation, record.tid, attribute, replacement)
+        return changes
+
+    def _pick_replacement(
+        self, fragment: ECFD, attribute: str, current: Value, relation: Relation
+    ) -> Value | None:
+        """A replacement value admitted by the fragment's RHS pattern.
+
+        Prefers values already occurring in the column (they are more likely
+        to be the intended correct value and to agree with other
+        constraints); falls back to any admissible domain value.
+        """
+        pattern = fragment.tableau[0].rhs_entry(attribute)
+        for candidate in sorted(relation.active_domain(attribute), key=str):
+            if candidate != current and pattern.matches(candidate):
+                return candidate
+        return pattern.pick(self.sigma.schema.domain(attribute), avoid=[current])
+
+    # ------------------------------------------------------------------
+    # Multiple-tuple (embedded FD) fixes
+    # ------------------------------------------------------------------
+    def _fix_multi_violations(
+        self, relation: Relation, violations: ViolationSet
+    ) -> list[CellChange]:
+        changes: list[CellChange] = []
+        fragment_by_cid = dict(self._fragments)
+        for record in violations.multi_records:
+            fragment = fragment_by_cid.get(record.constraint_id)
+            if fragment is None or not fragment.rhs:
+                continue
+            members = [relation.get(tid) for tid in sorted(record.tids)]
+            members = [m for m in members if m is not None]
+            if len(members) < 2:
+                continue
+            # Majority vote on the RHS combination, restricted to combinations
+            # that also satisfy the fragment's own RHS pattern (otherwise the
+            # elected value would immediately re-violate the pattern constraint).
+            pattern = fragment.tableau[0]
+            combos = Counter(
+                member.project(fragment.rhs)
+                for member in members
+                if all(pattern.rhs_entry(a).matches(member[a]) for a in fragment.rhs)
+            )
+            if not combos:
+                combos = Counter(member.project(fragment.rhs) for member in members)
+            elected, _ = combos.most_common(1)[0]
+            for member in members:
+                assert member.tid is not None
+                for attribute, target in zip(fragment.rhs, elected):
+                    if member[attribute] != target:
+                        changes.append(CellChange(member.tid, attribute, member[attribute], target))
+                        self._apply_change(relation, member.tid, attribute, target)
+        return changes
+
+    # ------------------------------------------------------------------
+    # In-place cell update
+    # ------------------------------------------------------------------
+    def _apply_change(self, relation: Relation, tid: int, attribute: str, value: Value) -> None:
+        current = relation.get(tid)
+        if current is None:
+            return
+        updated = current.replace(**{attribute: value})
+        relation._tuples[tid] = updated

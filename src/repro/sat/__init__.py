@@ -1,0 +1,55 @@
+"""Boolean-expression substrate and MAXGSAT solvers (paper Section IV).
+
+The MAXSS approximation algorithm of the paper reduces to Maximum
+Generalized Satisfiability; this package provides the expression AST, the
+problem representation and a portfolio of exact and approximate solvers.
+"""
+
+from repro.sat.expr import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Expression,
+    Not,
+    Or,
+    Var,
+    conjoin,
+    disjoin,
+    implies_expr,
+)
+from repro.sat.greedy import solve_greedy
+from repro.sat.maxgsat import (
+    SOLVERS,
+    MaxGSATInstance,
+    MaxGSATResult,
+    solve_best,
+    solve_exact,
+    solve_random,
+    _register_lazy_solvers,
+)
+from repro.sat.walksat import solve_walksat
+
+_register_lazy_solvers()
+
+__all__ = [
+    "And",
+    "Const",
+    "Expression",
+    "FALSE",
+    "MaxGSATInstance",
+    "MaxGSATResult",
+    "Not",
+    "Or",
+    "SOLVERS",
+    "TRUE",
+    "Var",
+    "conjoin",
+    "disjoin",
+    "implies_expr",
+    "solve_best",
+    "solve_exact",
+    "solve_greedy",
+    "solve_random",
+    "solve_walksat",
+]

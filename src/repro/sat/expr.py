@@ -1,0 +1,215 @@
+"""Boolean expression AST used by the MAXGSAT substrate.
+
+Section IV of the paper reduces the maximum satisfiable subset problem for
+eCFDs (MAXSS) to *Maximum Generalized Satisfiability* (MAXGSAT, Papadimitriou
+1994): given a set Φ of arbitrary Boolean expressions, find a truth
+assignment satisfying as many of them as possible.  "Generalized" means the
+expressions are not restricted to clauses, so we need a small general
+Boolean AST rather than a CNF data structure.
+
+The AST is deliberately tiny: variables, constants, negation, conjunction
+and disjunction, plus implication as sugar (the reduction uses
+``x(i, a) -> ¬x(i, b)`` formulas).  Expressions are immutable and hashable;
+evaluation takes a truth assignment (a mapping from variable name to bool).
+
+Helper constructors :func:`conjoin` / :func:`disjoin` flatten their
+arguments and simplify the empty cases (empty conjunction = TRUE, empty
+disjunction = FALSE), which keeps the reduction code readable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "Expression",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "TRUE",
+    "FALSE",
+    "implies_expr",
+    "conjoin",
+    "disjoin",
+]
+
+
+class Expression(ABC):
+    """Base class of Boolean expressions."""
+
+    __slots__ = ()
+
+    @abstractmethod
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate under ``assignment`` (missing variables default to False)."""
+
+    @abstractmethod
+    def variables(self) -> frozenset[str]:
+        """The set of variable names occurring in the expression."""
+
+    # Operator sugar so the reduction code reads naturally.
+    def __and__(self, other: "Expression") -> "Expression":
+        return conjoin([self, other])
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return disjoin([self, other])
+
+    def __invert__(self) -> "Expression":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Var(Expression):
+    """A propositional variable, identified by name."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return bool(assignment.get(self.name, False))
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """A Boolean constant."""
+
+    value: bool
+
+    __slots__ = ("value",)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Negation."""
+
+    operand: Expression
+
+    __slots__ = ("operand",)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Conjunction of zero or more operands (empty conjunction is true)."""
+
+    operands: tuple[Expression, ...]
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[Expression]):
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return all(op.evaluate(assignment) for op in self.operands)
+
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for op in self.operands:
+            result |= op.variables()
+        return result
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "true"
+        return "(" + " ∧ ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Disjunction of zero or more operands (empty disjunction is false)."""
+
+    operands: tuple[Expression, ...]
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[Expression]):
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return any(op.evaluate(assignment) for op in self.operands)
+
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for op in self.operands:
+            result |= op.variables()
+        return result
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "false"
+        return "(" + " ∨ ".join(str(op) for op in self.operands) + ")"
+
+
+def implies_expr(antecedent: Expression, consequent: Expression) -> Expression:
+    """The implication ``antecedent -> consequent`` as ``¬a ∨ c``."""
+    return disjoin([Not(antecedent), consequent])
+
+
+def conjoin(operands: Sequence[Expression]) -> Expression:
+    """Conjunction with flattening and constant simplification."""
+    flattened: list[Expression] = []
+    for op in operands:
+        if isinstance(op, Const):
+            if not op.value:
+                return FALSE
+            continue
+        if isinstance(op, And):
+            flattened.extend(op.operands)
+        else:
+            flattened.append(op)
+    if not flattened:
+        return TRUE
+    if len(flattened) == 1:
+        return flattened[0]
+    return And(flattened)
+
+
+def disjoin(operands: Sequence[Expression]) -> Expression:
+    """Disjunction with flattening and constant simplification."""
+    flattened: list[Expression] = []
+    for op in operands:
+        if isinstance(op, Const):
+            if op.value:
+                return TRUE
+            continue
+        if isinstance(op, Or):
+            flattened.extend(op.operands)
+        else:
+            flattened.append(op)
+    if not flattened:
+        return FALSE
+    if len(flattened) == 1:
+        return flattened[0]
+    return Or(flattened)

@@ -1,0 +1,74 @@
+"""Johnson-style greedy approximation for MAXGSAT.
+
+The classical greedy algorithm for maximum satisfiability (Johnson, 1974)
+fixes variables one at a time, each time choosing the truth value that
+maximises the number of expressions already satisfied plus an optimistic
+estimate for the rest.  For general (non-clausal) expressions the clean
+expected-weight bookkeeping of Johnson's algorithm is unavailable, so this
+implementation uses the natural generalisation:
+
+* variables are processed in a fixed order (sorted by name for determinism);
+* for each variable we try both truth values, score the *partial* assignment
+  by counting (a) expressions already guaranteed true and (b) expressions
+  still possibly true under an optimistic completion, and keep the better
+  value;
+* "possibly true" is estimated by evaluating the expression under the
+  partial assignment completed optimistically in its favour — exact for
+  monotone expressions and a sound heuristic otherwise (we only use the
+  count to pick a branch, never to claim optimality).
+
+The result is a feasible MAXGSAT solution; quality is evaluated empirically
+in the ablation benchmark against the exact solver on small instances.
+"""
+
+from __future__ import annotations
+
+from repro.sat.expr import Expression
+from repro.sat.maxgsat import MaxGSATInstance, MaxGSATResult
+
+__all__ = ["solve_greedy"]
+
+
+def _possibly_true(expression: Expression, partial: dict[str, bool]) -> bool:
+    """Can the expression still be satisfied by some completion of ``partial``?
+
+    Decided exactly by trying all completions of the (at most few) unassigned
+    variables of the expression when that number is small, and optimistically
+    (assume satisfiable) otherwise.  Expressions produced by the Section IV
+    reduction mention only the variables of a couple of attributes, so the
+    exact path is the common one.
+    """
+    free = sorted(expression.variables() - set(partial))
+    if not free:
+        return expression.evaluate(partial)
+    if len(free) > 10:
+        return True
+    total = 1 << len(free)
+    for mask in range(total):
+        candidate = dict(partial)
+        for bit, name in enumerate(free):
+            candidate[name] = bool((mask >> bit) & 1)
+        if expression.evaluate(candidate):
+            return True
+    return False
+
+
+def solve_greedy(instance: MaxGSATInstance) -> MaxGSATResult:
+    """Greedy variable-by-variable MAXGSAT approximation."""
+    variables = instance.variables()
+    partial: dict[str, bool] = {}
+    for name in variables:
+        best_value = False
+        best_score = -1
+        for value in (True, False):
+            partial[name] = value
+            score = 0
+            for expression in instance.expressions:
+                if _possibly_true(expression, partial):
+                    score += 1
+            if score > best_score:
+                best_score = score
+                best_value = value
+        partial[name] = best_value
+    satisfied = instance.satisfied_indices(partial)
+    return MaxGSATResult(assignment=dict(partial), satisfied=satisfied)

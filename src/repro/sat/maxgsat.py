@@ -1,0 +1,172 @@
+"""The MAXGSAT problem and its solvers.
+
+MAXGSAT (Maximum Generalized Satisfiability, Papadimitriou 1994) is: given a
+collection Φ = {ψ1, ..., ψk} of arbitrary Boolean expressions, find a truth
+assignment that satisfies as many expressions as possible.  Section IV of
+the paper reduces MAXSS — the maximum satisfiable subset of a set of eCFDs —
+to MAXGSAT via an approximation-factor-preserving reduction, so "existing
+approximation algorithms for MAXGSAT" can be applied.
+
+This module defines :class:`MaxGSATInstance` (the problem),
+:class:`MaxGSATResult` (an assignment plus the set of satisfied expression
+indices) and a small solver suite:
+
+* :func:`solve_exact` — exhaustive search over all assignments; exponential,
+  used for small instances and as the ground truth in tests/ablations;
+* :func:`solve_random` — best of ``rounds`` uniformly random assignments
+  (the classical 1/2-approximation argument for GSAT-style problems, in
+  expectation, when every expression is satisfiable by at least half of the
+  assignments; for arbitrary expressions it is only a heuristic);
+* :func:`solve_greedy` — Johnson-style greedy variable setting
+  (:mod:`repro.sat.greedy`);
+* :func:`solve_walksat` — GSAT/WalkSAT local search
+  (:mod:`repro.sat.walksat`);
+* :func:`solve_best` — runs greedy + walksat (and exact when the instance is
+  small) and returns the best result; this is the default solver the MAXSS
+  algorithm of :mod:`repro.analysis.maxss` uses.
+
+All solvers are deterministic given the ``seed`` argument.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.sat.expr import Expression
+
+__all__ = [
+    "MaxGSATInstance",
+    "MaxGSATResult",
+    "solve_exact",
+    "solve_random",
+    "solve_best",
+    "SOLVERS",
+]
+
+
+@dataclass(frozen=True)
+class MaxGSATInstance:
+    """A MAXGSAT instance: a tuple of Boolean expressions."""
+
+    expressions: tuple[Expression, ...]
+
+    def __init__(self, expressions: Sequence[Expression]):
+        object.__setattr__(self, "expressions", tuple(expressions))
+
+    @property
+    def size(self) -> int:
+        """Number of expressions."""
+        return len(self.expressions)
+
+    def variables(self) -> list[str]:
+        """All variable names, sorted for determinism."""
+        names: set[str] = set()
+        for expression in self.expressions:
+            names |= expression.variables()
+        return sorted(names)
+
+    def satisfied_indices(self, assignment: dict[str, bool]) -> frozenset[int]:
+        """Indices of the expressions satisfied by ``assignment``."""
+        return frozenset(
+            index
+            for index, expression in enumerate(self.expressions)
+            if expression.evaluate(assignment)
+        )
+
+    def score(self, assignment: dict[str, bool]) -> int:
+        """Number of expressions satisfied by ``assignment``."""
+        return len(self.satisfied_indices(assignment))
+
+
+@dataclass(frozen=True)
+class MaxGSATResult:
+    """A solver outcome: the assignment found and what it satisfies."""
+
+    assignment: dict[str, bool]
+    satisfied: frozenset[int]
+
+    @property
+    def score(self) -> int:
+        """Number of satisfied expressions."""
+        return len(self.satisfied)
+
+
+def _result(instance: MaxGSATInstance, assignment: dict[str, bool]) -> MaxGSATResult:
+    return MaxGSATResult(assignment=dict(assignment), satisfied=instance.satisfied_indices(assignment))
+
+
+def solve_exact(instance: MaxGSATInstance, max_variables: int = 22) -> MaxGSATResult:
+    """Exhaustive optimal MAXGSAT.
+
+    Enumerates all ``2^n`` assignments; refuses to run when the instance has
+    more than ``max_variables`` variables (to protect callers from accidental
+    exponential blow-ups — raise the limit explicitly if you really mean it).
+    """
+    variables = instance.variables()
+    if len(variables) > max_variables:
+        raise ValueError(
+            f"exact MAXGSAT would enumerate 2^{len(variables)} assignments; "
+            f"raise max_variables above {max_variables} to force it"
+        )
+    best_assignment: dict[str, bool] = {name: False for name in variables}
+    best_score = instance.score(best_assignment)
+    if best_score == instance.size:
+        return _result(instance, best_assignment)
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        score = instance.score(assignment)
+        if score > best_score:
+            best_assignment, best_score = assignment, score
+            if best_score == instance.size:
+                break
+    return _result(instance, best_assignment)
+
+
+def solve_random(instance: MaxGSATInstance, rounds: int = 64, seed: int = 0) -> MaxGSATResult:
+    """Best of ``rounds`` uniformly random assignments."""
+    rng = random.Random(seed)
+    variables = instance.variables()
+    best_assignment = {name: False for name in variables}
+    best_score = instance.score(best_assignment)
+    for _ in range(rounds):
+        assignment = {name: rng.random() < 0.5 for name in variables}
+        score = instance.score(assignment)
+        if score > best_score:
+            best_assignment, best_score = assignment, score
+            if best_score == instance.size:
+                break
+    return _result(instance, best_assignment)
+
+
+def solve_best(instance: MaxGSATInstance, seed: int = 0) -> MaxGSATResult:
+    """Portfolio solver: greedy + WalkSAT, plus exact search when small.
+
+    This is the default used by :func:`repro.analysis.maxss.max_satisfiable_subset`.
+    """
+    from repro.sat.greedy import solve_greedy
+    from repro.sat.walksat import solve_walksat
+
+    candidates = [solve_greedy(instance), solve_walksat(instance, seed=seed)]
+    if len(instance.variables()) <= 16:
+        candidates.append(solve_exact(instance))
+    return max(candidates, key=lambda result: result.score)
+
+
+#: Registry of named solvers, used by the ablation benchmark and the examples.
+SOLVERS: dict[str, Callable[[MaxGSATInstance], MaxGSATResult]] = {
+    "exact": solve_exact,
+    "random": solve_random,
+    "best": solve_best,
+}
+
+
+def _register_lazy_solvers() -> None:
+    """Add the greedy / walksat entries without import cycles at module load."""
+    from repro.sat.greedy import solve_greedy
+    from repro.sat.walksat import solve_walksat
+
+    SOLVERS.setdefault("greedy", solve_greedy)
+    SOLVERS.setdefault("walksat", solve_walksat)

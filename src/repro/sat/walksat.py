@@ -1,0 +1,108 @@
+"""GSAT / WalkSAT-style local search for MAXGSAT.
+
+Local search is the workhorse approximation method for maximum
+satisfiability problems.  The variant implemented here follows the standard
+GSAT scheme with WalkSAT-style random walk moves (Selman, Kautz & Cohen):
+
+1. start from a random assignment (several restarts);
+2. repeatedly pick a move: with probability ``noise`` flip a random variable
+   occurring in some unsatisfied expression (the random-walk move); otherwise
+   flip the variable that yields the largest increase in the number of
+   satisfied expressions (the greedy move, side-ways moves allowed);
+3. keep the best assignment seen across all restarts and iterations.
+
+Because the expressions are arbitrary (not clauses), the "variable occurring
+in an unsatisfied expression" heuristic uses :meth:`Expression.variables`
+rather than clause literals; everything else is the textbook algorithm.
+The search is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sat.maxgsat import MaxGSATInstance, MaxGSATResult
+
+__all__ = ["solve_walksat"]
+
+
+def solve_walksat(
+    instance: MaxGSATInstance,
+    max_flips: int = 400,
+    restarts: int = 4,
+    noise: float = 0.3,
+    seed: int = 0,
+) -> MaxGSATResult:
+    """WalkSAT-style local search for MAXGSAT.
+
+    Parameters
+    ----------
+    max_flips:
+        Maximum number of variable flips per restart.
+    restarts:
+        Number of independent random restarts.
+    noise:
+        Probability of taking a random-walk move instead of a greedy move.
+    seed:
+        Seed for the pseudo-random generator; fixed seeds give reproducible
+        results, which the experiment harness relies on.
+    """
+    rng = random.Random(seed)
+    variables = instance.variables()
+    if not variables:
+        assignment: dict[str, bool] = {}
+        return MaxGSATResult(assignment=assignment, satisfied=instance.satisfied_indices(assignment))
+
+    best_assignment = {name: False for name in variables}
+    best_score = instance.score(best_assignment)
+
+    for _ in range(restarts):
+        assignment = {name: rng.random() < 0.5 for name in variables}
+        score = instance.score(assignment)
+        if score > best_score:
+            best_assignment, best_score = dict(assignment), score
+        for _ in range(max_flips):
+            if score == instance.size:
+                break
+            unsatisfied = [
+                expression
+                for index, expression in enumerate(instance.expressions)
+                if index not in instance.satisfied_indices(assignment)
+            ]
+            if not unsatisfied:
+                break
+            if rng.random() < noise:
+                target = rng.choice(unsatisfied)
+                candidates = sorted(target.variables()) or variables
+                flip = rng.choice(candidates)
+            else:
+                flip = _best_flip(instance, assignment, rng)
+            assignment[flip] = not assignment[flip]
+            score = instance.score(assignment)
+            if score > best_score:
+                best_assignment, best_score = dict(assignment), score
+        if best_score == instance.size:
+            break
+
+    return MaxGSATResult(
+        assignment=dict(best_assignment),
+        satisfied=instance.satisfied_indices(best_assignment),
+    )
+
+
+def _best_flip(
+    instance: MaxGSATInstance, assignment: dict[str, bool], rng: random.Random
+) -> str:
+    """The variable whose flip maximises the satisfied-expression count."""
+    best_variables: list[str] = []
+    best_score = -1
+    for name in instance.variables():
+        assignment[name] = not assignment[name]
+        score = instance.score(assignment)
+        assignment[name] = not assignment[name]
+        if score > best_score:
+            best_score = score
+            best_variables = [name]
+        elif score == best_score:
+            best_variables.append(name)
+    return rng.choice(best_variables)

@@ -1,0 +1,154 @@
+"""Unit tests for the implication analysis (Proposition 3.2)."""
+
+import pytest
+
+from repro.analysis import (
+    find_counterexample,
+    implies,
+    irredundant_cover,
+    is_redundant,
+)
+from repro.core import ECFD, ECFDSet, cust_schema
+from repro.core.patterns import ComplementSet, ValueSet
+from repro.core.schema import RelationSchema
+from repro.exceptions import ConstraintError
+
+
+def ct_to_ac(schema, cities, codes):
+    """Helper: (cust: [CT] -> [], {AC}) binding the given cities to the given codes."""
+    return ECFD(
+        schema,
+        ["CT"],
+        [],
+        ["AC"],
+        tableau=[({"CT": ValueSet(cities)}, {"AC": ValueSet(codes)})],
+    )
+
+
+class TestImplication:
+    def test_member_is_implied(self, paper_sigma, psi1):
+        assert implies(paper_sigma, psi1)
+
+    def test_weaker_pattern_is_implied(self, schema):
+        """NYC -> {212} implies NYC -> {212, 718} (a superset of allowed codes)."""
+        strong = ct_to_ac(schema, ["NYC"], ["212"])
+        weak = ct_to_ac(schema, ["NYC"], ["212", "718"])
+        assert implies([strong], weak)
+        assert not implies([weak], strong)
+
+    def test_subset_of_cities_is_implied(self, schema):
+        """Restricting the LHS city set weakens the constraint."""
+        broad = ct_to_ac(schema, ["NYC", "LI"], ["212"])
+        narrow = ct_to_ac(schema, ["NYC"], ["212"])
+        assert implies([broad], narrow)
+        assert not implies([narrow], broad)
+
+    def test_unrelated_constraint_not_implied(self, schema, psi1, psi2):
+        zip_constraint = ECFD(
+            schema,
+            ["ZIP"],
+            ["CT"],
+            tableau=[({"ZIP": {"10001"}}, {"CT": {"NYC"}})],
+        )
+        assert not implies([psi1, psi2], zip_constraint)
+
+    def test_fd_weakening_via_complement(self, schema):
+        """CT -> AC everywhere implies CT -> AC outside NYC/LI, not vice versa."""
+        everywhere = ECFD(schema, ["CT"], ["AC"], tableau=[({"CT": "_"}, {"AC": "_"})])
+        outside = ECFD(
+            schema,
+            ["CT"],
+            ["AC"],
+            tableau=[({"CT": ComplementSet(["NYC", "LI"])}, {"AC": "_"})],
+        )
+        assert implies([everywhere], outside)
+        assert not implies([outside], everywhere)
+
+    def test_counterexample_structure(self, schema):
+        """A returned counterexample really satisfies Σ and violates φ."""
+        weak = ct_to_ac(schema, ["NYC"], ["212", "718"])
+        strong = ct_to_ac(schema, ["NYC"], ["212"])
+        counterexample = find_counterexample([weak], strong)
+        assert counterexample is not None
+        assert len(counterexample) <= 2
+        assert weak.is_satisfied_by(counterexample)
+        assert not strong.is_satisfied_by(counterexample)
+
+    def test_no_counterexample_when_implied(self, schema):
+        strong = ct_to_ac(schema, ["NYC"], ["212"])
+        weak = ct_to_ac(schema, ["NYC"], ["212", "718"])
+        assert find_counterexample([strong], weak) is None
+
+    def test_empty_sigma_implies_only_trivial(self, schema):
+        trivially_true = ECFD(schema, ["CT"], [], ["AC"], tableau=[({"CT": "_"}, {"AC": "_"})])
+        nontrivial = ct_to_ac(schema, ["NYC"], ["212"])
+        assert implies([], trivially_true)
+        assert not implies([], nontrivial)
+
+    def test_unsatisfiable_sigma_implies_everything(self, schema):
+        contradiction = ECFD(
+            schema,
+            ["CT"],
+            ["CT"],
+            tableau=[
+                ({"CT": {"NYC"}}, {"CT": {"NYC"}}),
+                ({"CT": {"NYC"}}, {"CT": {"LI"}}),
+            ],
+        )
+        force_nyc = ECFD(schema, ["AC"], [], ["CT"], tableau=[({"AC": "_"}, {"CT": {"NYC"}})])
+        sigma = [contradiction, force_nyc]
+        anything = ct_to_ac(schema, ["Albany"], ["518"])
+        assert implies(sigma, anything)
+
+    def test_schema_mismatch_rejected(self, schema, psi1):
+        other_schema = RelationSchema("other", ["A", "B"])
+        other = ECFD(other_schema, ["A"], ["B"], tableau=[({"A": "_"}, {"B": "_"})])
+        with pytest.raises(ConstraintError):
+            implies([psi1], other)
+
+    def test_two_tuple_counterexample_needed(self, schema):
+        """Violating an embedded FD requires two tuples; the search must find them."""
+        sigma_constraint = ct_to_ac(schema, ["NYC"], ["212", "718"])
+        fd_candidate = ECFD(schema, ["CT"], ["AC"], tableau=[({"CT": {"NYC"}}, {"AC": "_"})])
+        counterexample = find_counterexample([sigma_constraint], fd_candidate)
+        assert counterexample is not None
+        assert len(counterexample) == 2
+        tuples = counterexample.tuples()
+        assert tuples[0]["CT"] == tuples[1]["CT"] == "NYC"
+        assert tuples[0]["AC"] != tuples[1]["AC"]
+
+
+class TestRedundancy:
+    def test_is_redundant(self, schema):
+        broad = ct_to_ac(schema, ["NYC", "LI"], ["212"])
+        narrow = ct_to_ac(schema, ["NYC"], ["212"])
+        sigma = [broad, narrow]
+        assert is_redundant(sigma, narrow)
+        assert not is_redundant(sigma, broad)
+
+    def test_is_redundant_requires_membership(self, schema, psi1):
+        with pytest.raises(ConstraintError):
+            is_redundant([psi1], ct_to_ac(schema, ["NYC"], ["212"]))
+
+    def test_singleton_never_redundant(self, schema):
+        only = ct_to_ac(schema, ["NYC"], ["212"])
+        assert not is_redundant([only], only)
+
+    def test_irredundant_cover_drops_entailed(self, schema):
+        broad = ct_to_ac(schema, ["NYC", "LI"], ["212"])
+        narrow = ct_to_ac(schema, ["NYC"], ["212"])
+        weak = ct_to_ac(schema, ["NYC"], ["212", "718"])
+        cover = irredundant_cover([broad, narrow, weak])
+        assert cover == [broad]
+
+    def test_irredundant_cover_keeps_independent(self, paper_sigma, psi1, psi2):
+        cover = irredundant_cover(paper_sigma)
+        assert psi1 in cover
+        assert psi2 in cover
+
+    def test_cover_is_equivalent_to_input(self, schema):
+        broad = ct_to_ac(schema, ["NYC", "LI"], ["212"])
+        narrow = ct_to_ac(schema, ["NYC"], ["212"])
+        cover = irredundant_cover([broad, narrow])
+        for original in [broad, narrow]:
+            assert implies(cover, original)

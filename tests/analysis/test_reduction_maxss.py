@@ -1,0 +1,140 @@
+"""Unit tests for the Section IV reduction and the MAXSS approximation."""
+
+import pytest
+
+from repro.analysis import (
+    is_satisfiable,
+    max_satisfiable_subset,
+    reduce_to_maxgsat,
+    variable_name,
+)
+from repro.core import ECFD, ECFDSet
+from repro.core.patterns import ComplementSet, ValueSet
+from repro.exceptions import ConstraintError
+from repro.sat import SOLVERS, solve_exact
+
+
+def contradiction(schema):
+    """An unsatisfiable single eCFD (Example 3.1): CT must be NYC and then LI."""
+    return ECFD(
+        schema,
+        ["CT"],
+        ["CT"],
+        tableau=[
+            ({"CT": {"NYC"}}, {"CT": {"LI"}}),
+            ({"CT": "_"}, {"CT": {"NYC"}}),
+        ],
+        name="phi3",
+    )
+
+
+def force_nyc(schema):
+    """Force CT to be NYC for every tuple."""
+    return ECFD(schema, ["AC"], [], ["CT"], tableau=[({"AC": "_"}, {"CT": {"NYC"}})])
+
+
+class TestReduction:
+    def test_one_formula_per_ecfd(self, paper_sigma):
+        reduction = reduce_to_maxgsat(paper_sigma)
+        assert reduction.instance.size == len(paper_sigma)
+        assert reduction.constraints == tuple(paper_sigma)
+
+    def test_variables_cover_active_domains(self, paper_sigma):
+        reduction = reduce_to_maxgsat(paper_sigma)
+        names = set()
+        for expression in reduction.instance.expressions:
+            names |= expression.variables()
+        assert variable_name("CT", "NYC") in names
+        assert variable_name("AC", "518") in names
+        # Only mentioned attributes get variables.
+        assert not any("ZIP" in name for name in names)
+
+    def test_empty_sigma_rejected(self):
+        with pytest.raises(ConstraintError):
+            reduce_to_maxgsat([])
+
+    def test_optimum_equals_maxss_on_satisfiable_set(self, paper_sigma):
+        """Property (2): the MAXGSAT optimum equals the MAXSS optimum (here |Σ|)."""
+        reduction = reduce_to_maxgsat(paper_sigma)
+        result = solve_exact(reduction.instance)
+        assert result.score == len(paper_sigma)
+
+    def test_optimum_on_unsatisfiable_set(self, schema, psi1, psi2):
+        """Σ = {ψ1, ψ2, φ3, force_nyc}: φ3 ∧ force_nyc is contradictory, so the
+        optimum satisfiable subset has 3 members."""
+        sigma = [psi1, psi2, contradiction(schema), force_nyc(schema)]
+        reduction = reduce_to_maxgsat(sigma)
+        result = solve_exact(reduction.instance)
+        assert result.score == 3
+
+    def test_decode_tuple_respects_assignment(self, paper_sigma):
+        reduction = reduce_to_maxgsat(paper_sigma)
+        result = solve_exact(reduction.instance)
+        witness = reduction.decode_tuple(result.assignment)
+        # The decoded tuple covers the whole schema and satisfies the decoded subset.
+        assert set(witness) == set(paper_sigma.schema.attribute_names)
+        satisfied = reduction.decode_satisfied(result.assignment)
+        for index in satisfied:
+            assert reduction.constraints[index].satisfied_by_single_tuple(witness)
+
+    def test_g_cardinality_property(self, schema, psi1, psi2):
+        """Property (3): card(g(Φ_m)) ≥ card(Φ_m) for any assignment."""
+        sigma = [psi1, psi2, contradiction(schema)]
+        reduction = reduce_to_maxgsat(sigma)
+        assignments = [
+            {},
+            {variable_name("CT", "NYC"): True},
+            {variable_name("CT", "Albany"): True, variable_name("AC", "518"): True},
+        ]
+        for assignment in assignments:
+            satisfied_formulas = reduction.instance.satisfied_indices(assignment)
+            decoded = reduction.decode_satisfied(assignment)
+            assert len(decoded) >= len(satisfied_formulas)
+
+    def test_mixed_schema_rejected(self, psi1):
+        from repro.core.schema import RelationSchema
+
+        other_schema = RelationSchema("other", ["A", "B"])
+        other = ECFD(other_schema, ["A"], ["B"], tableau=[({"A": "_"}, {"B": "_"})])
+        with pytest.raises(ConstraintError):
+            reduce_to_maxgsat([psi1, other])
+
+
+class TestMaxSS:
+    def test_satisfiable_set_returns_everything(self, paper_sigma):
+        result = max_satisfiable_subset(paper_sigma)
+        assert result.cardinality == len(paper_sigma)
+        assert result.verdict() == "satisfiable"
+        assert paper_sigma.satisfied_by_single_tuple(result.witness)
+
+    def test_unsatisfiable_pair_drops_one(self, schema, psi1, psi2):
+        sigma = [psi1, psi2, contradiction(schema), force_nyc(schema)]
+        result = max_satisfiable_subset(sigma)
+        # The optimum is 3 (drop either φ3 or force_nyc); the portfolio solver
+        # finds it on an instance this small.
+        assert result.cardinality == 3
+        assert result.verdict() in {"unknown", "unsatisfiable"}
+        subset = ECFDSet(result.satisfiable_subset)
+        assert subset.satisfied_by_single_tuple(result.witness)
+        assert is_satisfiable(subset)
+
+    def test_returned_subset_always_satisfiable(self, schema, psi1, psi2):
+        """Regardless of solver quality, g() must return a satisfiable subset."""
+        sigma = [psi1, psi2, contradiction(schema), force_nyc(schema)]
+        for name, solver in SOLVERS.items():
+            result = max_satisfiable_subset(sigma, solver=solver)
+            assert is_satisfiable(result.satisfiable_subset), name
+            assert result.cardinality >= result.maxgsat_score, name
+
+    def test_verdict_epsilon(self, schema, psi1, psi2):
+        sigma = [psi1, psi2, contradiction(schema), force_nyc(schema)]
+        result = max_satisfiable_subset(sigma)
+        # With a huge epsilon the shortfall is within tolerance: unknown.
+        assert result.verdict(epsilon=0.9) == "unknown"
+        # With epsilon = 0 a strict shortfall certifies unsatisfiability.
+        assert result.verdict(epsilon=0.0) == "unsatisfiable"
+
+    def test_single_unsatisfiable_constraint(self, schema):
+        result = max_satisfiable_subset([contradiction(schema)])
+        assert result.cardinality == 0
+        assert result.satisfiable_subset == []

@@ -1,0 +1,177 @@
+"""Unit tests for the satisfiability analysis (Proposition 3.1)."""
+
+import pytest
+
+from repro.analysis import (
+    active_domains,
+    find_witness,
+    is_satisfiable,
+    is_satisfiable_via_reduction,
+    mentioned_attributes,
+    witness_or_raise,
+)
+from repro.core import ECFD, ECFDSet, Relation, cust_schema
+from repro.core.ecfd import PatternTuple
+from repro.core.patterns import ComplementSet, ValueSet, Wildcard
+from repro.core.schema import Attribute, Domain, RelationSchema
+from repro.exceptions import UnsatisfiableError
+
+
+def phi3(schema):
+    """The unsatisfiable eCFD of Example 3.1.
+
+    Every tuple is forced to have CT = NYC (second pattern), but any tuple
+    with CT = NYC must then have CT = LI (first pattern) — a contradiction,
+    so no nonempty instance satisfies the constraint.
+    """
+    return ECFD(
+        schema,
+        ["CT"],
+        ["CT"],
+        tableau=[
+            ({"CT": {"NYC"}}, {"CT": {"LI"}}),
+            ({"CT": "_"}, {"CT": {"NYC"}}),
+        ],
+        name="phi3",
+    )
+
+
+class TestActiveDomains:
+    def test_constants_plus_fresh(self, psi1, schema):
+        domains = active_domains([psi1], schema, fresh_per_attribute=1)
+        assert set(domains["CT"]) >= {"NYC", "LI", "Albany", "Troy", "Colonie"}
+        # Exactly one extra fresh value beyond the constants.
+        assert len(domains["CT"]) == 6
+        assert len(domains["AC"]) == 2  # {518} plus one fresh value
+
+    def test_two_fresh_values(self, psi1, schema):
+        domains = active_domains([psi1], schema, fresh_per_attribute=2)
+        assert len(domains["AC"]) == 3
+
+    def test_finite_domain_cannot_exceed_size(self):
+        schema = RelationSchema("r", [Attribute("A", Domain("bool", frozenset(["T", "F"]))), "B"])
+        ecfd = ECFD(schema, ["A"], ["B"], tableau=[({"A": {"T"}}, {"B": "_"})])
+        domains = active_domains([ecfd], schema, fresh_per_attribute=2)
+        assert set(domains["A"]) == {"T", "F"}
+
+    def test_extra_constants_are_included(self, psi1, schema):
+        domains = active_domains([psi1], schema, extra_constants={"ZIP": ["12205"]})
+        assert "12205" in domains["ZIP"]
+
+    def test_mentioned_attributes_in_schema_order(self, psi1, psi2, schema):
+        assert mentioned_attributes([psi1, psi2]) == ["AC", "CT"]
+        assert mentioned_attributes([]) == []
+
+
+class TestSatisfiability:
+    def test_paper_sigma_is_satisfiable(self, paper_sigma):
+        assert is_satisfiable(paper_sigma)
+        witness = find_witness(paper_sigma)
+        assert witness is not None
+        assert paper_sigma.satisfied_by_single_tuple(witness)
+
+    def test_example_3_1_is_unsatisfiable(self, schema):
+        assert not is_satisfiable([phi3(schema)])
+        assert find_witness([phi3(schema)]) is None
+
+    def test_witness_populates_whole_schema(self, paper_sigma, schema):
+        witness = find_witness(paper_sigma)
+        assert set(witness) == set(schema.attribute_names)
+
+    def test_witness_forms_a_satisfying_relation(self, paper_sigma, schema):
+        witness = find_witness(paper_sigma)
+        relation = Relation(schema, [witness])
+        assert paper_sigma.is_satisfied_by(relation)
+
+    def test_empty_set_is_satisfiable(self):
+        assert is_satisfiable([])
+        assert find_witness([]) is None
+
+    def test_witness_or_raise(self, paper_sigma, schema):
+        assert witness_or_raise(paper_sigma) is not None
+        with pytest.raises(UnsatisfiableError):
+            witness_or_raise([phi3(schema)])
+
+    def test_conflicting_value_sets_unsatisfiable(self, schema):
+        """A must be both 1 and 2 whenever it is 1: unsatisfiable only via interplay."""
+        force_a = ECFD(
+            schema,
+            ["CT"],
+            [],
+            ["AC"],
+            tableau=[({"CT": "_"}, {"AC": {"212"}})],
+        )
+        forbid_a = ECFD(
+            schema,
+            ["CT"],
+            [],
+            ["AC"],
+            tableau=[({"CT": "_"}, {"AC": ComplementSet(["212"])})],
+        )
+        assert is_satisfiable([force_a])
+        assert is_satisfiable([forbid_a])
+        assert not is_satisfiable([force_a, forbid_a])
+
+    def test_complement_needs_fresh_value(self, schema):
+        """Satisfiable only by a CT value outside every mentioned constant."""
+        ecfd = ECFD(
+            schema,
+            ["AC"],
+            [],
+            ["CT"],
+            tableau=[({"AC": "_"}, {"CT": ComplementSet(["NYC", "LI", "Albany"])})],
+        )
+        witness = find_witness([ecfd])
+        assert witness is not None
+        assert witness["CT"] not in {"NYC", "LI", "Albany"}
+
+    def test_finite_domain_exhaustion_is_unsatisfiable(self):
+        """With dom(A)={T,F}, requiring A outside {T,F} is unsatisfiable."""
+        schema = RelationSchema("r", [Attribute("A", Domain("bool", frozenset(["T", "F"]))), "B"])
+        ecfd = ECFD(
+            schema,
+            ["B"],
+            [],
+            ["A"],
+            tableau=[({"B": "_"}, {"A": ComplementSet(["T", "F"])})],
+        )
+        assert not is_satisfiable([ecfd])
+
+    def test_cross_pattern_interaction(self, schema):
+        """ψ2 forces NYC area codes; a second eCFD forbids them for NYC ⇒ CT=NYC impossible,
+        but other cities remain, so the set is still satisfiable."""
+        psi2 = ECFD(
+            schema,
+            ["CT"],
+            [],
+            ["AC"],
+            tableau=[({"CT": {"NYC"}}, {"AC": ValueSet(["212", "718"])})],
+        )
+        deny = ECFD(
+            schema,
+            ["CT"],
+            [],
+            ["AC"],
+            tableau=[({"CT": {"NYC"}}, {"AC": ComplementSet(["212", "718"])})],
+        )
+        assert is_satisfiable([psi2, deny])
+        witness = find_witness([psi2, deny])
+        assert witness["CT"] != "NYC"
+
+
+class TestReductionCrossCheck:
+    """The backtracking checker and the MAXGSAT-reduction path must agree."""
+
+    def test_agreement_on_satisfiable_set(self, paper_sigma):
+        assert is_satisfiable_via_reduction(paper_sigma) == is_satisfiable(paper_sigma) is True
+
+    def test_agreement_on_unsatisfiable_set(self, schema):
+        sigma = [phi3(schema)]
+        assert is_satisfiable_via_reduction(sigma) == is_satisfiable(sigma) is False
+
+    def test_agreement_on_empty_set(self):
+        assert is_satisfiable_via_reduction([]) is True
+
+    def test_agreement_on_mixed_set(self, schema, psi1, psi2):
+        sigma = [psi1, psi2, phi3(schema)]
+        assert is_satisfiable(sigma) == is_satisfiable_via_reduction(sigma)

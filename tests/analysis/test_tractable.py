@@ -1,0 +1,93 @@
+"""Unit tests for the Proposition 3.3 infinite-domain construction."""
+
+import pytest
+
+from repro.analysis import (
+    domain_restriction_ecfd,
+    is_satisfiable,
+    rewrite_to_infinite_domains,
+)
+from repro.core import ECFD, ECFDSet
+from repro.core.patterns import ComplementSet
+from repro.core.schema import Attribute, Domain, RelationSchema
+from repro.exceptions import ConstraintError
+
+
+@pytest.fixture
+def finite_schema():
+    """A schema with one finite-domain attribute (A ∈ {T, F}) and one infinite."""
+    return RelationSchema(
+        "r",
+        [Attribute("A", Domain("bool", frozenset(["T", "F"]))), Attribute("B")],
+    )
+
+
+class TestDomainRestriction:
+    def test_restriction_ecfd_structure(self, finite_schema):
+        ecfd = domain_restriction_ecfd(finite_schema, "A", ["T", "F"])
+        assert ecfd.lhs == ("A",)
+        assert ecfd.rhs == ()
+        assert ecfd.pattern_rhs == ("A",)
+
+    def test_restriction_semantics(self, finite_schema):
+        ecfd = domain_restriction_ecfd(finite_schema, "A", ["T", "F"])
+        assert ecfd.satisfied_by_single_tuple({"A": "T", "B": "x"})
+        assert not ecfd.satisfied_by_single_tuple({"A": "Z", "B": "x"})
+
+
+class TestRewrite:
+    def test_schema_becomes_infinite(self, finite_schema):
+        ecfd = ECFD(finite_schema, ["A"], ["B"], tableau=[({"A": "_"}, {"B": "_"})])
+        new_schema, new_sigma = rewrite_to_infinite_domains([ecfd])
+        assert not any(a.domain.is_finite for a in new_schema.attributes)
+        assert new_schema.attribute_names == finite_schema.attribute_names
+
+    def test_restriction_constraints_added_per_finite_attribute(self, finite_schema):
+        ecfd = ECFD(finite_schema, ["A"], ["B"], tableau=[({"A": "_"}, {"B": "_"})])
+        _, new_sigma = rewrite_to_infinite_domains([ecfd])
+        assert len(new_sigma) == 2  # the original plus one restriction for A
+
+    def test_satisfiability_preserved_positive(self, finite_schema):
+        ecfd = ECFD(finite_schema, ["A"], ["B"], tableau=[({"A": {"T"}}, {"B": {"yes"}})])
+        _, new_sigma = rewrite_to_infinite_domains([ecfd])
+        assert is_satisfiable([ecfd]) == is_satisfiable(new_sigma) is True
+
+    def test_satisfiability_preserved_negative(self, finite_schema):
+        """Unsatisfiable only because dom(A) is finite: A must avoid both T and F.
+
+        After the rewrite A ranges over an infinite domain, but the added
+        restriction eCFD re-imposes A ∈ {T, F}, so unsatisfiability is preserved.
+        """
+        ecfd = ECFD(
+            finite_schema,
+            ["B"],
+            [],
+            ["A"],
+            tableau=[({"B": "_"}, {"A": ComplementSet(["T", "F"])})],
+        )
+        assert not is_satisfiable([ecfd])
+        _, new_sigma = rewrite_to_infinite_domains([ecfd])
+        assert not is_satisfiable(new_sigma)
+
+    def test_without_rewrite_the_infinite_version_is_satisfiable(self, finite_schema):
+        """Sanity check of the construction's point: dropping the restriction
+        constraint makes the same pattern satisfiable over infinite domains."""
+        ecfd = ECFD(
+            finite_schema,
+            ["B"],
+            [],
+            ["A"],
+            tableau=[({"B": "_"}, {"A": ComplementSet(["T", "F"])})],
+        )
+        new_schema, new_sigma = rewrite_to_infinite_domains([ecfd])
+        rewritten_only = [c for c in new_sigma if c.name != "domain_restriction_A"]
+        assert is_satisfiable(rewritten_only)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConstraintError):
+            rewrite_to_infinite_domains([])
+
+    def test_already_infinite_schema_unchanged_in_count(self, schema, psi1, psi2):
+        new_schema, new_sigma = rewrite_to_infinite_domains([psi1, psi2])
+        assert len(new_sigma) == 2
+        assert new_schema.attribute_names == schema.attribute_names

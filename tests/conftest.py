@@ -1,0 +1,101 @@
+"""Shared pytest fixtures: the paper's running example (Fig. 1 and Fig. 2).
+
+The instance ``D0`` of the ``cust`` relation (Fig. 1) and the two example
+eCFDs ψ1 / ψ2 (Fig. 2) are used across the unit, integration and
+property-based test suites, so they are defined once here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ECFD,
+    ECFDSet,
+    PatternTuple,
+    Relation,
+    cust_schema,
+)
+from repro.core.patterns import ComplementSet, ValueSet, Wildcard
+
+
+@pytest.fixture
+def schema():
+    """The cust(AC, PN, NM, STR, CT, ZIP) schema of Fig. 1."""
+    return cust_schema()
+
+
+#: The six tuples of Fig. 1, keyed t1..t6 in the paper.
+FIG1_ROWS = [
+    {"AC": "718", "PN": "1111111", "NM": "Mike", "STR": "Tree Ave.", "CT": "Albany", "ZIP": "12238"},
+    {"AC": "518", "PN": "2222222", "NM": "Joe", "STR": "Elm Str.", "CT": "Colonie", "ZIP": "12205"},
+    {"AC": "518", "PN": "2222222", "NM": "Jim", "STR": "Oak Ave.", "CT": "Troy", "ZIP": "12181"},
+    {"AC": "100", "PN": "1111111", "NM": "Rick", "STR": "8th Ave.", "CT": "NYC", "ZIP": "10001"},
+    {"AC": "212", "PN": "3333333", "NM": "Ben", "STR": "5th Ave.", "CT": "NYC", "ZIP": "10016"},
+    {"AC": "646", "PN": "4444444", "NM": "Ian", "STR": "High St.", "CT": "NYC", "ZIP": "10011"},
+]
+
+
+@pytest.fixture
+def d0(schema):
+    """The instance D0 of Fig. 1 (tids 1..6 correspond to t1..t6)."""
+    return Relation(schema, FIG1_ROWS)
+
+
+def make_psi1(schema) -> ECFD:
+    """eCFD ψ1 of Fig. 2: (cust: [CT] -> [AC], ∅, T1).
+
+    T1 has two pattern tuples:
+      ({NYC, LI}̄ , _)              — the FD CT -> AC holds outside NYC/LI;
+      ({Albany, Troy, Colonie}, {518}) — those cities must have area code 518.
+    """
+    return ECFD(
+        schema,
+        lhs=["CT"],
+        rhs=["AC"],
+        pattern_rhs=[],
+        tableau=[
+            PatternTuple({"CT": ComplementSet(["NYC", "LI"])}, {"AC": Wildcard()}),
+            PatternTuple(
+                {"CT": ValueSet(["Albany", "Troy", "Colonie"])},
+                {"AC": ValueSet(["518"])},
+            ),
+        ],
+        name="psi1",
+    )
+
+
+def make_psi2(schema) -> ECFD:
+    """eCFD ψ2 of Fig. 2: (cust: [CT] -> ∅, {AC}, T2).
+
+    T2 has a single pattern tuple binding NYC to the five NYC area codes.
+    """
+    return ECFD(
+        schema,
+        lhs=["CT"],
+        rhs=[],
+        pattern_rhs=["AC"],
+        tableau=[
+            PatternTuple(
+                {"CT": ValueSet(["NYC"])},
+                {"AC": ValueSet(["212", "718", "646", "347", "917"])},
+            ),
+        ],
+        name="psi2",
+    )
+
+
+@pytest.fixture
+def psi1(schema):
+    return make_psi1(schema)
+
+
+@pytest.fixture
+def psi2(schema):
+    return make_psi2(schema)
+
+
+@pytest.fixture
+def paper_sigma(schema):
+    """The set Σ = {ψ1, ψ2} of Fig. 2."""
+    return ECFDSet([make_psi1(schema), make_psi2(schema)])

@@ -1,0 +1,113 @@
+"""Unit tests for CFDs and the CFD <-> eCFD correspondence (repro.core.cfd)."""
+
+import pytest
+
+from repro.core.cfd import CFD, cfd_from_ecfd
+from repro.core.ecfd import ECFD
+from repro.core.instance import Relation
+from repro.core.patterns import ValueSet, Wildcard
+from repro.exceptions import ConstraintError
+
+
+@pytest.fixture
+def phi1(schema):
+    """The CFD φ1 of Example 1.1: city determines area code for three cities."""
+    return CFD(
+        schema,
+        lhs=["CT"],
+        rhs=["AC"],
+        tableau=[
+            {"CT": "Albany", "AC": "518"},
+            {"CT": "Troy", "AC": "518"},
+            {"CT": "Colonie", "AC": "518"},
+        ],
+        name="phi1",
+    )
+
+
+class TestConstruction:
+    def test_rows_must_cover_x_union_y(self, schema):
+        with pytest.raises(ConstraintError):
+            CFD(schema, ["CT"], ["AC"], [{"CT": "Albany"}])
+        with pytest.raises(ConstraintError):
+            CFD(schema, ["CT"], ["AC"], [{"CT": "Albany", "AC": "518", "ZIP": "x"}])
+
+    def test_entries_must_be_constants_or_wildcards(self, schema):
+        with pytest.raises(ConstraintError):
+            CFD(schema, ["CT"], ["AC"], [{"CT": {"Albany", "Troy"}, "AC": "518"}])
+
+    def test_empty_rhs_rejected(self, schema):
+        with pytest.raises(ConstraintError):
+            CFD(schema, ["CT"], [], [{"CT": "Albany"}])
+
+    def test_empty_tableau_rejected(self, schema):
+        with pytest.raises(ConstraintError):
+            CFD(schema, ["CT"], ["AC"], [])
+
+    def test_wildcard_spellings(self, schema):
+        cfd = CFD(schema, ["CT"], ["AC"], [{"CT": "_", "AC": None}])
+        assert cfd.tableau[0] == {"CT": None, "AC": None}
+
+
+class TestSemanticsViaEcfd:
+    def test_phi1_catches_t1(self, phi1, d0):
+        """Example 1.1: φ1 identifies t1 (Albany, 718) as an error."""
+        violations = phi1.violations(d0, constraint_id=1)
+        assert 1 in violations.sv_tids
+        assert not phi1.is_satisfied_by(d0)
+
+    def test_phi1_ignores_nyc_tuples(self, phi1, d0):
+        violations = phi1.violations(d0)
+        assert {4, 5, 6}.isdisjoint(violations.violating_tids)
+
+    def test_pure_fd_as_cfd(self, schema):
+        """A CFD with an all-wildcard row behaves like the plain FD."""
+        cfd = CFD(schema, ["CT"], ["AC"], [{"CT": None, "AC": None}])
+        clean = Relation(
+            schema,
+            [
+                {"AC": "518", "PN": "1", "NM": "a", "STR": "s", "CT": "Troy", "ZIP": "1"},
+                {"AC": "518", "PN": "2", "NM": "b", "STR": "s", "CT": "Troy", "ZIP": "1"},
+            ],
+        )
+        dirty = Relation(
+            schema,
+            [
+                {"AC": "518", "PN": "1", "NM": "a", "STR": "s", "CT": "Troy", "ZIP": "1"},
+                {"AC": "519", "PN": "2", "NM": "b", "STR": "s", "CT": "Troy", "ZIP": "1"},
+            ],
+        )
+        assert cfd.is_satisfied_by(clean)
+        assert not cfd.is_satisfied_by(dirty)
+
+
+class TestConversion:
+    def test_to_ecfd_structure(self, phi1):
+        ecfd = phi1.to_ecfd()
+        assert isinstance(ecfd, ECFD)
+        assert ecfd.pattern_rhs == ()
+        assert ecfd.is_cfd()
+        first = ecfd.tableau[0]
+        assert first.lhs_entry("CT") == ValueSet(["Albany"])
+        assert first.rhs_entry("AC") == ValueSet(["518"])
+
+    def test_wildcards_stay_wildcards(self, schema):
+        cfd = CFD(schema, ["CT"], ["AC"], [{"CT": None, "AC": "518"}])
+        entry = cfd.to_ecfd().tableau[0].lhs_entry("CT")
+        assert isinstance(entry, Wildcard)
+
+    def test_round_trip(self, phi1):
+        back = cfd_from_ecfd(phi1.to_ecfd())
+        assert back.lhs == phi1.lhs
+        assert back.rhs == phi1.rhs
+        assert back.tableau == phi1.tableau
+
+    def test_ecfd_with_disjunction_has_no_cfd_form(self, psi1, psi2):
+        with pytest.raises(ConstraintError):
+            cfd_from_ecfd(psi1)
+        with pytest.raises(ConstraintError):
+            cfd_from_ecfd(psi2)
+
+    def test_equivalence_of_semantics(self, phi1, d0):
+        """The CFD and its eCFD form agree on every violation."""
+        assert phi1.violations(d0, constraint_id=5) == phi1.to_ecfd().violations(d0, constraint_id=5)

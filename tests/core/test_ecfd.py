@@ -1,0 +1,255 @@
+"""Unit tests for eCFDs (repro.core.ecfd) — the semantics of Section II."""
+
+import pytest
+
+from repro.core.ecfd import ECFD, ECFDSet, PatternTuple
+from repro.core.instance import Relation
+from repro.core.patterns import ComplementSet, ValueSet, Wildcard
+from repro.core.schema import RelationSchema, cust_schema
+from repro.exceptions import ConstraintError, PatternError
+
+
+class TestConstruction:
+    def test_y_and_yp_must_be_disjoint(self, schema):
+        with pytest.raises(ConstraintError):
+            ECFD(
+                schema,
+                ["CT"],
+                ["AC"],
+                ["AC"],
+                [PatternTuple({"CT": "_"}, {"AC": "_"})],
+            )
+
+    def test_empty_rhs_and_yp_rejected(self, schema):
+        with pytest.raises(ConstraintError):
+            ECFD(schema, ["CT"], [], [], [PatternTuple({"CT": "_"}, {})])
+
+    def test_empty_tableau_rejected(self, schema):
+        with pytest.raises(ConstraintError):
+            ECFD(schema, ["CT"], ["AC"], [], [])
+
+    def test_pattern_must_cover_exact_attributes(self, schema):
+        with pytest.raises(PatternError):
+            ECFD(schema, ["CT"], ["AC"], [], [PatternTuple({"CT": "_"}, {"ZIP": "_"})])
+        with pytest.raises(PatternError):
+            ECFD(schema, ["CT", "ZIP"], ["AC"], [], [PatternTuple({"CT": "_"}, {"AC": "_"})])
+
+    def test_duplicate_attributes_rejected(self, schema):
+        with pytest.raises(ConstraintError):
+            ECFD(schema, ["CT", "CT"], ["AC"], [], [PatternTuple({"CT": "_"}, {"AC": "_"})])
+
+    def test_literal_tableau_entries_accepted(self, schema):
+        ecfd = ECFD(
+            schema,
+            ["CT"],
+            ["AC"],
+            tableau=[({"CT": {"Albany"}}, {"AC": "518"})],
+        )
+        assert len(ecfd.tableau) == 1
+        assert ecfd.tableau[0].lhs_entry("CT") == ValueSet(["Albany"])
+        assert ecfd.tableau[0].rhs_entry("AC") == ValueSet(["518"])
+
+    def test_embedded_fd(self, psi1):
+        fd = psi1.embedded_fd
+        assert fd.lhs == ("CT",)
+        assert fd.rhs == ("AC",)
+
+    def test_attribute_on_both_sides_allowed(self):
+        """The unsatisfiable example φ3 of Example 3.1 uses CT on both sides."""
+        schema = cust_schema()
+        phi3 = ECFD(
+            schema,
+            ["CT"],
+            ["CT"],
+            tableau=[
+                ({"CT": {"NYC"}}, {"CT": {"NYC"}}),
+                ({"CT": {"NYC"}}, {"CT": {"LI"}}),
+            ],
+        )
+        assert phi3.lhs == ("CT",)
+        assert phi3.rhs == ("CT",)
+
+
+class TestSemantics:
+    """Example 2.2 of the paper, executed."""
+
+    def test_matching_tuples_for_psi1_first_pattern(self, psi1, d0):
+        """D0(tp) = {t1, t2, t3} for the first pattern tuple of ψ1."""
+        pattern = psi1.tableau[0]
+        matching = psi1.matching_tuples(d0, pattern)
+        assert {t.tid for t in matching} == {1, 2, 3}
+
+    def test_d0_violates_psi1(self, psi1, d0):
+        assert not psi1.is_satisfied_by(d0)
+
+    def test_d0_violates_psi2(self, psi2, d0):
+        assert not psi2.is_satisfied_by(d0)
+
+    def test_t1_is_single_tuple_violation_of_psi1(self, psi1, d0):
+        """t1 (Albany, 718) violates the second pattern of ψ1 all by itself."""
+        violations = psi1.violations(d0, constraint_id=1)
+        assert 1 in violations.sv_tids
+
+    def test_t4_is_single_tuple_violation_of_psi2(self, psi2, d0):
+        """t4 (NYC, 100) violates ψ2 since 100 is not an NYC area code."""
+        violations = psi2.violations(d0, constraint_id=2)
+        assert violations.sv_tids == frozenset({4})
+        assert violations.mv_tids == frozenset()
+
+    def test_clean_tuples_not_flagged(self, psi1, psi2, d0):
+        sigma = ECFDSet([psi1, psi2])
+        violations = sigma.violations(d0)
+        # t2, t3 (Colonie/Troy with 518) and t5, t6 (NYC with valid codes) are clean.
+        assert {2, 3, 5, 6}.isdisjoint(violations.violating_tids)
+        assert violations.violating_tids == {1, 4}
+
+    def test_repaired_d0_satisfies_sigma(self, psi1, psi2, d0):
+        """Fixing t1's area code and t4's area code makes D0 clean."""
+        d0.delete(1)
+        d0.delete(4)
+        d0.insert({"AC": "518", "PN": "1111111", "NM": "Mike", "STR": "Tree Ave.", "CT": "Albany", "ZIP": "12238"})
+        d0.insert({"AC": "212", "PN": "1111111", "NM": "Rick", "STR": "8th Ave.", "CT": "NYC", "ZIP": "10001"})
+        sigma = ECFDSet([psi1, psi2])
+        assert sigma.is_satisfied_by(d0)
+
+    def test_embedded_fd_violation_detected_as_mv(self, schema):
+        """Two tuples with the same city outside NYC/LI but different area codes."""
+        ecfd = ECFD(
+            schema,
+            ["CT"],
+            ["AC"],
+            tableau=[({"CT": ComplementSet(["NYC", "LI"])}, {"AC": "_"})],
+        )
+        relation = Relation(
+            schema,
+            [
+                {"AC": "518", "PN": "1", "NM": "a", "STR": "s", "CT": "Troy", "ZIP": "1"},
+                {"AC": "519", "PN": "2", "NM": "b", "STR": "s", "CT": "Troy", "ZIP": "1"},
+            ],
+        )
+        violations = ecfd.violations(relation, constraint_id=1)
+        assert violations.mv_tids == frozenset({1, 2})
+        assert violations.sv_tids == frozenset()
+
+    def test_fd_not_enforced_across_patterns(self, schema):
+        """Tuples matching different pattern tuples are not compared by the FD."""
+        ecfd = ECFD(
+            schema,
+            ["CT"],
+            ["AC"],
+            tableau=[
+                ({"CT": {"Troy"}}, {"AC": "_"}),
+                ({"CT": {"Albany"}}, {"AC": "_"}),
+            ],
+        )
+        relation = Relation(
+            schema,
+            [
+                {"AC": "518", "PN": "1", "NM": "a", "STR": "s", "CT": "Troy", "ZIP": "1"},
+                {"AC": "999", "PN": "2", "NM": "b", "STR": "s", "CT": "Albany", "ZIP": "1"},
+            ],
+        )
+        assert ecfd.is_satisfied_by(relation)
+
+    def test_single_tuple_check(self, psi1, psi2):
+        good = {"AC": "518", "PN": "1", "NM": "x", "STR": "s", "CT": "Albany", "ZIP": "1"}
+        bad = {"AC": "100", "PN": "1", "NM": "x", "STR": "s", "CT": "NYC", "ZIP": "1"}
+        assert psi1.satisfied_by_single_tuple(good)
+        assert psi2.satisfied_by_single_tuple(good)
+        assert psi2.satisfied_by_single_tuple({**good, "CT": "NYC", "AC": "212"})
+        assert not psi2.satisfied_by_single_tuple(bad)
+
+    def test_unsatisfiable_example_3_1(self, schema):
+        """φ3 of Example 3.1: no single tuple can satisfy it.
+
+        The second pattern forces CT = NYC for every tuple; the first then
+        requires a CT = NYC tuple to have CT = LI, so no witness exists.
+        """
+        phi3 = ECFD(
+            schema,
+            ["CT"],
+            ["CT"],
+            tableau=[
+                ({"CT": {"NYC"}}, {"CT": {"LI"}}),
+                ({"CT": "_"}, {"CT": {"NYC"}}),
+            ],
+        )
+        nyc_tuple = {"AC": "212", "PN": "1", "NM": "x", "STR": "s", "CT": "NYC", "ZIP": "1"}
+        other_tuple = {"AC": "518", "PN": "1", "NM": "x", "STR": "s", "CT": "Troy", "ZIP": "1"}
+        assert not phi3.satisfied_by_single_tuple(nyc_tuple)
+        assert not phi3.satisfied_by_single_tuple(other_tuple)
+
+
+class TestNormalization:
+    def test_normalize_splits_patterns(self, psi1):
+        fragments = psi1.normalize()
+        assert len(fragments) == 2
+        assert all(len(f.tableau) == 1 for f in fragments)
+        assert fragments[0].lhs == psi1.lhs
+        assert fragments[0].rhs == psi1.rhs
+
+    def test_normalization_preserves_satisfaction(self, psi1, d0):
+        whole = psi1.is_satisfied_by(d0)
+        split = all(f.is_satisfied_by(d0) for f in psi1.normalize())
+        assert whole == split
+
+    def test_ecfdset_normalize_assigns_stable_cids(self, paper_sigma):
+        fragments = paper_sigma.normalize()
+        cids = [cid for cid, _ in fragments]
+        assert cids == [1, 2, 3]
+        assert all(len(f.tableau) == 1 for _, f in fragments)
+
+
+class TestIsCfd:
+    def test_cfd_like_ecfd(self, schema):
+        ecfd = ECFD(
+            schema,
+            ["CT"],
+            ["AC"],
+            tableau=[({"CT": "Albany"}, {"AC": "518"}), ({"CT": "_"}, {"AC": "_"})],
+        )
+        assert ecfd.is_cfd()
+
+    def test_disjunction_is_not_cfd(self, psi1, psi2):
+        assert not psi1.is_cfd()  # uses a complement set
+        assert not psi2.is_cfd()  # uses Yp and a non-singleton set
+
+
+class TestConstants:
+    def test_constants_per_attribute(self, psi1):
+        constants = psi1.constants()
+        assert constants["CT"] == frozenset({"NYC", "LI", "Albany", "Troy", "Colonie"})
+        assert constants["AC"] == frozenset({"518"})
+
+    def test_ecfdset_constants_merge(self, paper_sigma):
+        constants = paper_sigma.constants()
+        assert "917" in constants["AC"]
+        assert "518" in constants["AC"]
+
+
+class TestECFDSet:
+    def test_single_schema_enforced(self, psi1):
+        other_schema = RelationSchema("other", ["A", "B"])
+        other = ECFD(other_schema, ["A"], ["B"], tableau=[({"A": "_"}, {"B": "_"})])
+        sigma = ECFDSet([psi1])
+        with pytest.raises(ConstraintError):
+            sigma.add(other)
+
+    def test_len_iteration_and_indexing(self, paper_sigma, psi1):
+        assert len(paper_sigma) == 2
+        assert paper_sigma[0] == psi1
+        assert list(paper_sigma)[0] == psi1
+        assert paper_sigma.pattern_count() == 3
+
+    def test_empty_set_has_no_schema(self):
+        with pytest.raises(ConstraintError):
+            ECFDSet().schema
+
+    def test_satisfied_by_single_tuple(self, paper_sigma):
+        good = {"AC": "212", "PN": "1", "NM": "x", "STR": "s", "CT": "NYC", "ZIP": "1"}
+        bad = {"AC": "100", "PN": "1", "NM": "x", "STR": "s", "CT": "NYC", "ZIP": "1"}
+        assert paper_sigma.satisfied_by_single_tuple(good)
+        assert not paper_sigma.satisfied_by_single_tuple(bad)
+
+    def test_attributes(self, paper_sigma):
+        assert paper_sigma.attributes() == frozenset({"CT", "AC"})

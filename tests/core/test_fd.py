@@ -1,0 +1,140 @@
+"""Unit tests for standard FD machinery (repro.core.fd)."""
+
+import pytest
+
+from repro.core.fd import (
+    FunctionalDependency,
+    attribute_closure,
+    check_fd,
+    implies,
+    minimal_cover,
+)
+from repro.core.instance import Relation
+from repro.core.schema import RelationSchema
+from repro.exceptions import ConstraintError, SchemaError
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("r", ["A", "B", "C", "D", "E"])
+
+
+class TestFunctionalDependency:
+    def test_construction_normalises_and_validates(self, schema):
+        fd = FunctionalDependency(schema, ["B", "A", "A"], ["C"])
+        assert fd.lhs == ("A", "B")
+        assert fd.rhs == ("C",)
+        with pytest.raises(SchemaError):
+            FunctionalDependency(schema, ["Z"], ["A"])
+
+    def test_str(self, schema):
+        fd = FunctionalDependency(schema, ["A"], ["B"])
+        assert str(fd) == "r: [A] -> [B]"
+        assert "∅" in str(FunctionalDependency(schema, [], ["B"]))
+
+    def test_holds_on_satisfying_tuples(self, schema):
+        fd = FunctionalDependency(schema, ["A"], ["B"])
+        relation = Relation(schema, [[1, 10, 0, 0, 0], [1, 10, 1, 1, 1], [2, 20, 0, 0, 0]])
+        assert fd.holds_on(relation.tuples())
+        assert fd.violating_groups(relation.tuples()) == {}
+
+    def test_violating_groups(self, schema):
+        fd = FunctionalDependency(schema, ["A"], ["B"])
+        relation = Relation(schema, [[1, 10, 0, 0, 0], [1, 11, 0, 0, 0], [2, 20, 0, 0, 0]])
+        groups = fd.violating_groups(relation.tuples())
+        assert list(groups) == [(1,)]
+        assert len(groups[(1,)]) == 2
+
+    def test_empty_rhs_trivially_holds(self, schema):
+        fd = FunctionalDependency(schema, ["A"], [])
+        relation = Relation(schema, [[1, 10, 0, 0, 0], [1, 11, 0, 0, 0]])
+        assert fd.holds_on(relation.tuples())
+
+    def test_empty_lhs_requires_constant_rhs(self, schema):
+        fd = FunctionalDependency(schema, [], ["B"])
+        constant_rel = Relation(schema, [[1, 10, 0, 0, 0], [2, 10, 0, 0, 0]])
+        varying_rel = Relation(schema, [[1, 10, 0, 0, 0], [2, 11, 0, 0, 0]])
+        assert fd.holds_on(constant_rel.tuples())
+        assert not fd.holds_on(varying_rel.tuples())
+
+
+class TestClosureAndImplication:
+    def test_textbook_closure(self, schema):
+        fds = [
+            FunctionalDependency(schema, ["A"], ["B"]),
+            FunctionalDependency(schema, ["B"], ["C"]),
+            FunctionalDependency(schema, ["C", "D"], ["E"]),
+        ]
+        assert attribute_closure(["A"], fds) == frozenset({"A", "B", "C"})
+        assert attribute_closure(["A", "D"], fds) == frozenset({"A", "B", "C", "D", "E"})
+
+    def test_implies_transitivity(self, schema):
+        fds = [
+            FunctionalDependency(schema, ["A"], ["B"]),
+            FunctionalDependency(schema, ["B"], ["C"]),
+        ]
+        assert implies(fds, FunctionalDependency(schema, ["A"], ["C"]))
+        assert not implies(fds, FunctionalDependency(schema, ["C"], ["A"]))
+
+    def test_implies_reflexivity_and_augmentation(self, schema):
+        assert implies([], FunctionalDependency(schema, ["A", "B"], ["A"]))
+        fds = [FunctionalDependency(schema, ["A"], ["B"])]
+        assert implies(fds, FunctionalDependency(schema, ["A", "C"], ["B", "C"]))
+
+
+class TestMinimalCover:
+    def test_removes_redundant_fd(self, schema):
+        fds = [
+            FunctionalDependency(schema, ["A"], ["B"]),
+            FunctionalDependency(schema, ["B"], ["C"]),
+            FunctionalDependency(schema, ["A"], ["C"]),  # implied by the first two
+        ]
+        cover = minimal_cover(fds)
+        assert FunctionalDependency(schema, ["A"], ["C"]) not in cover
+        # The cover is equivalent to the original set.
+        for fd in fds:
+            assert implies(cover, fd)
+        for fd in cover:
+            assert implies(fds, fd)
+
+    def test_removes_extraneous_lhs_attribute(self, schema):
+        fds = [
+            FunctionalDependency(schema, ["A"], ["B"]),
+            FunctionalDependency(schema, ["A", "B"], ["C"]),
+        ]
+        cover = minimal_cover(fds)
+        assert FunctionalDependency(schema, ["A"], ["C"]) in cover
+
+    def test_splits_rhs(self, schema):
+        fds = [FunctionalDependency(schema, ["A"], ["B", "C"])]
+        cover = minimal_cover(fds)
+        assert all(len(fd.rhs) == 1 for fd in cover)
+        assert len(cover) == 2
+
+    def test_empty_input(self):
+        assert minimal_cover([]) == []
+
+    def test_mixed_schemas_rejected(self, schema):
+        other = RelationSchema("s", ["A", "B"])
+        with pytest.raises(ConstraintError):
+            minimal_cover(
+                [
+                    FunctionalDependency(schema, ["A"], ["B"]),
+                    FunctionalDependency(other, ["A"], ["B"]),
+                ]
+            )
+
+
+class TestCheckFd:
+    def test_check_fd_on_relation(self, schema):
+        fd = FunctionalDependency(schema, ["A"], ["B"])
+        relation = Relation(schema, [[1, 10, 0, 0, 0], [1, 11, 0, 0, 0]])
+        groups = check_fd(relation, fd)
+        assert (1,) in groups
+
+    def test_check_fd_schema_mismatch(self, schema):
+        other = RelationSchema("s", ["A", "B"])
+        fd = FunctionalDependency(other, ["A"], ["B"])
+        relation = Relation(schema, [[1, 10, 0, 0, 0]])
+        with pytest.raises(ConstraintError):
+            check_fd(relation, fd)

@@ -1,0 +1,133 @@
+"""Unit tests for in-memory relations (repro.core.instance)."""
+
+import pytest
+
+from repro.core.instance import Relation, RelationTuple
+from repro.core.schema import RelationSchema, cust_schema
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture
+def small_schema():
+    return RelationSchema("r", ["A", "B", "C"])
+
+
+class TestRelationTuple:
+    def test_mapping_access(self, small_schema):
+        t = RelationTuple(small_schema, {"A": 1, "B": 2, "C": 3})
+        assert t["A"] == 1
+        assert dict(t) == {"A": 1, "B": 2, "C": 3}
+        assert len(t) == 3
+        assert t.values() == (1, 2, 3)
+
+    def test_sequence_construction(self, small_schema):
+        t = RelationTuple(small_schema, [1, 2, 3])
+        assert t["C"] == 3
+
+    def test_missing_or_extra_attributes_rejected(self, small_schema):
+        with pytest.raises(SchemaError):
+            RelationTuple(small_schema, {"A": 1, "B": 2})
+        with pytest.raises(SchemaError):
+            RelationTuple(small_schema, {"A": 1, "B": 2, "C": 3, "D": 4})
+        with pytest.raises(SchemaError):
+            RelationTuple(small_schema, [1, 2])
+
+    def test_projection(self, small_schema):
+        t = RelationTuple(small_schema, {"A": 1, "B": 2, "C": 3})
+        assert t.project(["C", "A"]) == (3, 1)
+
+    def test_replace_creates_new_tuple(self, small_schema):
+        t = RelationTuple(small_schema, {"A": 1, "B": 2, "C": 3}, tid=7)
+        replaced = t.replace(B=20)
+        assert replaced["B"] == 20
+        assert replaced.tid == 7
+        assert t["B"] == 2
+        with pytest.raises(SchemaError):
+            t.replace(Z=1)
+
+    def test_equality_ignores_tid(self, small_schema):
+        t1 = RelationTuple(small_schema, [1, 2, 3], tid=1)
+        t2 = RelationTuple(small_schema, [1, 2, 3], tid=2)
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+        assert t1 != RelationTuple(small_schema, [1, 2, 4])
+
+
+class TestRelation:
+    def test_insert_assigns_increasing_tids(self, small_schema):
+        relation = Relation(small_schema)
+        first = relation.insert({"A": 1, "B": 1, "C": 1})
+        second = relation.insert([2, 2, 2])
+        assert (first.tid, second.tid) == (1, 2)
+        assert len(relation) == 2
+        assert relation.tids() == [1, 2]
+
+    def test_insert_wrong_schema_rejected(self, small_schema):
+        other = RelationSchema("s", ["A", "B", "C"])
+        relation = Relation(small_schema)
+        foreign = RelationTuple(other, [1, 2, 3])
+        with pytest.raises(SchemaError):
+            relation.insert(foreign)
+
+    def test_delete_by_tid(self, small_schema):
+        relation = Relation(small_schema, [[1, 1, 1], [2, 2, 2]])
+        removed = relation.delete(1)
+        assert removed["A"] == 1
+        assert relation.tids() == [2]
+        with pytest.raises(SchemaError):
+            relation.delete(1)
+
+    def test_delete_matching(self, small_schema):
+        relation = Relation(small_schema, [[1, 1, 1], [2, 2, 2], [3, 1, 3]])
+        removed = relation.delete_matching(lambda t: t["B"] == 1)
+        assert len(removed) == 2
+        assert relation.tids() == [2]
+
+    def test_duplicates_are_kept(self, small_schema):
+        relation = Relation(small_schema, [[1, 1, 1], [1, 1, 1]])
+        assert len(relation) == 2
+
+    def test_select_and_contains(self, small_schema):
+        relation = Relation(small_schema, [[1, 1, 1], [2, 2, 2]])
+        hits = relation.select(lambda t: t["A"] == 2)
+        assert [t["A"] for t in hits] == [2]
+        assert RelationTuple(small_schema, [1, 1, 1]) in relation
+        assert RelationTuple(small_schema, [9, 9, 9]) not in relation
+
+    def test_group_by(self, small_schema):
+        relation = Relation(small_schema, [[1, "x", 1], [2, "x", 2], [3, "y", 3]])
+        groups = relation.group_by(["B"])
+        assert set(groups) == {("x",), ("y",)}
+        assert len(groups[("x",)]) == 2
+        with pytest.raises(SchemaError):
+            relation.group_by(["NOPE"])
+
+    def test_active_domain(self, small_schema):
+        relation = Relation(small_schema, [[1, "x", 1], [2, "x", 2]])
+        assert relation.active_domain("B") == {"x"}
+        assert relation.active_domain("A") == {1, 2}
+
+    def test_copy_is_independent(self, small_schema):
+        relation = Relation(small_schema, [[1, 1, 1]])
+        clone = relation.copy()
+        clone.insert([2, 2, 2])
+        assert len(relation) == 1
+        assert len(clone) == 2
+        # Tids continue from the copied counter.
+        assert clone.tids() == [1, 2]
+
+    def test_get(self, small_schema):
+        relation = Relation(small_schema, [[1, 1, 1]])
+        assert relation.get(1) is not None
+        assert relation.get(99) is None
+
+
+class TestPaperInstance:
+    def test_fig1_instance_loads(self, d0):
+        assert len(d0) == 6
+        assert d0.get(1)["CT"] == "Albany"
+        assert d0.get(4)["AC"] == "100"
+        assert d0.active_domain("CT") == {"Albany", "Colonie", "Troy", "NYC"}
+
+    def test_fig1_schema_is_cust(self, d0):
+        assert d0.schema == cust_schema()

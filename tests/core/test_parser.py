@@ -1,0 +1,114 @@
+"""Unit tests for the textual eCFD syntax (repro.core.parser)."""
+
+import pytest
+
+from repro.core.ecfd import ECFD
+from repro.core.parser import format_ecfd, parse_ecfd, parse_ecfd_set
+from repro.core.patterns import ComplementSet, ValueSet, Wildcard
+from repro.exceptions import ParseError, SchemaError
+
+
+PSI1_TEXT = "(cust: [CT] -> [AC], { (!{NYC, LI} || _); ({Albany, Colonie, Troy} || {518}) })"
+PSI2_TEXT = "(cust: [CT] -> [] | [AC], { ({NYC} || {212, 347, 646, 718, 917}) })"
+
+
+class TestParsing:
+    def test_parse_psi1(self, schema, psi1):
+        parsed = parse_ecfd(PSI1_TEXT, schema)
+        assert parsed.lhs == ("CT",)
+        assert parsed.rhs == ("AC",)
+        assert parsed.pattern_rhs == ()
+        assert parsed.tableau[0].lhs_entry("CT") == ComplementSet(["NYC", "LI"])
+        assert isinstance(parsed.tableau[0].rhs_entry("AC"), Wildcard)
+        assert parsed.tableau[1].rhs_entry("AC") == ValueSet(["518"])
+        # Semantically identical to the fixture built programmatically.
+        assert parsed.tableau == psi1.tableau
+
+    def test_parse_psi2_with_yp(self, schema, psi2):
+        parsed = parse_ecfd(PSI2_TEXT, schema)
+        assert parsed.rhs == ()
+        assert parsed.pattern_rhs == ("AC",)
+        assert parsed.tableau == psi2.tableau
+
+    def test_numeric_and_quoted_values_parse_as_strings(self, schema):
+        text = '(cust: [ZIP] -> [AC], { ({12205, "New York"} || {518}) })'
+        parsed = parse_ecfd(text, schema)
+        constants = parsed.tableau[0].lhs_entry("ZIP").constants()
+        assert "12205" in constants
+        assert "New York" in constants
+        assert parsed.tableau[0].rhs_entry("AC").constants() == frozenset({"518"})
+
+    def test_quoted_value_with_escapes(self, schema):
+        text = '(cust: [NM] -> [AC], { ({"say \\"hi\\""} || _) })'
+        parsed = parse_ecfd(text, schema)
+        assert 'say "hi"' in parsed.tableau[0].lhs_entry("NM").constants()
+
+    def test_multiple_lhs_attributes(self, schema):
+        text = "(cust: [CT, ZIP] -> [AC], { ({Albany}, _ || {518}) })"
+        parsed = parse_ecfd(text, schema)
+        assert parsed.lhs == ("CT", "ZIP")
+        assert isinstance(parsed.tableau[0].lhs_entry("ZIP"), Wildcard)
+
+
+class TestParseErrors:
+    def test_wrong_relation_name(self, schema):
+        with pytest.raises(ParseError):
+            parse_ecfd("(orders: [CT] -> [AC], { (_ || _) })", schema)
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(SchemaError):
+            parse_ecfd("(cust: [CITY] -> [AC], { (_ || _) })", schema)
+
+    def test_arity_mismatch(self, schema):
+        with pytest.raises(ParseError):
+            parse_ecfd("(cust: [CT, ZIP] -> [AC], { (_ || _) })", schema)
+
+    def test_trailing_garbage(self, schema):
+        with pytest.raises(ParseError):
+            parse_ecfd(PSI2_TEXT + " extra", schema)
+
+    def test_malformed_set(self, schema):
+        with pytest.raises(ParseError):
+            parse_ecfd("(cust: [CT] -> [AC], { ({} || _) })", schema)
+
+    def test_unexpected_character(self, schema):
+        with pytest.raises(ParseError):
+            parse_ecfd("(cust: [CT] -> [AC], { (€ || _) })", schema)
+
+    def test_truncated_input(self, schema):
+        with pytest.raises(ParseError):
+            parse_ecfd("(cust: [CT] -> [AC], { (_ ||", schema)
+
+
+class TestRoundTrip:
+    def test_format_then_parse_psi1(self, schema, psi1):
+        text = format_ecfd(psi1)
+        parsed = parse_ecfd(text, schema)
+        assert parsed.lhs == psi1.lhs
+        assert parsed.rhs == psi1.rhs
+        assert parsed.pattern_rhs == psi1.pattern_rhs
+        assert parsed.tableau == psi1.tableau
+
+    def test_format_then_parse_psi2(self, schema, psi2):
+        parsed = parse_ecfd(format_ecfd(psi2), schema)
+        assert parsed.pattern_rhs == psi2.pattern_rhs
+        assert parsed.tableau == psi2.tableau
+
+    def test_round_trip_with_special_characters(self, schema):
+        ecfd = ECFD(
+            schema,
+            ["STR"],
+            ["CT"],
+            tableau=[({"STR": {"5th Ave.", "Elm Str."}}, {"CT": {"NYC"}})],
+        )
+        parsed = parse_ecfd(format_ecfd(ecfd), schema)
+        assert parsed.tableau == ecfd.tableau
+
+
+class TestParseSet:
+    def test_parse_multiple_lines_with_comments(self, schema):
+        text = "\n".join(["# the Fig. 2 constraints", PSI1_TEXT, "", PSI2_TEXT])
+        parsed = parse_ecfd_set(text, schema)
+        assert len(parsed) == 2
+        assert parsed[0].rhs == ("AC",)
+        assert parsed[1].pattern_rhs == ("AC",)

@@ -1,0 +1,175 @@
+"""Unit tests for the pattern language (repro.core.patterns)."""
+
+import pytest
+
+from repro.core.patterns import (
+    WILDCARD,
+    ComplementSet,
+    ValueSet,
+    Wildcard,
+    constant,
+    pattern_from_literal,
+)
+from repro.core.schema import Domain
+from repro.exceptions import PatternError
+
+
+class TestMatching:
+    """The ≍ relation of Section II."""
+
+    def test_wildcard_matches_everything(self):
+        assert WILDCARD.matches("NYC")
+        assert WILDCARD.matches(42)
+        assert WILDCARD.matches("")
+
+    def test_value_set_matches_members_only(self):
+        pattern = ValueSet(["Albany", "Troy"])
+        assert pattern.matches("Albany")
+        assert pattern.matches("Troy")
+        assert not pattern.matches("NYC")
+
+    def test_complement_set_matches_non_members(self):
+        pattern = ComplementSet(["NYC", "LI"])
+        assert pattern.matches("Albany")
+        assert not pattern.matches("NYC")
+        assert not pattern.matches("LI")
+
+    def test_paper_example_t1_t4(self):
+        """t1[CT]=Albany matches {NYC,LI}̄ ; t4[CT]=NYC does not (Section II)."""
+        pattern = ComplementSet(["NYC", "LI"])
+        assert pattern.matches("Albany")
+        assert not pattern.matches("NYC")
+
+
+class TestConstruction:
+    def test_empty_sets_rejected(self):
+        with pytest.raises(PatternError):
+            ValueSet([])
+        with pytest.raises(PatternError):
+            ComplementSet([])
+
+    def test_non_scalar_values_rejected(self):
+        with pytest.raises(PatternError):
+            ValueSet([("tuple",)])
+
+    def test_constant_is_singleton_set(self):
+        pattern = constant("518")
+        assert isinstance(pattern, ValueSet)
+        assert pattern.constants() == frozenset({"518"})
+
+    def test_pattern_from_literal(self):
+        assert isinstance(pattern_from_literal("_"), Wildcard)
+        assert isinstance(pattern_from_literal(None), Wildcard)
+        assert pattern_from_literal("NYC") == constant("NYC")
+        assert pattern_from_literal({"a", "b"}) == ValueSet(["a", "b"])
+        assert pattern_from_literal(ValueSet(["x"])) == ValueSet(["x"])
+        with pytest.raises(PatternError):
+            pattern_from_literal(3.14)
+
+
+class TestConstants:
+    def test_constants_reported(self):
+        assert WILDCARD.constants() == frozenset()
+        assert ValueSet(["a", "b"]).constants() == frozenset({"a", "b"})
+        assert ComplementSet(["a"]).constants() == frozenset({"a"})
+
+
+class TestSubsumption:
+    def test_wildcard_subsumes_everything(self):
+        assert WILDCARD.subsumes(ValueSet(["a"]))
+        assert WILDCARD.subsumes(ComplementSet(["a"]))
+        assert WILDCARD.subsumes(WILDCARD)
+
+    def test_value_set_subsumption(self):
+        big = ValueSet(["a", "b", "c"])
+        small = ValueSet(["a", "b"])
+        assert big.subsumes(small)
+        assert not small.subsumes(big)
+        assert not small.subsumes(WILDCARD)
+
+    def test_complement_subsumes_disjoint_set(self):
+        comp = ComplementSet(["NYC", "LI"])
+        assert comp.subsumes(ValueSet(["Albany"]))
+        assert not comp.subsumes(ValueSet(["NYC", "Albany"]))
+
+    def test_complement_subsumes_larger_complement(self):
+        assert ComplementSet(["a"]).subsumes(ComplementSet(["a", "b"]))
+        assert not ComplementSet(["a", "b"]).subsumes(ComplementSet(["a"]))
+
+
+class TestIntersection:
+    def test_wildcard_is_identity(self):
+        pattern = ValueSet(["a"])
+        assert WILDCARD.intersect(pattern) == pattern
+        assert pattern.intersect(WILDCARD) == pattern
+
+    def test_set_set_intersection(self):
+        left = ValueSet(["a", "b"])
+        right = ValueSet(["b", "c"])
+        assert left.intersect(right) == ValueSet(["b"])
+        assert ValueSet(["a"]).intersect(ValueSet(["b"])) is None
+
+    def test_set_complement_intersection(self):
+        values = ValueSet(["a", "b"])
+        comp = ComplementSet(["b"])
+        assert values.intersect(comp) == ValueSet(["a"])
+        assert comp.intersect(values) == ValueSet(["a"])
+        assert ValueSet(["b"]).intersect(ComplementSet(["b"])) is None
+
+    def test_complement_complement_intersection(self):
+        assert ComplementSet(["a"]).intersect(ComplementSet(["b"])) == ComplementSet(["a", "b"])
+
+    def test_intersection_soundness_samples(self):
+        """Any value matching the intersection matches both operands."""
+        left = ValueSet(["a", "b", "c"])
+        right = ComplementSet(["b"])
+        both = left.intersect(right)
+        assert both is not None
+        for value in ["a", "b", "c", "d"]:
+            if both.matches(value):
+                assert left.matches(value) and right.matches(value)
+
+
+class TestAdmitsAndPick:
+    def test_admits_infinite_domain(self):
+        domain = Domain("string")
+        assert WILDCARD.admits(domain)
+        assert ValueSet(["x"]).admits(domain)
+        assert ComplementSet(["x"]).admits(domain)
+
+    def test_admits_finite_domain(self):
+        domain = Domain("bool", frozenset(["T", "F"]))
+        assert ValueSet(["T"]).admits(domain)
+        assert not ValueSet(["Z"]).admits(domain)
+        assert ComplementSet(["T"]).admits(domain)
+        assert not ComplementSet(["T", "F"]).admits(domain)
+
+    def test_pick_returns_matching_value(self):
+        domain = Domain("string")
+        for pattern in [WILDCARD, ValueSet(["a", "b"]), ComplementSet(["a"])]:
+            value = pattern.pick(domain)
+            assert value is not None
+            assert pattern.matches(value)
+
+    def test_pick_respects_avoid_when_possible(self):
+        domain = Domain("string")
+        value = ValueSet(["a", "b"]).pick(domain, avoid=["a"])
+        assert value == "b"
+        # When everything is avoided the pattern still yields some member.
+        value = ValueSet(["a", "b"]).pick(domain, avoid=["a", "b"])
+        assert value in {"a", "b"}
+
+    def test_pick_on_exhausted_finite_domain(self):
+        domain = Domain("bool", frozenset(["T", "F"]))
+        assert ComplementSet(["T", "F"]).pick(domain) is None
+        assert ValueSet(["Z"]).pick(domain) is None
+
+
+class TestText:
+    def test_to_text_round_trips_semantics(self):
+        assert WILDCARD.to_text() == "_"
+        assert ValueSet(["b", "a"]).to_text() == "{a, b}"
+        assert ComplementSet(["NYC"]).to_text() == "!{NYC}"
+
+    def test_str_delegates_to_text(self):
+        assert str(ComplementSet(["x"])) == "!{x}"

@@ -1,0 +1,69 @@
+"""Unit tests for violation records and violation sets (repro.core.violations)."""
+
+from repro.core.violations import (
+    MultiTupleViolation,
+    SingleTupleViolation,
+    ViolationSet,
+)
+
+
+class TestViolationSet:
+    def test_empty_set_is_clean(self):
+        vset = ViolationSet()
+        assert vset.is_clean()
+        assert len(vset) == 0
+        assert vset.violating_tids == frozenset()
+        assert vset.summary() == {"sv": 0, "mv": 0, "dirty": 0}
+
+    def test_single_violation_sets_sv(self):
+        vset = ViolationSet()
+        vset.add_single(SingleTupleViolation(tid=3, constraint_id=1, attribute="AC"))
+        assert vset.sv_tids == frozenset({3})
+        assert vset.mv_tids == frozenset()
+        assert 3 in vset
+        assert not vset.is_clean()
+        assert vset.single_records[0].attribute == "AC"
+
+    def test_multi_violation_sets_mv_for_all_group_members(self):
+        vset = ViolationSet()
+        vset.add_multi(
+            MultiTupleViolation(constraint_id=1, lhs_values=("Troy",), tids=frozenset({1, 2}))
+        )
+        assert vset.mv_tids == frozenset({1, 2})
+        assert vset.violating_tids == frozenset({1, 2})
+        assert vset.summary() == {"sv": 0, "mv": 2, "dirty": 2}
+
+    def test_from_flags(self):
+        vset = ViolationSet.from_flags(sv_tids=[1, 2], mv_tids=[2, 3])
+        assert vset.sv_tids == frozenset({1, 2})
+        assert vset.mv_tids == frozenset({2, 3})
+        assert vset.violating_tids == frozenset({1, 2, 3})
+        assert len(vset) == 3
+
+    def test_equality_is_flag_based(self):
+        detailed = ViolationSet(
+            single=[SingleTupleViolation(tid=1, constraint_id=9, attribute="AC")],
+            multi=[MultiTupleViolation(constraint_id=9, lhs_values=("x",), tids=frozenset({2, 3}))],
+        )
+        flags_only = ViolationSet.from_flags(sv_tids=[1], mv_tids=[2, 3])
+        assert detailed == flags_only
+        assert hash(detailed) == hash(flags_only)
+        assert detailed != ViolationSet.from_flags(sv_tids=[1], mv_tids=[2])
+
+    def test_merge(self):
+        left = ViolationSet.from_flags(sv_tids=[1], mv_tids=[])
+        right = ViolationSet.from_flags(sv_tids=[], mv_tids=[2])
+        merged = left.merge(right)
+        assert merged.sv_tids == frozenset({1})
+        assert merged.mv_tids == frozenset({2})
+        # Merge does not mutate the operands.
+        assert left.mv_tids == frozenset()
+        assert right.sv_tids == frozenset()
+
+    def test_iteration_is_sorted(self):
+        vset = ViolationSet.from_flags(sv_tids=[5, 1], mv_tids=[3])
+        assert list(vset) == [1, 3, 5]
+
+    def test_dirty_counts_tuple_once_for_both_flags(self):
+        vset = ViolationSet.from_flags(sv_tids=[1], mv_tids=[1])
+        assert vset.summary() == {"sv": 1, "mv": 1, "dirty": 1}

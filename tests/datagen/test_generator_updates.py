@@ -1,0 +1,114 @@
+"""Unit tests for the dataset generator and update-batch generator."""
+
+import pytest
+
+from repro.core import Relation, cust_ext_schema
+from repro.datagen import (
+    DatasetGenerator,
+    UpdateGenerator,
+    city_catalog,
+    find_city,
+    paper_workload,
+)
+from repro.detection import NaiveDetector
+
+
+class TestDatasetGenerator:
+    def test_clean_rows_cover_schema(self):
+        generator = DatasetGenerator(seed=1)
+        row = generator.clean_row()
+        assert set(row) == set(cust_ext_schema().attribute_names)
+
+    def test_clean_rows_are_geographically_consistent(self):
+        generator = DatasetGenerator(seed=2)
+        catalog = city_catalog()
+        for row in generator.clean_rows(100):
+            record = find_city(row["CT"], catalog)
+            assert record is not None
+            assert row["AC"] in record.area_codes
+            assert row["ZIP"] in record.zip_codes
+
+    def test_clean_dataset_satisfies_paper_workload(self):
+        generator = DatasetGenerator(seed=3)
+        relation = generator.generate(200, noise_percent=0.0)
+        violations = NaiveDetector(paper_workload()).detect(relation)
+        assert violations.is_clean()
+
+    def test_noise_produces_detectable_violations(self):
+        generator = DatasetGenerator(seed=4)
+        relation = generator.generate(300, noise_percent=5.0)
+        violations = NaiveDetector(paper_workload()).detect(relation)
+        # 5% of 300 = 15 corrupted tuples; every corruption breaks some eCFD,
+        # and a corruption can additionally drag clean tuples into an
+        # embedded-FD violation, so the dirty count is at least 15.
+        assert len(violations) >= 15
+
+    def test_noise_rate_is_exact(self):
+        generator = DatasetGenerator(seed=5)
+        rows = generator.generate_rows(200, noise_percent=10.0)
+        corrupted = [
+            row
+            for row in rows
+            if row["AC"] == "000"
+            or row["ZIP"] == "99999"
+            or row["ITEM_TYPE"] == "vinyl"
+            or row["PRICE"] == "9999"
+        ]
+        assert len(corrupted) == 20
+
+    def test_zero_noise_has_no_corruptions(self):
+        generator = DatasetGenerator(seed=6)
+        rows = generator.generate_rows(150, noise_percent=0.0)
+        assert all(row["AC"] != "000" and row["ZIP"] != "99999" for row in rows)
+
+    def test_determinism_per_seed(self):
+        assert DatasetGenerator(seed=7).generate_rows(50, 5.0) == DatasetGenerator(seed=7).generate_rows(50, 5.0)
+        assert DatasetGenerator(seed=7).generate_rows(50, 5.0) != DatasetGenerator(seed=8).generate_rows(50, 5.0)
+
+    def test_invalid_parameters_rejected(self):
+        generator = DatasetGenerator()
+        with pytest.raises(ValueError):
+            generator.generate_rows(-1)
+        with pytest.raises(ValueError):
+            generator.generate_rows(10, noise_percent=150.0)
+
+    def test_generate_returns_relation(self):
+        relation = DatasetGenerator(seed=9).generate(25)
+        assert isinstance(relation, Relation)
+        assert len(relation) == 25
+
+
+class TestUpdateGenerator:
+    def test_batch_sizes(self):
+        generator = DatasetGenerator(seed=10)
+        updates = UpdateGenerator(generator, seed=11)
+        batch = updates.make_batch(existing_tids=range(1, 101), insert_count=20, delete_count=15)
+        assert batch.insert_count == 20
+        assert batch.delete_count == 15
+        assert all(1 <= tid <= 100 for tid in batch.delete_tids)
+
+    def test_deletions_are_distinct(self):
+        updates = UpdateGenerator(DatasetGenerator(seed=12), seed=13)
+        batch = updates.make_batch(existing_tids=range(1, 51), insert_count=0, delete_count=50)
+        assert len(set(batch.delete_tids)) == 50
+
+    def test_delete_more_than_available_rejected(self):
+        updates = UpdateGenerator(DatasetGenerator(seed=14), seed=15)
+        with pytest.raises(ValueError):
+            updates.make_batch(existing_tids=range(1, 11), insert_count=0, delete_count=11)
+
+    def test_inserted_rows_respect_noise(self):
+        updates = UpdateGenerator(DatasetGenerator(seed=16), seed=17)
+        batch = updates.make_batch(existing_tids=range(1, 11), insert_count=100, delete_count=0,
+                                   noise_percent=10.0)
+        corrupted = [
+            row for row in batch.insert_rows
+            if row["AC"] == "000" or row["ZIP"] == "99999"
+            or row["ITEM_TYPE"] == "vinyl" or row["PRICE"] == "9999"
+        ]
+        assert len(corrupted) == 10
+
+    def test_determinism(self):
+        first = UpdateGenerator(DatasetGenerator(seed=18), seed=19).make_batch(range(1, 101), 10, 10)
+        second = UpdateGenerator(DatasetGenerator(seed=18), seed=19).make_batch(range(1, 101), 10, 10)
+        assert first == second

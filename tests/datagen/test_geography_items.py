@@ -1,0 +1,76 @@
+"""Unit tests for the synthetic geography and item catalogues."""
+
+from repro.datagen.geography import CityRecord, area_codes, city_catalog, find_city
+from repro.datagen.items import ITEM_TYPES, item_catalog, price_band, titles_by_type
+
+
+class TestCityCatalog:
+    def test_paper_cities_present_verbatim(self):
+        catalog = city_catalog()
+        albany = find_city("Albany", catalog)
+        nyc = find_city("NYC", catalog)
+        li = find_city("LI", catalog)
+        assert albany is not None and albany.area_codes == ("518",)
+        assert nyc is not None and set(nyc.area_codes) == {"212", "718", "646", "347", "917"}
+        assert li is not None and set(li.area_codes) == {"516", "631"}
+        assert find_city("Troy", catalog).canonical_area_code == "518"
+        assert find_city("Atlantis", catalog) is None
+
+    def test_catalog_size_and_determinism(self):
+        assert len(city_catalog(300)) == 300
+        assert len(city_catalog(50)) == 50
+        assert city_catalog(120) == city_catalog(120)
+
+    def test_city_names_unique(self):
+        catalog = city_catalog(600)
+        names = [c.name for c in catalog]
+        assert len(names) == len(set(names))
+
+    def test_synthetic_cities_have_single_area_code(self):
+        catalog = city_catalog(100)
+        for record in catalog:
+            if record.name in {"NYC", "LI"}:
+                assert len(record.area_codes) > 1
+            else:
+                assert len(record.area_codes) == 1
+
+    def test_zip_codes_disjoint_across_cities(self):
+        catalog = city_catalog(200)
+        seen: set[str] = set()
+        for record in catalog:
+            assert not (seen & set(record.zip_codes))
+            seen.update(record.zip_codes)
+
+    def test_synthetic_area_codes_do_not_collide_with_paper_codes(self):
+        reserved = {"518", "212", "718", "646", "347", "917", "516", "631"}
+        catalog = city_catalog(400)
+        for record in catalog[5:]:
+            assert not (set(record.area_codes) & reserved)
+
+    def test_area_codes_mapping(self):
+        mapping = area_codes(city_catalog(10))
+        assert mapping["Albany"] == ("518",)
+        assert len(mapping) == 10
+
+
+class TestItemCatalog:
+    def test_three_types_with_requested_count(self):
+        catalog = item_catalog(per_type=50)
+        assert len(catalog) == 150
+        by_type = titles_by_type(catalog)
+        assert set(by_type) == set(ITEM_TYPES)
+        assert all(len(titles) == 50 for titles in by_type.values())
+
+    def test_titles_unique_across_catalog(self):
+        catalog = item_catalog(per_type=120)
+        titles = [record.title for record in catalog]
+        assert len(titles) == len(set(titles))
+
+    def test_prices_within_band(self):
+        catalog = item_catalog(per_type=80)
+        for record in catalog:
+            low, high = price_band(record.item_type)
+            assert low <= int(record.price) <= high
+
+    def test_determinism(self):
+        assert item_catalog(30) == item_catalog(30)

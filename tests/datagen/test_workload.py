@@ -1,0 +1,96 @@
+"""Unit tests for the eCFD workload generator."""
+
+import pytest
+
+from repro.core import cust_ext_schema
+from repro.core.patterns import ComplementSet, ValueSet, Wildcard
+from repro.datagen import (
+    DatasetGenerator,
+    paper_workload,
+    paper_workload_with_tableau_size,
+    tableau_sweep_ecfd,
+)
+from repro.detection import NaiveDetector
+from repro.exceptions import ConstraintError
+
+
+class TestPaperWorkload:
+    def test_ten_ecfds(self):
+        sigma = paper_workload()
+        assert len(sigma) == 10
+
+    def test_includes_fig2_constraints(self):
+        sigma = paper_workload()
+        names = [ecfd.name for ecfd in sigma]
+        assert "psi1_city_determines_ac" in names
+        assert "psi2_nyc_area_codes" in names
+        psi2 = next(e for e in sigma if e.name == "psi2_nyc_area_codes")
+        assert psi2.pattern_rhs == ("AC",)
+        codes = psi2.tableau[0].rhs_entry("AC").constants()
+        assert codes == frozenset({"212", "718", "646", "347", "917"})
+
+    def test_uses_all_three_pattern_kinds(self):
+        sigma = paper_workload()
+        kinds = set()
+        for ecfd in sigma:
+            for pattern in ecfd.tableau:
+                for entry in list(pattern.lhs.values()) + list(pattern.rhs.values()):
+                    kinds.add(type(entry))
+        assert kinds == {ValueSet, ComplementSet, Wildcard}
+
+    def test_workload_is_satisfied_by_clean_data(self):
+        relation = DatasetGenerator(seed=1).generate(150, noise_percent=0.0)
+        assert NaiveDetector(paper_workload()).detect(relation).is_clean()
+
+    def test_workload_over_custom_schema(self):
+        schema = cust_ext_schema()
+        sigma = paper_workload(schema)
+        assert sigma.schema == schema
+
+
+class TestTableauSweep:
+    def test_requested_size(self):
+        ecfd = tableau_sweep_ecfd(size=50)
+        assert len(ecfd.tableau) == 50
+        ecfd = tableau_sweep_ecfd(size=500)
+        assert len(ecfd.tableau) == 500
+
+    def test_uniform_mix_of_entry_kinds(self):
+        ecfd = tableau_sweep_ecfd(size=90)
+        kinds = {ValueSet: 0, ComplementSet: 0, Wildcard: 0}
+        for pattern in ecfd.tableau:
+            kinds[type(pattern.rhs_entry("AC"))] += 1
+        assert kinds[ValueSet] == kinds[ComplementSet] == kinds[Wildcard] == 30
+
+    def test_sweep_satisfied_by_clean_data(self):
+        ecfd = tableau_sweep_ecfd(size=60)
+        relation = DatasetGenerator(seed=2).generate(200, noise_percent=0.0)
+        assert NaiveDetector([ecfd]).detect(relation).is_clean()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConstraintError):
+            tableau_sweep_ecfd(size=0)
+
+    def test_size_larger_than_catalog_is_handled(self):
+        ecfd = tableau_sweep_ecfd(size=320)
+        assert len(ecfd.tableau) == 320
+        # Each pattern constrains a distinct city.
+        cities = [next(iter(p.lhs_entry("CT").constants())) for p in ecfd.tableau]
+        assert len(set(cities)) == 320
+
+
+class TestWorkloadWithTableauSize:
+    def test_still_ten_constraints(self):
+        sigma = paper_workload_with_tableau_size(100)
+        assert len(sigma) == 10
+        assert sigma.pattern_count() >= 100
+
+    def test_sweep_constraint_is_first(self):
+        sigma = paper_workload_with_tableau_size(75)
+        assert sigma[0].name == "sweep_tableau_75"
+        assert len(sigma[0].tableau) == 75
+
+    def test_clean_data_still_satisfies(self):
+        sigma = paper_workload_with_tableau_size(60)
+        relation = DatasetGenerator(seed=3).generate(150, noise_percent=0.0)
+        assert NaiveDetector(sigma).detect(relation).is_clean()

@@ -1,0 +1,136 @@
+"""Unit tests for BATCHDETECT (Section V-A) on the paper's running example."""
+
+import pytest
+
+from repro.core import ECFD, ECFDSet, Relation
+from repro.core.patterns import ComplementSet
+from repro.detection import BatchDetector, ECFDDatabase, NaiveDetector
+from repro.detection.sqlgen import qmv_query, qsv_query
+from tests.conftest import FIG1_ROWS
+
+
+@pytest.fixture
+def loaded_db(schema, d0):
+    with ECFDDatabase(schema) as db:
+        db.load_relation(d0)
+        yield db
+
+
+class TestSqlGeneration:
+    def test_qsv_query_is_schema_generic(self, schema):
+        sql = qsv_query(schema)
+        # One EXISTS-guard pair per attribute, never one per eCFD.
+        assert sql.count("ecfd_tp_CT_L") == 2
+        assert sql.count("ecfd_tp_ZIP_R") == 2
+        assert "SELECT DISTINCT t.tid" in sql
+
+    def test_qmv_query_groups_by_blanked_columns(self, schema):
+        sql = qmv_query(schema)
+        assert "GROUP BY" in sql and "HAVING COUNT(DISTINCT yv_key) > 1" in sql
+        assert "CASE WHEN" in sql
+        assert "'@'" in sql
+
+    def test_restriction_is_injected(self, schema):
+        sql = qsv_query(schema, restriction="t.tid IN (SELECT tid FROM x)")
+        assert "t.tid IN (SELECT tid FROM x)" in sql
+
+
+class TestBatchDetectOnPaperExample:
+    def test_detects_t1_and_t4(self, loaded_db, paper_sigma):
+        """Example 2.2: D0 violates ψ1 (t1) and ψ2 (t4), both single-tuple."""
+        detector = BatchDetector(loaded_db, paper_sigma)
+        violations = detector.detect()
+        assert violations.sv_tids == frozenset({1, 4})
+        assert violations.mv_tids == frozenset()
+        assert violations.violating_tids == frozenset({1, 4})
+
+    def test_agrees_with_naive_oracle(self, loaded_db, paper_sigma, d0):
+        sql_result = BatchDetector(loaded_db, paper_sigma).detect()
+        naive_result = NaiveDetector(paper_sigma).detect(d0)
+        assert sql_result == naive_result
+
+    def test_multi_tuple_violation_detected(self, schema, paper_sigma):
+        """Adding a second Albany tuple with a different AC triggers the embedded FD."""
+        rows = FIG1_ROWS + [
+            {"AC": "519", "PN": "9999999", "NM": "Eve", "STR": "Pine St.",
+             "CT": "Albany", "ZIP": "12240"},
+        ]
+        relation = Relation(schema, rows)
+        with ECFDDatabase(schema) as db:
+            db.load_relation(relation)
+            violations = BatchDetector(db, paper_sigma).detect()
+        # t1 (tid 1) and the new tuple (tid 7) share CT=Albany but differ on AC.
+        assert {1, 7} <= violations.mv_tids
+        # The new tuple also breaks the (Albany -> 518) pattern by itself.
+        assert 7 in violations.sv_tids
+
+    def test_clean_database_has_no_violations(self, schema, paper_sigma):
+        rows = [
+            {"AC": "518", "PN": "1", "NM": "a", "STR": "s", "CT": "Albany", "ZIP": "1"},
+            {"AC": "212", "PN": "2", "NM": "b", "STR": "s", "CT": "NYC", "ZIP": "2"},
+            {"AC": "917", "PN": "3", "NM": "c", "STR": "s", "CT": "NYC", "ZIP": "3"},
+        ]
+        with ECFDDatabase(schema) as db:
+            db.load_relation(Relation(schema, rows))
+            violations = BatchDetector(db, paper_sigma).detect()
+        assert violations.is_clean()
+
+    def test_detect_is_idempotent(self, loaded_db, paper_sigma):
+        detector = BatchDetector(loaded_db, paper_sigma)
+        first = detector.detect()
+        second = detector.detect()
+        assert first == second
+
+    def test_aux_rows_reflect_fd_violations(self, schema, paper_sigma):
+        rows = FIG1_ROWS + [
+            {"AC": "519", "PN": "9", "NM": "Eve", "STR": "P", "CT": "Albany", "ZIP": "1"},
+        ]
+        with ECFDDatabase(schema) as db:
+            db.load_relation(Relation(schema, rows))
+            detector = BatchDetector(db, paper_sigma)
+            assert detector.aux_rows() == []  # nothing before detection
+            detector.detect()
+            aux = detector.aux_rows()
+        # Albany matches the LHS of both ψ1 pattern tuples (the complement
+        # pattern, CID 1, and the {Albany, Troy, Colonie} pattern, CID 2),
+        # so the violating group appears once per fragment.
+        assert len(aux) == 2
+        assert {row[0] for row in aux} == {1, 2}
+        assert all("Albany" in row[1:] for row in aux)
+
+    def test_violation_counts(self, loaded_db, paper_sigma):
+        detector = BatchDetector(loaded_db, paper_sigma)
+        detector.detect()
+        assert detector.violation_counts() == {"sv": 2, "mv": 0, "dirty": 2}
+
+
+class TestBatchDetectYpAndComplement:
+    def test_yp_only_ecfd_never_produces_mv(self, schema, psi2):
+        """ψ2 has an empty Y, so it can only yield single-tuple violations."""
+        rows = [
+            {"AC": "100", "PN": "1", "NM": "a", "STR": "s", "CT": "NYC", "ZIP": "1"},
+            {"AC": "101", "PN": "2", "NM": "b", "STR": "s", "CT": "NYC", "ZIP": "2"},
+        ]
+        with ECFDDatabase(schema) as db:
+            db.load_relation(Relation(schema, rows))
+            violations = BatchDetector(db, ECFDSet([psi2])).detect()
+        assert violations.sv_tids == frozenset({1, 2})
+        assert violations.mv_tids == frozenset()
+
+    def test_complement_rhs_pattern(self, schema):
+        """An eCFD with a complement-set on the RHS: AC must NOT be 999 outside NYC."""
+        ecfd = ECFD(
+            schema,
+            ["CT"],
+            [],
+            ["AC"],
+            tableau=[({"CT": {"Troy"}}, {"AC": ComplementSet(["999"])})],
+        )
+        rows = [
+            {"AC": "999", "PN": "1", "NM": "a", "STR": "s", "CT": "Troy", "ZIP": "1"},
+            {"AC": "518", "PN": "2", "NM": "b", "STR": "s", "CT": "Troy", "ZIP": "2"},
+        ]
+        with ECFDDatabase(schema) as db:
+            db.load_relation(Relation(schema, rows))
+            violations = BatchDetector(db, [ecfd]).detect()
+        assert violations.sv_tids == frozenset({1})

@@ -1,0 +1,97 @@
+"""Unit tests for the SQLite substrate (repro.detection.database)."""
+
+import pytest
+
+from repro.core import Relation, RelationSchema, cust_schema
+from repro.detection.database import ECFDDatabase, quote_identifier
+from repro.exceptions import DatabaseError
+from tests.conftest import FIG1_ROWS
+
+
+@pytest.fixture
+def db(schema):
+    with ECFDDatabase(schema) as database:
+        yield database
+
+
+class TestQuoting:
+    def test_quote_identifier(self):
+        assert quote_identifier("CT") == '"CT"'
+        assert quote_identifier('we"ird') == '"we""ird"'
+
+
+class TestLoading:
+    def test_load_relation_preserves_tids(self, db, d0):
+        assert db.load_relation(d0) == 6
+        assert db.count() == 6
+        assert db.all_tids() == [1, 2, 3, 4, 5, 6]
+        assert db.fetch_row(1)["CT"] == "Albany"
+        assert db.fetch_row(99) is None
+
+    def test_load_relation_schema_mismatch(self, db):
+        other_schema = RelationSchema("other", ["A", "B"])
+        other = Relation(other_schema, [["x", "y"]])
+        with pytest.raises(DatabaseError):
+            db.load_relation(other)
+
+    def test_insert_tuples_assigns_fresh_tids(self, db, d0):
+        db.load_relation(d0)
+        tids = db.insert_tuples([FIG1_ROWS[0], FIG1_ROWS[1]])
+        assert tids == [7, 8]
+        assert db.count() == 8
+
+    def test_insert_tuples_with_explicit_tids(self, db):
+        tids = db.insert_tuples([FIG1_ROWS[0]], tids=[42])
+        assert tids == [42]
+        assert db.fetch_row(42)["CT"] == "Albany"
+
+    def test_insert_tuples_tid_mismatch(self, db):
+        with pytest.raises(DatabaseError):
+            db.insert_tuples([FIG1_ROWS[0], FIG1_ROWS[1]], tids=[1])
+
+    def test_delete_tuples(self, db, d0):
+        db.load_relation(d0)
+        assert db.delete_tuples([1, 4]) == 2
+        assert db.all_tids() == [2, 3, 5, 6]
+        assert db.max_tid() == 6
+
+    def test_max_tid_empty(self, db):
+        assert db.max_tid() == 0
+        assert db.count() == 0
+
+
+class TestRoundTrip:
+    def test_to_relation_round_trips(self, db, d0):
+        db.load_relation(d0)
+        back = db.to_relation()
+        assert len(back) == 6
+        assert back.get(4)["CT"] == "NYC"
+        assert back.get(4)["AC"] == "100"
+        # Values come back as strings, matching how they were stored.
+        assert all(isinstance(v, str) for v in back.get(1).values())
+
+    def test_to_relation_preserves_gaps(self, db, d0):
+        db.load_relation(d0)
+        db.delete_tuples([3])
+        back = db.to_relation()
+        assert back.get(3) is None
+        assert back.get(6) is not None
+
+
+class TestFlags:
+    def test_flags_default_to_zero(self, db, d0):
+        db.load_relation(d0)
+        assert db.violations().is_clean()
+        assert db.flag_counts() == {"sv": 0, "mv": 0, "dirty": 0}
+
+    def test_manual_flag_update_and_reset(self, db, d0):
+        db.load_relation(d0)
+        db.execute(f'UPDATE {quote_identifier(db.table_name)} SET SV = 1 WHERE tid IN (1, 2)')
+        db.execute(f'UPDATE {quote_identifier(db.table_name)} SET MV = 1 WHERE tid IN (2, 3)')
+        db.commit()
+        violations = db.violations()
+        assert violations.sv_tids == frozenset({1, 2})
+        assert violations.mv_tids == frozenset({2, 3})
+        assert db.flag_counts() == {"sv": 2, "mv": 2, "dirty": 3}
+        db.reset_flags()
+        assert db.violations().is_clean()

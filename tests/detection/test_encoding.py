@@ -1,0 +1,114 @@
+"""Unit tests for the relational encoding of eCFDs (Fig. 3)."""
+
+import pytest
+
+from repro.core import ECFD, ECFDSet
+from repro.detection.database import ECFDDatabase
+from repro.detection.encoding import (
+    ENC_TABLE,
+    encode_constraints,
+    enc_column,
+    install_encoding,
+    pattern_table,
+)
+from repro.exceptions import DetectionError
+
+
+class TestEncodeConstraints:
+    def test_one_enc_row_per_pattern_tuple(self, paper_sigma):
+        encoding = encode_constraints(paper_sigma)
+        # ψ1 has two pattern tuples, ψ2 has one: three encoded fragments.
+        assert encoding.size == 3
+        assert len(encoding.enc_rows) == 3
+        assert sorted(encoding.fragments) == [1, 2, 3]
+
+    def test_codes_follow_fig3(self, paper_sigma, schema):
+        """The enc codes reproduce Fig. 3 of the paper.
+
+        CID 1: ψ1's first pattern  — CT_L = 2 (complement), AC_R = 3 (wildcard);
+        CID 2: ψ1's second pattern — CT_L = 1 (set),       AC_R = 1 (set);
+        CID 3: ψ2's pattern        — CT_L = 1 (set),       AC_R = -1 (set, Yp).
+        """
+        encoding = encode_constraints(paper_sigma)
+        attribute_order = schema.attribute_names
+        column_index = {
+            (attribute, side): 1 + 2 * attribute_order.index(attribute) + (0 if side == "L" else 1)
+            for attribute in attribute_order
+            for side in ("L", "R")
+        }
+        rows = {row[0]: row for row in encoding.enc_rows}
+        assert rows[1][column_index[("CT", "L")]] == 2
+        assert rows[1][column_index[("AC", "R")]] == 3
+        assert rows[2][column_index[("CT", "L")]] == 1
+        assert rows[2][column_index[("AC", "R")]] == 1
+        assert rows[3][column_index[("CT", "L")]] == 1
+        assert rows[3][column_index[("AC", "R")]] == -1
+        # Attributes not mentioned by an eCFD are coded 0 on both sides.
+        assert rows[1][column_index[("ZIP", "L")]] == 0
+        assert rows[1][column_index[("ZIP", "R")]] == 0
+
+    def test_constant_tables_follow_fig3(self, paper_sigma):
+        encoding = encode_constraints(paper_sigma)
+        ct_left = encoding.pattern_rows[("CT", "L")]
+        ac_right = encoding.pattern_rows[("AC", "R")]
+        assert (1, "NYC") in ct_left and (1, "LI") in ct_left
+        assert (2, "Albany") in ct_left and (2, "Troy") in ct_left and (2, "Colonie") in ct_left
+        assert (3, "NYC") in ct_left
+        assert (2, "518") in ac_right
+        assert {(3, code) for code in ["212", "718", "646", "347", "917"]} <= set(ac_right)
+        # Wildcards contribute no constants.
+        assert not any(cid == 1 for cid, _ in ac_right)
+
+    def test_encoding_is_linear_in_sigma(self, paper_sigma):
+        """The total number of encoded cells is linear in the size of Σ."""
+        encoding = encode_constraints(paper_sigma)
+        total_constants = sum(len(rows) for rows in encoding.pattern_rows.values())
+        mentioned_constants = sum(
+            len(values) for ecfd in paper_sigma for values in ecfd.constants().values()
+        )
+        assert total_constants == mentioned_constants
+
+    def test_empty_sigma_rejected(self):
+        with pytest.raises(DetectionError):
+            encode_constraints([])
+
+    def test_mixed_schemas_rejected(self, psi1):
+        from repro.core.schema import RelationSchema
+
+        other_schema = RelationSchema("other", ["A", "B"])
+        other = ECFD(other_schema, ["A"], ["B"], tableau=[({"A": "_"}, {"B": "_"})])
+        with pytest.raises(DetectionError):
+            encode_constraints([psi1, other])
+
+
+class TestInstallEncoding:
+    def test_tables_created_and_populated(self, schema, paper_sigma):
+        with ECFDDatabase(schema) as db:
+            encoding = encode_constraints(paper_sigma)
+            install_encoding(db, encoding)
+            [(enc_count,)] = db.query(f'SELECT COUNT(*) FROM "{ENC_TABLE}"')
+            assert enc_count == 3
+            [(ct_l_count,)] = db.query(f'SELECT COUNT(*) FROM "{pattern_table("CT", "L")}"')
+            assert ct_l_count == 6  # NYC, LI, Albany, Troy, Colonie, NYC(ψ2)
+            # Every attribute/side pair has a table, even when empty.
+            [(zip_count,)] = db.query(f'SELECT COUNT(*) FROM "{pattern_table("ZIP", "R")}"')
+            assert zip_count == 0
+
+    def test_reinstall_replaces_previous_encoding(self, schema, paper_sigma, psi1):
+        with ECFDDatabase(schema) as db:
+            install_encoding(db, encode_constraints(paper_sigma))
+            install_encoding(db, encode_constraints(ECFDSet([psi1])))
+            [(enc_count,)] = db.query(f'SELECT COUNT(*) FROM "{ENC_TABLE}"')
+            assert enc_count == 2
+
+    def test_schema_mismatch_rejected(self, schema, paper_sigma):
+        from repro.core.schema import RelationSchema
+
+        other = RelationSchema("other", ["A", "B"])
+        with ECFDDatabase(other) as db:
+            with pytest.raises(DetectionError):
+                install_encoding(db, encode_constraints(paper_sigma))
+
+    def test_enc_column_and_table_names(self):
+        assert enc_column("CT", "L") == "CT_L"
+        assert pattern_table("AC", "R") == "ecfd_tp_AC_R"

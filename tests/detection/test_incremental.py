@@ -1,0 +1,197 @@
+"""Unit tests for INCDETECT (Section V-B)."""
+
+import pytest
+
+from repro.core import Relation
+from repro.detection import BatchDetector, ECFDDatabase, IncrementalDetector
+from tests.conftest import FIG1_ROWS
+
+
+def fresh_db(schema, rows):
+    db = ECFDDatabase(schema)
+    db.load_relation(Relation(schema, rows))
+    return db
+
+
+def batch_reference(schema, rows, sigma):
+    """The violation set a from-scratch batch run computes on `rows`."""
+    with ECFDDatabase(schema) as db:
+        db.load_relation(Relation(schema, rows))
+        return BatchDetector(db, sigma).detect()
+
+
+CLEAN_ROWS = [
+    {"AC": "518", "PN": "1", "NM": "a", "STR": "s", "CT": "Albany", "ZIP": "1"},
+    {"AC": "518", "PN": "2", "NM": "b", "STR": "s", "CT": "Troy", "ZIP": "2"},
+    {"AC": "212", "PN": "3", "NM": "c", "STR": "s", "CT": "NYC", "ZIP": "3"},
+]
+
+
+class TestInitialization:
+    def test_initialize_matches_batch(self, schema, paper_sigma, d0):
+        db = fresh_db(schema, FIG1_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        result = detector.initialize()
+        assert result == batch_reference(schema, FIG1_ROWS, paper_sigma)
+        db.close()
+
+    def test_lazy_initialization(self, schema, paper_sigma):
+        db = fresh_db(schema, FIG1_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        # Calling violations() without initialize() runs the batch step first.
+        assert detector.violations().violating_tids == {1, 4}
+        db.close()
+
+
+class TestInsertions:
+    def test_insert_clean_tuple_adds_no_violations(self, schema, paper_sigma):
+        db = fresh_db(schema, CLEAN_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        result = detector.insert_tuples(
+            [{"AC": "917", "PN": "4", "NM": "d", "STR": "s", "CT": "NYC", "ZIP": "4"}]
+        )
+        assert result.is_clean()
+        db.close()
+
+    def test_insert_single_tuple_violation(self, schema, paper_sigma):
+        db = fresh_db(schema, CLEAN_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        result = detector.insert_tuples(
+            [{"AC": "100", "PN": "4", "NM": "d", "STR": "s", "CT": "NYC", "ZIP": "4"}]
+        )
+        assert result.sv_tids == frozenset({4})
+        assert result.mv_tids == frozenset()
+        db.close()
+
+    def test_insert_creates_fd_violation_with_existing_tuple(self, schema, paper_sigma):
+        """An inserted tuple may violate an embedded FD together with an old tuple."""
+        db = fresh_db(schema, CLEAN_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        result = detector.insert_tuples(
+            [{"AC": "519", "PN": "4", "NM": "d", "STR": "s", "CT": "Troy", "ZIP": "4"}]
+        )
+        # tid 2 is the old Troy/518 tuple, tid 4 the new Troy/519 one.
+        assert {2, 4} <= result.mv_tids
+        db.close()
+
+    def test_insert_matches_batch_recomputation(self, schema, paper_sigma):
+        new_rows = [
+            {"AC": "519", "PN": "4", "NM": "d", "STR": "s", "CT": "Troy", "ZIP": "4"},
+            {"AC": "100", "PN": "5", "NM": "e", "STR": "s", "CT": "NYC", "ZIP": "5"},
+            {"AC": "518", "PN": "6", "NM": "f", "STR": "s", "CT": "Colonie", "ZIP": "6"},
+        ]
+        db = fresh_db(schema, CLEAN_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        incremental = detector.insert_tuples(new_rows)
+        assert incremental == batch_reference(schema, CLEAN_ROWS + new_rows, paper_sigma)
+        db.close()
+
+    def test_insert_violations_among_new_tuples_only(self, schema, paper_sigma):
+        """Two inserted tuples can violate the FD between themselves (step 2.d)."""
+        db = fresh_db(schema, CLEAN_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        result = detector.insert_tuples(
+            [
+                {"AC": "315", "PN": "4", "NM": "d", "STR": "s", "CT": "Utica", "ZIP": "4"},
+                {"AC": "316", "PN": "5", "NM": "e", "STR": "s", "CT": "Utica", "ZIP": "5"},
+            ]
+        )
+        assert {4, 5} <= result.mv_tids
+        db.close()
+
+
+class TestDeletions:
+    def test_delete_violating_tuple_clears_flags(self, schema, paper_sigma):
+        db = fresh_db(schema, FIG1_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        result = detector.delete_tuples([1, 4])
+        assert result.is_clean()
+        assert result == batch_reference(
+            schema, [row for i, row in enumerate(FIG1_ROWS, start=1) if i not in {1, 4}], paper_sigma
+        )
+        db.close()
+
+    def test_delete_resolves_fd_violation(self, schema, paper_sigma):
+        rows = CLEAN_ROWS + [
+            {"AC": "519", "PN": "4", "NM": "d", "STR": "s", "CT": "Troy", "ZIP": "4"},
+        ]
+        db = fresh_db(schema, rows)
+        detector = IncrementalDetector(db, paper_sigma)
+        initial = detector.initialize()
+        assert {2, 4} <= initial.mv_tids
+        result = detector.delete_tuples([4])
+        assert result.mv_tids == frozenset()
+        db.close()
+
+    def test_delete_keeps_unrelated_violations(self, schema, paper_sigma):
+        db = fresh_db(schema, FIG1_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        result = detector.delete_tuples([2])  # delete a clean tuple
+        assert result.violating_tids == {1, 4}
+        db.close()
+
+    def test_delete_part_of_large_fd_group(self, schema, paper_sigma):
+        """Deleting one of three conflicting tuples leaves the group violating."""
+        rows = CLEAN_ROWS + [
+            {"AC": "519", "PN": "4", "NM": "d", "STR": "s", "CT": "Troy", "ZIP": "4"},
+            {"AC": "520", "PN": "5", "NM": "e", "STR": "s", "CT": "Troy", "ZIP": "5"},
+        ]
+        db = fresh_db(schema, rows)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        result = detector.delete_tuples([5])
+        expected = batch_reference(schema, rows[:-1], paper_sigma)
+        assert result == expected
+        assert {2, 4} <= result.mv_tids
+        db.close()
+
+
+class TestMixedUpdateSequences:
+    def test_interleaved_updates_match_batch(self, schema, paper_sigma):
+        db = fresh_db(schema, FIG1_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+
+        detector.insert_tuples(
+            [{"AC": "519", "PN": "7", "NM": "g", "STR": "s", "CT": "Colonie", "ZIP": "7"}]
+        )
+        detector.delete_tuples([1])
+        result = detector.insert_tuples(
+            [{"AC": "347", "PN": "8", "NM": "h", "STR": "s", "CT": "NYC", "ZIP": "8"}]
+        )
+
+        # Reference: rebuild the final state from scratch with the batch detector.
+        final_relation = db.to_relation()
+        with ECFDDatabase(schema) as reference_db:
+            reference_db.load_relation(final_relation)
+            expected = BatchDetector(reference_db, paper_sigma).detect()
+        assert result == expected
+
+    def test_aux_relation_consistency_after_updates(self, schema, paper_sigma):
+        """After any update sequence, Aux(D) equals a fresh Q_mv over the data."""
+        db = fresh_db(schema, FIG1_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        detector.insert_tuples(
+            [
+                {"AC": "519", "PN": "7", "NM": "g", "STR": "s", "CT": "Albany", "ZIP": "7"},
+                {"AC": "520", "PN": "8", "NM": "h", "STR": "s", "CT": "Albany", "ZIP": "8"},
+            ]
+        )
+        detector.delete_tuples([1])
+        incremental_aux = sorted(detector.aux_rows())
+
+        final_relation = db.to_relation()
+        with ECFDDatabase(schema) as reference_db:
+            reference_db.load_relation(final_relation)
+            reference = BatchDetector(reference_db, paper_sigma)
+            reference.detect()
+            batch_aux = sorted(reference.aux_rows())
+        assert incremental_aux == batch_aux

@@ -1,0 +1,105 @@
+"""Unit tests for eCFD discovery (repro.discovery)."""
+
+import pytest
+
+from repro.core import Relation, cust_schema
+from repro.datagen import DatasetGenerator, find_city
+from repro.detection import NaiveDetector
+from repro.discovery import discover_ecfd, discover_patterns
+from repro.exceptions import DiscoveryError
+
+
+def city_rows(pairs):
+    """Build cust rows with the given (CT, AC) pairs and filler attributes."""
+    return [
+        {"AC": ac, "PN": str(i), "NM": "x", "STR": "s", "CT": ct, "ZIP": str(i)}
+        for i, (ct, ac) in enumerate(pairs, start=1)
+    ]
+
+
+class TestDiscoverPatterns:
+    def test_mines_constant_binding(self, schema):
+        relation = Relation(schema, city_rows([("Albany", "518")] * 5 + [("Troy", "518")] * 4))
+        patterns = discover_patterns(relation, ["CT"], "AC", min_support=3)
+        assert {p.lhs_value for p in patterns} == {"Albany", "Troy"}
+        assert all(p.rhs_values == frozenset({"518"}) and not p.complement for p in patterns)
+        assert all(p.confidence == 1.0 for p in patterns)
+
+    def test_mines_disjunction_for_multivalued_rhs(self, schema):
+        pairs = [("NYC", "212")] * 4 + [("NYC", "718")] * 4 + [("NYC", "646")] * 2
+        relation = Relation(schema, city_rows(pairs))
+        patterns = discover_patterns(relation, ["CT"], "AC", min_support=3, min_confidence=1.0)
+        assert len(patterns) == 1
+        assert patterns[0].rhs_values == frozenset({"212", "718", "646"})
+
+    def test_low_support_groups_skipped(self, schema):
+        relation = Relation(schema, city_rows([("Albany", "518"), ("Troy", "518")]))
+        assert discover_patterns(relation, ["CT"], "AC", min_support=3) == []
+
+    def test_noise_tolerated_below_confidence_threshold(self, schema):
+        pairs = [("Albany", "518")] * 19 + [("Albany", "999")]
+        relation = Relation(schema, city_rows(pairs))
+        patterns = discover_patterns(relation, ["CT"], "AC", min_support=5, min_confidence=0.9)
+        assert len(patterns) == 1
+        assert patterns[0].rhs_values == frozenset({"518"})
+        assert patterns[0].confidence == pytest.approx(0.95)
+
+    def test_spread_out_rhs_produces_nothing(self, schema):
+        pairs = [("NYC", str(code)) for code in range(20)]
+        relation = Relation(schema, city_rows(pairs))
+        assert discover_patterns(relation, ["CT"], "AC", min_support=5, max_rhs_values=3) == []
+
+    def test_invalid_parameters_rejected(self, schema, d0):
+        with pytest.raises(DiscoveryError):
+            discover_patterns(d0, [], "AC")
+        with pytest.raises(DiscoveryError):
+            discover_patterns(d0, ["AC"], "AC")
+        with pytest.raises(DiscoveryError):
+            discover_patterns(d0, ["CT"], "AC", min_confidence=0.0)
+
+
+class TestDiscoverEcfd:
+    def test_discovered_ecfd_holds_on_clean_sample(self):
+        generator = DatasetGenerator(seed=11)
+        relation = generator.generate(400, noise_percent=0.0)
+        result = discover_ecfd(relation, ["CT"], "AC", min_support=3, min_confidence=1.0)
+        assert result.ecfd is not None
+        assert result.ecfd.pattern_rhs == ("AC",)
+        assert NaiveDetector([result.ecfd]).detect(relation).is_clean()
+
+    def test_discovered_ecfd_reflects_catalogue_bindings(self):
+        generator = DatasetGenerator(seed=12)
+        relation = generator.generate(500, noise_percent=0.0)
+        result = discover_ecfd(relation, ["CT"], "AC", min_support=4, min_confidence=1.0)
+        assert result.ecfd is not None
+        for pattern, mined in zip(result.ecfd.tableau, result.patterns):
+            record = find_city(str(mined.lhs_value))
+            if record is not None and not mined.complement:
+                assert mined.rhs_values <= set(record.area_codes)
+
+    def test_discovered_ecfd_flags_injected_noise(self):
+        generator = DatasetGenerator(seed=13)
+        clean = generator.generate(400, noise_percent=0.0)
+        result = discover_ecfd(clean, ["CT"], "AC", min_support=3, min_confidence=1.0)
+        assert result.ecfd is not None
+        # Corrupt a fresh dataset and check the discovered constraint catches it.
+        dirty = DatasetGenerator(seed=13).generate(400, noise_percent=0.0)
+        victim = dirty.get(1)
+        dirty._tuples[1] = victim.replace(AC="000")
+        violations = NaiveDetector([result.ecfd]).detect(dirty)
+        assert 1 in violations.sv_tids
+
+    def test_empty_result_when_nothing_reaches_thresholds(self, schema):
+        relation = Relation(schema, city_rows([("Albany", "518")]))
+        result = discover_ecfd(relation, ["CT"], "AC", min_support=5)
+        assert result.ecfd is None
+        assert result.patterns == ()
+
+    def test_multi_attribute_lhs(self, schema):
+        rows = city_rows([("Albany", "518")] * 4 + [("Troy", "518")] * 4)
+        for index, row in enumerate(rows):
+            row["ZIP"] = "12205" if index < 4 else "12180"
+        relation = Relation(schema, rows)
+        result = discover_ecfd(relation, ["CT", "ZIP"], "AC", min_support=3, min_confidence=1.0)
+        assert result.ecfd is not None
+        assert result.ecfd.lhs == ("CT", "ZIP")

@@ -1,0 +1,116 @@
+"""Unit tests for the experiment harness (smoke scale)."""
+
+import pytest
+
+from repro.datagen import DatasetGenerator, UpdateGenerator, paper_workload
+from repro.experiments import (
+    SCALES,
+    current_scale,
+    fig5a,
+    fig7b,
+    format_table,
+    timed_batch_after_update,
+    timed_batch_detection,
+    timed_incremental_update,
+    to_csv,
+)
+from repro.experiments.figures import ablation_maxss
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.timing import Measurement, Timer, stopwatch
+
+
+SMOKE = SCALES["smoke"]
+
+
+class TestTiming:
+    def test_stopwatch_measures_nonnegative_time(self):
+        with stopwatch() as timer:
+            sum(range(10_000))
+        assert timer.elapsed >= 0.0
+
+    def test_timer_requires_start(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_measurement_as_row(self):
+        measurement = Measurement("batch", 100, 0.5, extra={"sv": 3})
+        row = measurement.as_row()
+        assert row["series"] == "batch"
+        assert row["parameter"] == 100
+        assert row["sv"] == 3
+
+
+class TestScales:
+    def test_named_scales_exist(self):
+        assert {"smoke", "bench", "paper"} <= set(SCALES)
+        assert SCALES["paper"].default_size == 100_000
+        assert SCALES["paper"].dataset_sizes[-1] == 100_000
+
+    def test_current_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert current_scale().name == "smoke"
+        assert current_scale("paper").name == "paper"
+        with pytest.raises(ValueError):
+            current_scale("galactic")
+
+
+class TestReporting:
+    def test_format_table_and_csv(self):
+        rows = [{"series": "a", "parameter": 1, "seconds": 0.1}, {"series": "b", "parameter": 2, "seconds": 0.2}]
+        table = format_table(rows)
+        assert "series" in table and "0.2" in table
+        csv_text = to_csv(rows)
+        assert csv_text.splitlines()[0] == "series,parameter,seconds"
+        assert format_table([]) == "(no data)"
+        assert to_csv([]) == ""
+
+    def test_experiment_result_helpers(self):
+        result = ExperimentResult("figX", "demo")
+        result.measurements.append(Measurement("a", 1, 0.1))
+        result.measurements.append(Measurement("b", 1, 0.2))
+        assert len(result.series("a")) == 1
+        assert "figX" in result.to_table()
+        assert "series" in result.to_csv()
+
+
+class TestTimedBuildingBlocks:
+    def test_timed_batch_detection(self):
+        sigma = paper_workload()
+        rows = DatasetGenerator(seed=0).generate_rows(120, 5.0)
+        measurement, violations = timed_batch_detection(rows, sigma, parameter=120)
+        assert measurement.extra["tuples"] == 120
+        assert measurement.seconds >= 0.0
+        assert measurement.extra["dirty"] == len(violations)
+        assert not violations.is_clean()
+
+    def test_incremental_and_batch_after_update_agree(self):
+        sigma = paper_workload()
+        generator = DatasetGenerator(seed=1)
+        rows = generator.generate_rows(100, 5.0)
+        updates = UpdateGenerator(DatasetGenerator(seed=2), seed=3)
+        batch = updates.make_batch(range(1, 101), insert_count=20, delete_count=20, noise_percent=5.0)
+        _, _, incremental_result = timed_incremental_update(rows, sigma, batch, parameter=20)
+        _, batch_result = timed_batch_after_update(rows, sigma, batch, parameter=20)
+        assert incremental_result == batch_result
+
+
+class TestFigureDrivers:
+    def test_fig5a_produces_one_point_per_size(self):
+        result = fig5a(SMOKE)
+        assert len(result.measurements) == len(SMOKE.dataset_sizes)
+        assert [m.parameter for m in result.measurements] == list(SMOKE.dataset_sizes)
+        assert all(m.label == "batchdetect" for m in result.measurements)
+
+    def test_fig7b_reports_violation_growth(self):
+        result = fig7b(SMOKE)
+        after = result.series("after-update")
+        assert len(after) == len(SMOKE.update_sizes)
+        assert all("dsv" in m.extra and "dmv" in m.extra for m in after)
+        assert all(m.extra["dsv"] >= 0 and m.extra["dmv"] >= 0 for m in after)
+
+    def test_ablation_maxss_ratio_bounded(self):
+        result = ablation_maxss(trials=2, sigma_size=5)
+        assert result.measurements
+        for measurement in result.measurements:
+            assert 0.0 <= measurement.extra["ratio"] <= 1.0
+            assert measurement.extra["approx_cardinality"] <= measurement.extra["exact_optimum"]

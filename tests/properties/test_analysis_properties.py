@@ -1,0 +1,114 @@
+"""Property-based tests for the static analyses and the MAXSS reduction."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    find_witness,
+    implies,
+    is_satisfiable,
+    is_satisfiable_via_reduction,
+    max_satisfiable_subset,
+    reduce_to_maxgsat,
+)
+from repro.core import ECFD, cust_schema
+from repro.core.ecfd import PatternTuple
+from repro.core.fd import FunctionalDependency, attribute_closure, minimal_cover
+from repro.core.fd import implies as fd_implies
+from repro.core.patterns import ComplementSet, ValueSet, WILDCARD
+from repro.core.schema import RelationSchema
+from repro.sat import SOLVERS
+
+SCHEMA = cust_schema()
+
+cities = st.sampled_from(["NYC", "LI", "Albany", "Troy", "Colonie"])
+codes = st.sampled_from(["212", "518", "646", "315", "716"])
+city_sets = st.frozensets(cities, min_size=1, max_size=3)
+code_sets = st.frozensets(codes, min_size=1, max_size=3)
+
+
+def ct_ac_patterns():
+    """Pattern entries over CT (LHS) and AC (RHS) including all three kinds."""
+    lhs = st.one_of(st.just(WILDCARD), city_sets.map(ValueSet), city_sets.map(ComplementSet))
+    rhs = st.one_of(st.just(WILDCARD), code_sets.map(ValueSet), code_sets.map(ComplementSet))
+    return st.tuples(lhs, rhs)
+
+
+def small_sigma():
+    """Small random constraint sets over CT -> AC (as Yp constraints)."""
+    single = st.lists(ct_ac_patterns(), min_size=1, max_size=2).map(
+        lambda rows: ECFD(
+            SCHEMA,
+            ["CT"],
+            [],
+            ["AC"],
+            [PatternTuple({"CT": lhs}, {"AC": rhs}) for lhs, rhs in rows],
+        )
+    )
+    return st.lists(single, min_size=1, max_size=4)
+
+
+class TestSatisfiabilityProperties:
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(small_sigma())
+    def test_witness_actually_satisfies(self, sigma):
+        witness = find_witness(sigma)
+        if witness is not None:
+            assert all(ecfd.satisfied_by_single_tuple(witness) for ecfd in sigma)
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(small_sigma())
+    def test_backtracking_and_reduction_agree(self, sigma):
+        assert is_satisfiable(sigma) == is_satisfiable_via_reduction(sigma)
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(small_sigma())
+    def test_subsets_of_satisfiable_sets_are_satisfiable(self, sigma):
+        if is_satisfiable(sigma):
+            assert is_satisfiable(sigma[: max(1, len(sigma) // 2)])
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(small_sigma())
+    def test_members_are_implied(self, sigma):
+        assert implies(sigma, sigma[0])
+
+
+class TestMaxSSProperties:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(small_sigma())
+    def test_maxss_subset_is_satisfiable_and_not_smaller_than_score(self, sigma):
+        reduction = reduce_to_maxgsat(sigma)
+        result = max_satisfiable_subset(sigma, solver=SOLVERS["walksat"])
+        assert result.cardinality >= result.maxgsat_score
+        assert is_satisfiable(result.satisfiable_subset) or not result.satisfiable_subset
+        assert reduction.instance.size == len(sigma)
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(small_sigma())
+    def test_satisfiable_sets_recovered_entirely_by_exact_solver(self, sigma):
+        if is_satisfiable(sigma):
+            result = max_satisfiable_subset(sigma, solver=SOLVERS["exact"])
+            assert result.cardinality == len(sigma)
+
+
+class TestFDProperties:
+    attribute_lists = st.lists(st.sampled_from(list(SCHEMA.attribute_names)), min_size=1, max_size=3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.tuples(attribute_lists, attribute_lists), min_size=0, max_size=4),
+        attribute_lists,
+    )
+    def test_closure_is_monotone_and_idempotent(self, fd_specs, seed_attrs):
+        fds = [FunctionalDependency(SCHEMA, lhs, rhs) for lhs, rhs in fd_specs]
+        closure = attribute_closure(seed_attrs, fds)
+        assert set(seed_attrs) <= closure
+        assert attribute_closure(closure, fds) == closure
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(attribute_lists, attribute_lists), min_size=1, max_size=4))
+    def test_minimal_cover_is_equivalent(self, fd_specs):
+        fds = [FunctionalDependency(SCHEMA, lhs, rhs) for lhs, rhs in fd_specs]
+        cover = minimal_cover(fds)
+        assert all(fd_implies(cover, fd) for fd in fds)
+        assert all(fd_implies(fds, fd) for fd in cover)

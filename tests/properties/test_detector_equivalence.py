@@ -1,0 +1,77 @@
+"""Property-based tests: the three detectors agree on randomized datasets.
+
+The central correctness property of the reproduction is that the SQL-based
+BATCHDETECT, the SQL-based INCDETECT (after arbitrary update sequences) and
+the pure-Python reference semantics always compute the same violation set.
+Hypothesis drives randomized datasets, noise rates and update batches
+through all three.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Relation, cust_ext_schema
+from repro.datagen import DatasetGenerator, UpdateGenerator, paper_workload
+from repro.detection import BatchDetector, ECFDDatabase, IncrementalDetector, NaiveDetector
+
+SIGMA = paper_workload()
+SCHEMA = cust_ext_schema()
+
+dataset_params = st.tuples(
+    st.integers(min_value=5, max_value=80),       # dataset size
+    st.floats(min_value=0.0, max_value=20.0),     # noise percent
+    st.integers(min_value=0, max_value=2**16),    # generator seed
+)
+
+
+def _rows(size, noise, seed):
+    return DatasetGenerator(seed=seed).generate_rows(size, noise)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(dataset_params)
+def test_batch_sql_matches_naive_oracle(params):
+    size, noise, seed = params
+    rows = _rows(size, noise, seed)
+    with ECFDDatabase(SCHEMA) as db:
+        db.insert_tuples(rows)
+        sql_result = BatchDetector(db, SIGMA).detect()
+        naive_result = NaiveDetector(SIGMA).detect_database(db)
+    assert sql_result == naive_result
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    dataset_params,
+    st.integers(min_value=0, max_value=15),   # insert count
+    st.integers(min_value=0, max_value=15),   # delete count
+    st.integers(min_value=0, max_value=2**16) # update seed
+)
+def test_incremental_matches_batch_after_update(params, inserts, deletes, update_seed):
+    size, noise, seed = params
+    rows = _rows(size, noise, seed)
+    deletes = min(deletes, size)
+
+    with ECFDDatabase(SCHEMA) as db:
+        db.insert_tuples(rows)
+        detector = IncrementalDetector(db, SIGMA)
+        detector.initialize()
+        batch = UpdateGenerator(DatasetGenerator(seed=update_seed), seed=update_seed).make_batch(
+            existing_tids=range(1, size + 1),
+            insert_count=inserts,
+            delete_count=deletes,
+            noise_percent=noise,
+        )
+        if batch.delete_tids:
+            detector.delete_tuples(batch.delete_tids)
+        if batch.insert_rows:
+            detector.insert_tuples(list(batch.insert_rows))
+        incremental_result = detector.violations()
+        final_relation = db.to_relation()
+
+    with ECFDDatabase(SCHEMA) as reference_db:
+        reference_db.load_relation(final_relation)
+        batch_result = BatchDetector(reference_db, SIGMA).detect()
+        naive_result = NaiveDetector(SIGMA).detect_database(reference_db)
+
+    assert incremental_result == batch_result == naive_result

@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) for the pattern algebra and the parser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import cust_schema, format_ecfd, parse_ecfd
+from repro.core.ecfd import ECFD, PatternTuple
+from repro.core.patterns import ComplementSet, ValueSet, WILDCARD, Wildcard
+from repro.core.schema import Domain
+
+#: Constants drawn from a small alphabet so sets overlap often.
+values = st.text(alphabet="abcde", min_size=1, max_size=3)
+value_sets = st.frozensets(values, min_size=1, max_size=4)
+
+
+def patterns():
+    return st.one_of(
+        st.just(WILDCARD),
+        value_sets.map(ValueSet),
+        value_sets.map(ComplementSet),
+    )
+
+
+class TestMatchingAlgebra:
+    @given(patterns(), patterns(), values)
+    def test_intersection_is_conjunction(self, left, right, probe):
+        """A value matches left ∩ right iff it matches both operands."""
+        both = left.intersect(right)
+        expected = left.matches(probe) and right.matches(probe)
+        observed = both is not None and both.matches(probe)
+        assert observed == expected
+
+    @given(patterns(), patterns(), values)
+    def test_subsumption_is_sound(self, big, small, probe):
+        """If big subsumes small, every value matching small matches big."""
+        if big.subsumes(small) and small.matches(probe):
+            assert big.matches(probe)
+
+    @given(patterns())
+    def test_pick_returns_matching_value(self, pattern):
+        domain = Domain("string")
+        value = pattern.pick(domain)
+        assert value is not None
+        assert pattern.matches(value)
+
+    @given(value_sets, values)
+    def test_set_and_complement_are_duals(self, constants, probe):
+        assert ValueSet(constants).matches(probe) != ComplementSet(constants).matches(probe)
+
+    @given(patterns(), values)
+    def test_wildcard_is_intersection_identity(self, pattern, probe):
+        assert WILDCARD.intersect(pattern).matches(probe) == pattern.matches(probe)
+
+
+class TestParserRoundTrip:
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(patterns(), patterns()),
+            min_size=1,
+            max_size=3,
+        ),
+        st.booleans(),
+    )
+    def test_format_parse_round_trip(self, rows, use_yp):
+        """format_ecfd / parse_ecfd round-trip arbitrary single-FD eCFDs."""
+        schema = cust_schema()
+        tableau = [PatternTuple({"CT": lhs}, {"AC": rhs}) for lhs, rhs in rows]
+        if use_yp:
+            ecfd = ECFD(schema, ["CT"], [], ["AC"], tableau)
+        else:
+            ecfd = ECFD(schema, ["CT"], ["AC"], [], tableau)
+        parsed = parse_ecfd(format_ecfd(ecfd), schema)
+        assert parsed.lhs == ecfd.lhs
+        assert parsed.rhs == ecfd.rhs
+        assert parsed.pattern_rhs == ecfd.pattern_rhs
+        assert parsed.tableau == ecfd.tableau

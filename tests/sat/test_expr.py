@@ -1,0 +1,96 @@
+"""Unit tests for the Boolean expression AST (repro.sat.expr)."""
+
+from repro.sat.expr import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Not,
+    Or,
+    Var,
+    conjoin,
+    disjoin,
+    implies_expr,
+)
+
+
+class TestEvaluation:
+    def test_var_defaults_to_false(self):
+        assert not Var("x").evaluate({})
+        assert Var("x").evaluate({"x": True})
+
+    def test_constants(self):
+        assert TRUE.evaluate({})
+        assert not FALSE.evaluate({})
+
+    def test_not(self):
+        assert Not(Var("x")).evaluate({"x": False})
+        assert not Not(Var("x")).evaluate({"x": True})
+
+    def test_and_or(self):
+        x, y = Var("x"), Var("y")
+        both = And([x, y])
+        either = Or([x, y])
+        assert both.evaluate({"x": True, "y": True})
+        assert not both.evaluate({"x": True, "y": False})
+        assert either.evaluate({"x": False, "y": True})
+        assert not either.evaluate({"x": False, "y": False})
+
+    def test_empty_and_is_true_empty_or_is_false(self):
+        assert And([]).evaluate({})
+        assert not Or([]).evaluate({})
+
+    def test_implication(self):
+        imp = implies_expr(Var("x"), Var("y"))
+        assert imp.evaluate({"x": False, "y": False})
+        assert imp.evaluate({"x": True, "y": True})
+        assert not imp.evaluate({"x": True, "y": False})
+
+    def test_operator_sugar(self):
+        x, y = Var("x"), Var("y")
+        assert (x & y).evaluate({"x": True, "y": True})
+        assert (x | y).evaluate({"x": False, "y": True})
+        assert (~x).evaluate({"x": False})
+
+
+class TestVariables:
+    def test_variable_collection(self):
+        expression = Or([And([Var("a"), Not(Var("b"))]), Var("c"), TRUE])
+        assert expression.variables() == frozenset({"a", "b", "c"})
+
+    def test_constants_have_no_variables(self):
+        assert TRUE.variables() == frozenset()
+
+
+class TestSimplification:
+    def test_conjoin_flattens_and_simplifies(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        nested = conjoin([And([x, y]), z])
+        assert isinstance(nested, And)
+        assert len(nested.operands) == 3
+        assert conjoin([x, TRUE]) == x
+        assert conjoin([x, FALSE]) == FALSE
+        assert conjoin([]) == TRUE
+        assert conjoin([x]) == x
+
+    def test_disjoin_flattens_and_simplifies(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        nested = disjoin([Or([x, y]), z])
+        assert isinstance(nested, Or)
+        assert len(nested.operands) == 3
+        assert disjoin([x, FALSE]) == x
+        assert disjoin([x, TRUE]) == TRUE
+        assert disjoin([]) == FALSE
+        assert disjoin([x]) == x
+
+    def test_hashable_and_equal(self):
+        assert And([Var("x"), Var("y")]) == And([Var("x"), Var("y")])
+        assert hash(Var("x")) == hash(Var("x"))
+        assert Const(True) == TRUE
+
+    def test_str_renders(self):
+        assert str(Var("x")) == "x"
+        assert "∧" in str(And([Var("x"), Var("y")]))
+        assert "∨" in str(Or([Var("x"), Var("y")]))
+        assert str(And([])) == "true"
+        assert str(Or([])) == "false"

@@ -1,0 +1,122 @@
+"""Unit tests for the MAXGSAT solvers (exact, random, greedy, walksat, best)."""
+
+import pytest
+
+from repro.sat import (
+    SOLVERS,
+    MaxGSATInstance,
+    Not,
+    Or,
+    And,
+    Var,
+    solve_best,
+    solve_exact,
+    solve_greedy,
+    solve_random,
+    solve_walksat,
+)
+
+
+def _satisfiable_instance() -> MaxGSATInstance:
+    """Three expressions, all simultaneously satisfiable (x=T, y=F, z=T)."""
+    x, y, z = Var("x"), Var("y"), Var("z")
+    return MaxGSATInstance([Or([x, y]), And([x, Not(y)]), Or([z, y])])
+
+
+def _conflicting_instance() -> MaxGSATInstance:
+    """x and ¬x can never both hold: optimum is 2 of 3."""
+    x, y = Var("x"), Var("y")
+    return MaxGSATInstance([x, Not(x), Var("y") | y])
+
+
+ALL_SOLVERS = [solve_exact, solve_random, solve_greedy, solve_walksat, solve_best]
+
+
+class TestInstance:
+    def test_variables_sorted(self):
+        instance = _satisfiable_instance()
+        assert instance.variables() == ["x", "y", "z"]
+        assert instance.size == 3
+
+    def test_score_and_satisfied_indices(self):
+        instance = _conflicting_instance()
+        assert instance.score({"x": True, "y": True}) == 2
+        assert instance.satisfied_indices({"x": True, "y": True}) == frozenset({0, 2})
+
+
+class TestExactSolver:
+    def test_finds_full_satisfaction(self):
+        result = solve_exact(_satisfiable_instance())
+        assert result.score == 3
+        assert result.assignment["x"] is True
+
+    def test_finds_optimum_on_conflict(self):
+        result = solve_exact(_conflicting_instance())
+        assert result.score == 2
+
+    def test_refuses_huge_instances(self):
+        instance = MaxGSATInstance([Var(f"v{i}") for i in range(30)])
+        with pytest.raises(ValueError):
+            solve_exact(instance)
+
+    def test_variable_limit_is_adjustable(self):
+        instance = MaxGSATInstance([Var(f"v{i}") for i in range(5)])
+        with pytest.raises(ValueError):
+            solve_exact(instance, max_variables=3)
+        # ... and raising the limit lets the search run.
+        assert solve_exact(instance, max_variables=5).score == 5
+
+    def test_empty_instance(self):
+        result = solve_exact(MaxGSATInstance([]))
+        assert result.score == 0
+        assert result.assignment == {}
+
+
+class TestApproximateSolvers:
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_solvers_find_satisfiable_instance(self, solver):
+        result = solver(_satisfiable_instance())
+        assert result.score == 3
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_solvers_return_feasible_results(self, solver):
+        """The reported satisfied set must match re-evaluation of the assignment."""
+        instance = _conflicting_instance()
+        result = solver(instance)
+        assert result.satisfied == instance.satisfied_indices(result.assignment)
+        assert 0 <= result.score <= instance.size
+
+    def test_walksat_deterministic_for_fixed_seed(self):
+        instance = _conflicting_instance()
+        first = solve_walksat(instance, seed=7)
+        second = solve_walksat(instance, seed=7)
+        assert first.assignment == second.assignment
+
+    def test_random_deterministic_for_fixed_seed(self):
+        instance = _satisfiable_instance()
+        assert solve_random(instance, seed=3).assignment == solve_random(instance, seed=3).assignment
+
+    def test_best_matches_exact_on_small_instances(self):
+        for instance in [_satisfiable_instance(), _conflicting_instance()]:
+            assert solve_best(instance).score == solve_exact(instance).score
+
+    def test_greedy_on_chained_implications(self):
+        """Greedy should satisfy a consistent implication chain completely."""
+        a, b, c = Var("a"), Var("b"), Var("c")
+        instance = MaxGSATInstance([a, Or([Not(a), b]), Or([Not(b), c])])
+        assert solve_greedy(instance).score == 3
+
+    def test_walksat_empty_variables(self):
+        instance = MaxGSATInstance([And([])])
+        assert solve_walksat(instance).score == 1
+
+
+class TestRegistry:
+    def test_all_solvers_registered(self):
+        assert {"exact", "random", "greedy", "walksat", "best"} <= set(SOLVERS)
+
+    def test_registry_entries_callable(self):
+        instance = _satisfiable_instance()
+        for name, solver in SOLVERS.items():
+            result = solver(instance)
+            assert result.score <= instance.size, name
