@@ -1,8 +1,11 @@
 """Shared helpers for the benchmark suite.
 
 Every benchmark regenerates one figure (or ablation) of the paper's
-evaluation at a reduced scale, so the whole suite finishes in minutes.  Two
-environment knobs control the size:
+evaluation at a reduced scale, so the whole suite finishes in minutes.  All
+detection work runs through the :class:`~repro.engine.DataQualityEngine`
+façade — the same hot path the examples and experiment drivers exercise —
+with the backend string selecting BATCHDETECT, INCDETECT or the naive
+oracle.  Two environment knobs control the size:
 
 * ``REPRO_BENCH_SIZE``  — base dataset size (default 5000 tuples);
 * ``REPRO_BENCH_POINTS`` — number of sweep points per figure (default 3).
@@ -21,11 +24,9 @@ import pytest
 
 from repro.core.schema import cust_ext_schema
 from repro.datagen.generator import DatasetGenerator
-from repro.datagen.updates import UpdateGenerator
+from repro.datagen.updates import UpdateBatch, UpdateGenerator
 from repro.datagen.workload import paper_workload, paper_workload_with_tableau_size
-from repro.detection.batch import BatchDetector
-from repro.detection.database import ECFDDatabase
-from repro.detection.incremental import IncrementalDetector
+from repro.engine import DataQualityEngine
 
 BENCH_SIZE = int(os.environ.get("REPRO_BENCH_SIZE", "5000"))
 BENCH_POINTS = int(os.environ.get("REPRO_BENCH_POINTS", "3"))
@@ -46,25 +47,40 @@ def dataset_rows(size: int, noise: float = DEFAULT_NOISE, seed: int = 0) -> list
     return DatasetGenerator(seed=seed).generate_rows(size, noise)
 
 
-def loaded_database(rows: list[dict[str, str]]) -> ECFDDatabase:
-    """An in-memory SQLite database loaded with ``rows``."""
-    database = ECFDDatabase(cust_ext_schema())
-    database.insert_tuples(rows)
-    return database
-
-
-def prepared_batch_detector(rows: list[dict[str, str]], sigma=None) -> BatchDetector:
-    """A BatchDetector over a freshly loaded database (encoding installed)."""
+def prepared_engine(rows: list[dict[str, str]], backend: str, sigma=None) -> DataQualityEngine:
+    """A loaded engine on the requested backend (encoding installed, data in)."""
     sigma = sigma if sigma is not None else paper_workload()
-    return BatchDetector(loaded_database(rows), sigma)
+    engine = DataQualityEngine(cust_ext_schema(), sigma, backend=backend)
+    engine.load(rows)
+    return engine
 
 
-def prepared_incremental_detector(rows: list[dict[str, str]], sigma=None) -> IncrementalDetector:
-    """An initialised IncrementalDetector (flags and Aux(D) already computed)."""
-    sigma = sigma if sigma is not None else paper_workload()
-    detector = IncrementalDetector(loaded_database(rows), sigma)
-    detector.initialize()
-    return detector
+def batch_engine(rows: list[dict[str, str]], sigma=None) -> DataQualityEngine:
+    """A loaded engine on the BATCHDETECT backend."""
+    return prepared_engine(rows, "batch", sigma)
+
+
+def incremental_engine(rows: list[dict[str, str]], sigma=None) -> DataQualityEngine:
+    """An initialised engine on the INCDETECT backend (flags and Aux(D) computed)."""
+    engine = prepared_engine(rows, "incremental", sigma)
+    engine.detect()
+    return engine
+
+
+def updated_batch_engine(
+    rows: list[dict[str, str]], batch: UpdateBatch, sigma=None
+) -> DataQualityEngine:
+    """A batch-backend engine with the pre-update state computed and ΔD applied.
+
+    Mirrors the paper's Experiment 2 baseline: the update is executed against
+    storage (untimed) so the benchmark can time the from-scratch re-detection
+    alone.
+    """
+    engine = batch_engine(rows, sigma)
+    engine.detect()
+    engine.database.delete_tuples(batch.delete_tids)
+    engine.database.insert_tuples(list(batch.insert_rows))
+    return engine
 
 
 def update_batch(row_count: int, size: int, noise: float = DEFAULT_NOISE, seed: int = 7):

@@ -11,9 +11,7 @@ much faster as |Tp| grows.
 
 import pytest
 
-from conftest import BENCH_SIZE, dataset_rows, prepared_batch_detector, sweep, workload_with_tableau
-from repro.datagen.generator import DatasetGenerator
-from repro.detection.naive import NaiveDetector
+from conftest import BENCH_SIZE, batch_engine, dataset_rows, prepared_engine, sweep, workload_with_tableau
 
 TABLEAU_SIZES = sweep([50, 200, 500])
 SIZE = max(BENCH_SIZE // 4, 250)
@@ -25,22 +23,22 @@ def test_ablation_sql_batchdetect(benchmark, tableau_size):
     sigma = workload_with_tableau(tableau_size)
 
     def setup():
-        return (prepared_batch_detector(rows, sigma),), {}
+        return (batch_engine(rows, sigma),), {}
 
-    def run(detector):
-        return detector.detect()
+    def run(engine):
+        return engine.detect()
 
-    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
     benchmark.extra_info["tableau_size"] = tableau_size
-    benchmark.extra_info["dirty"] = len(violations)
+    benchmark.extra_info["dirty"] = result.dirty_count
 
 
 @pytest.mark.parametrize("tableau_size", TABLEAU_SIZES)
 def test_ablation_naive_python_detector(benchmark, tableau_size):
-    relation = DatasetGenerator(seed=0).generate(SIZE, 5.0)
+    rows = dataset_rows(SIZE)
     sigma = workload_with_tableau(tableau_size)
-    detector = NaiveDetector(sigma)
+    engine = prepared_engine(rows, "naive", sigma)
 
-    violations = benchmark.pedantic(lambda: detector.detect(relation), rounds=1, iterations=1)
+    result = benchmark.pedantic(engine.detect, rounds=1, iterations=1)
     benchmark.extra_info["tableau_size"] = tableau_size
-    benchmark.extra_info["dirty"] = len(violations)
+    benchmark.extra_info["dirty"] = result.dirty_count

@@ -6,7 +6,7 @@ shape: running time grows roughly linearly in |D|.
 
 import pytest
 
-from conftest import BENCH_SIZE, dataset_rows, prepared_batch_detector, sweep
+from conftest import BENCH_SIZE, batch_engine, dataset_rows, sweep
 
 SIZES = sweep([BENCH_SIZE // 2, BENCH_SIZE, 2 * BENCH_SIZE, 3 * BENCH_SIZE, 4 * BENCH_SIZE, 5 * BENCH_SIZE])
 
@@ -16,11 +16,11 @@ def test_fig5a_batchdetect_scalability_in_tuples(benchmark, size, base_workload)
     rows = dataset_rows(size)
 
     def setup():
-        return (prepared_batch_detector(rows, base_workload),), {}
+        return (batch_engine(rows, base_workload),), {}
 
-    def run(detector):
-        return detector.detect()
+    def run(engine):
+        return engine.detect()
 
-    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
     benchmark.extra_info["tuples"] = size
-    benchmark.extra_info["dirty"] = len(violations)
+    benchmark.extra_info["dirty"] = result.dirty_count

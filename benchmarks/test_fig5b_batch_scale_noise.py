@@ -7,7 +7,7 @@ dominated by the scan, not by how many violations exist).
 
 import pytest
 
-from conftest import BENCH_SIZE, dataset_rows, prepared_batch_detector, sweep
+from conftest import BENCH_SIZE, batch_engine, dataset_rows, sweep
 
 NOISE_LEVELS = sweep([0.0, 1.0, 3.0, 5.0, 7.0, 9.0])
 
@@ -17,11 +17,11 @@ def test_fig5b_batchdetect_scalability_in_noise(benchmark, noise, base_workload)
     rows = dataset_rows(BENCH_SIZE, noise=noise)
 
     def setup():
-        return (prepared_batch_detector(rows, base_workload),), {}
+        return (batch_engine(rows, base_workload),), {}
 
-    def run(detector):
-        return detector.detect()
+    def run(engine):
+        return engine.detect()
 
-    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
     benchmark.extra_info["noise_percent"] = noise
-    benchmark.extra_info["dirty"] = len(violations)
+    benchmark.extra_info["dirty"] = result.dirty_count

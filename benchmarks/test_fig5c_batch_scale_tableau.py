@@ -8,7 +8,7 @@ against more encoded pattern rows).
 
 import pytest
 
-from conftest import BENCH_SIZE, dataset_rows, prepared_batch_detector, sweep, workload_with_tableau
+from conftest import BENCH_SIZE, batch_engine, dataset_rows, sweep, workload_with_tableau
 
 TABLEAU_SIZES = sweep([50, 100, 200, 300, 400, 500])
 
@@ -19,11 +19,11 @@ def test_fig5c_batchdetect_scalability_in_tableau(benchmark, tableau_size):
     sigma = workload_with_tableau(tableau_size)
 
     def setup():
-        return (prepared_batch_detector(rows, sigma),), {}
+        return (batch_engine(rows, sigma),), {}
 
-    def run(detector):
-        return detector.detect()
+    def run(engine):
+        return engine.detect()
 
-    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
     benchmark.extra_info["tableau_size"] = tableau_size
-    benchmark.extra_info["dirty"] = len(violations)
+    benchmark.extra_info["dirty"] = result.dirty_count

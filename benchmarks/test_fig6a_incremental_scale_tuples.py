@@ -11,10 +11,10 @@ import pytest
 from conftest import (
     BENCH_SIZE,
     dataset_rows,
-    prepared_batch_detector,
-    prepared_incremental_detector,
+    incremental_engine,
     sweep,
     update_batch,
+    updated_batch_engine,
 )
 
 SIZES = sweep([BENCH_SIZE, 2 * BENCH_SIZE, 3 * BENCH_SIZE, 4 * BENCH_SIZE, 5 * BENCH_SIZE])
@@ -27,16 +27,18 @@ def test_fig6a_incdetect_scalability_in_tuples(benchmark, size, base_workload):
     batch = update_batch(len(rows), int(size * UPDATE_FRACTION))
 
     def setup():
-        return (prepared_incremental_detector(rows, base_workload),), {}
+        return (incremental_engine(rows, base_workload),), {}
 
-    def run(detector):
-        detector.delete_tuples(batch.delete_tids)
-        return detector.insert_tuples(list(batch.insert_rows))
+    def run(engine):
+        # Deletions then insertions, maintained by one INCDETECT pass each.
+        # Timed through the facade deliberately: apply_update is the
+        # production hot path, so its bookkeeping is part of the measurement.
+        return engine.apply_update(batch)
 
-    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
     benchmark.extra_info["tuples"] = size
     benchmark.extra_info["update_size"] = batch.insert_count
-    benchmark.extra_info["dirty"] = len(violations)
+    benchmark.extra_info["dirty"] = result.dirty_count
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -45,16 +47,12 @@ def test_fig6a_batchdetect_after_update_in_tuples(benchmark, size, base_workload
     batch = update_batch(len(rows), int(size * UPDATE_FRACTION))
 
     def setup():
-        detector = prepared_batch_detector(rows, base_workload)
-        detector.detect()
-        detector.database.delete_tuples(batch.delete_tids)
-        detector.database.insert_tuples(list(batch.insert_rows))
-        return (detector,), {}
+        return (updated_batch_engine(rows, batch, base_workload),), {}
 
-    def run(detector):
-        return detector.detect()
+    def run(engine):
+        return engine.detect()
 
-    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
     benchmark.extra_info["tuples"] = size
     benchmark.extra_info["update_size"] = batch.insert_count
-    benchmark.extra_info["dirty"] = len(violations)
+    benchmark.extra_info["dirty"] = result.dirty_count

@@ -10,10 +10,10 @@ import pytest
 from conftest import (
     BENCH_SIZE,
     dataset_rows,
-    prepared_batch_detector,
-    prepared_incremental_detector,
+    incremental_engine,
     sweep,
     update_batch,
+    updated_batch_engine,
 )
 
 NOISE_LEVELS = sweep([0.0, 1.0, 3.0, 5.0, 7.0, 9.0])
@@ -26,15 +26,17 @@ def test_fig6b_incdetect_scalability_in_noise(benchmark, noise, base_workload):
     batch = update_batch(len(rows), UPDATE_SIZE, noise=noise)
 
     def setup():
-        return (prepared_incremental_detector(rows, base_workload),), {}
+        return (incremental_engine(rows, base_workload),), {}
 
-    def run(detector):
-        detector.delete_tuples(batch.delete_tids)
-        return detector.insert_tuples(list(batch.insert_rows))
+    def run(engine):
+        # Deletions then insertions, maintained by one INCDETECT pass each.
+        # Timed through the facade deliberately: apply_update is the
+        # production hot path, so its bookkeeping is part of the measurement.
+        return engine.apply_update(batch)
 
-    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
     benchmark.extra_info["noise_percent"] = noise
-    benchmark.extra_info["dirty"] = len(violations)
+    benchmark.extra_info["dirty"] = result.dirty_count
 
 
 @pytest.mark.parametrize("noise", NOISE_LEVELS)
@@ -43,15 +45,11 @@ def test_fig6b_batchdetect_after_update_in_noise(benchmark, noise, base_workload
     batch = update_batch(len(rows), UPDATE_SIZE, noise=noise)
 
     def setup():
-        detector = prepared_batch_detector(rows, base_workload)
-        detector.detect()
-        detector.database.delete_tuples(batch.delete_tids)
-        detector.database.insert_tuples(list(batch.insert_rows))
-        return (detector,), {}
+        return (updated_batch_engine(rows, batch, base_workload),), {}
 
-    def run(detector):
-        return detector.detect()
+    def run(engine):
+        return engine.detect()
 
-    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
     benchmark.extra_info["noise_percent"] = noise
-    benchmark.extra_info["dirty"] = len(violations)
+    benchmark.extra_info["dirty"] = result.dirty_count

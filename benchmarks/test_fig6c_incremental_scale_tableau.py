@@ -10,10 +10,10 @@ import pytest
 from conftest import (
     BENCH_SIZE,
     dataset_rows,
-    prepared_batch_detector,
-    prepared_incremental_detector,
+    incremental_engine,
     sweep,
     update_batch,
+    updated_batch_engine,
     workload_with_tableau,
 )
 
@@ -28,15 +28,17 @@ def test_fig6c_incdetect_scalability_in_tableau(benchmark, tableau_size):
     batch = update_batch(len(rows), UPDATE_SIZE)
 
     def setup():
-        return (prepared_incremental_detector(rows, sigma),), {}
+        return (incremental_engine(rows, sigma),), {}
 
-    def run(detector):
-        detector.delete_tuples(batch.delete_tids)
-        return detector.insert_tuples(list(batch.insert_rows))
+    def run(engine):
+        # Deletions then insertions, maintained by one INCDETECT pass each.
+        # Timed through the facade deliberately: apply_update is the
+        # production hot path, so its bookkeeping is part of the measurement.
+        return engine.apply_update(batch)
 
-    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
     benchmark.extra_info["tableau_size"] = tableau_size
-    benchmark.extra_info["dirty"] = len(violations)
+    benchmark.extra_info["dirty"] = result.dirty_count
 
 
 @pytest.mark.parametrize("tableau_size", TABLEAU_SIZES)
@@ -46,15 +48,11 @@ def test_fig6c_batchdetect_after_update_in_tableau(benchmark, tableau_size):
     batch = update_batch(len(rows), UPDATE_SIZE)
 
     def setup():
-        detector = prepared_batch_detector(rows, sigma)
-        detector.detect()
-        detector.database.delete_tuples(batch.delete_tids)
-        detector.database.insert_tuples(list(batch.insert_rows))
-        return (detector,), {}
+        return (updated_batch_engine(rows, batch, sigma),), {}
 
-    def run(detector):
-        return detector.detect()
+    def run(engine):
+        return engine.detect()
 
-    violations = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
     benchmark.extra_info["tableau_size"] = tableau_size
-    benchmark.extra_info["dirty"] = len(violations)
+    benchmark.extra_info["dirty"] = result.dirty_count

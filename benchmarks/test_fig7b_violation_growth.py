@@ -15,8 +15,8 @@ import pytest
 
 from conftest import (
     BENCH_SIZE,
+    batch_engine,
     dataset_rows,
-    prepared_batch_detector,
     sweep,
     update_batch,
 )
@@ -30,20 +30,19 @@ def test_fig7b_violation_growth_with_update_size(benchmark, fraction, base_workl
     batch = update_batch(len(rows), int(BENCH_SIZE * fraction))
 
     def setup():
-        detector = prepared_batch_detector(rows, base_workload)
-        before = detector.detect()
-        detector.database.delete_tuples(batch.delete_tids)
-        detector.database.insert_tuples(list(batch.insert_rows))
-        return (detector,), {"before": before}
+        engine = batch_engine(rows, base_workload)
+        before = engine.detect()
+        engine.database.delete_tuples(batch.delete_tids)
+        engine.database.insert_tuples(list(batch.insert_rows))
+        return (engine,), {"before": before}
 
-    def run(detector, before):
-        after = detector.detect()
-        return before, after, detector.violation_counts()
+    def run(engine, before):
+        return before, engine.detect()
 
-    before, after, counts = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    before, after = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
     benchmark.extra_info["update_size"] = batch.insert_count
-    benchmark.extra_info["sv_before"] = len(before.sv_tids)
-    benchmark.extra_info["mv_before"] = len(before.mv_tids)
-    benchmark.extra_info["sv_after"] = counts["sv"]
-    benchmark.extra_info["mv_after"] = counts["mv"]
-    benchmark.extra_info["dirty_after"] = len(after)
+    benchmark.extra_info["sv_before"] = before.sv_count
+    benchmark.extra_info["mv_before"] = before.mv_count
+    benchmark.extra_info["sv_after"] = after.sv_count
+    benchmark.extra_info["mv_after"] = after.mv_count
+    benchmark.extra_info["dirty_after"] = after.dirty_count

@@ -5,56 +5,53 @@ geographic and purchase attributes accumulates errors, and a set of eCFDs
 expressing the real-life semantics (area codes per city, zip/city bindings,
 item types, price bands) is used to find and then fix them.
 
-Steps:
+The whole lifecycle runs through the :class:`~repro.engine.DataQualityEngine`
+façade:
 
 1. validate the constraint set (satisfiability analysis of Section III);
-2. generate a noisy dataset with the Section VI generator;
+2. generate a noisy dataset with the Section VI generator and load it;
 3. detect all violations with BATCHDETECT on SQLite;
 4. repair the data with the greedy value-modification repairer;
-5. verify the repaired data is clean.
+5. report the resulting quality state.
 
 Run with::
 
     python examples/data_cleaning_pipeline.py
 """
 
-from repro.analysis import is_satisfiable
-from repro.core import cust_ext_schema
+from repro import DataQualityEngine, cust_ext_schema
 from repro.datagen import DatasetGenerator, paper_workload
-from repro.detection import BatchDetector, ECFDDatabase
-from repro.repair import GreedyRepairer
 
 
 def main() -> None:
     schema = cust_ext_schema()
     sigma = paper_workload(schema)
 
+    engine = DataQualityEngine(schema, sigma, backend="batch")
     print(f"Workload: {len(sigma)} eCFDs, {sigma.pattern_count()} pattern constraints")
-    print(f"Constraint set is satisfiable: {is_satisfiable(sigma)}\n")
+    print(f"Constraint set is satisfiable: {engine.validate()}\n")
 
     generator = DatasetGenerator(seed=42)
-    relation = generator.generate(2_000, noise_percent=5.0)
-    print(f"Generated {len(relation)} tuples with 5% injected noise")
+    loaded = engine.load(generator.generate(2_000, noise_percent=5.0))
+    print(f"Generated and loaded {loaded} tuples with 5% injected noise")
 
-    with ECFDDatabase(schema) as db:
-        db.load_relation(relation)
-        detector = BatchDetector(db, sigma)
-        violations = detector.detect()
-        counts = detector.violation_counts()
-        print("\nBATCHDETECT results:")
-        print(f"  single-tuple violations (SV): {counts['sv']}")
-        print(f"  multi-tuple violations  (MV): {counts['mv']}")
-        print(f"  dirty tuples in vio(D):       {counts['dirty']}")
+    result = engine.detect()
+    print("\nBATCHDETECT results:")
+    print(f"  single-tuple violations (SV): {result.sv_count}")
+    print(f"  multi-tuple violations  (MV): {result.mv_count}")
+    print(f"  dirty tuples in vio(D):       {result.dirty_count}")
 
     print("\nRepairing with greedy value modification ...")
-    repair = GreedyRepairer(sigma, max_rounds=15).repair(relation)
-    print(f"  changed cells: {repair.change_count} (cost {repair.cost}) "
-          f"across {len(repair.changed_tids())} tuples in {repair.rounds} rounds")
+    repair = engine.repair(max_rounds=15)
+    print(f"  changed cells: {repair.cells_changed} (cost {repair.cost}) "
+          f"across {repair.tuples_changed} tuples in {repair.rounds} rounds")
+    print(f"  repaired data is clean: {repair.clean}")
 
-    with ECFDDatabase(schema) as db:
-        db.load_relation(repair.relation)
-        after = BatchDetector(db, sigma).detect()
-        print(f"  violations after repair: {len(after)} (clean: {after.is_clean()})")
+    report = engine.report()
+    print("\nQuality report after repair:")
+    print(f"  backend={report.backend}, tuples={report.tuple_count}, "
+          f"dirty_ratio={report.dirty_ratio:.4f}")
+    engine.close()
 
 
 if __name__ == "__main__":

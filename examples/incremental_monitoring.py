@@ -1,64 +1,54 @@
 """Incremental violation monitoring of a live table (Section V-B in action).
 
-A customer table receives batches of insertions and deletions; INCDETECT
-maintains the violation set across the updates without re-scanning the whole
-database.  After each batch the script reports the violation counts and, at
-the end, cross-checks the maintained state against a from-scratch
-BATCHDETECT run.
+A customer table receives batches of insertions and deletions; the engine's
+incremental backend maintains the violation set across the updates with
+INCDETECT, never re-scanning the whole database.  After each batch the
+script reports the violation counts and, at the end, cross-checks the
+maintained state against a from-scratch run on the batch backend — same
+façade, different backend string.
 
 Run with::
 
     python examples/incremental_monitoring.py
 """
 
-import time
-
-from repro.core import cust_ext_schema
+from repro import DataQualityEngine, cust_ext_schema
 from repro.datagen import DatasetGenerator, UpdateGenerator, paper_workload
-from repro.detection import BatchDetector, ECFDDatabase, IncrementalDetector
 
 
 def main() -> None:
     schema = cust_ext_schema()
     sigma = paper_workload(schema)
-    generator = DatasetGenerator(seed=7)
-    rows = generator.generate_rows(5_000, noise_percent=5.0)
+    rows = DatasetGenerator(seed=7).generate_rows(5_000, noise_percent=5.0)
 
-    database = ECFDDatabase(schema)
-    database.insert_tuples(rows)
-    monitor = IncrementalDetector(database, sigma)
+    monitor = DataQualityEngine(schema, sigma, backend="incremental")
+    monitor.load(rows)
 
-    started = time.perf_counter()
-    initial = monitor.initialize()
-    print(f"Initial batch run over {database.count()} tuples "
-          f"({time.perf_counter() - started:.2f}s): {len(initial)} dirty tuples")
+    initial = monitor.detect()
+    print(f"Initial batch run over {initial.tuple_count} tuples "
+          f"({initial.seconds:.2f}s): {initial.dirty_count} dirty tuples")
 
     updates = UpdateGenerator(DatasetGenerator(seed=8), seed=9)
     for round_number in range(1, 6):
         batch = updates.make_batch(
-            existing_tids=database.all_tids(),
+            existing_tids=monitor.tids(),
             insert_count=250,
             delete_count=250,
             noise_percent=5.0,
         )
-        started = time.perf_counter()
-        monitor.delete_tuples(batch.delete_tids)
-        current = monitor.insert_tuples(list(batch.insert_rows))
-        elapsed = time.perf_counter() - started
-        counts = database.flag_counts()
+        current = monitor.apply_update(batch)
         print(f"update {round_number}: -{batch.delete_count}/+{batch.insert_count} tuples "
-              f"in {elapsed:.3f}s -> SV={counts['sv']} MV={counts['mv']} dirty={counts['dirty']}")
+              f"in {current.seconds:.3f}s -> SV={current.sv_count} MV={current.mv_count} "
+              f"dirty={current.dirty_count} (incremental: {current.incremental})")
 
-    # Cross-check: rebuild the final state from scratch.
-    final_relation = database.to_relation()
-    with ECFDDatabase(schema) as reference:
-        reference.load_relation(final_relation)
-        started = time.perf_counter()
-        recomputed = BatchDetector(reference, sigma).detect()
-        batch_time = time.perf_counter() - started
-    print(f"\nFrom-scratch BATCHDETECT on the final table: {batch_time:.3f}s")
-    print(f"Incremental state matches the recomputation: {current == recomputed}")
-    database.close()
+    # Cross-check: rebuild the final state from scratch on the batch backend.
+    with DataQualityEngine(schema, sigma, backend="batch") as reference:
+        reference.load(monitor.to_relation())
+        recomputed = reference.detect()
+    print(f"\nFrom-scratch BATCHDETECT on the final table: {recomputed.seconds:.3f}s")
+    print(f"Incremental state matches the recomputation: "
+          f"{current.violations == recomputed.violations}")
+    monitor.close()
 
 
 if __name__ == "__main__":

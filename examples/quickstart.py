@@ -1,18 +1,18 @@
 """Quickstart: the paper's running example (Fig. 1 and Fig. 2), end to end.
 
 Builds the ``cust`` relation instance D0 of Fig. 1, expresses the two eCFDs
-ψ1 / ψ2 of Fig. 2 in the textual syntax, and detects the violations both
-with the pure-Python reference semantics and with the SQL-based BATCHDETECT
-algorithm running on SQLite.
+ψ1 / ψ2 of Fig. 2 in the textual syntax, and runs the whole workflow through
+the :class:`~repro.engine.DataQualityEngine` façade — once on the SQL-based
+BATCHDETECT backend and once on the pure-Python reference backend, checking
+that the two agree.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Relation, cust_schema, parse_ecfd
+from repro import DataQualityEngine, cust_schema, parse_ecfd
 from repro.core import ECFDSet
-from repro.detection import BatchDetector, ECFDDatabase, NaiveDetector
 
 #: The six tuples of Fig. 1 (t1 .. t6).
 FIG1_ROWS = [
@@ -31,26 +31,28 @@ PSI2 = "(cust: [CT] -> [] | [AC], { ({NYC} || {212, 347, 646, 718, 917}) })"
 
 def main() -> None:
     schema = cust_schema()
-    d0 = Relation(schema, FIG1_ROWS)
     sigma = ECFDSet([parse_ecfd(PSI1, schema), parse_ecfd(PSI2, schema)])
 
     print("Constraints:")
     for ecfd in sigma:
         print(f"  {ecfd}")
 
-    # Reference (pure Python) semantics.
-    naive = NaiveDetector(sigma).detect(d0)
-    print("\nReference semantics:")
-    print(f"  single-tuple violations (SV): tuples {sorted(naive.sv_tids)}")
-    print(f"  multi-tuple violations  (MV): tuples {sorted(naive.mv_tids)}")
-
-    # SQL-based BATCHDETECT on SQLite.
-    with ECFDDatabase(schema) as db:
-        db.load_relation(d0)
-        sql = BatchDetector(db, sigma).detect()
+    # SQL-based BATCHDETECT on SQLite, through the engine façade.
+    with DataQualityEngine(schema, sigma, backend="batch") as engine:
+        engine.load(FIG1_ROWS)
+        result = engine.detect()
         print("\nBATCHDETECT (SQLite):")
-        print(f"  dirty tuples: {sorted(sql.violating_tids)}")
-        print(f"  agrees with the reference semantics: {sql == naive}")
+        print(f"  single-tuple violations (SV): tuples {sorted(result.violations.sv_tids)}")
+        print(f"  multi-tuple violations  (MV): tuples {sorted(result.violations.mv_tids)}")
+        print(f"  dirty tuples: {sorted(result.violations.violating_tids)}")
+
+    # The pure-Python reference semantics: same engine API, different backend.
+    with DataQualityEngine(schema, sigma, backend="naive") as reference:
+        reference.load(FIG1_ROWS)
+        oracle = reference.detect()
+        print("\nReference semantics (naive backend):")
+        print(f"  dirty tuples: {sorted(oracle.violations.violating_tids)}")
+        print(f"  agrees with BATCHDETECT: {oracle.violations == result.violations}")
 
     print("\nAs in Example 2.2 of the paper, t1 (Albany with area code 718) and")
     print("t4 (NYC with area code 100) are the two dirty tuples.")

@@ -1,17 +1,21 @@
 """Legacy setup shim.
 
-The canonical project metadata lives in ``pyproject.toml``.  This file exists
-so the package can be installed in environments without the ``wheel``
-package (where PEP 660 editable installs are unavailable) via::
+The canonical project metadata lives in ``pyproject.toml`` (PEP 621).  This
+file exists so the package can be installed in environments without the
+``wheel`` package (where PEP 660 editable installs are unavailable) via::
 
     python setup.py develop
+
+Those degraded environments may also carry a setuptools too old to read
+PEP 621 metadata, so the essentials are duplicated here explicitly — keep
+``version`` in sync with ``pyproject.toml`` and ``repro.__version__``.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "eCFDs: extended Conditional Functional Dependencies — "
         "reproduction of Bravo, Fan, Geerts, Ma (ICDE 2008)"

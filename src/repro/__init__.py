@@ -20,6 +20,9 @@ The library provides:
 * SQL-based violation detection on SQLite (:mod:`repro.detection`) — the
   BATCHDETECT and INCDETECT algorithms of Section V plus a pure-Python
   oracle;
+* the engine façade (:mod:`repro.engine`) — :class:`DataQualityEngine`, one
+  public API over the whole lifecycle with pluggable detector backends and
+  structured, serializable results;
 * synthetic data / workload generation (:mod:`repro.datagen`) matching the
   experimental setting of Section VI;
 * experiment drivers (:mod:`repro.experiments`) that regenerate every figure
@@ -30,17 +33,32 @@ The library provides:
 Quickstart
 ----------
 
->>> from repro import cust_schema, parse_ecfd, Relation
+The engine façade runs the full workflow — validate the constraints, load
+data, detect violations, repair, report — in a handful of lines:
+
+>>> from repro import DataQualityEngine, cust_schema, parse_ecfd
 >>> schema = cust_schema()
 >>> phi = parse_ecfd(
 ...     "(cust: [CT] -> [AC], { (!{NYC, LI} || _);"
 ...     " ({Albany, Troy, Colonie} || {518}) })", schema)
->>> d0 = Relation(schema, [
+>>> engine = DataQualityEngine(schema, [phi], backend="batch")
+>>> engine.validate()
+True
+>>> engine.load([
 ...     {"AC": "718", "PN": "1111111", "NM": "Mike", "STR": "Tree Ave.",
 ...      "CT": "Albany", "ZIP": "12238"},
 ... ])
->>> phi.is_satisfied_by(d0)
-False
+1
+>>> result = engine.detect()
+>>> sorted(result.violations.sv_tids)
+[1]
+>>> engine.repair().clean
+True
+
+Swap ``backend="batch"`` for ``"incremental"`` (INCDETECT maintains the
+violation set across ``engine.apply_update(delta)`` calls) or ``"naive"``
+(the pure-Python reference semantics) without touching the rest of the
+workflow; ``register_backend`` plugs in new strategies.
 """
 
 from repro.core import (
@@ -63,29 +81,47 @@ from repro.core import (
     parse_ecfd,
     parse_ecfd_set,
 )
-from repro.exceptions import ReproError
+from repro.engine import (
+    DataQualityEngine,
+    DetectionResult,
+    DetectorBackend,
+    QualityReport,
+    RepairResult,
+    available_backends,
+    register_backend,
+)
+from repro.exceptions import EngineError, ReproError, UnknownBackendError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CFD",
     "ComplementSet",
+    "DataQualityEngine",
+    "DetectionResult",
+    "DetectorBackend",
     "ECFD",
     "ECFDSet",
+    "EngineError",
     "FunctionalDependency",
     "PatternTuple",
+    "QualityReport",
     "Relation",
     "RelationSchema",
     "RelationTuple",
+    "RepairResult",
     "ReproError",
+    "UnknownBackendError",
     "ValueSet",
     "ViolationSet",
     "Wildcard",
+    "available_backends",
     "cfd_from_ecfd",
     "cust_ext_schema",
     "cust_schema",
     "format_ecfd",
     "parse_ecfd",
     "parse_ecfd_set",
+    "register_backend",
     "__version__",
 ]

@@ -164,6 +164,33 @@ class Relation:
         """Insert many rows; returns the stored tuples."""
         return [self.insert(row) for row in rows]
 
+    def insert_with_tid(
+        self, tid: int, row: RelationTuple | Mapping[str, Value] | Sequence[Value]
+    ) -> RelationTuple:
+        """Insert one row under an explicit tuple identifier.
+
+        This is the parity point with the SQLite substrate: materialising a
+        database table back into memory (or mirroring its insertion
+        semantics) must preserve identifiers so violation sets computed in
+        SQL and in memory are directly comparable.
+        """
+        if tid in self._tuples:
+            raise SchemaError(
+                f"relation {self.schema.name!r} already has a tuple with tid={tid}"
+            )
+        if isinstance(row, RelationTuple):
+            if row.schema != self.schema:
+                raise SchemaError(
+                    f"cannot insert a {row.schema.name!r} tuple into a "
+                    f"{self.schema.name!r} relation"
+                )
+            stored = RelationTuple(self.schema, row.values(), tid=tid)
+        else:
+            stored = RelationTuple(self.schema, row, tid=tid)
+        self._tuples[tid] = stored
+        self._next_tid = max(self._next_tid, tid + 1)
+        return stored
+
     def delete(self, tid: int) -> RelationTuple:
         """Remove and return the tuple with identifier ``tid``."""
         try:

@@ -227,10 +227,19 @@ class ECFDDatabase:
             f"SELECT tid, {columns} FROM {quote_identifier(self.table_name)} ORDER BY tid"
         )
         for tid, *values in rows:
-            stored = RelationTuple(self.schema, list(values), tid=tid)
-            relation._tuples[tid] = stored  # preserve the original identifier
-            relation._next_tid = max(relation._next_tid, tid + 1)
+            relation.insert_with_tid(tid, list(values))
         return relation
+
+    def clear(self) -> int:
+        """Remove every row from the data table; returns the count removed.
+
+        The encoding and auxiliary tables are left alone — they are
+        recomputed by the next detection run.
+        """
+        removed = self.count()
+        self.execute(f"DELETE FROM {quote_identifier(self.table_name)}")
+        self.commit()
+        return removed
 
     # ------------------------------------------------------------------
     # Violation flags

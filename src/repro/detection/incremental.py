@@ -96,6 +96,32 @@ class IncrementalDetector:
         if not self._initialized:
             self.initialize()
 
+    @property
+    def initialized(self) -> bool:
+        """Whether the maintained state (flags, Aux(D), macro rows) is current."""
+        return self._initialized
+
+    def reset(self) -> None:
+        """Forget the maintained state; the next call re-runs the batch pass.
+
+        Used after out-of-band changes to the data table (e.g. the engine
+        façade reloading a repaired relation) that invalidate the SV / MV
+        flags, Aux(D) and the macro rows.
+        """
+        self._initialized = False
+
+    def detect(self) -> ViolationSet:
+        """The violation set of the current database, batch-initialising once.
+
+        This gives INCDETECT the same no-argument ``detect()`` call
+        convention as the other detectors: the first call runs the full
+        BATCHDETECT pass (establishing the flags and Aux(D)); later calls
+        read the incrementally maintained flags without recomputation.
+        """
+        if not self._initialized:
+            return self.initialize()
+        return self.database.violations()
+
     # ------------------------------------------------------------------
     # Shared steps
     # ------------------------------------------------------------------
@@ -245,3 +271,8 @@ class IncrementalDetector:
     def aux_rows(self) -> list[tuple]:
         """The current auxiliary relation contents."""
         return self.batch.aux_rows()
+
+    def violation_counts(self) -> dict[str, int]:
+        """SV / MV / dirty row counts from the maintained flags."""
+        self._ensure_initialized()
+        return self.database.flag_counts()

@@ -14,6 +14,13 @@ strawman that the ablation benchmark compares the encoded SQL approach
 against: its cost grows with the number of pattern tuples in Σ because each
 pattern is evaluated by a separate scan, whereas BATCHDETECT issues a fixed
 number of queries regardless of |Σ|.
+
+The detector mirrors the calling conventions of the SQL detectors so the
+engine façade (:mod:`repro.engine`) can adapt all three uniformly: a
+relation may be bound at construction time (making ``detect()`` callable
+with no arguments, like :meth:`repro.detection.batch.BatchDetector.detect`)
+and ``violation_counts()`` reports the SV / MV / dirty counts of the most
+recent run.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.instance import Relation
 from repro.core.violations import ViolationSet
 from repro.detection.database import ECFDDatabase
+from repro.exceptions import DetectionError
 
 __all__ = ["NaiveDetector"]
 
@@ -35,14 +43,32 @@ class NaiveDetector:
     ----------
     sigma:
         The constraints to check.
+    relation:
+        Optional relation to bind, enabling the no-argument ``detect()``
+        call convention shared with the SQL detectors.
     """
 
-    def __init__(self, sigma: ECFDSet | Sequence[ECFD]):
+    def __init__(self, sigma: ECFDSet | Sequence[ECFD], relation: Relation | None = None):
         self.sigma = sigma if isinstance(sigma, ECFDSet) else ECFDSet(list(sigma))
+        self.relation = relation
+        self.last_violations: ViolationSet | None = None
 
-    def detect(self, relation: Relation) -> ViolationSet:
-        """All violations of Σ in the in-memory relation."""
-        return self.sigma.violations(relation)
+    def detect(self, relation: Relation | None = None) -> ViolationSet:
+        """All violations of Σ in ``relation`` (or in the bound relation).
+
+        Raises
+        ------
+        DetectionError
+            If no relation was passed and none is bound.
+        """
+        target = relation if relation is not None else self.relation
+        if target is None:
+            raise DetectionError(
+                "NaiveDetector.detect() needs a relation: pass one explicitly "
+                "or bind it at construction time"
+            )
+        self.last_violations = self.sigma.violations(target)
+        return self.last_violations
 
     def detect_database(self, database: ECFDDatabase) -> ViolationSet:
         """All violations of Σ in a SQLite-backed table.
@@ -53,3 +79,20 @@ class NaiveDetector:
         :meth:`repro.detection.batch.BatchDetector.detect`.
         """
         return self.detect(database.to_relation())
+
+    def violation_counts(self) -> dict[str, int]:
+        """SV / MV / dirty counts of the most recent detection run.
+
+        Runs a detection first when a relation is bound but ``detect()`` has
+        not been called yet, matching the lazy behaviour callers get from
+        the SQL detectors' flag-count queries.
+        """
+        if self.last_violations is None:
+            if self.relation is None:
+                raise DetectionError(
+                    "no detection has run yet and no relation is bound; "
+                    "call detect(relation) first"
+                )
+            self.detect()
+        assert self.last_violations is not None
+        return self.last_violations.summary()

@@ -1,0 +1,39 @@
+"""The engine subsystem: one façade over detection, repair and discovery.
+
+* :mod:`repro.engine.facade` — :class:`DataQualityEngine`, the unified
+  lifecycle (validate → load → detect → update → repair → report);
+* :mod:`repro.engine.backends` — the :class:`DetectorBackend` interface,
+  adapters for the three paper detectors and the string-keyed backend
+  registry future storage strategies plug into;
+* :mod:`repro.engine.results` — structured, serializable result objects
+  (:class:`DetectionResult`, :class:`RepairResult`, :class:`QualityReport`).
+"""
+
+from repro.engine.backends import (
+    BatchBackend,
+    DetectorBackend,
+    IncrementalBackend,
+    NaiveBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.engine.facade import DEFAULT_CHUNK_SIZE, DataQualityEngine
+from repro.engine.results import DetectionResult, QualityReport, RepairResult
+
+__all__ = [
+    "BatchBackend",
+    "DEFAULT_CHUNK_SIZE",
+    "DataQualityEngine",
+    "DetectionResult",
+    "DetectorBackend",
+    "IncrementalBackend",
+    "NaiveBackend",
+    "QualityReport",
+    "RepairResult",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,519 @@
+"""Pluggable detector backends and the string-keyed backend registry.
+
+The three detectors of :mod:`repro.detection` grew three different call
+conventions: ``NaiveDetector(sigma).detect(relation)`` works on in-memory
+relations, ``BatchDetector(db, sigma).detect()`` owns a SQLite database, and
+``IncrementalDetector(db, sigma)`` adds update entry points on top.  The
+engine façade needs one interface, so this module defines
+
+* :class:`DetectorBackend` — the abstract interface every backend
+  implements: data lifecycle (``load_rows`` / ``load_relation`` /
+  ``apply_delta`` / ``clear``), detection (``detect`` and, for backends
+  advertising ``supports_incremental``, ``incremental_update``) and
+  introspection (``count`` / ``tids`` / ``to_relation`` /
+  ``violation_counts`` / ``breakdown``);
+* three adapters wrapping the existing detectors without changing their
+  direct use: :class:`NaiveBackend`, :class:`BatchBackend` and
+  :class:`IncrementalBackend`;
+* a string-keyed registry (:func:`register_backend`,
+  :func:`available_backends`, :func:`create_backend`) that future storage
+  backends (sharded, async, other RDBMSs) plug into.
+
+Tuple-identifier discipline
+---------------------------
+All backends assign identifiers exactly like the SQLite substrate does
+(fresh rows get ``max(tid) + 1`` onward, relations keep their own tids, and
+values are stored as text), so violation sets produced by different backends
+over the same load/update history are directly comparable — the invariant
+the engine's cross-backend equivalence guarantees rest on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, ClassVar, Mapping, Sequence
+
+from repro.core.ecfd import ECFD, ECFDSet
+from repro.core.instance import Relation
+from repro.core.schema import RelationSchema, Value
+from repro.core.violations import ViolationSet
+from repro.detection.batch import BatchDetector
+from repro.detection.database import ECFDDatabase, quote_identifier
+from repro.detection.encoding import AUX_TABLE, ENC_TABLE, MACRO_TABLE
+from repro.detection.incremental import IncrementalDetector
+from repro.detection.naive import NaiveDetector
+from repro.detection.sqlgen import (
+    group_key_join,
+    lhs_match_condition,
+    rhs_violation_condition,
+)
+from repro.exceptions import EngineError, UnknownBackendError
+
+__all__ = [
+    "DetectorBackend",
+    "NaiveBackend",
+    "BatchBackend",
+    "IncrementalBackend",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "create_backend",
+]
+
+
+class DetectorBackend(ABC):
+    """One detection strategy behind the :class:`~repro.engine.DataQualityEngine`.
+
+    Parameters
+    ----------
+    schema:
+        Relation schema of the data the backend stores.
+    sigma:
+        The eCFD workload to check.
+    path:
+        Storage location for database-backed backends (ignored by purely
+        in-memory ones); the default keeps everything in-process.
+    """
+
+    #: Registry key of the backend (set by subclasses).
+    name: ClassVar[str] = ""
+    #: Whether :meth:`incremental_update` maintains violations without a full pass.
+    supports_incremental: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        sigma: ECFDSet | Sequence[ECFD],
+        path: str = ":memory:",
+    ):
+        self.schema = schema
+        self.sigma = sigma if isinstance(sigma, ECFDSet) else ECFDSet(list(sigma))
+
+    # ------------------------------------------------------------------
+    # Data lifecycle
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def load_rows(self, rows: Sequence[Mapping[str, Value]]) -> list[int]:
+        """Insert plain rows; returns the assigned tuple identifiers."""
+
+    @abstractmethod
+    def load_relation(self, relation: Relation) -> int:
+        """Insert an in-memory relation preserving its tids; returns the row count."""
+
+    @abstractmethod
+    def apply_delta(
+        self, delete_tids: Sequence[int], insert_rows: Sequence[Mapping[str, Value]]
+    ) -> list[int]:
+        """Apply an update to *storage only* (no violation maintenance).
+
+        Returns the tids assigned to the inserted rows.  Backends that
+        maintain detection state across calls must invalidate it here.
+        """
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every stored tuple (detection state is recomputed on next use)."""
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def detect(self) -> ViolationSet:
+        """The violation set of the currently stored data."""
+
+    def incremental_update(
+        self, delete_tids: Sequence[int], insert_rows: Sequence[Mapping[str, Value]]
+    ) -> ViolationSet:
+        """Apply an update *and* maintain the violation set in one step.
+
+        Only available when :attr:`supports_incremental` is true; the engine
+        falls back to ``apply_delta`` + ``detect`` otherwise.
+        """
+        raise EngineError(
+            f"backend {self.name!r} does not support incremental updates"
+        )
+
+    def ensure_ready(self) -> None:
+        """Bring any lazily initialised detection state up to date.
+
+        Called by the engine before timing an incremental update, so
+        first-time initialisation cost is never attributed to the update.
+        """
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def count(self) -> int:
+        """Number of stored tuples."""
+
+    @abstractmethod
+    def tids(self) -> list[int]:
+        """All stored tuple identifiers, ascending."""
+
+    @abstractmethod
+    def to_relation(self) -> Relation:
+        """Materialise the stored data as an in-memory relation (tids preserved)."""
+
+    @abstractmethod
+    def violation_counts(self) -> dict[str, int]:
+        """SV / MV / dirty counts of the latest detection state."""
+
+    def breakdown(self) -> dict[int, dict[str, int]]:
+        """Per-constraint violation statistics keyed by normalized ``CID``.
+
+        Each entry carries ``sv`` (tuples violating the pattern constraint),
+        ``mv_groups`` (violating embedded-FD groups) and ``mv_tuples``
+        (tuples inside those groups).  Backends without the necessary
+        bookkeeping may return an empty mapping.
+        """
+        return {}
+
+    @property
+    def database(self) -> ECFDDatabase | None:
+        """The SQLite substrate, for backends that have one (else ``None``)."""
+        return None
+
+    def close(self) -> None:
+        """Release any resources held by the backend."""
+
+
+# ----------------------------------------------------------------------
+# Pure-Python backend
+# ----------------------------------------------------------------------
+class NaiveBackend(DetectorBackend):
+    """The reference (pure-Python) detector behind the engine interface.
+
+    Keeps the data as an in-memory :class:`~repro.core.instance.Relation`
+    and evaluates the reference semantics on every ``detect()``.  Slowest of
+    the backends but dependency-free and fully introspectable — it is the
+    oracle the SQL backends are validated against.
+    """
+
+    name = "naive"
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        sigma: ECFDSet | Sequence[ECFD],
+        path: str = ":memory:",
+    ):
+        super().__init__(schema, sigma, path)
+        self._relation = Relation(schema)
+        self.detector = NaiveDetector(self.sigma, self._relation)
+
+    # -- data lifecycle -------------------------------------------------
+    def _max_tid(self) -> int:
+        tids = self._relation.tids()
+        return tids[-1] if tids else 0
+
+    def _stringified(self, row: Mapping[str, Value]) -> dict[str, str]:
+        # Mirror the SQLite substrate, which stores every value as TEXT.
+        return {a: str(row[a]) for a in self.schema.attribute_names}
+
+    def load_rows(self, rows: Sequence[Mapping[str, Value]]) -> list[int]:
+        start = self._max_tid() + 1
+        assigned = []
+        for offset, row in enumerate(rows):
+            stored = self._relation.insert_with_tid(start + offset, self._stringified(row))
+            assigned.append(stored.tid)
+        return assigned
+
+    def load_relation(self, relation: Relation) -> int:
+        if relation.schema != self.schema:
+            raise EngineError(
+                f"relation over {relation.schema.name!r} cannot be loaded into a "
+                f"backend for {self.schema.name!r}"
+            )
+        for t in relation.tuples():
+            assert t.tid is not None
+            self._relation.insert_with_tid(t.tid, self._stringified(t))
+        return len(relation)
+
+    def apply_delta(
+        self, delete_tids: Sequence[int], insert_rows: Sequence[Mapping[str, Value]]
+    ) -> list[int]:
+        for tid in delete_tids:
+            if self._relation.get(tid) is not None:
+                self._relation.delete(tid)
+        return self.load_rows(list(insert_rows))
+
+    def clear(self) -> None:
+        self._relation = Relation(self.schema)
+        self.detector.relation = self._relation
+        self.detector.last_violations = None
+
+    # -- detection ------------------------------------------------------
+    def detect(self) -> ViolationSet:
+        return self.detector.detect()
+
+    # -- introspection --------------------------------------------------
+    def count(self) -> int:
+        return len(self._relation)
+
+    def tids(self) -> list[int]:
+        return self._relation.tids()
+
+    def to_relation(self) -> Relation:
+        return self._relation.copy()
+
+    def violation_counts(self) -> dict[str, int]:
+        return self.detector.violation_counts()
+
+    def breakdown(self) -> dict[int, dict[str, int]]:
+        violations = self.detector.last_violations
+        if violations is None:
+            violations = self.detect()
+        per: dict[int, dict[str, object]] = {}
+
+        def entry(cid: int) -> dict[str, object]:
+            return per.setdefault(cid, {"sv": 0, "mv_groups": 0, "mv_tuples": set()})
+
+        for record in violations.single_records:
+            entry(record.constraint_id)["sv"] += 1  # type: ignore[operator]
+        for record in violations.multi_records:
+            slot = entry(record.constraint_id)
+            slot["mv_groups"] += 1  # type: ignore[operator]
+            slot["mv_tuples"].update(record.tids)  # type: ignore[union-attr]
+        return {
+            cid: {
+                "sv": int(slot["sv"]),  # type: ignore[arg-type]
+                "mv_groups": int(slot["mv_groups"]),  # type: ignore[arg-type]
+                "mv_tuples": len(slot["mv_tuples"]),  # type: ignore[arg-type]
+            }
+            for cid, slot in sorted(per.items())
+        }
+
+
+# ----------------------------------------------------------------------
+# SQL-backed backends
+# ----------------------------------------------------------------------
+def _sql_breakdown(database: ECFDDatabase) -> dict[int, dict[str, int]]:
+    """Per-constraint statistics computed from the encoding/auxiliary tables.
+
+    ``sv`` re-runs ``Q_sv`` grouped by constraint (the flags themselves do
+    not record which constraint fired); the MV statistics come straight from
+    the maintained Aux(D) and macro relations.
+    """
+    schema = database.schema
+    per: dict[int, dict[str, int]] = {}
+
+    def entry(cid: int) -> dict[str, int]:
+        return per.setdefault(cid, {"sv": 0, "mv_groups": 0, "mv_tuples": 0})
+
+    sv_rows = database.query(
+        f"SELECT c.CID, COUNT(DISTINCT t.tid)\n"
+        f"FROM {quote_identifier(schema.name)} t, {quote_identifier(ENC_TABLE)} c\n"
+        f"WHERE {lhs_match_condition(schema)}\n"
+        f"      AND ({rhs_violation_condition(schema)})\n"
+        f"GROUP BY c.CID"
+    )
+    for cid, count in sv_rows:
+        entry(cid)["sv"] = count
+
+    for cid, count in database.query(
+        f"SELECT cid, COUNT(*) FROM {quote_identifier(AUX_TABLE)} GROUP BY cid"
+    ):
+        entry(cid)["mv_groups"] = count
+
+    for cid, count in database.query(
+        f"SELECT a.cid, COUNT(DISTINCT m.tid)\n"
+        f"FROM {quote_identifier(AUX_TABLE)} a\n"
+        f"JOIN {quote_identifier(MACRO_TABLE)} m ON {group_key_join('m', 'a')}\n"
+        f"GROUP BY a.cid"
+    ):
+        entry(cid)["mv_tuples"] = count
+
+    return dict(sorted(per.items()))
+
+
+class _SQLBackend(DetectorBackend):
+    """Shared SQLite plumbing for the BATCHDETECT / INCDETECT adapters."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        sigma: ECFDSet | Sequence[ECFD],
+        path: str = ":memory:",
+    ):
+        super().__init__(schema, sigma, path)
+        self._database = ECFDDatabase(schema, path)
+
+    @property
+    def database(self) -> ECFDDatabase:
+        return self._database
+
+    def load_rows(self, rows: Sequence[Mapping[str, Value]]) -> list[int]:
+        return self._database.insert_tuples(list(rows))
+
+    def load_relation(self, relation: Relation) -> int:
+        return self._database.load_relation(relation)
+
+    def apply_delta(
+        self, delete_tids: Sequence[int], insert_rows: Sequence[Mapping[str, Value]]
+    ) -> list[int]:
+        self._database.delete_tuples(delete_tids)
+        if insert_rows:
+            return self._database.insert_tuples(list(insert_rows))
+        return []
+
+    def clear(self) -> None:
+        self._database.clear()
+
+    def count(self) -> int:
+        return self._database.count()
+
+    def tids(self) -> list[int]:
+        return self._database.all_tids()
+
+    def to_relation(self) -> Relation:
+        return self._database.to_relation()
+
+    def violation_counts(self) -> dict[str, int]:
+        return self._database.flag_counts()
+
+    def breakdown(self) -> dict[int, dict[str, int]]:
+        return _sql_breakdown(self._database)
+
+    def close(self) -> None:
+        self._database.close()
+
+
+class BatchBackend(_SQLBackend):
+    """BATCHDETECT (Section V-A) behind the engine interface.
+
+    Every ``detect()`` recomputes the flags, Aux(D) and the macro relation
+    from scratch — the right choice for one-shot scans and for workloads
+    whose updates rewrite most of the data.
+    """
+
+    name = "batch"
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        sigma: ECFDSet | Sequence[ECFD],
+        path: str = ":memory:",
+    ):
+        super().__init__(schema, sigma, path)
+        self.detector = BatchDetector(self._database, self.sigma)
+
+    def detect(self) -> ViolationSet:
+        return self.detector.detect()
+
+
+class IncrementalBackend(_SQLBackend):
+    """INCDETECT (Section V-B) behind the engine interface.
+
+    The first ``detect()`` runs the batch pass; afterwards
+    :meth:`incremental_update` repairs the flags and Aux(D) touching only
+    the affected part of the database.  Out-of-band loads and deltas reset
+    the maintained state so the next detection re-initialises.
+    """
+
+    name = "incremental"
+    supports_incremental = True
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        sigma: ECFDSet | Sequence[ECFD],
+        path: str = ":memory:",
+    ):
+        super().__init__(schema, sigma, path)
+        self.detector = IncrementalDetector(self._database, self.sigma)
+
+    def detect(self) -> ViolationSet:
+        return self.detector.detect()
+
+    def ensure_ready(self) -> None:
+        if not self.detector.initialized:
+            self.detector.initialize()
+
+    def incremental_update(
+        self, delete_tids: Sequence[int], insert_rows: Sequence[Mapping[str, Value]]
+    ) -> ViolationSet:
+        result: ViolationSet | None = None
+        if delete_tids:
+            result = self.detector.delete_tuples(delete_tids)
+        if insert_rows:
+            result = self.detector.insert_tuples(list(insert_rows))
+        return result if result is not None else self.detector.violations()
+
+    def load_rows(self, rows: Sequence[Mapping[str, Value]]) -> list[int]:
+        assigned = super().load_rows(rows)
+        self.detector.reset()
+        return assigned
+
+    def load_relation(self, relation: Relation) -> int:
+        loaded = super().load_relation(relation)
+        self.detector.reset()
+        return loaded
+
+    def apply_delta(
+        self, delete_tids: Sequence[int], insert_rows: Sequence[Mapping[str, Value]]
+    ) -> list[int]:
+        assigned = super().apply_delta(delete_tids, insert_rows)
+        self.detector.reset()
+        return assigned
+
+    def clear(self) -> None:
+        super().clear()
+        self.detector.reset()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+BackendFactory = Callable[..., DetectorBackend]
+
+_REGISTRY: dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register a backend factory under ``name`` (last registration wins).
+
+    ``factory`` is called as ``factory(schema=..., sigma=..., path=...)``
+    and must return a :class:`DetectorBackend`.
+    """
+    if not name:
+        raise EngineError("backend name must be a non-empty string")
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (unknown names raise the usual error)."""
+    if name not in _REGISTRY:
+        raise UnknownBackendError(name, available_backends())
+    del _REGISTRY[name]
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(
+    name: str,
+    schema: RelationSchema,
+    sigma: ECFDSet | Sequence[ECFD],
+    path: str = ":memory:",
+) -> DetectorBackend:
+    """Instantiate the backend registered under ``name``.
+
+    Raises
+    ------
+    UnknownBackendError
+        When no backend is registered under ``name``; the message lists the
+        available backends.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(name, available_backends()) from None
+    return factory(schema=schema, sigma=sigma, path=path)
+
+
+register_backend(NaiveBackend.name, NaiveBackend)
+register_backend(BatchBackend.name, BatchBackend)
+register_backend(IncrementalBackend.name, IncrementalBackend)

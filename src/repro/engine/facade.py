@@ -1,0 +1,350 @@
+"""The :class:`DataQualityEngine` façade — one front door to the library.
+
+Every workflow in the reproduction (examples, experiment drivers, tests,
+benchmarks) needs the same lifecycle: pick a detection strategy, load data,
+detect violations, maybe apply updates, maybe repair, maybe mine new
+constraints, summarise.  The façade owns that lifecycle end to end::
+
+    engine = DataQualityEngine(schema, sigma, backend="batch")
+    engine.load(rows)                      # chunked ingestion
+    result = engine.detect()               # DetectionResult
+    result = engine.apply_update(delta)    # INCDETECT when supported
+    repair = engine.repair()               # RepairResult
+    report = engine.report()               # QualityReport
+
+Detection strategies are looked up in the backend registry of
+:mod:`repro.engine.backends`; ``apply_update`` routes to INCDETECT when the
+backend advertises incremental support and falls back to a full BATCHDETECT
+recomputation otherwise, so callers write one code path for both.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import islice
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.analysis.satisfiability import is_satisfiable
+from repro.core.ecfd import ECFD, ECFDSet
+from repro.core.instance import Relation
+from repro.core.schema import RelationSchema, Value
+from repro.discovery.discover import DiscoveryResult, discover_ecfd
+from repro.engine.backends import DetectorBackend, create_backend
+from repro.engine.results import DetectionResult, QualityReport, RepairResult
+from repro.exceptions import EngineError, UnsatisfiableError
+from repro.repair.cost import RepairCostModel
+from repro.repair.repairer import GreedyRepairer
+
+__all__ = ["DataQualityEngine", "DEFAULT_CHUNK_SIZE"]
+
+#: Default ingestion chunk size for :meth:`DataQualityEngine.load`.
+DEFAULT_CHUNK_SIZE = 2_000
+
+
+def _chunks(rows: Iterable[Mapping[str, Value]], size: int) -> Iterator[list[Mapping[str, Value]]]:
+    """Yield ``rows`` in lists of at most ``size`` (works for generators too)."""
+    iterator = iter(rows)
+    while chunk := list(islice(iterator, size)):
+        yield chunk
+
+
+class DataQualityEngine:
+    """Unified data-quality lifecycle over a pluggable detector backend.
+
+    Parameters
+    ----------
+    schema:
+        Relation schema of the data under management.
+    sigma:
+        The eCFD workload (an :class:`~repro.core.ecfd.ECFDSet` or any
+        sequence of eCFDs).
+    backend:
+        Registry name of the detection strategy (``"naive"``, ``"batch"``,
+        ``"incremental"``, or anything registered via
+        :func:`~repro.engine.backends.register_backend`).
+    path:
+        Storage location for database-backed backends; the default keeps
+        everything in-process.
+    chunk_size:
+        Default chunk size for :meth:`load`.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        sigma: ECFDSet | Sequence[ECFD],
+        backend: str = "batch",
+        path: str = ":memory:",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
+        self.schema = schema
+        self.sigma = sigma if isinstance(sigma, ECFDSet) else ECFDSet(list(sigma))
+        self.chunk_size = chunk_size
+        self.backend: DetectorBackend = create_backend(
+            backend, schema=schema, sigma=self.sigma, path=path
+        )
+        self.backend_name = self.backend.name
+        self._last_detection: DetectionResult | None = None
+
+    # ------------------------------------------------------------------
+    # Constraint-set validation
+    # ------------------------------------------------------------------
+    def validate(self, require: bool = False) -> bool:
+        """Whether Σ is satisfiable (Section III analysis).
+
+        With ``require=True`` an unsatisfiable workload raises
+        :class:`~repro.exceptions.UnsatisfiableError` instead of returning
+        ``False`` — useful at pipeline start, before loading any data.
+        """
+        satisfiable = is_satisfiable(self.sigma)
+        if require and not satisfiable:
+            raise UnsatisfiableError(
+                "the engine's constraint set is unsatisfiable; every non-empty "
+                "database would be dirty and no repair could exist"
+            )
+        return satisfiable
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        data: Relation | Iterable[Mapping[str, Value]],
+        chunk_size: int | None = None,
+    ) -> int:
+        """Ingest data into the backend; returns the number of rows loaded.
+
+        A :class:`~repro.core.instance.Relation` is loaded with its tuple
+        identifiers preserved; any other iterable of row mappings (lists,
+        generators, ...) is consumed in chunks of ``chunk_size`` so
+        arbitrarily large inputs never materialise at once.  Chunked and
+        one-shot loads assign identical tids.
+        """
+        if isinstance(data, Relation):
+            return self.backend.load_relation(data)
+        size = chunk_size if chunk_size is not None else self.chunk_size
+        if size <= 0:
+            raise EngineError(f"chunk_size must be positive, got {size}")
+        loaded = 0
+        for chunk in _chunks(data, size):
+            self.backend.load_rows(chunk)
+            loaded += len(chunk)
+        return loaded
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def detect(self, with_breakdown: bool = False) -> DetectionResult:
+        """Run the backend's detection and return a structured result.
+
+        ``with_breakdown=True`` additionally computes the per-constraint
+        statistics (outside the timed region — for SQL backends the SV
+        breakdown re-runs ``Q_sv`` grouped by constraint).
+        """
+        started = time.perf_counter()
+        violations = self.backend.detect()
+        seconds = time.perf_counter() - started
+        result = DetectionResult.from_violations(
+            backend=self.backend_name,
+            violations=violations,
+            tuple_count=self.backend.count(),
+            seconds=seconds,
+            per_constraint=self.backend.breakdown() if with_breakdown else None,
+        )
+        self._last_detection = result
+        return result
+
+    def apply_update(
+        self,
+        delta: Any = None,
+        *,
+        insert_rows: Sequence[Mapping[str, Value]] = (),
+        delete_tids: Sequence[int] = (),
+        with_breakdown: bool = False,
+    ) -> DetectionResult:
+        """Apply an update ΔD and return the violation set of the updated data.
+
+        ``delta`` may be anything exposing ``insert_rows`` / ``delete_tids``
+        (e.g. :class:`~repro.datagen.updates.UpdateBatch`) or a mapping with
+        those keys; the keyword arguments extend whatever the delta carries.
+        Deletions are applied before insertions, matching INCDETECT's ΔD⁻ /
+        ΔD⁺ processing order.
+
+        When the backend supports incremental detection the violation set is
+        *maintained* (INCDETECT, cost proportional to the affected part of
+        the database); otherwise the delta is applied to storage and a full
+        re-detection runs, with the application time reported separately in
+        ``apply_seconds``.
+        """
+        deletes, inserts = list(delete_tids), list(insert_rows)
+        if delta is not None:
+            if isinstance(delta, Mapping):
+                unknown = set(delta) - {"delete_tids", "insert_rows"}
+                if unknown:
+                    raise EngineError(
+                        f"unrecognized delta keys {sorted(unknown)}; "
+                        "expected 'delete_tids' and/or 'insert_rows'"
+                    )
+                deletes = list(delta.get("delete_tids", ())) + deletes
+                inserts = list(delta.get("insert_rows", ())) + inserts
+            elif hasattr(delta, "delete_tids") or hasattr(delta, "insert_rows"):
+                deletes = list(getattr(delta, "delete_tids", ())) + deletes
+                inserts = list(getattr(delta, "insert_rows", ())) + inserts
+            else:
+                raise EngineError(
+                    "delta must expose 'insert_rows' / 'delete_tids' "
+                    f"(got {type(delta).__name__})"
+                )
+
+        if self.backend.supports_incremental:
+            # The paper assumes vio(D) is known before the update arrives, so
+            # a first-time initialisation must not count as update cost.
+            self.backend.ensure_ready()
+            started = time.perf_counter()
+            violations = self.backend.incremental_update(deletes, inserts)
+            detect_seconds = time.perf_counter() - started
+            apply_seconds, incremental = 0.0, True
+        else:
+            started = time.perf_counter()
+            self.backend.apply_delta(deletes, inserts)
+            applied = time.perf_counter()
+            violations = self.backend.detect()
+            detect_seconds = time.perf_counter() - applied
+            apply_seconds, incremental = applied - started, False
+
+        result = DetectionResult.from_violations(
+            backend=self.backend_name,
+            violations=violations,
+            tuple_count=self.backend.count(),
+            seconds=detect_seconds,
+            apply_seconds=apply_seconds,
+            incremental=incremental,
+            per_constraint=self.backend.breakdown() if with_breakdown else None,
+        )
+        self._last_detection = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        max_rounds: int = 10,
+        cost_model: RepairCostModel | None = None,
+        reload: bool = True,
+    ) -> RepairResult:
+        """Repair the stored data with greedy value modification.
+
+        The backend's data is materialised, repaired with
+        :class:`~repro.repair.GreedyRepairer` and — unless ``reload=False``
+        — written back so the engine keeps serving the repaired state.  The
+        returned result carries the serializable audit trail; ``clean``
+        reflects a fresh detection over the repaired data.
+        """
+        working = self.backend.to_relation()
+        repairer = GreedyRepairer(self.sigma, cost_model=cost_model, max_rounds=max_rounds)
+        started = time.perf_counter()
+        outcome = repairer.repair(working)
+        repair_seconds = time.perf_counter() - started
+
+        if reload:
+            self.backend.clear()
+            self.backend.load_relation(outcome.relation)
+            clean = self.detect().clean
+        else:
+            clean = self.sigma.violations(outcome.relation).is_clean()
+
+        changes = tuple(
+            {
+                "tid": change.tid,
+                "attribute": change.attribute,
+                "before": change.old_value,
+                "after": change.new_value,
+            }
+            for change in outcome.changes
+        )
+        return RepairResult(
+            backend=self.backend_name,
+            clean=clean,
+            cells_changed=outcome.change_count,
+            tuples_changed=len(outcome.changed_tids()),
+            cost=outcome.cost,
+            rounds=outcome.rounds,
+            seconds=repair_seconds,
+            changes=changes,
+            relation=outcome.relation,
+        )
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def discover(self, x: Sequence[str], a: str, **thresholds: Any) -> DiscoveryResult:
+        """Mine an eCFD ``(R: X -> ∅, {A}, Tp)`` from the stored data.
+
+        ``thresholds`` are passed through to
+        :func:`repro.discovery.discover_ecfd` (``min_support``,
+        ``min_confidence``, ``max_rhs_values``, ``name``).
+        """
+        return discover_ecfd(self.backend.to_relation(), x, a, **thresholds)
+
+    # ------------------------------------------------------------------
+    # Reporting / introspection
+    # ------------------------------------------------------------------
+    def report(self) -> QualityReport:
+        """A full quality report: workload statistics plus a fresh detection."""
+        detection = self.detect(with_breakdown=True)
+        return QualityReport(
+            schema_name=self.schema.name,
+            backend=self.backend_name,
+            constraint_count=len(self.sigma),
+            pattern_count=self.sigma.pattern_count(),
+            satisfiable=self.validate(),
+            tuple_count=detection.tuple_count,
+            detection=detection,
+        )
+
+    @property
+    def last_detection(self) -> DetectionResult | None:
+        """The most recent detection result, if any."""
+        return self._last_detection
+
+    def count(self) -> int:
+        """Number of tuples currently stored."""
+        return self.backend.count()
+
+    def tids(self) -> list[int]:
+        """All stored tuple identifiers, ascending."""
+        return self.backend.tids()
+
+    def to_relation(self) -> Relation:
+        """The stored data as an in-memory relation (tids preserved)."""
+        return self.backend.to_relation()
+
+    def violation_counts(self) -> dict[str, int]:
+        """SV / MV / dirty counts of the latest detection state."""
+        return self.backend.violation_counts()
+
+    @property
+    def database(self):
+        """The backend's SQLite substrate, when it has one (else ``None``)."""
+        return self.backend.database
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources."""
+        self.backend.close()
+
+    def __enter__(self) -> "DataQualityEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataQualityEngine(schema={self.schema.name!r}, "
+            f"backend={self.backend_name!r}, tuples={self.count()}, "
+            f"constraints={len(self.sigma)})"
+        )

@@ -1,0 +1,237 @@
+"""Structured, serializable result objects returned by the engine façade.
+
+The detectors of :mod:`repro.detection` return
+:class:`~repro.core.violations.ViolationSet` objects and loose count dicts;
+the repairer returns its own audit object; the experiment harness carries
+timings in yet another shape.  The engine façade normalises all of that into
+three dataclasses:
+
+* :class:`DetectionResult` — one detection pass: SV / MV / dirty counts,
+  the violation set itself, wall-clock timings and (optionally) a
+  per-constraint breakdown keyed by the normalized fragment identifiers
+  (the ``CID`` values of the SQL encoding);
+* :class:`RepairResult` — one repair pass: the number of modified cells and
+  tuples, the weighted cost, convergence information and a serializable
+  audit trail of cell changes;
+* :class:`QualityReport` — a one-stop summary of the engine's current state
+  (workload statistics, satisfiability, latest detection).
+
+Every class offers ``to_dict()`` producing plain JSON-serializable data and
+a ``from_dict()`` classmethod reconstructing an equal object, so results can
+be logged, shipped across processes or archived next to experiment output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.violations import ViolationSet
+
+__all__ = ["DetectionResult", "RepairResult", "QualityReport"]
+
+
+def _per_constraint_from_dict(data: Mapping[str, Any]) -> dict[int, dict[str, int]]:
+    """Rebuild the per-constraint mapping with integer keys (JSON stringifies them)."""
+    return {int(cid): dict(counts) for cid, counts in data.items()}
+
+
+@dataclass
+class DetectionResult:
+    """The outcome of one detection pass through the engine.
+
+    Attributes
+    ----------
+    backend:
+        Name of the detector backend that produced the result.
+    violations:
+        The violation set ``vio(D)`` (compared by SV / MV tid-sets).
+    tuple_count:
+        Number of tuples in the database at detection time.
+    sv_count / mv_count / dirty_count:
+        The Fig. 7(b) counters: tuples with ``SV = 1``, with ``MV = 1`` and
+        in ``vio(D)`` overall.
+    seconds:
+        Wall-clock time of the detection work itself.
+    apply_seconds:
+        Wall-clock time spent applying an update delta to storage before
+        detection (0.0 for plain ``detect()`` calls and for incremental
+        updates, where application and maintenance are fused).
+    incremental:
+        ``True`` when INCDETECT maintained the violation set for an update,
+        ``False`` for full (re)computations.
+    per_constraint:
+        Optional breakdown keyed by normalized constraint identifier (the
+        SQL encoding's ``CID``); populated when the caller asks for it.
+    """
+
+    backend: str
+    violations: ViolationSet
+    tuple_count: int
+    sv_count: int
+    mv_count: int
+    dirty_count: int
+    seconds: float
+    apply_seconds: float = 0.0
+    incremental: bool = False
+    per_constraint: dict[int, dict[str, int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_violations(
+        cls,
+        backend: str,
+        violations: ViolationSet,
+        tuple_count: int,
+        seconds: float,
+        apply_seconds: float = 0.0,
+        incremental: bool = False,
+        per_constraint: dict[int, dict[str, int]] | None = None,
+    ) -> "DetectionResult":
+        """Build a result, deriving the counters from the violation set."""
+        summary = violations.summary()
+        return cls(
+            backend=backend,
+            violations=violations,
+            tuple_count=tuple_count,
+            sv_count=summary["sv"],
+            mv_count=summary["mv"],
+            dirty_count=summary["dirty"],
+            seconds=seconds,
+            apply_seconds=apply_seconds,
+            incremental=incremental,
+            per_constraint=dict(per_constraint or {}),
+        )
+
+    @property
+    def clean(self) -> bool:
+        """``True`` when no tuple violates any constraint."""
+        return self.dirty_count == 0
+
+    @property
+    def dirty_ratio(self) -> float:
+        """Fraction of tuples in ``vio(D)`` (0.0 for an empty database)."""
+        return self.dirty_count / self.tuple_count if self.tuple_count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain JSON-serializable representation."""
+        return {
+            "backend": self.backend,
+            "sv_tids": sorted(self.violations.sv_tids),
+            "mv_tids": sorted(self.violations.mv_tids),
+            "tuple_count": self.tuple_count,
+            "sv_count": self.sv_count,
+            "mv_count": self.mv_count,
+            "dirty_count": self.dirty_count,
+            "seconds": self.seconds,
+            "apply_seconds": self.apply_seconds,
+            "incremental": self.incremental,
+            "per_constraint": {str(cid): counts for cid, counts in self.per_constraint.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DetectionResult":
+        """Rebuild a result from :meth:`to_dict` output (detail records are not kept)."""
+        return cls(
+            backend=data["backend"],
+            violations=ViolationSet.from_flags(data["sv_tids"], data["mv_tids"]),
+            tuple_count=data["tuple_count"],
+            sv_count=data["sv_count"],
+            mv_count=data["mv_count"],
+            dirty_count=data["dirty_count"],
+            seconds=data["seconds"],
+            apply_seconds=data.get("apply_seconds", 0.0),
+            incremental=data.get("incremental", False),
+            per_constraint=_per_constraint_from_dict(data.get("per_constraint", {})),
+        )
+
+
+@dataclass
+class RepairResult:
+    """The outcome of one repair pass through the engine.
+
+    The underlying :class:`repro.repair.GreedyRepairer` audit is flattened
+    into plain dictionaries (``{"tid", "attribute", "before", "after"}``) so
+    the result serializes; the repaired relation itself is attached for
+    in-process use but excluded from comparison and serialization.
+    """
+
+    backend: str
+    clean: bool
+    cells_changed: int
+    tuples_changed: int
+    cost: float
+    rounds: int
+    seconds: float
+    changes: tuple[dict[str, Any], ...] = ()
+    relation: Any = field(default=None, compare=False, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain JSON-serializable representation (without the relation)."""
+        return {
+            "backend": self.backend,
+            "clean": self.clean,
+            "cells_changed": self.cells_changed,
+            "tuples_changed": self.tuples_changed,
+            "cost": self.cost,
+            "rounds": self.rounds,
+            "seconds": self.seconds,
+            "changes": [dict(change) for change in self.changes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RepairResult":
+        """Rebuild a result from :meth:`to_dict` output (no relation attached)."""
+        return cls(
+            backend=data["backend"],
+            clean=data["clean"],
+            cells_changed=data["cells_changed"],
+            tuples_changed=data["tuples_changed"],
+            cost=data["cost"],
+            rounds=data["rounds"],
+            seconds=data["seconds"],
+            changes=tuple(dict(change) for change in data.get("changes", [])),
+        )
+
+
+@dataclass
+class QualityReport:
+    """A one-stop summary of the engine's workload and data-quality state."""
+
+    schema_name: str
+    backend: str
+    constraint_count: int
+    pattern_count: int
+    satisfiable: bool
+    tuple_count: int
+    detection: DetectionResult
+
+    @property
+    def dirty_ratio(self) -> float:
+        """Fraction of tuples in ``vio(D)``."""
+        return self.detection.dirty_ratio
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain JSON-serializable representation (nested detection included)."""
+        return {
+            "schema_name": self.schema_name,
+            "backend": self.backend,
+            "constraint_count": self.constraint_count,
+            "pattern_count": self.pattern_count,
+            "satisfiable": self.satisfiable,
+            "tuple_count": self.tuple_count,
+            "dirty_ratio": self.dirty_ratio,
+            "detection": self.detection.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QualityReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            schema_name=data["schema_name"],
+            backend=data["backend"],
+            constraint_count=data["constraint_count"],
+            pattern_count=data["pattern_count"],
+            satisfiable=data["satisfiable"],
+            tuple_count=data["tuple_count"],
+            detection=DetectionResult.from_dict(data["detection"]),
+        )

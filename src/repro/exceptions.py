@@ -71,6 +71,36 @@ class DatabaseError(ReproError):
     """The SQLite substrate was used incorrectly (unknown table, reload, ...)."""
 
 
+class EngineError(ReproError):
+    """The :class:`~repro.engine.DataQualityEngine` façade was misused.
+
+    Raised, for example, when an update delta is malformed (unknown keys, or
+    an object without ``insert_rows`` / ``delete_tids``), when a load is
+    requested with a non-positive chunk size, or when an operation requires
+    a capability the selected backend does not provide.
+    """
+
+
+class UnknownBackendError(EngineError):
+    """An unregistered detector backend name was requested.
+
+    Attributes
+    ----------
+    name:
+        The unknown backend name.
+    available:
+        The backend names registered at the time of the lookup.
+    """
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        listing = ", ".join(repr(b) for b in available) or "(none registered)"
+        super().__init__(
+            f"unknown detector backend {name!r}; available backends: {listing}"
+        )
+        self.name = name
+        self.available = tuple(available)
+
+
 class RepairError(ReproError):
     """A repair could not be constructed (e.g. unsatisfiable constraints)."""
 

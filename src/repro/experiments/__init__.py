@@ -24,6 +24,7 @@ from repro.experiments.runner import (
     Scale,
     current_scale,
     load_database,
+    make_engine,
     timed_batch_after_update,
     timed_batch_detection,
     timed_incremental_update,
@@ -50,6 +51,7 @@ __all__ = [
     "fig7b",
     "format_table",
     "load_database",
+    "make_engine",
     "stopwatch",
     "timed_batch_after_update",
     "timed_batch_detection",

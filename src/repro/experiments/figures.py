@@ -39,12 +39,11 @@ from repro.core.schema import cust_ext_schema
 from repro.datagen.generator import DatasetGenerator
 from repro.datagen.updates import UpdateGenerator
 from repro.datagen.workload import paper_workload, paper_workload_with_tableau_size
-from repro.detection.naive import NaiveDetector
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import (
     Scale,
     current_scale,
-    load_database,
+    make_engine,
     timed_batch_after_update,
     timed_batch_detection,
     timed_incremental_update,
@@ -242,19 +241,20 @@ def ablation_encoding(scale: Scale | None = None, seed: int = 0) -> ExperimentRe
         )
         result.measurements.append(sql_measurement)
 
-        relation = DatasetGenerator(seed=seed).generate(size, scale.default_noise)
-        naive = NaiveDetector(sigma)
-        with stopwatch() as timer:
-            naive_violations = naive.detect(relation)
+        naive_engine = make_engine(rows, sigma, backend="naive")
+        try:
+            naive_result = naive_engine.detect()
+        finally:
+            naive_engine.close()
         result.measurements.append(
             Measurement(
                 label="naive-python",
                 parameter=tableau_size,
-                seconds=timer.elapsed,
+                seconds=naive_result.seconds,
                 extra={
                     "tuples": size,
-                    "dirty": len(naive_violations),
-                    "agrees_with_sql": float(naive_violations == sql_violations),
+                    "dirty": naive_result.dirty_count,
+                    "agrees_with_sql": float(naive_result.violations == sql_violations),
                 },
             )
         )

@@ -31,18 +31,17 @@ from typing import Callable, Sequence
 from repro.core.ecfd import ECFDSet
 from repro.core.schema import RelationSchema, cust_ext_schema
 from repro.core.violations import ViolationSet
-from repro.datagen.generator import DatasetGenerator
-from repro.datagen.updates import UpdateBatch, UpdateGenerator
-from repro.detection.batch import BatchDetector
+from repro.datagen.updates import UpdateBatch
 from repro.detection.database import ECFDDatabase
-from repro.detection.incremental import IncrementalDetector
-from repro.experiments.timing import Measurement, stopwatch
+from repro.engine import DataQualityEngine
+from repro.experiments.timing import Measurement
 
 __all__ = [
     "Scale",
     "SCALES",
     "current_scale",
     "load_database",
+    "make_engine",
     "timed_batch_detection",
     "timed_incremental_update",
     "timed_batch_after_update",
@@ -124,6 +123,23 @@ def load_database(
     return database
 
 
+def make_engine(
+    rows: Sequence[dict[str, str]],
+    sigma: ECFDSet,
+    backend: str = "batch",
+    schema: RelationSchema | None = None,
+) -> DataQualityEngine:
+    """A loaded :class:`DataQualityEngine` over an in-memory store.
+
+    All timed experiment building blocks go through this helper, so the
+    engine façade is the exercised hot path of the whole harness.
+    """
+    schema = schema if schema is not None else cust_ext_schema()
+    engine = DataQualityEngine(schema, sigma, backend=backend)
+    engine.load(rows)
+    return engine
+
+
 def timed_batch_detection(
     rows: Sequence[dict[str, str]],
     sigma: ECFDSet,
@@ -136,21 +152,19 @@ def timed_batch_detection(
     Loading and encoding happen outside the timed region — the paper times
     the detection queries, not the data import.
     """
-    database = load_database(rows, schema)
+    engine = make_engine(rows, sigma, backend="batch", schema=schema)
     try:
-        detector = BatchDetector(database, sigma)
-        with stopwatch() as timer:
-            violations = detector.detect()
-        counts = database.flag_counts()
+        result = engine.detect()
         measurement = Measurement(
             label=label,
             parameter=parameter,
-            seconds=timer.elapsed,
-            extra={"tuples": len(rows), **counts},
+            seconds=result.seconds,
+            extra={"tuples": len(rows), "sv": result.sv_count,
+                   "mv": result.mv_count, "dirty": result.dirty_count},
         )
-        return measurement, violations
+        return measurement, result.violations
     finally:
-        database.close()
+        engine.close()
 
 
 def timed_incremental_update(
@@ -168,35 +182,33 @@ def timed_incremental_update(
     part of the timed region, matching the paper's setting where vio(D) is
     assumed known before the update arrives.
     """
-    database = load_database(rows, schema)
+    engine = make_engine(rows, sigma, backend="incremental", schema=schema)
     try:
-        detector = IncrementalDetector(database, sigma)
-        detector.initialize()
+        engine.detect()  # initial batch pass (untimed)
 
-        with stopwatch() as delete_timer:
-            if batch.delete_tids:
-                detector.delete_tuples(batch.delete_tids)
-        with stopwatch() as insert_timer:
-            if batch.insert_rows:
-                detector.insert_tuples(list(batch.insert_rows))
-        violations = detector.violations()
-        counts = database.flag_counts()
+        delete_seconds = insert_seconds = 0.0
+        if batch.delete_tids:
+            delete_seconds = engine.apply_update(delete_tids=batch.delete_tids).seconds
+        if batch.insert_rows:
+            insert_seconds = engine.apply_update(insert_rows=list(batch.insert_rows)).seconds
+        violations = engine.detect().violations  # maintained flags, no recomputation
+        counts = engine.violation_counts()
 
         deletions = Measurement(
             label="incdetect-delete",
             parameter=parameter,
-            seconds=delete_timer.elapsed,
+            seconds=delete_seconds,
             extra={"deleted": batch.delete_count, **counts},
         )
         insertions = Measurement(
             label="incdetect-insert",
             parameter=parameter,
-            seconds=insert_timer.elapsed,
+            seconds=insert_seconds,
             extra={"inserted": batch.insert_count, **counts},
         )
         return deletions, insertions, violations
     finally:
-        database.close()
+        engine.close()
 
 
 def timed_batch_after_update(
@@ -211,21 +223,17 @@ def timed_batch_after_update(
     This is the comparison point of Experiment 2: "BATCHDETECT was applied
     to the data after database updates are executed".
     """
-    database = load_database(rows, schema)
+    engine = make_engine(rows, sigma, backend="batch", schema=schema)
     try:
-        detector = BatchDetector(database, sigma)
-        detector.detect()  # establish the pre-update state (untimed)
-        database.delete_tuples(batch.delete_tids)
-        database.insert_tuples(list(batch.insert_rows))
-        with stopwatch() as timer:
-            violations = detector.detect()
-        counts = database.flag_counts()
+        engine.detect()  # establish the pre-update state (untimed)
+        result = engine.apply_update(batch)  # delta applied, then re-detected
         measurement = Measurement(
             label="batchdetect-after-update",
             parameter=parameter,
-            seconds=timer.elapsed,
-            extra={"tuples": database.count(), **counts},
+            seconds=result.seconds,  # detection only; delta application is apply_seconds
+            extra={"tuples": result.tuple_count, "sv": result.sv_count,
+                   "mv": result.mv_count, "dirty": result.dirty_count},
         )
-        return measurement, violations
+        return measurement, result.violations
     finally:
-        database.close()
+        engine.close()

@@ -1,0 +1,148 @@
+"""Backend registry and detector call-convention unification tests."""
+
+import pytest
+
+from repro.core import Relation
+from repro.detection import BatchDetector, ECFDDatabase, IncrementalDetector, NaiveDetector
+from repro.engine import (
+    DataQualityEngine,
+    DetectorBackend,
+    NaiveBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.exceptions import DetectionError, EngineError, ReproError, UnknownBackendError
+
+
+class TestRegistry:
+    def test_builtin_backends_are_registered(self):
+        assert {"naive", "batch", "incremental"} <= set(available_backends())
+
+    def test_unknown_backend_raises_listing_available(self, schema, paper_sigma):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            create_backend("quantum", schema=schema, sigma=paper_sigma)
+        message = str(excinfo.value)
+        assert "quantum" in message
+        for name in available_backends():
+            assert repr(name) in message
+        assert excinfo.value.available == available_backends()
+
+    def test_unknown_backend_error_is_a_repro_error(self, schema, paper_sigma):
+        with pytest.raises(ReproError):
+            DataQualityEngine(schema, paper_sigma, backend="no-such-backend")
+
+    def test_register_and_unregister_custom_backend(self, schema, paper_sigma, d0):
+        class EchoBackend(NaiveBackend):
+            name = "echo"
+
+        register_backend("echo", EchoBackend)
+        try:
+            assert "echo" in available_backends()
+            backend = create_backend("echo", schema=schema, sigma=paper_sigma)
+            assert isinstance(backend, DetectorBackend)
+            engine = DataQualityEngine(schema, paper_sigma, backend="echo")
+            engine.load(d0)
+            assert engine.detect().violations == paper_sigma.violations(d0)
+        finally:
+            unregister_backend("echo")
+        assert "echo" not in available_backends()
+        with pytest.raises(UnknownBackendError):
+            unregister_backend("echo")
+
+    def test_register_backend_rejects_empty_name(self):
+        with pytest.raises(EngineError):
+            register_backend("", NaiveBackend)
+
+
+class TestDetectorCallSymmetry:
+    """The satellite unification: all three detectors share detect() / violation_counts()."""
+
+    def test_naive_detector_bound_relation(self, paper_sigma, d0):
+        detector = NaiveDetector(paper_sigma, relation=d0)
+        bound = detector.detect()
+        explicit = NaiveDetector(paper_sigma).detect(d0)
+        assert bound == explicit
+        assert detector.violation_counts() == bound.summary()
+
+    def test_naive_detector_without_relation_raises(self, paper_sigma):
+        detector = NaiveDetector(paper_sigma)
+        with pytest.raises(DetectionError):
+            detector.detect()
+        with pytest.raises(DetectionError):
+            detector.violation_counts()
+
+    def test_naive_violation_counts_lazily_detects(self, paper_sigma, d0):
+        detector = NaiveDetector(paper_sigma, relation=d0)
+        counts = detector.violation_counts()  # no explicit detect() call
+        assert counts == paper_sigma.violations(d0).summary()
+
+    def test_all_three_detectors_agree_via_uniform_api(self, schema, paper_sigma, d0):
+        naive = NaiveDetector(paper_sigma, relation=d0)
+
+        with ECFDDatabase(schema) as db:
+            db.load_relation(d0)
+            batch = BatchDetector(db, paper_sigma)
+            batch_violations = batch.detect()
+            batch_counts = batch.violation_counts()
+
+        with ECFDDatabase(schema) as db:
+            db.load_relation(d0)
+            incremental = IncrementalDetector(db, paper_sigma)
+            inc_violations = incremental.detect()
+            inc_counts = incremental.violation_counts()
+
+        assert naive.detect() == batch_violations == inc_violations
+        assert naive.violation_counts() == batch_counts == inc_counts
+
+    def test_incremental_detect_reuses_maintained_state(self, schema, paper_sigma, d0):
+        with ECFDDatabase(schema) as db:
+            db.load_relation(d0)
+            detector = IncrementalDetector(db, paper_sigma)
+            first = detector.detect()
+            assert detector.detect() == first  # no recomputation, same flags
+            detector.reset()
+            assert detector.detect() == first  # re-initialised from scratch
+
+
+class TestBackendDataLifecycle:
+    def test_naive_backend_mirrors_database_tid_assignment(self, schema, paper_sigma, d0):
+        rows = [t.as_dict() for t in d0.tuples()]
+
+        naive = create_backend("naive", schema=schema, sigma=paper_sigma)
+        batch = create_backend("batch", schema=schema, sigma=paper_sigma)
+        assert naive.load_rows(rows) == batch.load_rows(rows)
+
+        # Delete the max tid, then insert: both must reuse max(tid) + 1.
+        for backend in (naive, batch):
+            backend.apply_delta([6, 2], [rows[0]])
+        assert naive.tids() == batch.tids()
+        assert naive.detect() == batch.detect()
+        batch.close()
+
+    def test_clear_resets_tid_counter(self, schema, paper_sigma, d0):
+        for name in ("naive", "batch", "incremental"):
+            backend = create_backend(name, schema=schema, sigma=paper_sigma)
+            backend.load_relation(d0)
+            backend.clear()
+            assert backend.count() == 0
+            assigned = backend.load_rows([d0.get(1).as_dict()])
+            assert assigned == [1], name
+            backend.close()
+
+    def test_to_relation_round_trips(self, schema, paper_sigma, d0):
+        backend = create_backend("naive", schema=schema, sigma=paper_sigma)
+        backend.load_relation(d0)
+        materialised = backend.to_relation()
+        assert isinstance(materialised, Relation)
+        assert materialised.tids() == d0.tids()
+        assert [t.values() for t in materialised.tuples()] == [
+            t.values() for t in d0.tuples()
+        ]
+
+    def test_non_incremental_backend_rejects_incremental_update(self, schema, paper_sigma):
+        backend = create_backend("naive", schema=schema, sigma=paper_sigma)
+        assert not backend.supports_incremental
+        with pytest.raises(EngineError):
+            backend.incremental_update([], [])

@@ -1,0 +1,101 @@
+"""Serialization round-trip tests for the engine result dataclasses."""
+
+import json
+
+from repro.core import ViolationSet
+from repro.core.schema import cust_ext_schema
+from repro.datagen import DatasetGenerator, paper_workload
+from repro.engine import DataQualityEngine, DetectionResult, QualityReport, RepairResult
+
+
+def roundtrip(obj, cls):
+    """to_dict → JSON → from_dict; returns the reconstructed object."""
+    payload = json.dumps(obj.to_dict())
+    return cls.from_dict(json.loads(payload))
+
+
+class TestDetectionResult:
+    def make(self, **overrides) -> DetectionResult:
+        violations = ViolationSet.from_flags(sv_tids=[1, 4], mv_tids=[2, 3, 4])
+        fields = dict(
+            backend="batch",
+            violations=violations,
+            tuple_count=10,
+            seconds=0.125,
+            apply_seconds=0.5,
+            incremental=True,
+            per_constraint={1: {"sv": 2, "mv_groups": 1, "mv_tuples": 3}},
+        )
+        fields.update(overrides)
+        return DetectionResult.from_violations(**fields)
+
+    def test_counts_derived_from_violations(self):
+        result = self.make()
+        assert (result.sv_count, result.mv_count, result.dirty_count) == (2, 3, 4)
+        assert not result.clean
+        assert result.dirty_ratio == 0.4
+
+    def test_json_round_trip_is_equal(self):
+        result = self.make()
+        rebuilt = roundtrip(result, DetectionResult)
+        assert rebuilt == result
+        assert rebuilt.violations == result.violations
+        assert rebuilt.per_constraint[1]["mv_tuples"] == 3  # int keys restored
+
+    def test_empty_result_is_clean(self):
+        result = DetectionResult.from_violations(
+            backend="naive", violations=ViolationSet(), tuple_count=0, seconds=0.0
+        )
+        assert result.clean and result.dirty_ratio == 0.0
+        assert roundtrip(result, DetectionResult) == result
+
+
+class TestRepairResult:
+    def make(self) -> RepairResult:
+        return RepairResult(
+            backend="batch",
+            clean=True,
+            cells_changed=3,
+            tuples_changed=2,
+            cost=3.0,
+            rounds=1,
+            seconds=0.01,
+            changes=(
+                {"tid": 1, "attribute": "AC", "before": "718", "after": "518"},
+                {"tid": 2, "attribute": "CT", "before": "LI", "after": "NYC"},
+            ),
+            relation=object(),  # must not affect equality or serialization
+        )
+
+    def test_json_round_trip_is_equal(self):
+        result = self.make()
+        rebuilt = roundtrip(result, RepairResult)
+        assert rebuilt == result
+        assert rebuilt.relation is None
+        assert rebuilt.changes[0]["attribute"] == "AC"
+
+    def test_relation_excluded_from_dict(self):
+        assert "relation" not in self.make().to_dict()
+
+
+class TestQualityReport:
+    def test_json_round_trip_through_live_engine(self):
+        schema = cust_ext_schema()
+        with DataQualityEngine(schema, paper_workload(schema), backend="batch") as engine:
+            engine.load(DatasetGenerator(seed=0).generate_rows(150, 5.0))
+            report = engine.report()
+        rebuilt = roundtrip(report, QualityReport)
+        assert rebuilt == report
+        assert rebuilt.detection.violations == report.detection.violations
+        assert rebuilt.dirty_ratio == report.dirty_ratio
+
+    def test_report_dict_is_json_serializable_with_nested_detection(self):
+        schema = cust_ext_schema()
+        with DataQualityEngine(schema, paper_workload(schema), backend="naive") as engine:
+            engine.load(DatasetGenerator(seed=0).generate_rows(60, 5.0))
+            payload = engine.report().to_dict()
+        text = json.dumps(payload)
+        decoded = json.loads(text)
+        assert decoded["schema_name"] == schema.name
+        assert decoded["detection"]["backend"] == "naive"
+        assert isinstance(decoded["detection"]["sv_tids"], list)
