@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over pytest-benchmark JSON output.
+
+Usage
+-----
+Compare a fresh benchmark run against the committed baseline (exit 1 on a
+regression beyond the tolerance)::
+
+    python benchmarks/check_regression.py --results BENCH_<sha>.json
+
+Regenerate the baseline after an intentional perf change (commit the file)::
+
+    python benchmarks/check_regression.py --results BENCH_<sha>.json --update-baseline
+
+The gate tracks designated *hot paths*, not every micro-benchmark: tiny
+benchmarks drown in runner noise and would make CI flaky.  The tracked set
+lives in the baseline file so it versions together with the numbers.  The
+default tolerance (30% slower than baseline) can be overridden per run with
+``--tolerance`` or the ``REPRO_PERF_TOLERANCE`` environment variable.
+
+Baseline timings come from whatever machine regenerated them; keep the
+tolerance generous enough to absorb runner-to-runner variance, and regenerate
+the baseline from a CI artifact when the runner fleet changes materially.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+#: Hot paths tracked when (re)generating a baseline.  The fig8 workers=1
+#: benchmark is plain single-threaded BATCHDETECT at REPRO_BENCH_SIZE — the
+#: library's hot path per the paper's Figs. 5-7.
+TRACKED_BENCHMARKS = (
+    "test_fig8_sharded_batch_detect_scaling[1]",
+)
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+DEFAULT_TOLERANCE = 0.30
+
+
+def load_means(results_path: Path) -> dict[str, float]:
+    """Benchmark name -> mean seconds from a pytest-benchmark JSON file."""
+    with results_path.open() as handle:
+        payload = json.load(handle)
+    return {
+        entry["name"]: entry["stats"]["mean"]
+        for entry in payload.get("benchmarks", [])
+    }
+
+
+def write_baseline(baseline_path: Path, means: dict[str, float], bench_size: str) -> int:
+    tracked = {name: means[name] for name in TRACKED_BENCHMARKS if name in means}
+    missing = [name for name in TRACKED_BENCHMARKS if name not in means]
+    if missing:
+        print(f"error: tracked benchmarks missing from results: {missing}", file=sys.stderr)
+        return 1
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "bench_size": bench_size,
+                "tolerance": DEFAULT_TOLERANCE,
+                "benchmarks": {name: {"mean": tracked[name]} for name in sorted(tracked)},
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"baseline written: {baseline_path} ({len(tracked)} tracked benchmarks)")
+    return 0
+
+
+def check(results_path: Path, baseline_path: Path, tolerance: float | None) -> int:
+    means = load_means(results_path)
+    with baseline_path.open() as handle:
+        baseline = json.load(handle)
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+
+    current_size = os.environ.get("REPRO_BENCH_SIZE", "5000")
+    baseline_size = str(baseline.get("bench_size", ""))
+    if baseline_size and baseline_size != current_size:
+        print(
+            f"perf gate ERROR: this run used REPRO_BENCH_SIZE={current_size} but the "
+            f"baseline was recorded at {baseline_size}; timings are not comparable.\n"
+            f"Regenerate with: python benchmarks/check_regression.py "
+            f"--results <run.json> --update-baseline",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = []
+    print(f"perf gate: tolerance +{tolerance:.0%} over baseline "
+          f"(bench_size={baseline.get('bench_size')!r})")
+    for name, entry in sorted(baseline.get("benchmarks", {}).items()):
+        expected = float(entry["mean"])
+        measured = means.get(name)
+        if measured is None:
+            failures.append(f"{name}: tracked hot path missing from this run")
+            print(f"  MISSING  {name} (baseline {expected:.4f}s)")
+            continue
+        limit = expected * (1.0 + tolerance)
+        ratio = measured / expected if expected else float("inf")
+        verdict = "ok" if measured <= limit else "REGRESSED"
+        print(f"  {verdict:9} {name}: {measured:.4f}s vs baseline {expected:.4f}s "
+              f"({ratio:.2f}x, limit {limit:.4f}s)")
+        if measured > limit:
+            failures.append(
+                f"{name}: {measured:.4f}s exceeds baseline {expected:.4f}s "
+                f"by more than {tolerance:.0%}"
+            )
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", required=True, type=Path,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed slowdown fraction (default: from baseline file)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from these results instead of checking")
+    args = parser.parse_args(argv)
+
+    tolerance = args.tolerance
+    if tolerance is None and os.environ.get("REPRO_PERF_TOLERANCE"):
+        tolerance = float(os.environ["REPRO_PERF_TOLERANCE"])
+
+    if args.update_baseline:
+        return write_baseline(
+            args.baseline,
+            load_means(args.results),
+            bench_size=os.environ.get("REPRO_BENCH_SIZE", "5000"),
+        )
+    return check(args.results, args.baseline, tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -276,6 +276,17 @@ class ECFD:
                     return False
         return True
 
+    def requires_colocation(self) -> bool:
+        """Whether sharded detection must co-locate tuples agreeing on ``X``.
+
+        Embedded-FD (multi-tuple) violations are witnessed by *pairs* of
+        tuples sharing an ``X`` projection, so a hash partitioner has to
+        route all tuples of a group to the same shard.  Constraints carried
+        entirely by ``Yp`` (``Y = ∅``) only ever produce single-tuple
+        pattern-constraint violations, which any partition detects.
+        """
+        return bool(self.rhs)
+
     # ------------------------------------------------------------------
     # Normalisation (Section V assumes single-pattern eCFDs)
     # ------------------------------------------------------------------

@@ -182,6 +182,14 @@ class ValueSet(PatternValue):
     def __init__(self, values: Iterable[Value]):
         object.__setattr__(self, "values", _normalise_values(values, "value-set"))
 
+    def __reduce__(self):
+        # Frozen dataclasses with __slots__ cannot round-trip through the
+        # default pickle path (state restoration calls the blocked
+        # __setattr__); reconstruct through the constructor instead, which
+        # the process-pool sharded detector relies on to ship constraints
+        # to worker processes.
+        return (ValueSet, (sorted(self.values, key=str),))
+
     def matches(self, value: Value) -> bool:
         return value in self.values
 
@@ -242,6 +250,10 @@ class ComplementSet(PatternValue):
 
     def __init__(self, values: Iterable[Value]):
         object.__setattr__(self, "values", _normalise_values(values, "complement-set"))
+
+    def __reduce__(self):
+        # See ValueSet.__reduce__: required for pickling across processes.
+        return (ComplementSet, (sorted(self.values, key=str),))
 
     def matches(self, value: Value) -> bool:
         return value not in self.values

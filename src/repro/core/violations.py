@@ -183,6 +183,18 @@ class ViolationSet:
         merged._mv_tids |= self._mv_tids | other._mv_tids
         return merged
 
+    def update(self, other: "ViolationSet") -> None:
+        """In-place union with ``other`` (flags and records).
+
+        The accumulation primitive of the sharded detector: folding many
+        per-shard sets through :meth:`merge` would copy the growing tid-sets
+        once per shard, whereas ``update`` is linear in ``other`` alone.
+        """
+        self._single.extend(other._single)
+        self._multi.extend(other._multi)
+        self._sv_tids |= other._sv_tids
+        self._mv_tids |= other._mv_tids
+
     def summary(self) -> dict[str, int]:
         """Counts used by the Fig. 7(b) experiment: #SV, #MV and #dirty tuples."""
         return {

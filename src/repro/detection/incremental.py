@@ -102,12 +102,25 @@ class IncrementalDetector:
         return self._initialized
 
     def reset(self) -> None:
-        """Forget the maintained state; the next call re-runs the batch pass.
+        """Discard the maintained state; the next call re-runs the batch pass.
 
         Used after out-of-band changes to the data table (e.g. the engine
-        façade reloading a repaired relation) that invalidate the SV / MV
-        flags, Aux(D) and the macro rows.
+        façade applying a storage-only delta or reloading a repaired
+        relation) that invalidate the SV / MV flags, Aux(D) and the macro
+        rows.  The stale state is *cleared*, not merely marked dirty:
+        readers that go straight to the flags or the per-pattern group
+        counters (``flag_counts``, ``aux_rows``, the engine's per-constraint
+        breakdown) would otherwise see the pre-update violation state mixed
+        with the post-update data, so after a reset the database must look
+        exactly like a fresh, never-detected store.  The SQL work only runs
+        when there is maintained state to discard, keeping repeated resets
+        (e.g. one per chunk during a chunked load) free.
         """
+        if self._initialized:
+            self.database.reset_flags()
+            self.database.execute(f"DELETE FROM {quote_identifier(AUX_TABLE)}")
+            self.database.execute(f"DELETE FROM {quote_identifier(MACRO_TABLE)}")
+            self.database.commit()
         self._initialized = False
 
     def detect(self) -> ViolationSet:

@@ -22,8 +22,14 @@ from repro.engine.backends import (
 from repro.engine.facade import DEFAULT_CHUNK_SIZE, DataQualityEngine
 from repro.engine.results import DetectionResult, QualityReport, RepairResult
 
+# Importing the parallel subsystem registers the "sharded" backend in the
+# registry above, so name-based lookups (and the façade's workers > 1
+# routing) work as soon as the engine package is imported.
+from repro.parallel.sharded import ShardedBackend
+
 __all__ = [
     "BatchBackend",
+    "ShardedBackend",
     "DEFAULT_CHUNK_SIZE",
     "DataQualityEngine",
     "DetectionResult",

@@ -16,8 +16,10 @@ engine façade needs one interface, so this module defines
   direct use: :class:`NaiveBackend`, :class:`BatchBackend` and
   :class:`IncrementalBackend`;
 * a string-keyed registry (:func:`register_backend`,
-  :func:`available_backends`, :func:`create_backend`) that future storage
-  backends (sharded, async, other RDBMSs) plug into.
+  :func:`available_backends`, :func:`create_backend`) that further backends
+  plug into — :class:`repro.parallel.ShardedBackend` registers itself here
+  as ``"sharded"``, wrapping any of the three adapters below as per-shard
+  delegates.
 
 Tuple-identifier discipline
 ---------------------------
@@ -51,6 +53,7 @@ from repro.exceptions import EngineError, UnknownBackendError
 
 __all__ = [
     "DetectorBackend",
+    "InMemoryRelationBackend",
     "NaiveBackend",
     "BatchBackend",
     "IncrementalBackend",
@@ -58,6 +61,7 @@ __all__ = [
     "unregister_backend",
     "available_backends",
     "create_backend",
+    "resolve_backend_factory",
 ]
 
 
@@ -121,6 +125,18 @@ class DetectorBackend(ABC):
     def detect(self) -> ViolationSet:
         """The violation set of the currently stored data."""
 
+    def detect_with_breakdown(self) -> ViolationSet:
+        """Detect, also preparing :meth:`breakdown` for the same pass.
+
+        For most backends the per-constraint statistics are cheap follow-up
+        queries on maintained state, so the default is a plain
+        :meth:`detect`.  Backends that would otherwise have to repeat the
+        whole detection to answer :meth:`breakdown` (sharded) override this
+        to collect both in one pass; the engine calls it when the caller
+        asked for a breakdown.
+        """
+        return self.detect()
+
     def incremental_update(
         self, delete_tids: Sequence[int], insert_rows: Sequence[Mapping[str, Value]]
     ) -> ViolationSet:
@@ -179,9 +195,84 @@ class DetectorBackend(ABC):
 
 
 # ----------------------------------------------------------------------
-# Pure-Python backend
+# In-memory backends
 # ----------------------------------------------------------------------
-class NaiveBackend(DetectorBackend):
+class InMemoryRelationBackend(DetectorBackend):
+    """Shared storage plumbing for backends keeping an in-memory relation.
+
+    Implements the data lifecycle over a :class:`~repro.core.instance.Relation`
+    with the SQLite substrate's discipline (fresh rows get ``max(tid) + 1``
+    onward, every value stored as text) so violation sets stay comparable
+    across backends.  Subclasses provide detection; :meth:`_on_mutation` is
+    called after every storage change for cache invalidation.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        sigma: ECFDSet | Sequence[ECFD],
+        path: str = ":memory:",
+    ):
+        super().__init__(schema, sigma, path)
+        self._relation = Relation(schema)
+
+    # -- data lifecycle -------------------------------------------------
+    def _max_tid(self) -> int:
+        tids = self._relation.tids()
+        return tids[-1] if tids else 0
+
+    def _stringified(self, row: Mapping[str, Value]) -> dict[str, str]:
+        # Mirror the SQLite substrate, which stores every value as TEXT.
+        return {a: str(row[a]) for a in self.schema.attribute_names}
+
+    def _on_mutation(self) -> None:
+        """Hook run after every storage change (default: nothing)."""
+
+    def load_rows(self, rows: Sequence[Mapping[str, Value]]) -> list[int]:
+        start = self._max_tid() + 1
+        assigned = []
+        for offset, row in enumerate(rows):
+            stored = self._relation.insert_with_tid(start + offset, self._stringified(row))
+            assigned.append(stored.tid)
+        self._on_mutation()
+        return assigned
+
+    def load_relation(self, relation: Relation) -> int:
+        if relation.schema != self.schema:
+            raise EngineError(
+                f"relation over {relation.schema.name!r} cannot be loaded into a "
+                f"backend for {self.schema.name!r}"
+            )
+        for t in relation.tuples():
+            assert t.tid is not None
+            self._relation.insert_with_tid(t.tid, self._stringified(t))
+        self._on_mutation()
+        return len(relation)
+
+    def apply_delta(
+        self, delete_tids: Sequence[int], insert_rows: Sequence[Mapping[str, Value]]
+    ) -> list[int]:
+        for tid in delete_tids:
+            if self._relation.get(tid) is not None:
+                self._relation.delete(tid)
+        return self.load_rows(list(insert_rows))
+
+    def clear(self) -> None:
+        self._relation = Relation(self.schema)
+        self._on_mutation()
+
+    # -- introspection --------------------------------------------------
+    def count(self) -> int:
+        return len(self._relation)
+
+    def tids(self) -> list[int]:
+        return self._relation.tids()
+
+    def to_relation(self) -> Relation:
+        return self._relation.copy()
+
+
+class NaiveBackend(InMemoryRelationBackend):
     """The reference (pure-Python) detector behind the engine interface.
 
     Keeps the data as an in-memory :class:`~repro.core.instance.Relation`
@@ -199,47 +290,10 @@ class NaiveBackend(DetectorBackend):
         path: str = ":memory:",
     ):
         super().__init__(schema, sigma, path)
-        self._relation = Relation(schema)
         self.detector = NaiveDetector(self.sigma, self._relation)
 
-    # -- data lifecycle -------------------------------------------------
-    def _max_tid(self) -> int:
-        tids = self._relation.tids()
-        return tids[-1] if tids else 0
-
-    def _stringified(self, row: Mapping[str, Value]) -> dict[str, str]:
-        # Mirror the SQLite substrate, which stores every value as TEXT.
-        return {a: str(row[a]) for a in self.schema.attribute_names}
-
-    def load_rows(self, rows: Sequence[Mapping[str, Value]]) -> list[int]:
-        start = self._max_tid() + 1
-        assigned = []
-        for offset, row in enumerate(rows):
-            stored = self._relation.insert_with_tid(start + offset, self._stringified(row))
-            assigned.append(stored.tid)
-        return assigned
-
-    def load_relation(self, relation: Relation) -> int:
-        if relation.schema != self.schema:
-            raise EngineError(
-                f"relation over {relation.schema.name!r} cannot be loaded into a "
-                f"backend for {self.schema.name!r}"
-            )
-        for t in relation.tuples():
-            assert t.tid is not None
-            self._relation.insert_with_tid(t.tid, self._stringified(t))
-        return len(relation)
-
-    def apply_delta(
-        self, delete_tids: Sequence[int], insert_rows: Sequence[Mapping[str, Value]]
-    ) -> list[int]:
-        for tid in delete_tids:
-            if self._relation.get(tid) is not None:
-                self._relation.delete(tid)
-        return self.load_rows(list(insert_rows))
-
     def clear(self) -> None:
-        self._relation = Relation(self.schema)
+        super().clear()
         self.detector.relation = self._relation
         self.detector.last_violations = None
 
@@ -248,15 +302,6 @@ class NaiveBackend(DetectorBackend):
         return self.detector.detect()
 
     # -- introspection --------------------------------------------------
-    def count(self) -> int:
-        return len(self._relation)
-
-    def tids(self) -> list[int]:
-        return self._relation.tids()
-
-    def to_relation(self) -> Relation:
-        return self._relation.copy()
-
     def violation_counts(self) -> dict[str, int]:
         return self.detector.violation_counts()
 
@@ -493,13 +538,33 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def resolve_backend_factory(name: str) -> BackendFactory:
+    """The factory registered under ``name``.
+
+    For callers that must carry the construction recipe across process
+    boundaries — the sharded backend ships the resolved factory to its pool
+    workers so runtime-registered delegates work even under ``spawn`` start
+    methods, where child processes re-import a registry containing only the
+    built-ins.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(name, available_backends()) from None
+
+
 def create_backend(
     name: str,
     schema: RelationSchema,
     sigma: ECFDSet | Sequence[ECFD],
     path: str = ":memory:",
+    **options,
 ) -> DetectorBackend:
     """Instantiate the backend registered under ``name``.
+
+    Extra keyword ``options`` are forwarded to the factory for backends with
+    configuration beyond the common trio — e.g. the ``sharded`` backend's
+    ``delegate`` / ``workers`` / ``executor``.
 
     Raises
     ------
@@ -507,11 +572,7 @@ def create_backend(
         When no backend is registered under ``name``; the message lists the
         available backends.
     """
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise UnknownBackendError(name, available_backends()) from None
-    return factory(schema=schema, sigma=sigma, path=path)
+    return resolve_backend_factory(name)(schema=schema, sigma=sigma, path=path, **options)
 
 
 register_backend(NaiveBackend.name, NaiveBackend)

@@ -60,13 +60,25 @@ class DataQualityEngine:
         sequence of eCFDs).
     backend:
         Registry name of the detection strategy (``"naive"``, ``"batch"``,
-        ``"incremental"``, or anything registered via
+        ``"incremental"``, ``"sharded"``, or anything registered via
         :func:`~repro.engine.backends.register_backend`).
     path:
         Storage location for database-backed backends; the default keeps
         everything in-process.
     chunk_size:
         Default chunk size for :meth:`load`.
+    workers:
+        Parallelism for detection.  With ``workers > 1`` the engine routes
+        ``detect`` / ``apply_update`` through the sharded multi-core backend
+        (:class:`~repro.parallel.ShardedBackend`), running ``backend`` as
+        the per-shard delegate; ``workers=1`` (default) keeps the delegate
+        single-threaded, exactly as before.  With ``backend="sharded"`` the
+        given count is used verbatim (``workers=1`` means a serial
+        single-task pass), so ``engine.workers`` always reflects the actual
+        parallelism.
+    executor:
+        Pool kind for sharded detection: ``"process"`` (default),
+        ``"thread"`` or ``"serial"``.  Ignored when ``workers=1``.
     """
 
     def __init__(
@@ -76,13 +88,32 @@ class DataQualityEngine:
         backend: str = "batch",
         path: str = ":memory:",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        workers: int = 1,
+        executor: str = "process",
     ):
         self.schema = schema
         self.sigma = sigma if isinstance(sigma, ECFDSet) else ECFDSet(list(sigma))
         self.chunk_size = chunk_size
-        self.backend: DetectorBackend = create_backend(
-            backend, schema=schema, sigma=self.sigma, path=path
-        )
+        if workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        if backend == "sharded":
+            # Explicit sharded backend: honour the given worker count
+            # verbatim (workers=1 is a serial single-task pass), so
+            # engine.workers always describes the actual parallelism.
+            self.backend: DetectorBackend = create_backend(
+                backend, schema=schema, sigma=self.sigma, path=path,
+                workers=workers, executor=executor,
+            )
+        elif workers > 1:
+            self.backend = create_backend(
+                "sharded", schema=schema, sigma=self.sigma, path=path,
+                delegate=backend, workers=workers, executor=executor,
+            )
+        else:
+            self.backend = create_backend(
+                backend, schema=schema, sigma=self.sigma, path=path
+            )
         self.backend_name = self.backend.name
         self._last_detection: DetectionResult | None = None
 
@@ -138,11 +169,14 @@ class DataQualityEngine:
         """Run the backend's detection and return a structured result.
 
         ``with_breakdown=True`` additionally computes the per-constraint
-        statistics (outside the timed region — for SQL backends the SV
-        breakdown re-runs ``Q_sv`` grouped by constraint).
+        statistics (for SQL backends these are follow-up queries outside the
+        timed region; backends like ``sharded`` collect them inside the same
+        detection pass via ``detect_with_breakdown`` so nothing runs twice).
         """
         started = time.perf_counter()
-        violations = self.backend.detect()
+        violations = (
+            self.backend.detect_with_breakdown() if with_breakdown else self.backend.detect()
+        )
         seconds = time.perf_counter() - started
         result = DetectionResult.from_violations(
             backend=self.backend_name,
@@ -208,7 +242,11 @@ class DataQualityEngine:
             started = time.perf_counter()
             self.backend.apply_delta(deletes, inserts)
             applied = time.perf_counter()
-            violations = self.backend.detect()
+            violations = (
+                self.backend.detect_with_breakdown()
+                if with_breakdown
+                else self.backend.detect()
+            )
             detect_seconds = time.perf_counter() - applied
             apply_seconds, incremental = applied - started, False
 

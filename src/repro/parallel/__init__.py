@@ -1,0 +1,26 @@
+"""Sharded, multi-core violation detection.
+
+* :mod:`repro.parallel.partition` — partition-key extraction from eCFD
+  tableaux and deterministic hash partitioning of relations;
+* :mod:`repro.parallel.sharded` — the ``"sharded"`` engine backend, which
+  fans any delegate detector out over shared-nothing shards in a process or
+  thread pool and merges the per-shard violation sets exactly.
+"""
+
+from repro.parallel.partition import (
+    PartitionCluster,
+    extract_partition_plan,
+    partition_rows,
+    shard_index,
+)
+from repro.parallel.sharded import DEFAULT_EXECUTOR, ShardedBackend, detect_sharded
+
+__all__ = [
+    "DEFAULT_EXECUTOR",
+    "PartitionCluster",
+    "ShardedBackend",
+    "detect_sharded",
+    "extract_partition_plan",
+    "partition_rows",
+    "shard_index",
+]

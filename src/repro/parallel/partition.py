@@ -1,0 +1,182 @@
+"""Hash partitioning of relations by eCFD LHS keys.
+
+Sharded detection (see :mod:`repro.parallel.sharded`) splits a relation into
+shared-nothing shards and runs an ordinary detector per shard.  For that to
+be *exact* — bit-identical violation sets to a single-threaded pass — the
+partitioner has to respect the structure of the constraint set:
+
+* **embedded-FD fragments** (``Y ≠ ∅``) produce multiple-tuple violations,
+  witnessed by pairs of tuples agreeing on the LHS attributes ``X``.  All
+  tuples of an ``X``-group must therefore land in the same shard, which a
+  deterministic hash of the ``X`` projection guarantees;
+* **pattern-constraint-only fragments** (``Y = ∅``, the ``Yp``-carried
+  constraints) produce only single-tuple violations and never need
+  co-location — any partition of the relation detects them, as long as each
+  tuple is examined exactly once.
+
+Different eCFDs generally have different LHS attribute sets, so one hash key
+cannot serve them all.  The planner clusters the embedded-FD fragments
+greedily: fragments whose LHS sets share a common non-empty subset are
+placed in one cluster keyed on that *intersection* — tuples agreeing on
+``X ⊇ key`` also agree on ``key``, so co-location is preserved while the
+relation is replicated once per cluster instead of once per distinct LHS.
+The co-location-free fragments are then dealt round-robin onto the clusters
+as riders, adding no replication at all.
+
+Hashing uses :func:`zlib.crc32`, not the builtin ``hash``: Python salts
+string hashes per process, and shard assignment must agree between the
+coordinating process and (potentially forked-then-respawned) workers.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.ecfd import ECFD, ECFDSet
+from repro.core.instance import Relation
+from repro.core.schema import Value
+
+__all__ = [
+    "PartitionCluster",
+    "bucket_rows",
+    "extract_partition_plan",
+    "shard_index",
+    "partition_rows",
+]
+
+#: Separator between projected values inside a hash key; chosen outside the
+#: generated data's alphabet so composite keys cannot collide by juxtaposition.
+_KEY_SEPARATOR = "\x1f"
+
+
+@dataclass
+class PartitionCluster:
+    """One partition pass over the relation and the fragments it serves.
+
+    Attributes
+    ----------
+    key:
+        The attributes the relation is hash-partitioned on, in schema-lhs
+        order.  Empty when the cluster holds only co-location-free fragments
+        (tuples are then dealt round-robin by ``tid``) or when
+        ``colocate_all`` is set.
+    fragments:
+        Normalized single-pattern fragments evaluated over this cluster's
+        shards, as ``(cid, ecfd)`` pairs with their *global* constraint
+        identifiers (the CIDs a whole-Σ detection would assign).
+    colocate_all:
+        ``True`` for the cluster holding embedded-FD fragments with an
+        *empty* LHS: every tuple belongs to the one global ``X``-group, so
+        the whole relation must go to a single shard — this cluster cannot
+        be parallelised, only overlapped with the others.
+    """
+
+    key: tuple[str, ...]
+    fragments: list[tuple[int, ECFD]] = field(default_factory=list)
+    colocate_all: bool = False
+
+    def fragment_cids(self) -> list[int]:
+        """The global constraint identifiers served by this cluster, sorted."""
+        return sorted(cid for cid, _ in self.fragments)
+
+
+def extract_partition_plan(sigma: ECFDSet) -> list[PartitionCluster]:
+    """Cluster Σ's normalized fragments into co-location-safe partition passes.
+
+    Every fragment of ``sigma.normalize()`` is assigned to exactly one
+    cluster; embedded-FD fragments only join clusters whose key is a subset
+    of their LHS.  The plan is deterministic for a given Σ.
+    """
+    fd_fragments: list[tuple[int, ECFD]] = []
+    rider_fragments: list[tuple[int, ECFD]] = []
+    for cid, fragment in sigma.normalize():
+        if fragment.requires_colocation():
+            fd_fragments.append((cid, fragment))
+        else:
+            rider_fragments.append((cid, fragment))
+
+    clusters: list[PartitionCluster] = []
+    for cid, fragment in fd_fragments:
+        lhs_set = set(fragment.lhs)
+        if not lhs_set:
+            # X = ∅: one global group — single-shard cluster, never hashed.
+            target = next((c for c in clusters if c.colocate_all), None)
+            if target is None:
+                target = PartitionCluster(key=(), colocate_all=True)
+                clusters.append(target)
+            target.fragments.append((cid, fragment))
+            continue
+        placed = False
+        for cluster in clusters:
+            common = [a for a in cluster.key if a in lhs_set]
+            if common:
+                cluster.key = tuple(common)
+                cluster.fragments.append((cid, fragment))
+                placed = True
+                break
+        if not placed:
+            clusters.append(PartitionCluster(key=fragment.lhs, fragments=[(cid, fragment)]))
+
+    if not clusters:
+        clusters.append(PartitionCluster(key=()))
+    for index, rider in enumerate(rider_fragments):
+        clusters[index % len(clusters)].fragments.append(rider)
+
+    # Drop clusters that ended up empty (possible only when Σ is empty) and
+    # fix a deterministic fragment order inside each cluster.
+    clusters = [c for c in clusters if c.fragments]
+    for cluster in clusters:
+        cluster.fragments.sort(key=lambda pair: pair[0])
+    return clusters
+
+
+def shard_index(row: Mapping[str, Value], key: Sequence[str], shards: int, tid: int = 0) -> int:
+    """The shard a tuple belongs to under a partition key.
+
+    Keyed clusters hash the stringified projection (values are compared as
+    text throughout the detection substrate); keyless clusters deal tuples
+    round-robin by ``tid`` for balance.
+    """
+    if shards <= 1:
+        return 0
+    if not key:
+        return tid % shards
+    projected = _KEY_SEPARATOR.join(str(row[attribute]) for attribute in key)
+    return zlib.crc32(projected.encode("utf-8")) % shards
+
+
+def bucket_rows(
+    rows: Sequence[tuple[int, dict[str, str]]], key: Sequence[str], shards: int
+) -> list[list[tuple[int, dict[str, str]]]]:
+    """Bucket pre-materialised ``(tid, row)`` pairs into ``shards`` lists.
+
+    The shard-assignment loop shared by :func:`partition_rows` and the
+    sharded backend's task builder: tuples agreeing on ``key`` are
+    guaranteed to share a shard; empty shards are kept (callers skip them)
+    so shard indices stay aligned.  An empty ``key`` deals rows round-robin,
+    which is only sound for co-location-free fragments — ``colocate_all``
+    clusters need the whole relation in one shard instead.
+    """
+    buckets: list[list[tuple[int, dict[str, str]]]] = [[] for _ in range(max(1, shards))]
+    for tid, row in rows:
+        buckets[shard_index(row, key, shards, tid=tid)].append((tid, row))
+    return buckets
+
+
+def partition_rows(
+    relation: Relation, key: Sequence[str], shards: int
+) -> list[list[tuple[int, dict[str, str]]]]:
+    """Split a relation into ``shards`` lists of ``(tid, stringified row)``.
+
+    Rows are stringified exactly like every backend's storage layer does, so
+    per-shard detection sees the same values a whole-relation pass would;
+    sharding semantics are those of :func:`bucket_rows`.
+    """
+    attributes = relation.schema.attribute_names
+    rows = []
+    for t in relation.tuples():
+        assert t.tid is not None
+        rows.append((t.tid, {a: str(t[a]) for a in attributes}))
+    return bucket_rows(rows, key, shards)

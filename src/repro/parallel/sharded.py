@@ -1,0 +1,332 @@
+"""Sharded multi-core detection: any delegate backend, fanned out per shard.
+
+The paper's detectors (and their engine adapters) are single-threaded over
+the whole relation.  :class:`ShardedBackend` scales them out on one machine:
+
+1. the constraint set is compiled into a partition plan
+   (:func:`repro.parallel.partition.extract_partition_plan`) — one hash
+   partition pass per cluster of LHS-compatible embedded-FD fragments, with
+   the co-location-free pattern constraints riding along;
+2. for every cluster the stored relation is hash-partitioned into
+   ``workers`` shared-nothing shards (tuples agreeing on the cluster key
+   are co-located; a ``colocate_all`` cluster — empty-LHS embedded FDs —
+   keeps the whole relation in one shard);
+3. each non-empty shard becomes an independent task: a fresh delegate
+   backend (``naive`` / ``batch`` / ``incremental``) is built in the worker,
+   loaded with the shard and asked to detect.  The task carries the
+   delegate's resolved *factory*, not its registry name, so runtime-registered
+   delegates work even under ``spawn`` start methods where workers re-import
+   a registry containing only the built-ins;
+4. per-shard violation sets are remapped to the global constraint
+   identifiers and merged.  Shards of one cluster partition the relation,
+   and clusters partition the constraint set, so every (tuple, fragment)
+   pair is examined exactly once — the merged result is identical to a
+   single-threaded whole-relation pass.
+
+Tasks run in a :mod:`concurrent.futures` pool.  ``executor="process"``
+(default) sidesteps the GIL and suits the pure-Python and SQLite delegates
+alike; ``"thread"`` avoids pickling overhead and still overlaps SQLite's
+C-level work; ``"serial"`` runs the same sharded code path inline, which the
+tests use to pin down partitioning semantics independent of pool behaviour.
+
+The backend registers itself as ``"sharded"`` in the engine registry; the
+:class:`~repro.engine.DataQualityEngine` routes through it automatically
+when constructed with ``workers > 1``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Mapping, Sequence
+
+from repro.core.ecfd import ECFD, ECFDSet
+from repro.core.instance import Relation
+from repro.core.schema import RelationSchema
+from repro.core.violations import MultiTupleViolation, SingleTupleViolation, ViolationSet
+from repro.engine.backends import (
+    DetectorBackend,
+    InMemoryRelationBackend,
+    register_backend,
+    resolve_backend_factory,
+)
+from repro.exceptions import EngineError
+from repro.parallel.partition import bucket_rows, extract_partition_plan
+
+__all__ = ["ShardedBackend", "DEFAULT_EXECUTOR", "detect_sharded"]
+
+#: Executor kinds accepted by the backend.
+_EXECUTORS = ("process", "thread", "serial")
+DEFAULT_EXECUTOR = "process"
+
+#: One unit of work:
+#: (schema, delegate factory, [(global_cid, fragment)], rows, want_breakdown).
+_ShardTask = tuple[
+    RelationSchema,
+    Callable[..., DetectorBackend],
+    list[tuple[int, ECFD]],
+    list[tuple[int, dict[str, str]]],
+    bool,
+]
+
+
+def _remap_cids(violations: ViolationSet, mapping: Mapping[int, int]) -> ViolationSet:
+    """Rewrite a shard-local violation set onto global constraint identifiers.
+
+    Flag-only sets (the SQL delegates) keep their tid-sets untouched;
+    detailed records (the naive delegate) get their ``constraint_id``
+    translated so merged breakdowns attribute violations correctly.
+    """
+    remapped = ViolationSet.from_flags(violations.sv_tids, violations.mv_tids)
+    for record in violations.single_records:
+        remapped.add_single(
+            SingleTupleViolation(
+                tid=record.tid,
+                constraint_id=mapping.get(record.constraint_id, record.constraint_id),
+                attribute=record.attribute,
+            )
+        )
+    for record in violations.multi_records:
+        remapped.add_multi(
+            MultiTupleViolation(
+                constraint_id=mapping.get(record.constraint_id, record.constraint_id),
+                lhs_values=record.lhs_values,
+                tids=record.tids,
+            )
+        )
+    return remapped
+
+
+def _detect_shard(task: _ShardTask) -> tuple[ViolationSet, dict[int, dict[str, int]]]:
+    """Run one delegate backend over one shard (executes inside a worker).
+
+    Returns the shard's violation set and per-constraint breakdown (empty
+    unless requested — for the SQL delegates it costs an extra grouped
+    ``Q_sv`` pass), both keyed by global constraint identifiers.
+    """
+    schema, factory, fragments, rows, want_breakdown = task
+    local_sigma = ECFDSet([fragment for _, fragment in fragments])
+    # Single-pattern fragments normalize 1:1 in order, so the delegate's
+    # local CIDs are simply 1..k over the fragment list.
+    mapping = {local: cid for local, (cid, _) in enumerate(fragments, start=1)}
+
+    backend = factory(schema=schema, sigma=local_sigma, path=":memory:")
+    try:
+        database = backend.database
+        if database is not None:
+            # SQL delegates: straight into the substrate, one pass, tids kept.
+            database.insert_tuples([row for _, row in rows], tids=[tid for tid, _ in rows])
+        else:
+            shard = Relation(schema)
+            for tid, row in rows:
+                shard.insert_with_tid(tid, row)
+            backend.load_relation(shard)
+        violations = backend.detect()
+        breakdown = backend.breakdown() if want_breakdown else {}
+    finally:
+        backend.close()
+    return (
+        _remap_cids(violations, mapping),
+        {mapping.get(cid, cid): dict(stats) for cid, stats in breakdown.items()},
+    )
+
+
+class ShardedBackend(InMemoryRelationBackend):
+    """Shared-nothing sharded detection over a pluggable delegate backend.
+
+    Storage lives in the in-memory relation of the shared base class; every
+    ``detect()`` partitions it according to the plan and fans the shards out.
+
+    Parameters
+    ----------
+    schema / sigma / path:
+        As for every backend; shard databases are always per-worker and
+        in-memory, so a file-backed ``path`` is rejected rather than
+        silently dropped — callers wanting on-disk persistence need a
+        single-threaded SQL backend.
+    delegate:
+        Registry name of the backend run on every shard (``"naive"``,
+        ``"batch"`` or ``"incremental"``); resolved to its factory at
+        construction time.
+    workers:
+        Shards per partition pass and pool size; defaults to the machine's
+        CPU count.
+    executor:
+        ``"process"`` (default), ``"thread"`` or ``"serial"``.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        sigma: ECFDSet | Sequence[ECFD],
+        path: str = ":memory:",
+        delegate: str = "batch",
+        workers: int | None = None,
+        executor: str = DEFAULT_EXECUTOR,
+    ):
+        super().__init__(schema, sigma, path)
+        if path != ":memory:":
+            raise EngineError(
+                "the sharded backend stores data in memory and cannot honour "
+                f"path={path!r}; use a single-threaded SQL backend for "
+                "file-backed storage"
+            )
+        if delegate == self.name:
+            raise EngineError("the sharded backend cannot delegate to itself")
+        if executor not in _EXECUTORS:
+            raise EngineError(
+                f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
+            )
+        self.delegate = delegate
+        self._delegate_factory = resolve_backend_factory(delegate)
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise EngineError(f"workers must be >= 1, got {self.workers}")
+        self.executor = executor
+        self._plan = extract_partition_plan(self.sigma)
+        self._pool: Executor | None = None
+        self._last_violations: ViolationSet | None = None
+        self._last_breakdown: dict[int, dict[str, int]] | None = None
+
+    def _on_mutation(self) -> None:
+        self._last_violations = None
+        self._last_breakdown = None
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def _build_tasks(self, want_breakdown: bool) -> list[_ShardTask]:
+        # Materialise every stored tuple once; clusters only re-hash the
+        # projection, they never rebuild the row payloads.  Values are
+        # already text (every ingestion path stringifies), so this is a
+        # plain dict copy.
+        rows = [
+            (t.tid, t.as_dict())
+            for t in self._relation.tuples()
+            if t.tid is not None
+        ]
+        factory = self._delegate_factory
+        if self.workers <= 1:
+            # One shard, whole Σ — byte-for-byte the delegate's own pass.
+            return [
+                (self.schema, factory, list(self.sigma.normalize()), rows, want_breakdown)
+            ]
+        tasks: list[_ShardTask] = []
+        for cluster in self._plan:
+            if cluster.colocate_all:
+                # Empty-LHS embedded FDs: one global X-group, one shard.
+                if rows:
+                    tasks.append(
+                        (self.schema, factory, cluster.fragments, rows, want_breakdown)
+                    )
+                continue
+            for shard in bucket_rows(rows, cluster.key, self.workers):
+                if shard:
+                    tasks.append(
+                        (self.schema, factory, cluster.fragments, shard, want_breakdown)
+                    )
+        return tasks
+
+    def _ensure_pool(self, task_count: int) -> Executor | None:
+        """The reusable worker pool (``None`` for serial / single-task runs).
+
+        Pool start-up (forking or spawning up to ``workers`` processes) is a
+        fixed cost worth paying once, not once per detection, so the pool is
+        created lazily and kept alive until :meth:`close`.
+        """
+        if self.executor == "serial" or min(self.workers, task_count) <= 1:
+            return None
+        if self._pool is None:
+            pool_class = ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
+            self._pool = pool_class(max_workers=self.workers)
+        return self._pool
+
+    def detect(self) -> ViolationSet:
+        return self._detect(want_breakdown=False)
+
+    def detect_with_breakdown(self) -> ViolationSet:
+        # Collect violations and per-constraint statistics in ONE sharded
+        # pass; a later breakdown() call then hits the cache instead of
+        # repeating the whole detection.
+        return self._detect(want_breakdown=True)
+
+    def _detect(self, want_breakdown: bool) -> ViolationSet:
+        tasks = self._build_tasks(want_breakdown)
+        merged = ViolationSet()
+        breakdown: dict[int, dict[str, int]] = {}
+        if tasks:
+            pool = self._ensure_pool(len(tasks))
+            if pool is None:
+                results = [_detect_shard(task) for task in tasks]
+            else:
+                results = list(pool.map(_detect_shard, tasks))
+            for shard_violations, shard_breakdown in results:
+                merged.update(shard_violations)
+                for cid, stats in shard_breakdown.items():
+                    slot = breakdown.setdefault(cid, {"sv": 0, "mv_groups": 0, "mv_tuples": 0})
+                    for key, value in stats.items():
+                        slot[key] = slot.get(key, 0) + value
+        self._last_violations = merged
+        if want_breakdown:
+            self._last_breakdown = dict(sorted(breakdown.items()))
+        # A plain detect leaves any cached breakdown alone: the data has not
+        # changed since it was computed (mutations invalidate both).
+        return merged
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def violation_counts(self) -> dict[str, int]:
+        if self._last_violations is None:
+            self.detect()
+        assert self._last_violations is not None
+        return self._last_violations.summary()
+
+    def breakdown(self) -> dict[int, dict[str, int]]:
+        # The per-constraint statistics cost the SQL delegates an extra
+        # grouped Q_sv pass, so plain detect() skips them; an uncached
+        # breakdown request triggers one sharded pass collecting both.
+        if self._last_breakdown is None:
+            self._detect(want_breakdown=True)
+        assert self._last_breakdown is not None
+        return dict(self._last_breakdown)
+
+    def shard_plan(self) -> list[tuple[tuple[str, ...], list[int]]]:
+        """The partition plan as ``(key, [global CIDs])`` pairs, for callers
+        that want to inspect or log how Σ was clustered."""
+        return [(cluster.key, cluster.fragment_cids()) for cluster in self._plan]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def detect_sharded(
+    relation: Relation,
+    sigma: ECFDSet | Sequence[ECFD],
+    delegate: str = "batch",
+    workers: int | None = None,
+    executor: str = DEFAULT_EXECUTOR,
+) -> ViolationSet:
+    """One-shot sharded detection over an in-memory relation.
+
+    Convenience wrapper used by scripts and benchmarks that do not need the
+    full backend lifecycle.
+    """
+    backend = ShardedBackend(
+        relation.schema, sigma, delegate=delegate, workers=workers, executor=executor
+    )
+    try:
+        backend.load_relation(relation)
+        return backend.detect()
+    finally:
+        backend.close()
+
+
+register_backend(ShardedBackend.name, ShardedBackend)

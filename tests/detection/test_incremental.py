@@ -195,3 +195,59 @@ class TestMixedUpdateSequences:
             reference.detect()
             batch_aux = sorted(reference.aux_rows())
         assert incremental_aux == batch_aux
+
+
+class TestResetClearsMaintainedState:
+    """Regression: reset() must discard stale flags and per-pattern counters.
+
+    reset() used to only flip the initialized bit; after an out-of-band
+    storage update (the engine's apply_delta path) the SV / MV flags, the
+    Aux(D) group counters and the macro rows still described the *pre-update*
+    database, so direct readers (flag_counts, aux_rows, the engine's
+    breakdown) saw old violations mixed with new data.
+    """
+
+    def _updated_detector(self, schema, paper_sigma):
+        """A detector whose storage was changed out-of-band after detection."""
+        db = fresh_db(schema, FIG1_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        # Out-of-band update: storage only, no violation maintenance.
+        db.delete_tuples([2, 3])
+        db.insert_tuples(
+            [{"AC": "999", "PN": "7", "NM": "g", "STR": "s", "CT": "Albany", "ZIP": "7"}]
+        )
+        return db, detector
+
+    def test_reset_clears_flags_and_counters(self, schema, paper_sigma):
+        db, detector = self._updated_detector(schema, paper_sigma)
+        detector.reset()
+        # Before the next detection the store must look fresh: no flags set,
+        # no per-pattern (cid, p) counter rows, no macro rows.
+        assert db.flag_counts() == {"sv": 0, "mv": 0, "dirty": 0}
+        assert detector.aux_rows() == []
+        assert db.query("SELECT COUNT(*) FROM ecfd_macro") == [(0,)]
+        db.close()
+
+    def test_reset_then_detect_matches_fresh_detector(self, schema, paper_sigma):
+        db, detector = self._updated_detector(schema, paper_sigma)
+        detector.reset()
+        result = detector.detect()
+
+        # Reference: a fresh detector over the identical final storage
+        # (tuple identifiers preserved).
+        with ECFDDatabase(schema) as reference_db:
+            reference_db.load_relation(db.to_relation())
+            reference = BatchDetector(reference_db, paper_sigma)
+            assert result == reference.detect()
+            # The rebuilt Aux(D) must equal a from-scratch batch run's too.
+            assert sorted(detector.aux_rows()) == sorted(reference.aux_rows())
+        db.close()
+
+    def test_reset_without_initialization_is_cheap_noop(self, schema, paper_sigma):
+        db = fresh_db(schema, FIG1_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.reset()  # never initialized: nothing to discard
+        assert not detector.initialized
+        assert detector.detect() == batch_reference(schema, FIG1_ROWS, paper_sigma)
+        db.close()

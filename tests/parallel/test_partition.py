@@ -1,0 +1,132 @@
+"""Unit tests for LHS-key extraction and hash partitioning."""
+
+import pytest
+
+from repro.core import ECFD, Relation
+from repro.core.schema import cust_ext_schema
+from repro.datagen.generator import DatasetGenerator
+from repro.datagen.workload import paper_workload
+from repro.parallel import extract_partition_plan, partition_rows, shard_index
+from repro.core.ecfd import ECFDSet
+
+
+@pytest.fixture
+def ext_schema():
+    return cust_ext_schema()
+
+
+@pytest.fixture
+def sigma():
+    return paper_workload()
+
+
+class TestPartitionPlan:
+    def test_every_fragment_assigned_exactly_once(self, sigma):
+        plan = extract_partition_plan(sigma)
+        assigned = [cid for cluster in plan for cid in cluster.fragment_cids()]
+        expected = [cid for cid, _ in sigma.normalize()]
+        assert sorted(assigned) == sorted(expected)
+        assert len(assigned) == len(set(assigned))
+
+    def test_fd_fragments_only_join_subset_keyed_clusters(self, sigma):
+        """Co-location safety: an embedded-FD fragment's cluster key ⊆ its LHS."""
+        plan = extract_partition_plan(sigma)
+        for cluster in plan:
+            for _, fragment in cluster.fragments:
+                if fragment.requires_colocation():
+                    assert set(cluster.key) <= set(fragment.lhs)
+
+    def test_paper_workload_clusters_by_fd_lhs(self, sigma):
+        keys = {cluster.key for cluster in extract_partition_plan(sigma)}
+        assert keys == {("CT",), ("ZIP",), ("ITEM_TITLE",)}
+
+    def test_sv_only_workload_gets_keyless_cluster(self, ext_schema):
+        phi = ECFD(
+            ext_schema,
+            lhs=["CT"],
+            rhs=[],
+            pattern_rhs=["AC"],
+            tableau=[({"CT": "NYC"}, {"AC": {"212", "718"}})],
+        )
+        plan = extract_partition_plan(ECFDSet([phi]))
+        assert len(plan) == 1
+        assert plan[0].key == ()
+
+    def test_empty_lhs_fd_gets_colocate_all_cluster(self, ext_schema):
+        """X = ∅ embedded FDs form one global group: single-shard cluster."""
+        phi = ECFD(ext_schema, lhs=[], rhs=["CT"], tableau=[({}, {"CT": "_"})])
+        plan = extract_partition_plan(ECFDSet([phi]))
+        assert len(plan) == 1
+        assert plan[0].colocate_all
+        assert plan[0].key == ()
+
+    def test_sv_only_cluster_is_not_colocate_all(self, ext_schema):
+        phi = ECFD(
+            ext_schema,
+            lhs=["CT"],
+            rhs=[],
+            pattern_rhs=["AC"],
+            tableau=[({"CT": "NYC"}, {"AC": {"212", "718"}})],
+        )
+        plan = extract_partition_plan(ECFDSet([phi]))
+        assert len(plan) == 1
+        assert not plan[0].colocate_all
+
+    def test_requires_colocation_tracks_embedded_fd(self, ext_schema):
+        fd = ECFD(ext_schema, ["CT"], ["AC"], tableau=[({"CT": "_"}, {"AC": "_"})])
+        sv = ECFD(ext_schema, ["CT"], [], ["AC"], tableau=[({"CT": "NYC"}, {"AC": "212"})])
+        assert fd.requires_colocation()
+        assert not sv.requires_colocation()
+
+    def test_plan_is_deterministic(self, sigma):
+        first = [(c.key, c.fragment_cids()) for c in extract_partition_plan(sigma)]
+        second = [(c.key, c.fragment_cids()) for c in extract_partition_plan(sigma)]
+        assert first == second
+
+
+class TestHashPartitioning:
+    def test_shards_cover_relation_disjointly(self):
+        rows = DatasetGenerator(seed=1).generate_rows(200, 10.0)
+        relation = Relation(cust_ext_schema(), rows)
+        shards = partition_rows(relation, ("CT",), 4)
+        assert len(shards) == 4
+        seen = [tid for shard in shards for tid, _ in shard]
+        assert sorted(seen) == relation.tids()
+
+    def test_key_groups_are_colocated(self):
+        rows = DatasetGenerator(seed=2).generate_rows(300, 10.0)
+        relation = Relation(cust_ext_schema(), rows)
+        shards = partition_rows(relation, ("CT", "ZIP"), 8)
+        location = {}
+        for index, shard in enumerate(shards):
+            for _, row in shard:
+                key = (row["CT"], row["ZIP"])
+                assert location.setdefault(key, index) == index
+
+    def test_shard_index_is_stable_and_salt_free(self):
+        # crc32, not the per-process-salted builtin hash: the same row must
+        # map to the same shard in the coordinator and in every worker.
+        row = {"CT": "NYC", "ZIP": "10001"}
+        assert shard_index(row, ("CT",), 7) == shard_index(dict(row), ("CT",), 7)
+        assert shard_index(row, ("CT",), 1) == 0
+
+    def test_keyless_sharding_deals_by_tid(self):
+        row = {"CT": "NYC"}
+        assert shard_index(row, (), 4, tid=6) == 2
+        assert shard_index(row, (), 4, tid=8) == 0
+
+    def test_single_shard_keeps_everything(self):
+        rows = DatasetGenerator(seed=3).generate_rows(50, 5.0)
+        relation = Relation(cust_ext_schema(), rows)
+        [shard] = partition_rows(relation, ("CT",), 1)
+        assert [tid for tid, _ in shard] == relation.tids()
+
+    def test_rows_are_stringified_like_backend_storage(self):
+        relation = Relation(cust_ext_schema())
+        relation.insert(
+            {"AC": 518, "PN": 1, "NM": "a", "STR": "s", "CT": "Albany",
+             "ZIP": 12238, "ITEM_TYPE": "book", "ITEM_TITLE": "t", "PRICE": 10}
+        )
+        [shard] = partition_rows(relation, ("ZIP",), 1)
+        (_, row) = shard[0]
+        assert row["ZIP"] == "12238" and row["AC"] == "518"
