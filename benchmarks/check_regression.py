@@ -33,9 +33,12 @@ from pathlib import Path
 
 #: Hot paths tracked when (re)generating a baseline.  The fig8 workers=1
 #: benchmark is plain single-threaded BATCHDETECT at REPRO_BENCH_SIZE — the
-#: library's hot path per the paper's Figs. 5-7.
+#: library's hot path per the paper's Figs. 5-7.  The fig9 workers=1
+#: benchmark is the single-threaded INCDETECT update path (a 2% batch
+#: maintained by apply_update) — the hot path of update-heavy serving.
 TRACKED_BENCHMARKS = (
     "test_fig8_sharded_batch_detect_scaling[1]",
+    "test_fig9_sharded_incremental_update[1]",
 )
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"

@@ -78,3 +78,36 @@ class UpdateGenerator:
         delete_tids = tuple(sorted(self.rng.sample(list(existing_tids), delete_count)))
         insert_rows = tuple(self.generator.generate_rows(insert_count, noise_percent))
         return UpdateBatch(insert_rows=insert_rows, delete_tids=delete_tids)
+
+    def make_workload(
+        self,
+        existing_tids: Sequence[int],
+        batches: int,
+        insert_count: int,
+        delete_count: int,
+        noise_percent: float = 0.0,
+    ) -> list[UpdateBatch]:
+        """A stream of ``batches`` successive update batches over a live table.
+
+        One-shot :meth:`make_batch` samples deletions from a *fixed* tid
+        set, which is wrong from the second batch on: earlier batches have
+        deleted some tuples and inserted new ones.  This method tracks the
+        evolving tid population exactly like every backend's storage layer
+        does — deletions are applied first, then insertions get fresh
+        ``max(tid) + 1`` identifiers over the *remaining* rows — so a later
+        batch never deletes a tuple that is already gone and may delete
+        tuples inserted by an earlier batch.  That makes the workload safe
+        to replay against any backend (single-threaded INCDETECT, sharded
+        INCDETECT, full re-detection) for equivalence and throughput runs.
+        """
+        live = set(int(tid) for tid in existing_tids)
+        workload: list[UpdateBatch] = []
+        for _ in range(batches):
+            batch = self.make_batch(
+                sorted(live), insert_count, delete_count, noise_percent
+            )
+            live -= set(batch.delete_tids)
+            start = (max(live) if live else 0) + 1
+            live |= set(range(start, start + batch.insert_count))
+            workload.append(batch)
+        return workload

@@ -215,11 +215,21 @@ class IncrementalDetector:
     # ------------------------------------------------------------------
     # Insertions
     # ------------------------------------------------------------------
-    def insert_tuples(self, rows: Sequence[Mapping[str, Value]]) -> ViolationSet:
-        """Apply ΔD⁺ (new tuples) and repair vio(D); returns the new violation set."""
+    def insert_tuples(
+        self, rows: Sequence[Mapping[str, Value]], tids: Sequence[int] | None = None
+    ) -> ViolationSet:
+        """Apply ΔD⁺ (new tuples) and repair vio(D); returns the new violation set.
+
+        ``tids`` optionally pins the identifiers of the inserted tuples
+        (it must align with ``rows``).  Shard-local detectors need this: a
+        shard stores a *subset* of the relation, so fresh ``max(tid) + 1``
+        identifiers assigned locally would diverge from the global tid
+        sequence and break cross-shard violation-set merging.  Without
+        ``tids`` the database assigns fresh identifiers as usual.
+        """
         self._ensure_initialized()
         schema = self.database.schema
-        new_tids = self.database.insert_tuples(rows)
+        new_tids = self.database.insert_tuples(rows, tids=tids)
 
         self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(_NEW_TIDS)}")
         self.database.execute(
@@ -284,6 +294,39 @@ class IncrementalDetector:
     def aux_rows(self) -> list[tuple]:
         """The current auxiliary relation contents."""
         return self.batch.aux_rows()
+
+    def aux_size(self) -> int:
+        """Number of violating ``(cid, p)`` groups currently in Aux(D).
+
+        A single ``COUNT(*)`` over the auxiliary relation — cheap enough to
+        poll after every update.  This is the memory INCDETECT carries
+        between updates (besides the macro rows), so per-shard monitors and
+        the sharded backend report it instead of guessing from violation
+        counts.
+        """
+        [(count,)] = self.database.query(
+            f"SELECT COUNT(*) FROM {quote_identifier(AUX_TABLE)}"
+        )
+        return count
+
+    def state_stats(self) -> dict[str, int]:
+        """Size of the maintained state, as cheap ``COUNT(*)`` aggregates.
+
+        Keys: ``tuples`` (data rows), ``aux_groups`` (violating groups in
+        Aux(D)), ``macro_rows`` (materialised (tuple, constraint) LHS
+        matches) and ``initialized`` (1 when the maintained state is
+        current, 0 before the first batch pass or after a reset).  Used by
+        the sharded backend's per-shard statistics and the docs examples.
+        """
+        [(macro,)] = self.database.query(
+            f"SELECT COUNT(*) FROM {quote_identifier(MACRO_TABLE)}"
+        )
+        return {
+            "tuples": self.database.count(),
+            "aux_groups": self.aux_size(),
+            "macro_rows": macro,
+            "initialized": int(self._initialized),
+        }
 
     def violation_counts(self) -> dict[str, int]:
         """SV / MV / dirty row counts from the maintained flags."""

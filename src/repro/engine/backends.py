@@ -138,12 +138,24 @@ class DetectorBackend(ABC):
         return self.detect()
 
     def incremental_update(
-        self, delete_tids: Sequence[int], insert_rows: Sequence[Mapping[str, Value]]
+        self,
+        delete_tids: Sequence[int],
+        insert_rows: Sequence[Mapping[str, Value]],
+        insert_tids: Sequence[int] | None = None,
     ) -> ViolationSet:
         """Apply an update *and* maintain the violation set in one step.
 
         Only available when :attr:`supports_incremental` is true; the engine
-        falls back to ``apply_delta`` + ``detect`` otherwise.
+        falls back to ``apply_delta`` + ``detect`` otherwise.  Deletions are
+        processed before insertions (the ΔD⁻ / ΔD⁺ order of INCDETECT).
+
+        ``insert_tids`` optionally pins the identifiers of the inserted rows
+        (aligned with ``insert_rows``).  Ordinary callers leave it ``None``
+        — fresh ``max(tid) + 1`` identifiers are assigned, exactly like
+        ``apply_delta`` — but a *coordinator* holding the global tid
+        sequence (the sharded backend driving per-shard delegates) must pin
+        them so shard-local state stays tid-compatible with a
+        single-threaded pass.
         """
         raise EngineError(
             f"backend {self.name!r} does not support incremental updates"
@@ -476,14 +488,25 @@ class IncrementalBackend(_SQLBackend):
             self.detector.initialize()
 
     def incremental_update(
-        self, delete_tids: Sequence[int], insert_rows: Sequence[Mapping[str, Value]]
+        self,
+        delete_tids: Sequence[int],
+        insert_rows: Sequence[Mapping[str, Value]],
+        insert_tids: Sequence[int] | None = None,
     ) -> ViolationSet:
         result: ViolationSet | None = None
         if delete_tids:
             result = self.detector.delete_tuples(delete_tids)
         if insert_rows:
-            result = self.detector.insert_tuples(list(insert_rows))
+            result = self.detector.insert_tuples(list(insert_rows), tids=insert_tids)
         return result if result is not None else self.detector.violations()
+
+    def aux_size(self) -> int:
+        """Number of violating groups in the maintained Aux(D) relation."""
+        return self.detector.aux_size()
+
+    def state_stats(self) -> dict[str, int]:
+        """Size of the maintained INCDETECT state (tuples, Aux(D), macro rows)."""
+        return self.detector.state_stats()
 
     def load_rows(self, rows: Sequence[Mapping[str, Value]]) -> list[int]:
         assigned = super().load_rows(rows)

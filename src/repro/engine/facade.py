@@ -208,7 +208,12 @@ class DataQualityEngine:
         *maintained* (INCDETECT, cost proportional to the affected part of
         the database); otherwise the delta is applied to storage and a full
         re-detection runs, with the application time reported separately in
-        ``apply_seconds``.
+        ``apply_seconds``.  This holds under sharding too: with
+        ``workers > 1`` and an incremental-capable backend the delta is
+        routed through the partition plan to persistent per-shard INCDETECT
+        states, so only the shards the delta lands on do any work (see
+        :class:`~repro.parallel.ShardedBackend`); first-time shard
+        bootstrapping happens in ``ensure_ready`` outside the timed region.
         """
         deletes, inserts = list(delete_tids), list(insert_rows)
         if delta is not None:
@@ -361,6 +366,25 @@ class DataQualityEngine:
     def violation_counts(self) -> dict[str, int]:
         """SV / MV / dirty counts of the latest detection state."""
         return self.backend.violation_counts()
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard maintained-state statistics, for sharded incremental engines.
+
+        Each entry reports one live shard: its ``cluster`` / ``shard``
+        indices, the cluster's partition ``key`` and the INCDETECT state
+        sizes (``tuples``, ``aux_groups`` — the shard's Aux(D) memory —
+        ``macro_rows``, ``initialized``).  Only meaningful when the engine
+        runs a sharded incremental backend (``workers > 1`` over an
+        incremental-capable delegate); other backends raise
+        :class:`~repro.exceptions.EngineError`.
+        """
+        stats = getattr(self.backend, "shard_stats", None)
+        if stats is None:
+            raise EngineError(
+                f"backend {self.backend_name!r} does not expose per-shard statistics; "
+                "construct the engine with workers > 1 over an incremental delegate"
+            )
+        return stats()
 
     @property
     def database(self):

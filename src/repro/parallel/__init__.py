@@ -11,6 +11,8 @@ from repro.parallel.partition import (
     PartitionCluster,
     extract_partition_plan,
     partition_rows,
+    plan_partitions,
+    route_delta,
     shard_index,
 )
 from repro.parallel.sharded import DEFAULT_EXECUTOR, ShardedBackend, detect_sharded
@@ -22,5 +24,7 @@ __all__ = [
     "detect_sharded",
     "extract_partition_plan",
     "partition_rows",
+    "plan_partitions",
+    "route_delta",
     "shard_index",
 ]

@@ -42,6 +42,8 @@ __all__ = [
     "PartitionCluster",
     "bucket_rows",
     "extract_partition_plan",
+    "plan_partitions",
+    "route_delta",
     "shard_index",
     "partition_rows",
 ]
@@ -130,6 +132,67 @@ def extract_partition_plan(sigma: ECFDSet) -> list[PartitionCluster]:
     for cluster in clusters:
         cluster.fragments.sort(key=lambda pair: pair[0])
     return clusters
+
+
+def plan_partitions(sigma: "ECFDSet | Sequence[ECFD]") -> list[PartitionCluster]:
+    """The partition plan for a constraint workload — the public entry point.
+
+    Clusters Σ's normalized single-pattern fragments into co-location-safe
+    partition passes (see :func:`extract_partition_plan` for the clustering
+    rules) and accepts either an :class:`~repro.core.ecfd.ECFDSet` or any
+    sequence of eCFDs, mirroring every other public constructor in the
+    library.  The returned clusters carry, per cluster,
+
+    * ``key`` — the attributes the relation is hash-partitioned on,
+    * ``fragments`` — the ``(global CID, fragment)`` pairs it serves,
+    * ``colocate_all`` — whether the cluster must stay on a single shard
+      (empty-LHS embedded FDs: one global ``X``-group).
+
+    The plan is deterministic for a given Σ, and both ``detect`` and
+    ``apply_update`` of the sharded backend route through the *same* plan,
+    so a tuple always lands on the shard that examined it at load time.
+    """
+    ecfds = sigma if isinstance(sigma, ECFDSet) else ECFDSet(list(sigma))
+    return extract_partition_plan(ecfds)
+
+
+def route_delta(
+    plan: Sequence[PartitionCluster],
+    workers: int,
+    delete_rows: Sequence[tuple[int, Mapping[str, str]]],
+    insert_rows: Sequence[tuple[int, Mapping[str, str]]],
+) -> dict[tuple[int, int], tuple[list[int], list[tuple[int, Mapping[str, str]]]]]:
+    """Route an update ΔD to the ``(cluster, shard)`` buckets it touches.
+
+    Both deletions and insertions arrive as ``(tid, row)`` pairs — deletions
+    need their row *values* (resolved before the tuple is dropped from
+    storage) because keyed clusters shard on the value projection, not the
+    identifier.  Every delta tuple is routed once per cluster, mirroring the
+    replication of a full sharded detection, with exactly the shard
+    assignment :func:`bucket_rows` used at load time: keyed clusters hash
+    the projection, ``colocate_all`` clusters send everything to their
+    single shard, keyless rider clusters deal by ``tid``.
+
+    Returns a mapping from ``(cluster_index, shard_index)`` to
+    ``(delete_tids, insert_pairs)`` containing *only* the touched shards —
+    the caller dispatches incremental work to those and leaves every other
+    shard untouched, which is what makes sharded INCDETECT's cost
+    proportional to the routed delta rather than to |D|.
+    """
+    routed: dict[tuple[int, int], tuple[list[int], list[tuple[int, Mapping[str, str]]]]] = {}
+
+    def slot(cluster: int, shard: int) -> tuple[list[int], list[tuple[int, Mapping[str, str]]]]:
+        return routed.setdefault((cluster, shard), ([], []))
+
+    for cluster_index, cluster in enumerate(plan):
+        shards = 1 if cluster.colocate_all else max(1, workers)
+        for tid, row in delete_rows:
+            shard = 0 if cluster.colocate_all else shard_index(row, cluster.key, shards, tid)
+            slot(cluster_index, shard)[0].append(tid)
+        for tid, row in insert_rows:
+            shard = 0 if cluster.colocate_all else shard_index(row, cluster.key, shards, tid)
+            slot(cluster_index, shard)[1].append((tid, row))
+    return routed
 
 
 def shard_index(row: Mapping[str, Value], key: Sequence[str], shards: int, tid: int = 0) -> int:

@@ -112,3 +112,48 @@ class TestUpdateGenerator:
         first = UpdateGenerator(DatasetGenerator(seed=18), seed=19).make_batch(range(1, 101), 10, 10)
         second = UpdateGenerator(DatasetGenerator(seed=18), seed=19).make_batch(range(1, 101), 10, 10)
         assert first == second
+
+
+class TestMakeWorkload:
+    def test_tracks_evolving_tid_population(self):
+        updates = UpdateGenerator(DatasetGenerator(seed=20), seed=21)
+        workload = updates.make_workload(
+            range(1, 101), batches=5, insert_count=10, delete_count=8
+        )
+        assert len(workload) == 5
+        live = set(range(1, 101))
+        for batch in workload:
+            # Every deletion targets a tuple that is actually alive.
+            assert set(batch.delete_tids) <= live
+            live -= set(batch.delete_tids)
+            start = (max(live) if live else 0) + 1
+            live |= set(range(start, start + batch.insert_count))
+
+    def test_replays_exactly_against_a_backend(self):
+        """The workload's tid model matches real backend tid assignment."""
+        from repro.core.schema import cust_ext_schema
+        from repro.datagen.workload import paper_workload
+        from repro.engine import DataQualityEngine
+
+        generator = DatasetGenerator(seed=22)
+        rows = generator.generate_rows(120, 5.0)
+        workload = UpdateGenerator(generator, seed=23).make_workload(
+            range(1, 121), batches=3, insert_count=15, delete_count=12
+        )
+        engine = DataQualityEngine(cust_ext_schema(), paper_workload(), backend="incremental")
+        engine.load(rows)
+        engine.detect()
+        for batch in workload:
+            before = set(engine.tids())
+            assert set(batch.delete_tids) <= before, "no dangling deletions"
+            engine.apply_update(batch)
+        engine.close()
+
+    def test_workload_determinism(self):
+        first = UpdateGenerator(DatasetGenerator(seed=24), seed=25).make_workload(
+            range(1, 51), batches=3, insert_count=5, delete_count=5
+        )
+        second = UpdateGenerator(DatasetGenerator(seed=24), seed=25).make_workload(
+            range(1, 51), batches=3, insert_count=5, delete_count=5
+        )
+        assert first == second

@@ -251,3 +251,53 @@ class TestResetClearsMaintainedState:
         assert not detector.initialized
         assert detector.detect() == batch_reference(schema, FIG1_ROWS, paper_sigma)
         db.close()
+
+
+class TestShardStateHooks:
+    """The hooks sharded INCDETECT builds on: pinned tids and state stats."""
+
+    def test_insert_with_explicit_tids_preserves_identity(self, schema, paper_sigma):
+        db = fresh_db(schema, CLEAN_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        row = {"AC": "518", "PN": "9", "NM": "z", "STR": "s", "CT": "Albany", "ZIP": "1"}
+        detector.insert_tuples([row], tids=[41])
+        assert 41 in db.all_tids()
+        # Equivalent to a from-scratch batch pass over the same storage.
+        with ECFDDatabase(schema) as reference_db:
+            reference_db.load_relation(db.to_relation())
+            assert detector.violations() == BatchDetector(reference_db, paper_sigma).detect()
+        db.close()
+
+    def test_pinned_tids_round_trip_through_delete(self, schema, paper_sigma):
+        """A shard-style sequence: insert at a pinned gap tid, delete it again."""
+        db = fresh_db(schema, CLEAN_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        before = detector.violations()
+        row = {"AC": "518", "PN": "1", "NM": "dup", "STR": "s", "CT": "Troy", "ZIP": "9"}
+        detector.insert_tuples([row], tids=[100])
+        detector.delete_tuples([100])
+        assert detector.violations() == before
+        assert 100 not in db.all_tids()
+        db.close()
+
+    def test_aux_size_tracks_violating_groups(self, schema, paper_sigma):
+        db = fresh_db(schema, FIG1_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        detector.initialize()
+        assert detector.aux_size() == len(detector.aux_rows())
+        stats = detector.state_stats()
+        assert stats["aux_groups"] == detector.aux_size()
+        assert stats["tuples"] == db.count()
+        assert stats["macro_rows"] == db.query("SELECT COUNT(*) FROM ecfd_macro")[0][0]
+        assert stats["initialized"] == 1
+        db.close()
+
+    def test_state_stats_before_initialization(self, schema, paper_sigma):
+        db = fresh_db(schema, FIG1_ROWS)
+        detector = IncrementalDetector(db, paper_sigma)
+        stats = detector.state_stats()
+        assert stats["initialized"] == 0
+        assert stats["aux_groups"] == 0
+        db.close()

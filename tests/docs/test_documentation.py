@@ -1,0 +1,41 @@
+"""Tier-1 guard over the documentation: links resolve, examples run.
+
+Runs the same checks as CI's ``docs`` job (``tools/check_docs.py``) so a
+broken doc link or a drifted example fails locally before it reaches CI.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "check_docs.py"
+_spec = importlib.util.spec_from_file_location("check_docs", _TOOL)
+check_docs = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs)
+
+
+def _documentation_files():
+    files = check_docs.documentation_files()
+    assert files, "README.md and docs/*.md must exist"
+    return files
+
+
+@pytest.mark.parametrize("path", _documentation_files(), ids=lambda p: p.name)
+def test_links_and_referenced_paths_resolve(path):
+    assert check_docs.check_links(path) == []
+
+
+@pytest.mark.parametrize("path", _documentation_files(), ids=lambda p: p.name)
+def test_doctest_examples_pass(path):
+    src = str(check_docs.REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    failed, attempted, log = check_docs.run_doctests(path)
+    assert failed == 0, log
+
+
+def test_required_documents_exist():
+    names = {path.name for path in _documentation_files()}
+    assert {"README.md", "ARCHITECTURE.md", "PERFORMANCE.md"} <= names

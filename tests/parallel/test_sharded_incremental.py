@@ -1,0 +1,381 @@
+"""Sharded INCDETECT: delta routing, stateful shard lanes and exactness.
+
+The tentpole guarantee: an engine with ``workers=N`` over the incremental
+delegate *maintains* violations across update batches — persistent per-shard
+INCDETECT states, deltas routed through the partition plan, no full
+recompute — and its results are identical to both the single-threaded
+incremental detector and a full re-detection, on every executor.
+
+The suite shares one seeded 5k-tuple workload and computes the
+single-threaded reference trajectories once (module-scoped fixtures), so the
+executor matrix only pays for the sharded runs.
+"""
+
+import pytest
+
+from repro.core import ECFD, ECFDSet
+from repro.core.schema import cust_ext_schema
+from repro.datagen.generator import DatasetGenerator
+from repro.datagen.updates import UpdateGenerator
+from repro.datagen.workload import paper_workload
+from repro.engine import DataQualityEngine
+from repro.exceptions import EngineError
+
+EXECUTORS = ("serial", "thread", "process")
+#: Seeded 5k-tuple noisy base relation shared by the equivalence tests.
+EQUIVALENCE_SIZE = 5_000
+#: Batches in the shared update workload; insert and delete counts differ
+#: so |D| drifts and the tid-assignment discipline is exercised.
+BATCH_COUNT, BATCH_INSERTS, BATCH_DELETES = 2, 150, 120
+
+
+@pytest.fixture(scope="module")
+def ext_schema():
+    return cust_ext_schema()
+
+
+@pytest.fixture(scope="module")
+def sigma(ext_schema):
+    """The paper workload plus an empty-LHS eCFD.
+
+    The extra constraint forces a ``colocate_all`` cluster into the
+    partition plan, so every update batch also exercises the single-shard
+    routing path the satellite calls out.
+    """
+    phi = ECFD(ext_schema, lhs=[], rhs=["CT"], tableau=[({}, {"CT": "_"})])
+    return ECFDSet(list(paper_workload()) + [phi])
+
+
+@pytest.fixture(scope="module")
+def base_rows():
+    return DatasetGenerator(seed=42).generate_rows(EQUIVALENCE_SIZE, 5.0)
+
+
+@pytest.fixture(scope="module")
+def update_workload(base_rows):
+    """Successive disjoint batches over the evolving tid population."""
+    updates = UpdateGenerator(DatasetGenerator(seed=9), seed=3)
+    return updates.make_workload(
+        range(1, len(base_rows) + 1),
+        batches=BATCH_COUNT,
+        insert_count=BATCH_INSERTS,
+        delete_count=BATCH_DELETES,
+        noise_percent=10.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def incremental_reference(ext_schema, sigma, base_rows, update_workload):
+    """Violation trajectory of the single-threaded incremental delegate."""
+    engine = DataQualityEngine(ext_schema, sigma, backend="incremental")
+    engine.load(base_rows)
+    engine.detect()
+    results = [engine.apply_update(batch) for batch in update_workload]
+    engine.close()
+    return results
+
+
+@pytest.fixture(scope="module")
+def full_redetection_reference(ext_schema, sigma, base_rows, update_workload):
+    """Violation trajectory of full BATCHDETECT re-detection per batch."""
+    engine = DataQualityEngine(ext_schema, sigma, backend="batch")
+    engine.load(base_rows)
+    results = [engine.apply_update(batch) for batch in update_workload]
+    engine.close()
+    return results
+
+
+class TestShardedIncrementalEquivalence:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_matches_single_threaded_and_full_redetect_on_5k(
+        self,
+        ext_schema,
+        sigma,
+        base_rows,
+        update_workload,
+        incremental_reference,
+        full_redetection_reference,
+        executor,
+    ):
+        """The tentpole guarantee, for every executor at 5k tuples."""
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=4, executor=executor
+        )
+        engine.load(base_rows)
+        for step, batch in enumerate(update_workload):
+            result = engine.apply_update(batch)
+            assert result.incremental, "sharded INCDETECT must maintain, not recompute"
+            assert result.violations == incremental_reference[step].violations
+            assert result.violations == full_redetection_reference[step].violations
+            assert result.tuple_count == incremental_reference[step].tuple_count
+        engine.close()
+
+    def test_no_full_recompute_during_updates(
+        self, ext_schema, sigma, base_rows, update_workload
+    ):
+        """The acceptance counter: apply_update never runs a sharded detect."""
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=4, executor="serial"
+        )
+        engine.load(base_rows)
+        backend = engine.backend
+        baseline = backend.full_detect_count
+        for batch in update_workload:
+            engine.apply_update(batch)
+        assert backend.full_detect_count == baseline, (
+            "sharded apply_update must not fall back to full detection"
+        )
+        engine.close()
+
+
+class TestDeltaRoutingProportionality:
+    def test_single_tuple_delta_touches_one_shard_per_cluster(
+        self, ext_schema, sigma, base_rows
+    ):
+        """Per-shard work is proportional to the routed delta, not |D|."""
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=4, executor="serial"
+        )
+        engine.load(base_rows)
+        engine.apply_update(delete_tids=[7])
+        trace = engine.backend.last_update_trace
+        clusters = len(engine.backend.shard_plan())
+        assert trace["mode"] == "incremental"
+        # One deleted tuple routes to exactly one shard per cluster it
+        # appears in — never to the whole shard grid.
+        assert trace["shards_touched"] <= clusters
+        assert trace["shards_touched"] < trace["shards_total"]
+        assert trace["routed_deletes"] == clusters
+        assert trace["routed_inserts"] == 0
+        engine.close()
+
+    def test_untouched_shards_receive_no_tasks(self, ext_schema, sigma, base_rows):
+        """Trace a batch and check routed totals equal |ΔD| x clusters."""
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=4, executor="serial"
+        )
+        engine.load(base_rows)
+        batch_inserts = DatasetGenerator(seed=21).generate_rows(25, 20.0)
+        engine.apply_update(insert_rows=batch_inserts, delete_tids=[11, 12, 13])
+        trace = engine.backend.last_update_trace
+        clusters = len(engine.backend.shard_plan())
+        assert trace["routed_deletes"] == 3 * clusters
+        assert trace["routed_inserts"] == 25 * clusters
+        assert trace["shards_touched"] <= trace["shards_total"]
+        engine.close()
+
+
+class TestColocateAllAndEmptyShards:
+    def test_update_hitting_colocate_all_cluster(self, ext_schema, sigma):
+        """Empty-LHS constraints live on one shard; deltas must reach it."""
+        rows = DatasetGenerator(seed=13).generate_rows(300, 0.0)
+        reference = DataQualityEngine(ext_schema, sigma, backend="incremental")
+        reference.load(rows)
+        reference.detect()
+
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=4, executor="serial"
+        )
+        engine.load(rows)
+        # A clean relation still violates ∅ -> CT (mixed CT values); deleting
+        # tuples changes the single global group, which only the
+        # colocate_all shard maintains.
+        expected = reference.apply_update(delete_tids=[1, 2, 3])
+        result = engine.apply_update(delete_tids=[1, 2, 3])
+        assert result.violations == expected.violations
+        assert not expected.clean
+        reference.close()
+        engine.close()
+
+    def test_insert_into_previously_empty_shard(self, ext_schema):
+        """An insert may route to a shard that held no tuples at bootstrap."""
+        phi = ECFD(
+            ext_schema,
+            lhs=["ZIP"],
+            rhs=["CT"],
+            tableau=[({"ZIP": "_"}, {"CT": "_"})],
+        )
+        sigma = ECFDSet([phi])
+        # Two rows sharing one ZIP: with 4 workers most shards start empty.
+        base = [
+            {a: "x" for a in ext_schema.attribute_names} | {"ZIP": "10001", "CT": "NYC"},
+            {a: "x" for a in ext_schema.attribute_names} | {"ZIP": "10001", "CT": "NYC"},
+        ]
+        fresh = [
+            {a: "y" for a in ext_schema.attribute_names} | {"ZIP": z, "CT": ct}
+            for z, ct in (
+                ("90210", "LA"), ("60601", "CHI"), ("73301", "AUS"),
+                ("90210", "SF"),  # same ZIP, different CT: a new violation
+            )
+        ]
+        reference = DataQualityEngine(ext_schema, sigma, backend="incremental")
+        reference.load(base)
+        reference.detect()
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=4, executor="serial"
+        )
+        engine.load(base)
+        expected = reference.apply_update(insert_rows=fresh)
+        result = engine.apply_update(insert_rows=fresh)
+        assert result.violations == expected.violations
+        assert not result.clean  # the 90210 pair violates ZIP -> CT
+        reference.close()
+        engine.close()
+
+
+class TestLifecycleAndContract:
+    def test_out_of_band_mutation_invalidates_states(self, ext_schema, sigma):
+        rows = DatasetGenerator(seed=5).generate_rows(200, 5.0)
+        reference = DataQualityEngine(ext_schema, sigma, backend="incremental")
+        reference.load(rows)
+        reference.detect()
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=3, executor="serial"
+        )
+        engine.load(rows)
+        engine.apply_update(delete_tids=[4])
+        reference.apply_update(delete_tids=[4])
+
+        extra = DatasetGenerator(seed=6).generate_rows(40, 25.0)
+        engine.load(extra)  # out-of-band: must invalidate the shard states
+        assert not engine.backend._states_live
+        reference.load(extra)
+        reference.detect()
+        # Direct backend call (no facade ensure_ready) exposes the rebuild.
+        result = engine.backend.incremental_update([8], [])
+        expected = reference.apply_update(delete_tids=[8])
+        assert result == expected.violations
+        assert engine.backend.last_update_trace["bootstrap"] is True
+        reference.close()
+        engine.close()
+
+    def test_non_incremental_delegate_refuses(self, ext_schema, sigma):
+        rows = DatasetGenerator(seed=5).generate_rows(100, 5.0)
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="batch", workers=2, executor="serial"
+        )
+        engine.load(rows)
+        assert not engine.backend.supports_incremental
+        with pytest.raises(EngineError):
+            engine.backend.incremental_update([1], [])
+        # The facade still serves updates through the recompute fallback.
+        result = engine.apply_update(delete_tids=[1])
+        assert not result.incremental
+        engine.close()
+
+    def test_shard_stats_report_aux_memory(self, ext_schema, sigma):
+        rows = DatasetGenerator(seed=5).generate_rows(300, 10.0)
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=3, executor="serial"
+        )
+        engine.load(rows)
+        stats = engine.shard_stats()
+        assert stats, "stateful layout must expose at least one shard"
+        for entry in stats:
+            assert {"cluster", "shard", "key", "tuples", "aux_groups",
+                    "macro_rows", "initialized"} <= set(entry)
+            assert entry["initialized"] == 1
+        # Shards of one cluster partition the relation (colocate_all and
+        # whole-relation clusters replicate it, never split it).
+        by_cluster = {}
+        for entry in stats:
+            by_cluster.setdefault(entry["cluster"], 0)
+            by_cluster[entry["cluster"]] += entry["tuples"]
+        assert all(total == len(rows) for total in by_cluster.values())
+        engine.close()
+
+    def test_shard_stats_unavailable_on_plain_backends(self, ext_schema, sigma):
+        engine = DataQualityEngine(ext_schema, sigma, backend="batch")
+        with pytest.raises(EngineError):
+            engine.shard_stats()
+        engine.close()
+
+    def test_explicit_sharded_workers_one_single_state(self, ext_schema, sigma):
+        """An explicit sharded backend at workers=1 keeps one whole-Σ state
+        — byte-for-byte the plain incremental delegate's behaviour."""
+        from repro.engine import ShardedBackend
+
+        rows = DatasetGenerator(seed=5).generate_rows(150, 10.0)
+        reference = DataQualityEngine(ext_schema, sigma, backend="incremental")
+        reference.load(rows)
+        reference.detect()
+
+        backend = ShardedBackend(
+            ext_schema, sigma, delegate="incremental", workers=1, executor="serial"
+        )
+        backend.load_rows(rows)
+        assert backend.supports_incremental
+        result = backend.incremental_update([2, 3], [])
+        expected = reference.apply_update(delete_tids=[2, 3])
+        assert result == expected.violations
+        assert backend.last_update_trace["shards_total"] == 1
+        reference.close()
+        backend.close()
+
+
+class TestReviewHardening:
+    def test_update_with_breakdown_served_from_shard_states(
+        self, ext_schema, sigma
+    ):
+        """apply_update(with_breakdown=True) must not hide a full re-detection."""
+        rows = DatasetGenerator(seed=31).generate_rows(400, 10.0)
+        reference = DataQualityEngine(ext_schema, sigma, backend="incremental")
+        reference.load(rows)
+        reference.detect()
+
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=4, executor="serial"
+        )
+        engine.load(rows)
+        engine.backend.ensure_ready()
+        baseline = engine.backend.full_detect_count
+
+        delta = DatasetGenerator(seed=32).generate_rows(20, 25.0)
+        expected = reference.apply_update(
+            insert_rows=delta, delete_tids=[2, 4], with_breakdown=True
+        )
+        result = engine.apply_update(
+            insert_rows=delta, delete_tids=[2, 4], with_breakdown=True
+        )
+        assert result.violations == expected.violations
+        assert result.per_constraint == expected.per_constraint
+        assert engine.backend.full_detect_count == baseline, (
+            "the breakdown must come from the maintained shard states"
+        )
+        reference.close()
+        engine.close()
+
+    def test_failed_shard_update_invalidates_states(
+        self, ext_schema, sigma, monkeypatch
+    ):
+        """A shard failure mid-update must never leave stale caches behind."""
+        import repro.parallel.sharded as sharded_module
+
+        rows = DatasetGenerator(seed=33).generate_rows(300, 10.0)
+        reference = DataQualityEngine(ext_schema, sigma, backend="incremental")
+        reference.load(rows)
+        reference.detect()
+
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=3, executor="serial"
+        )
+        engine.load(rows)
+        engine.backend.ensure_ready()
+
+        def exploding(task):
+            raise RuntimeError("shard lane died")
+
+        monkeypatch.setattr(sharded_module, "_shard_update", exploding)
+        with pytest.raises(RuntimeError):
+            engine.backend.incremental_update([3], [])
+        assert not engine.backend._states_live, "failed update must invalidate"
+        monkeypatch.undo()
+
+        # Storage kept the applied delta; the next update bootstraps afresh
+        # from it and the results stay exact.
+        expected = reference.apply_update(delete_tids=[3])  # same logical state
+        result = engine.backend.incremental_update([], [])
+        assert result == expected.violations
+        assert engine.backend.last_update_trace["bootstrap"] is True
+        reference.close()
+        engine.close()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Documentation checks: Markdown link integrity and runnable examples.
+
+Two failure modes rot documentation silently: relative links / referenced
+file paths pointing at files that moved, and code examples drifting from the
+API they demonstrate.  This tool guards both:
+
+* **link check** — every inline Markdown link ``[text](target)`` with a
+  relative target must resolve to an existing file or directory (anchors
+  and external ``http(s)``/``mailto`` targets are skipped), and every
+  inline-code token that *looks like* a repository path (contains ``/``,
+  no spaces or glob/placeholder characters) must exist — resolved against
+  the repository root or the referencing file's directory;
+* **doctests** — every ``>>>`` example in the checked files is executed
+  with :func:`doctest.testfile` (the same engine ``python -m doctest``
+  uses), so the fenced examples in the docs are real, passing code.
+
+Checked files: ``README.md`` and ``docs/*.md``.  Exit status 0 when all
+checks pass, 1 otherwise — CI runs this as the ``docs`` job, and the tier-1
+suite runs the same functions via ``tests/docs/test_documentation.py``.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown link: [text](target) — target captured without spaces.
+_LINK = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+#: Inline code span (single backticks).
+_CODE_SPAN = re.compile(r"(?<!`)`([^`\n]+)`(?!`)")
+#: Code-span tokens treated as repository paths: plain path characters only
+#: (no spaces, globs, angle-bracket placeholders or option dashes) and at
+#: least one separator.
+_PATH_TOKEN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.\-/]*$")
+
+DOCTEST_OPTIONS = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+
+
+def documentation_files() -> list[Path]:
+    """The Markdown files under guard: README plus everything in docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def _resolves(target: str, base: Path) -> bool:
+    """Whether a relative reference exists (against ``base`` or the repo root)."""
+    candidate = target.split("#", 1)[0]
+    if not candidate:
+        return True  # pure anchor
+    return (base / candidate).exists() or (REPO_ROOT / candidate).exists()
+
+
+def check_links(path: Path) -> list[str]:
+    """Broken relative links and missing referenced paths in one file."""
+    text = path.read_text(encoding="utf-8")
+    base = path.parent
+    problems = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        if not _resolves(target, base):
+            problems.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    for match in _CODE_SPAN.finditer(text):
+        token = match.group(1)
+        if "/" not in token or not _PATH_TOKEN.match(token):
+            continue
+        if not _resolves(token, base):
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}: referenced path missing -> {token}"
+            )
+    return problems
+
+
+def run_doctests(path: Path) -> tuple[int, int, str]:
+    """Execute a file's ``>>>`` examples; returns (failures, attempted, log)."""
+    runner_output: list[str] = []
+
+    class _Runner(doctest.DocTestRunner):
+        def report_failure(self, out, test, example, got):  # pragma: no cover
+            runner_output.append(
+                f"{path.relative_to(REPO_ROOT)}:{example.lineno + 1}: "
+                f"expected {example.want!r}, got {got!r}"
+            )
+            return super().report_failure(out, test, example, got)
+
+    text = path.read_text(encoding="utf-8")
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(text, {"__name__": "__docs__"}, str(path), str(path), 0)
+    runner = _Runner(optionflags=DOCTEST_OPTIONS, verbose=False)
+    if test.examples:
+        runner.run(test, out=lambda _: None)
+    results = runner.summarize(verbose=False)
+    return results.failed, results.attempted, "\n".join(runner_output)
+
+
+def main() -> int:
+    # The doctested examples import the library; make `repro` importable
+    # regardless of how the tool was invoked.
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+    failures = 0
+    for path in documentation_files():
+        problems = check_links(path)
+        for problem in problems:
+            print(f"LINK FAIL  {problem}")
+        failures += len(problems)
+
+        failed, attempted, log = run_doctests(path)
+        status = "ok" if not failed else "FAIL"
+        print(
+            f"doctest {status:4} {path.relative_to(REPO_ROOT)} "
+            f"({attempted} examples, {failed} failures)"
+        )
+        if log:
+            print(log)
+        failures += failed
+
+    if failures:
+        print(f"\ndocumentation checks FAILED ({failures} problems)", file=sys.stderr)
+        return 1
+    print("documentation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
