@@ -44,15 +44,59 @@ TRACKED_BENCHMARKS = (
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 DEFAULT_TOLERANCE = 0.30
 
+#: The fig8 benchmarks record the sharded backend's row-replication factor
+#: in ``extra_info``; the single-pass summary-merge plan ships every stored
+#: row to exactly one shard, so anything above 1.0 is a regression to the
+#: old per-cluster replication and fails the gate outright (no tolerance).
+REPLICATION_GATE_PREFIX = "test_fig8_sharded_batch_detect_scaling"
+REPLICATION_LIMIT = 1.0
 
-def load_means(results_path: Path) -> dict[str, float]:
-    """Benchmark name -> mean seconds from a pytest-benchmark JSON file."""
+
+def load_results(results_path: Path) -> dict:
+    """The parsed pytest-benchmark JSON payload."""
     with results_path.open() as handle:
-        payload = json.load(handle)
+        return json.load(handle)
+
+
+def load_means(payload: dict) -> dict[str, float]:
+    """Benchmark name -> mean seconds from a parsed pytest-benchmark payload."""
     return {
         entry["name"]: entry["stats"]["mean"]
         for entry in payload.get("benchmarks", [])
     }
+
+
+def check_replication(payload: dict) -> list[str]:
+    """Replication-factor failures recorded in the results' ``extra_info``.
+
+    Every fig8 benchmark entry (the paper workload at every worker count)
+    must report ``replication_factor <= 1.0``.  Absence of the field on a
+    fig8 entry also fails — a silently dropped metric must not pass the
+    gate it feeds.
+    """
+    failures = []
+    checked = 0
+    for entry in payload.get("benchmarks", []):
+        if not entry["name"].startswith(REPLICATION_GATE_PREFIX):
+            continue
+        factor = entry.get("extra_info", {}).get("replication_factor")
+        if factor is None:
+            failures.append(
+                f"{entry['name']}: replication_factor missing from extra_info"
+            )
+            continue
+        checked += 1
+        verdict = "ok" if factor <= REPLICATION_LIMIT else "REGRESSED"
+        print(f"  {verdict:9} {entry['name']}: replication factor {factor:.2f}x "
+              f"(limit {REPLICATION_LIMIT:.1f}x)")
+        if factor > REPLICATION_LIMIT:
+            failures.append(
+                f"{entry['name']}: replication factor {factor:.2f}x exceeds "
+                f"{REPLICATION_LIMIT:.1f}x — rows are being re-shipped per cluster"
+            )
+    if checked:
+        print(f"replication gate: {checked} fig8 entries checked")
+    return failures
 
 
 def write_baseline(baseline_path: Path, means: dict[str, float], bench_size: str) -> int:
@@ -77,7 +121,8 @@ def write_baseline(baseline_path: Path, means: dict[str, float], bench_size: str
 
 
 def check(results_path: Path, baseline_path: Path, tolerance: float | None) -> int:
-    means = load_means(results_path)
+    payload = load_results(results_path)
+    means = load_means(payload)
     with baseline_path.open() as handle:
         baseline = json.load(handle)
     if tolerance is None:
@@ -116,6 +161,8 @@ def check(results_path: Path, baseline_path: Path, tolerance: float | None) -> i
                 f"by more than {tolerance:.0%}"
             )
 
+    failures.extend(check_replication(payload))
+
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)
         for failure in failures:
@@ -143,7 +190,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.update_baseline:
         return write_baseline(
             args.baseline,
-            load_means(args.results),
+            load_means(load_results(args.results)),
             bench_size=os.environ.get("REPRO_BENCH_SIZE", "5000"),
         )
     return check(args.results, args.baseline, tolerance)

@@ -45,11 +45,16 @@ def test_fig9_sharded_incremental_update(benchmark, workers, base_workload):
     rows = dataset_rows(BENCH_SIZE)
     batch = update_batch(len(rows), max(1, int(BENCH_SIZE * UPDATE_FRACTION)))
 
+    trace = {}
+
     def setup():
         return (_bootstrapped_engine(rows, base_workload, workers),), {}
 
     def run(engine):
         result = engine.apply_update(batch)
+        update_trace = getattr(engine.backend, "last_update_trace", None)
+        if update_trace:
+            trace.update(update_trace)
         engine.close()
         return result
 
@@ -61,6 +66,13 @@ def test_fig9_sharded_incremental_update(benchmark, workers, base_workload):
     benchmark.extra_info["update_size"] = batch.insert_count
     benchmark.extra_info["dirty"] = result.dirty_count
     benchmark.extra_info["cores"] = os.cpu_count()
+    # Readback accounting: flags probed (bounded by the shards' maintained
+    # violation sets) and summary groups
+    # touched by the routed update (sharded runs only).
+    benchmark.extra_info["readback_tids"] = trace.get("readback_tids", 0)
+    benchmark.extra_info["summary_groups_touched"] = trace.get(
+        "summary_groups_touched", 0
+    )
 
 
 def test_fig9_sharded_incremental_exactness(base_workload):

@@ -70,10 +70,16 @@ def main() -> None:
               f"shards touched {trace['shards_touched']}/{trace['shards_total']}")
     print("per-shard maintained state (Aux(D) groups = violating groups held):")
     for shard in sharded.shard_stats():
-        print(f"  cluster {shard['cluster']} shard {shard['shard']} "
-              f"key={shard['key'] or '(whole relation)'}: "
+        print(f"  shard {shard['shard']} "
+              f"key={shard['key'] or '(round-robin)'}: "
               f"{shard['tuples']} tuples, {shard['aux_groups']} aux groups, "
               f"{shard['macro_rows']} macro rows")
+    plan = sharded.partition_stats()
+    print(f"plan: key={plan['key']}, {plan['local_fragments']} local + "
+          f"{plan['summary_fragments']} summary fragments, "
+          f"replication {plan['replication_factor']:.1f}x "
+          f"(clustered plan would ship {plan['clustered_replication_factor']:.1f}x), "
+          f"summary store {plan['summary_groups']} groups")
     sharded.close()
 
 

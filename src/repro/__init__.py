@@ -92,7 +92,7 @@ from repro.engine import (
 )
 from repro.exceptions import EngineError, ReproError, UnknownBackendError
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CFD",

@@ -287,6 +287,28 @@ class ECFD:
         """
         return bool(self.rhs)
 
+    def pattern_projection(self) -> "ECFD":
+        """The pattern-constraint side of this eCFD, with the embedded FD dropped.
+
+        Moves ``Y`` into ``Yp`` while keeping every pattern entry: the result
+        has the identical single-tuple (SV) violations — the SV condition
+        only reads ``tp[X]`` and ``tp[Y ∪ Yp]``, never which side of the FD
+        an attribute sits on — but produces no multiple-tuple violations at
+        all (``Y = ∅``).  Sharded detection evaluates this projection
+        shard-locally for fragments whose embedded FD is resolved through
+        cross-shard group summaries instead of hash co-location.
+        """
+        if not self.rhs:
+            return self
+        return ECFD(
+            self.schema,
+            self.lhs,
+            rhs=(),
+            pattern_rhs=self.rhs + self.pattern_rhs,
+            tableau=list(self.tableau),
+            name=self.name,
+        )
+
     # ------------------------------------------------------------------
     # Normalisation (Section V assumes single-pattern eCFDs)
     # ------------------------------------------------------------------

@@ -43,8 +43,10 @@ from repro.detection.sqlgen import (
     group_query,
     macro_query,
     mv_set_statement,
+    summary_scan_query,
     sv_update_statement,
 )
+from repro.detection.summaries import Summary, accumulate_group
 
 __all__ = ["BatchDetector"]
 
@@ -142,6 +144,31 @@ class BatchDetector:
         self.database.execute(mv_set_statement(schema, MACRO_TABLE, AUX_TABLE))
         self.database.commit()
         return self.database.violations()
+
+    # ------------------------------------------------------------------
+    # Group-summary emission (single-pass sharding)
+    # ------------------------------------------------------------------
+    def fd_group_summary(self, fragments: Sequence[tuple[int, ECFD]]) -> Summary:
+        """Embedded-FD group summaries of the stored data, pushed into SQL.
+
+        The shard-side emission hook of single-pass sharded detection (see
+        :mod:`repro.detection.summaries`): per fragment, one parameterised
+        scan (:func:`~repro.detection.sqlgen.summary_scan_query`) filters
+        the LHS-matching tuples inside SQLite and Python folds the returned
+        projections into ``(cid, xv) → (yv multiset, tids)`` groups.
+        Bounded output — aggregated groups, never raw rows.
+        """
+        summary: Summary = {}
+        for cid, fragment in fragments:
+            sql, parameters = summary_scan_query(fragment)
+            groups: dict = {}
+            split = 1 + len(fragment.lhs)
+            for row in self.database.query(sql, parameters):
+                accumulate_group(
+                    groups, tuple(row[1:split]), tuple(row[split:]), row[0]
+                )
+            summary[cid] = groups
+        return summary
 
     # ------------------------------------------------------------------
     # Introspection helpers (used by tests, examples and the experiments)

@@ -82,6 +82,14 @@ class IncrementalDetector:
         self.batch = BatchDetector(database, sigma)
         self.sigma = self.batch.sigma
         self._initialized = False
+        #: The maintained violation set, updated by *flag deltas*: each
+        #: update probes only the flags that can have changed, never the
+        #: whole table (see :meth:`delete_tuples` / :meth:`insert_tuples`).
+        self._cached: ViolationSet | None = None
+        #: Diagnostics of the most recent update's readback: ``op``,
+        #: ``scanned`` (tids whose flags were probed — bounded by the
+        #: maintained violation set, never |D|) and the delta size.
+        self.last_readback: dict | None = None
 
     # ------------------------------------------------------------------
     # Initialisation
@@ -90,6 +98,7 @@ class IncrementalDetector:
         """Run the initial batch detection (computes flags, Aux(D) and the macro rows)."""
         result = self.batch.detect()
         self._initialized = True
+        self._cached = result
         return result
 
     def _ensure_initialized(self) -> None:
@@ -122,6 +131,8 @@ class IncrementalDetector:
             self.database.execute(f"DELETE FROM {quote_identifier(MACRO_TABLE)}")
             self.database.commit()
         self._initialized = False
+        self._cached = None
+        self.last_readback = None
 
     def detect(self) -> ViolationSet:
         """The violation set of the current database, batch-initialising once.
@@ -133,11 +144,47 @@ class IncrementalDetector:
         """
         if not self._initialized:
             return self.initialize()
-        return self.database.violations()
+        return self._current_violations()
 
     # ------------------------------------------------------------------
     # Shared steps
     # ------------------------------------------------------------------
+    def _current_violations(self) -> ViolationSet:
+        """The maintained violation set, without touching the data table.
+
+        Served from the flag-delta cache when available; the full-table flag
+        scan only runs as a defensive fallback (a fresh detector attached to
+        a database whose flags were maintained elsewhere).
+        """
+        if self._cached is None:
+            self._cached = self.database.violations()
+        return self._cached
+
+    #: IN-list chunk for the flag probes; far below any SQLite variable cap.
+    _PROBE_CHUNK = 400
+
+    def _flag_dropped(self, tids: Sequence[int], flag: str) -> set[int]:
+        """Of the given tids, those whose ``flag`` column is now 0.
+
+        Chunked primary-key probes — cost is linear in ``len(tids)`` with no
+        scan of the data table or the macro relation.
+        """
+        table = quote_identifier(self.database.schema.name)
+        column = quote_identifier(flag)
+        dropped: set[int] = set()
+        for start in range(0, len(tids), self._PROBE_CHUNK):
+            chunk = tids[start : start + self._PROBE_CHUNK]
+            placeholders = ", ".join("?" for _ in chunk)
+            dropped.update(
+                tid
+                for (tid,) in self.database.query(
+                    f"SELECT tid FROM {table} "
+                    f"WHERE {column} = 0 AND tid IN ({placeholders})",
+                    list(chunk),
+                )
+            )
+        return dropped
+
     def _regroup_affected(self) -> None:
         """Re-derive the groups listed in the affected-groups temp table.
 
@@ -210,7 +257,27 @@ class IncrementalDetector:
         # Clear MV on flagged tuples that no longer belong to any violating group.
         self.database.execute(mv_clear_statement(schema, MACRO_TABLE, AUX_TABLE))
         self.database.commit()
-        return self.database.violations()
+
+        # Delta readback: a deletion only ever *clears* flags — SV leaves
+        # with the deleted tuples, and MV can flip 1 → 0 solely on tuples
+        # the maintained set already lists as violating.  Probe exactly
+        # those tids (primary-key lookups, chunked) for a dropped MV flag
+        # and patch the maintained set — readback is bounded by |vio(D)|,
+        # never by |D| or by the size of the affected groups.
+        cached = self._current_violations()
+        removed = set(tid_list)
+        candidates = [tid for tid in cached.mv_tids if tid not in removed]
+        cleared = self._flag_dropped(candidates, "MV")
+        self._cached = ViolationSet.from_flags(
+            sv_tids=set(cached.sv_tids) - removed,
+            mv_tids=set(cached.mv_tids) - removed - cleared,
+        )
+        self.last_readback = {
+            "op": "delete",
+            "delta": len(tid_list),
+            "scanned": len(candidates),
+        }
+        return self._cached
 
     # ------------------------------------------------------------------
     # Insertions
@@ -281,7 +348,30 @@ class IncrementalDetector:
         # Flag every tuple belonging to a (re)derived affected group.
         self.database.execute(mv_set_statement(schema, MACRO_TABLE, _REGROUPED))
         self.database.commit()
-        return self.database.violations()
+
+        # Delta readback: an insertion sets SV only on the inserted tuples
+        # and MV only on members of the re-derived affected groups (it can
+        # never clear a flag).  Read those back and patch the maintained
+        # set — never a whole-table flag scan.
+        new_flag_rows = self.database.query(
+            f"SELECT t.tid, t.SV FROM {quote_identifier(schema.name)} t "
+            f"JOIN {quote_identifier(_NEW_TIDS)} n ON n.tid = t.tid"
+        )
+        flagged_rows = self.database.query(
+            f"SELECT DISTINCT m.tid FROM {quote_identifier(MACRO_TABLE)} m "
+            f"JOIN {quote_identifier(_REGROUPED)} r ON {group_key_join('m', 'r')}"
+        )
+        cached = self._current_violations()
+        self._cached = ViolationSet.from_flags(
+            sv_tids=set(cached.sv_tids) | {tid for tid, sv in new_flag_rows if sv},
+            mv_tids=set(cached.mv_tids) | {tid for (tid,) in flagged_rows},
+        )
+        self.last_readback = {
+            "op": "insert",
+            "delta": len(new_tids),
+            "scanned": len(new_flag_rows) + len(flagged_rows),
+        }
+        return self._cached
 
     # ------------------------------------------------------------------
     # Introspection
@@ -289,7 +379,17 @@ class IncrementalDetector:
     def violations(self) -> ViolationSet:
         """The current violation set (from the maintained SV / MV flags)."""
         self._ensure_initialized()
-        return self.database.violations()
+        return self._current_violations()
+
+    def fd_group_summary(self, fragments) -> "dict":
+        """Embedded-FD group summaries of the stored data (see BatchDetector).
+
+        Shares the batch detector's pushed-down scan; the maintained
+        INCDETECT state is not consulted (summaries are emitted at shard
+        bootstrap — afterwards the lanes emit *deltas* via
+        :func:`repro.detection.summaries.summary_delta`).
+        """
+        return self.batch.fd_group_summary(fragments)
 
     def aux_rows(self) -> list[tuple]:
         """The current auxiliary relation contents."""

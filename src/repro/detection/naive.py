@@ -31,6 +31,7 @@ from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.instance import Relation
 from repro.core.violations import ViolationSet
 from repro.detection.database import ECFDDatabase
+from repro.detection.summaries import Summary, summarize_rows
 from repro.exceptions import DetectionError
 
 __all__ = ["NaiveDetector"]
@@ -79,6 +80,24 @@ class NaiveDetector:
         :meth:`repro.detection.batch.BatchDetector.detect`.
         """
         return self.detect(database.to_relation())
+
+    def fd_group_summary(
+        self, fragments: Sequence[tuple[int, ECFD]], relation: Relation | None = None
+    ) -> Summary:
+        """Embedded-FD group summaries of the bound (or given) relation.
+
+        The shard-side emission hook of single-pass sharded detection (see
+        :mod:`repro.detection.summaries`): per fragment, every tuple matching
+        the LHS pattern contributes its ``(xv, yv)`` projection and tid.
+        Bounded output — aggregated groups, never raw rows.
+        """
+        target = relation if relation is not None else self.relation
+        if target is None:
+            raise DetectionError(
+                "NaiveDetector.fd_group_summary() needs a relation: pass one "
+                "explicitly or bind it at construction time"
+            )
+        return summarize_rows(fragments, ((t.tid, t) for t in target.tuples()))
 
     def violation_counts(self) -> dict[str, int]:
         """SV / MV / dirty counts of the most recent detection run.

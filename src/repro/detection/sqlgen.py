@@ -40,9 +40,12 @@ of SQL statements per update remains fixed and independent of Σ.
 
 from __future__ import annotations
 
+from repro.core.ecfd import ECFD
+from repro.core.patterns import ComplementSet
 from repro.core.schema import RelationSchema
 from repro.detection.database import BLANK, quote_identifier
 from repro.detection.encoding import ENC_TABLE, enc_column, pattern_table
+from repro.exceptions import DetectionError
 
 __all__ = [
     "XV_SEPARATOR",
@@ -58,6 +61,7 @@ __all__ = [
     "group_key_join",
     "mv_set_statement",
     "mv_clear_statement",
+    "summary_scan_query",
 ]
 
 #: Separator used when concatenating blanked values into xv_key / yv_key.
@@ -228,6 +232,48 @@ def mv_set_statement(schema: RelationSchema, macro_table: str, groups_table: str
         f"  JOIN {quote_identifier(groups_table)} g ON {group_key_join('m', 'g')}\n"
         f")"
     )
+
+
+def summary_scan_query(fragment: ECFD) -> tuple[str, list[str]]:
+    """The pushed-down scan behind a SQL detector's ``fd_group_summary`` hook.
+
+    Selects ``tid`` plus the LHS and RHS projections of every data tuple
+    matching the (single-pattern) fragment's LHS pattern — returned as
+    ``(sql, parameters)`` with the pattern constants bound as parameters,
+    stringified exactly like the encoding's constant tables so the match
+    semantics are identical to the encoded ``Q_sv`` / macro probes.  The
+    grouping into ``(cid, xv) → (yv multiset, tids)`` summaries happens on
+    the (far smaller) result in Python; the filtering runs inside SQLite.
+    """
+    if len(fragment.tableau) != 1:
+        raise DetectionError(
+            "summary scans operate on normalized single-pattern fragments; "
+            f"got a tableau of {len(fragment.tableau)} patterns"
+        )
+    pattern = fragment.tableau[0]
+    conditions: list[str] = []
+    parameters: list[str] = []
+    for attribute in fragment.lhs:
+        entry = pattern.lhs_entry(attribute)
+        if entry.is_wildcard:
+            continue
+        constants = sorted(entry.constants(), key=str)
+        placeholders = ", ".join("?" for _ in constants)
+        negate = "NOT " if isinstance(entry, ComplementSet) else ""
+        conditions.append(
+            f"{quote_identifier(attribute)} {negate}IN ({placeholders})"
+        )
+        parameters.extend(str(value) for value in constants)
+    columns = ["tid"] + [
+        quote_identifier(a) for a in fragment.lhs + fragment.rhs
+    ]
+    sql = (
+        f"SELECT {', '.join(columns)} "
+        f"FROM {quote_identifier(fragment.schema.name)}"
+    )
+    if conditions:
+        sql += " WHERE " + " AND ".join(conditions)
+    return sql, parameters
 
 
 def mv_clear_statement(schema: RelationSchema, macro_table: str, aux_table: str) -> str:

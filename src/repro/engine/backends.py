@@ -49,6 +49,7 @@ from repro.detection.sqlgen import (
     lhs_match_condition,
     rhs_violation_condition,
 )
+from repro.detection.summaries import summarize_rows, summary_delta
 from repro.exceptions import EngineError, UnknownBackendError
 
 __all__ = [
@@ -197,6 +198,38 @@ class DetectorBackend(ABC):
         """
         return {}
 
+    def fd_group_summary(self, fragments: Sequence[tuple[int, ECFD]]) -> dict:
+        """Embedded-FD group summaries of the stored data.
+
+        The shard-side emission hook of single-pass sharded detection
+        (:mod:`repro.detection.summaries`): per ``(global CID, fragment)``
+        pair, the ``(cid, xv) → (yv multiset, witness tids)`` groups of
+        every stored tuple matching the fragment's LHS pattern — bounded
+        output (aggregated groups, never raw rows).  The default
+        materialises the stored relation and matches in Python, which any
+        backend supports; the built-in adapters override it with their
+        detectors' cheaper paths (bound relation / pushed-down SQL scan).
+        """
+        relation = self.to_relation()
+        return summarize_rows(fragments, ((t.tid, t) for t in relation.tuples()))
+
+    def fd_summary_delta(
+        self,
+        fragments: Sequence[tuple[int, ECFD]],
+        deleted: Sequence[tuple[int, Mapping[str, Value]]],
+        inserted: Sequence[tuple[int, Mapping[str, Value]]],
+    ) -> dict:
+        """The signed group-summary contribution of one update slice.
+
+        Must use the *same* LHS-match semantics as :meth:`fd_group_summary`
+        — the coordinator folds both into one store, and disagreeing
+        emissions leave ghost witnesses that deltas can never retire.  The
+        default (and the in-memory adapters) match with the reference
+        Python semantics; the SQL adapters override with the encoding's
+        stringified-constant semantics.
+        """
+        return summary_delta(fragments, deleted, inserted)
+
     @property
     def database(self) -> ECFDDatabase | None:
         """The SQLite substrate, for backends that have one (else ``None``)."""
@@ -312,6 +345,10 @@ class NaiveBackend(InMemoryRelationBackend):
     # -- detection ------------------------------------------------------
     def detect(self) -> ViolationSet:
         return self.detector.detect()
+
+    def fd_group_summary(self, fragments: Sequence[tuple[int, ECFD]]) -> dict:
+        # The bound relation is the storage itself — no materialising copy.
+        return self.detector.fd_group_summary(fragments, relation=self._relation)
 
     # -- introspection --------------------------------------------------
     def violation_counts(self) -> dict[str, int]:
@@ -432,6 +469,17 @@ class _SQLBackend(DetectorBackend):
     def breakdown(self) -> dict[int, dict[str, int]]:
         return _sql_breakdown(self._database)
 
+    def fd_summary_delta(
+        self,
+        fragments: Sequence[tuple[int, ECFD]],
+        deleted: Sequence[tuple[int, Mapping[str, Value]]],
+        inserted: Sequence[tuple[int, Mapping[str, Value]]],
+    ) -> dict:
+        # Mirror the encoding's semantics: pattern constants are compared
+        # as text (an int constant 212 matches the stored '212'), exactly
+        # like the pushed-down fd_group_summary scan that seeded the store.
+        return summary_delta(fragments, deleted, inserted, text_constants=True)
+
     def close(self) -> None:
         self._database.close()
 
@@ -457,6 +505,9 @@ class BatchBackend(_SQLBackend):
 
     def detect(self) -> ViolationSet:
         return self.detector.detect()
+
+    def fd_group_summary(self, fragments: Sequence[tuple[int, ECFD]]) -> dict:
+        return self.detector.fd_group_summary(fragments)
 
 
 class IncrementalBackend(_SQLBackend):
@@ -499,6 +550,14 @@ class IncrementalBackend(_SQLBackend):
         if insert_rows:
             result = self.detector.insert_tuples(list(insert_rows), tids=insert_tids)
         return result if result is not None else self.detector.violations()
+
+    def fd_group_summary(self, fragments: Sequence[tuple[int, ECFD]]) -> dict:
+        return self.detector.fd_group_summary(fragments)
+
+    @property
+    def last_readback(self) -> dict | None:
+        """Flag-readback diagnostics of the most recent incremental update."""
+        return self.detector.last_readback
 
     def aux_size(self) -> int:
         """Number of violating groups in the maintained Aux(D) relation."""

@@ -370,12 +370,12 @@ class DataQualityEngine:
     def shard_stats(self) -> list[dict]:
         """Per-shard maintained-state statistics, for sharded incremental engines.
 
-        Each entry reports one live shard: its ``cluster`` / ``shard``
-        indices, the cluster's partition ``key`` and the INCDETECT state
-        sizes (``tuples``, ``aux_groups`` — the shard's Aux(D) memory —
-        ``macro_rows``, ``initialized``).  Only meaningful when the engine
-        runs a sharded incremental backend (``workers > 1`` over an
-        incremental-capable delegate); other backends raise
+        Each entry reports one live shard: its ``shard`` index, the plan's
+        partition ``key`` and the INCDETECT state sizes (``tuples``,
+        ``aux_groups`` — the shard's Aux(D) memory — ``macro_rows``,
+        ``initialized``).  Only meaningful when the engine runs a sharded
+        incremental backend (``workers > 1`` over an incremental-capable
+        delegate); other backends raise
         :class:`~repro.exceptions.EngineError`.
         """
         stats = getattr(self.backend, "shard_stats", None)
@@ -383,6 +383,25 @@ class DataQualityEngine:
             raise EngineError(
                 f"backend {self.backend_name!r} does not expose per-shard statistics; "
                 "construct the engine with workers > 1 over an incremental delegate"
+            )
+        return stats()
+
+    def partition_stats(self) -> dict:
+        """The sharded backend's partition-plan and summary accounting.
+
+        Reports the primary hash ``key``, the local/summary fragment split,
+        the ``replication_factor`` (1.0 under the single-pass plan — every
+        stored row ships to exactly one shard; ``clustered_replication_factor``
+        is what the old multi-pass plan would have shipped) and the group
+        count / wire bytes of the most recent cross-shard summary exchange.
+        Only meaningful on sharded engines; other backends raise
+        :class:`~repro.exceptions.EngineError`.
+        """
+        stats = getattr(self.backend, "partition_stats", None)
+        if stats is None:
+            raise EngineError(
+                f"backend {self.backend_name!r} does not expose partition statistics; "
+                "construct the engine with workers > 1 (or backend='sharded')"
             )
         return stats()
 

@@ -1,14 +1,20 @@
 """Sharded, multi-core violation detection.
 
-* :mod:`repro.parallel.partition` — partition-key extraction from eCFD
-  tableaux and deterministic hash partitioning of relations;
+* :mod:`repro.parallel.partition` — the single-pass partition planner
+  (primary-key selection, local vs. summary fragment split, replication
+  accounting) and deterministic hash partitioning of relations;
+* :mod:`repro.parallel.summary` — the coordinator-side merge of the
+  cross-shard ``(cid, xv, yv-multiset)`` group summaries emitted by the
+  detectors' ``fd_group_summary`` hooks;
 * :mod:`repro.parallel.sharded` — the ``"sharded"`` engine backend, which
   fans any delegate detector out over shared-nothing shards in a process or
-  thread pool and merges the per-shard violation sets exactly.
+  thread pool and merges per-shard flags and summaries exactly.
 """
 
 from repro.parallel.partition import (
     PartitionCluster,
+    PartitionPlan,
+    cluster_replication_factor,
     extract_partition_plan,
     partition_rows,
     plan_partitions,
@@ -16,15 +22,20 @@ from repro.parallel.partition import (
     shard_index,
 )
 from repro.parallel.sharded import DEFAULT_EXECUTOR, ShardedBackend, detect_sharded
+from repro.parallel.summary import SummaryStore, summary_nbytes
 
 __all__ = [
     "DEFAULT_EXECUTOR",
     "PartitionCluster",
+    "PartitionPlan",
     "ShardedBackend",
+    "SummaryStore",
+    "cluster_replication_factor",
     "detect_sharded",
     "extract_partition_plan",
     "partition_rows",
     "plan_partitions",
     "route_delta",
     "shard_index",
+    "summary_nbytes",
 ]

@@ -1,27 +1,34 @@
-"""Hash partitioning of relations by eCFD LHS keys.
+"""Single-pass hash partitioning of relations for sharded eCFD detection.
 
 Sharded detection (see :mod:`repro.parallel.sharded`) splits a relation into
-shared-nothing shards and runs an ordinary detector per shard.  For that to
-be *exact* — bit-identical violation sets to a single-threaded pass — the
-partitioner has to respect the structure of the constraint set:
+shared-nothing shards and runs an ordinary detector per shard.  Every tuple
+is shipped to exactly **one** shard — replication factor 1.0 — under one
+partition pass:
 
-* **embedded-FD fragments** (``Y ≠ ∅``) produce multiple-tuple violations,
-  witnessed by pairs of tuples agreeing on the LHS attributes ``X``.  All
-  tuples of an ``X``-group must therefore land in the same shard, which a
-  deterministic hash of the ``X`` projection guarantees;
-* **pattern-constraint-only fragments** (``Y = ∅``, the ``Yp``-carried
-  constraints) produce only single-tuple violations and never need
-  co-location — any partition of the relation detects them, as long as each
-  tuple is examined exactly once.
+* the relation is hashed on a single **primary key** (chosen from the
+  embedded-FD LHS structure of Σ), or dealt round-robin by ``tid`` when no
+  useful key exists;
+* **local fragments** are evaluated natively per shard: pattern-constraint
+  riders (``Y = ∅``, single-tuple violations only — exact on any disjoint
+  partition) and embedded-FD fragments whose LHS contains the primary key
+  (tuples agreeing on ``X ⊇ key`` also agree on ``key``, so their groups
+  are complete within one shard);
+* **summary fragments** are the remaining embedded-FD fragments — their
+  ``X``-groups may be split across shards, so each shard evaluates only
+  their *pattern projection* (:meth:`repro.core.ecfd.ECFD.pattern_projection`,
+  which carries the identical SV semantics) and emits compact
+  ``(cid, xv) → (yv multiset, witness tids)`` group summaries
+  (:mod:`repro.detection.summaries`); the coordinator merges the summaries
+  across shards (:mod:`repro.parallel.summary`) to materialise the
+  multi-tuple violations no single shard can witness.
 
-Different eCFDs generally have different LHS attribute sets, so one hash key
-cannot serve them all.  The planner clusters the embedded-FD fragments
-greedily: fragments whose LHS sets share a common non-empty subset are
-placed in one cluster keyed on that *intersection* — tuples agreeing on
-``X ⊇ key`` also agree on ``key``, so co-location is preserved while the
-relation is replicated once per cluster instead of once per distinct LHS.
-The co-location-free fragments are then dealt round-robin onto the clusters
-as riders, adding no replication at all.
+The primary key is chosen by greedily clustering the embedded-FD fragments
+by LHS intersection (fragments whose LHS sets share a non-empty common
+subset cluster on that intersection) and taking the key that serves the
+most fragments locally.  Empty-LHS embedded FDs (one global ``X``-group)
+are always summary fragments — under summaries they parallelise like
+everything else, instead of forcing the whole relation onto one shard as
+the pre-1.4 ``colocate_all`` cluster did.
 
 Hashing uses :func:`zlib.crc32`, not the builtin ``hash``: Python salts
 string hashes per process, and shard assignment must agree between the
@@ -40,7 +47,9 @@ from repro.core.schema import Value
 
 __all__ = [
     "PartitionCluster",
+    "PartitionPlan",
     "bucket_rows",
+    "cluster_replication_factor",
     "extract_partition_plan",
     "plan_partitions",
     "route_delta",
@@ -90,6 +99,13 @@ def extract_partition_plan(sigma: ECFDSet) -> list[PartitionCluster]:
     Every fragment of ``sigma.normalize()`` is assigned to exactly one
     cluster; embedded-FD fragments only join clusters whose key is a subset
     of their LHS.  The plan is deterministic for a given Σ.
+
+    This is the *clustered* (multi-pass) plan: detection would replicate
+    the relation once per cluster.  The sharded backend no longer executes
+    it — :func:`plan_partitions` builds the single-pass summary-merge plan
+    instead — but the clustering still drives primary-key selection and the
+    before/after replication accounting
+    (:func:`cluster_replication_factor`).
     """
     fd_fragments: list[tuple[int, ECFD]] = []
     rider_fragments: list[tuple[int, ECFD]] = []
@@ -134,64 +150,163 @@ def extract_partition_plan(sigma: ECFDSet) -> list[PartitionCluster]:
     return clusters
 
 
-def plan_partitions(sigma: "ECFDSet | Sequence[ECFD]") -> list[PartitionCluster]:
-    """The partition plan for a constraint workload — the public entry point.
+@dataclass
+class PartitionPlan:
+    """The single-pass partition plan: one hash key, two fragment sides.
 
-    Clusters Σ's normalized single-pattern fragments into co-location-safe
-    partition passes (see :func:`extract_partition_plan` for the clustering
-    rules) and accepts either an :class:`~repro.core.ecfd.ECFDSet` or any
-    sequence of eCFDs, mirroring every other public constructor in the
-    library.  The returned clusters carry, per cluster,
+    Attributes
+    ----------
+    key:
+        The attributes the relation is hash-partitioned on (the *primary
+        key*); empty when no embedded-FD LHS offers one — tuples are then
+        dealt round-robin by ``tid``.
+    local_fragments:
+        ``(global CID, fragment)`` pairs evaluated natively per shard:
+        pattern-constraint riders and embedded-FD fragments whose LHS
+        contains ``key`` (their ``X``-groups are complete within a shard).
+    summary_fragments:
+        ``(global CID, fragment)`` pairs whose embedded FD is resolved by
+        the cross-shard summary merge; shards evaluate only their pattern
+        projection locally and emit ``(cid, xv) → (yv multiset, tids)``
+        group summaries.
+    """
 
-    * ``key`` — the attributes the relation is hash-partitioned on,
-    * ``fragments`` — the ``(global CID, fragment)`` pairs it serves,
-    * ``colocate_all`` — whether the cluster must stay on a single shard
-      (empty-LHS embedded FDs: one global ``X``-group).
+    key: tuple[str, ...]
+    local_fragments: list[tuple[int, ECFD]] = field(default_factory=list)
+    summary_fragments: list[tuple[int, ECFD]] = field(default_factory=list)
 
-    The plan is deterministic for a given Σ, and both ``detect`` and
+    @property
+    def replication_factor(self) -> float:
+        """Rows shipped to shards per stored row — 1.0 by construction.
+
+        The single hash pass sends every tuple to exactly one shard; the
+        pre-1.4 clustered plan replicated the relation once per LHS cluster
+        (see :func:`cluster_replication_factor` for that baseline).
+        """
+        return 1.0
+
+    def shard_fragments(self) -> list[tuple[int, ECFD]]:
+        """The fragments every shard evaluates natively, in deterministic order.
+
+        Local fragments verbatim, then the pattern projections of the
+        summary fragments (identical SV semantics, no embedded FD) — the
+        per-shard Σ a worker builds its delegate from.
+        """
+        return self.local_fragments + [
+            (cid, fragment.pattern_projection())
+            for cid, fragment in self.summary_fragments
+        ]
+
+    def fragment_cids(self) -> list[int]:
+        """Every global constraint identifier served by the plan, sorted."""
+        return sorted(
+            cid for cid, _ in self.local_fragments + self.summary_fragments
+        )
+
+    def describe(self) -> dict:
+        """A loggable description: key, fragment split and replication factor."""
+        return {
+            "key": self.key,
+            "local_cids": sorted(cid for cid, _ in self.local_fragments),
+            "summary_cids": sorted(cid for cid, _ in self.summary_fragments),
+            "replication_factor": self.replication_factor,
+        }
+
+
+def plan_partitions(sigma: "ECFDSet | Sequence[ECFD]") -> PartitionPlan:
+    """The single-pass partition plan for a workload — the public entry point.
+
+    Accepts either an :class:`~repro.core.ecfd.ECFDSet` or any sequence of
+    eCFDs, mirroring every other public constructor in the library.  The
+    primary key is the greedy LHS-cluster key serving the most embedded-FD
+    fragments locally (see the module docstring); every other embedded-FD
+    fragment — including empty-LHS ones — lands on the summary side.  The
+    plan is deterministic for a given Σ, and both ``detect`` and
     ``apply_update`` of the sharded backend route through the *same* plan,
     so a tuple always lands on the shard that examined it at load time.
     """
     ecfds = sigma if isinstance(sigma, ECFDSet) else ECFDSet(list(sigma))
-    return extract_partition_plan(ecfds)
+    plan = PartitionPlan(key=())
+    fd_fragments: list[tuple[int, ECFD]] = []
+    for cid, fragment in ecfds.normalize():
+        if not fragment.requires_colocation():
+            # Pattern-constraint rider: exact on any disjoint partition.
+            plan.local_fragments.append((cid, fragment))
+        elif fragment.lhs:
+            fd_fragments.append((cid, fragment))
+        else:
+            # X = ∅: one global group — always summary-merged (the summary
+            # protocol handles the split group exactly; forcing the whole
+            # relation onto one shard would serialise everything else).
+            plan.summary_fragments.append((cid, fragment))
+
+    # Candidate keys come from the one greedy LHS-intersection clustering
+    # (:func:`extract_partition_plan` — also the replication baseline, so
+    # the two views can never drift); the primary key is the candidate
+    # serving the most fragments locally (ties keep the earliest candidate
+    # — deterministic for a given Σ).
+    candidates = [
+        cluster.key for cluster in extract_partition_plan(ecfds) if cluster.key
+    ]
+
+    def served(key: tuple[str, ...]) -> int:
+        return sum(1 for _, f in fd_fragments if set(key) <= set(f.lhs))
+
+    if candidates:
+        plan.key = max(candidates, key=served)
+
+    for cid, fragment in fd_fragments:
+        if plan.key and set(plan.key) <= set(fragment.lhs):
+            plan.local_fragments.append((cid, fragment))
+        else:
+            plan.summary_fragments.append((cid, fragment))
+    plan.local_fragments.sort(key=lambda pair: pair[0])
+    plan.summary_fragments.sort(key=lambda pair: pair[0])
+    return plan
+
+
+def cluster_replication_factor(sigma: "ECFDSet | Sequence[ECFD]") -> float:
+    """Rows shipped per stored row under the *clustered* (pre-1.4) plan.
+
+    One full hash pass per LHS cluster — the replication the single-pass
+    summary-merge protocol removes.  Kept for before/after accounting in
+    the benchmarks and docs.
+    """
+    ecfds = sigma if isinstance(sigma, ECFDSet) else ECFDSet(list(sigma))
+    return float(max(1, len(extract_partition_plan(ecfds))))
 
 
 def route_delta(
-    plan: Sequence[PartitionCluster],
+    plan: PartitionPlan,
     workers: int,
     delete_rows: Sequence[tuple[int, Mapping[str, str]]],
     insert_rows: Sequence[tuple[int, Mapping[str, str]]],
-) -> dict[tuple[int, int], tuple[list[int], list[tuple[int, Mapping[str, str]]]]]:
-    """Route an update ΔD to the ``(cluster, shard)`` buckets it touches.
+) -> dict[int, tuple[list[tuple[int, Mapping[str, str]]], list[tuple[int, Mapping[str, str]]]]]:
+    """Route an update ΔD to the shards it touches (exactly one per tuple).
 
     Both deletions and insertions arrive as ``(tid, row)`` pairs — deletions
     need their row *values* (resolved before the tuple is dropped from
-    storage) because keyed clusters shard on the value projection, not the
-    identifier.  Every delta tuple is routed once per cluster, mirroring the
-    replication of a full sharded detection, with exactly the shard
-    assignment :func:`bucket_rows` used at load time: keyed clusters hash
-    the projection, ``colocate_all`` clusters send everything to their
-    single shard, keyless rider clusters deal by ``tid``.
+    storage) both for the hash projection and for the summary deltas the
+    stateful lanes emit.  The shard assignment is exactly the one
+    :func:`bucket_rows` used at load time: hash of the primary-key
+    projection, or round-robin by ``tid`` for a keyless plan.
 
-    Returns a mapping from ``(cluster_index, shard_index)`` to
-    ``(delete_tids, insert_pairs)`` containing *only* the touched shards —
-    the caller dispatches incremental work to those and leaves every other
-    shard untouched, which is what makes sharded INCDETECT's cost
-    proportional to the routed delta rather than to |D|.
+    Returns a mapping from ``shard_index`` to ``(delete_pairs,
+    insert_pairs)`` containing *only* the touched shards — the caller
+    dispatches incremental work to those and leaves every other shard
+    untouched, which is what makes sharded INCDETECT's cost proportional to
+    the delta rather than to |D|.
     """
-    routed: dict[tuple[int, int], tuple[list[int], list[tuple[int, Mapping[str, str]]]]] = {}
+    routed: dict[int, tuple[list, list]] = {}
+    shards = max(1, workers)
 
-    def slot(cluster: int, shard: int) -> tuple[list[int], list[tuple[int, Mapping[str, str]]]]:
-        return routed.setdefault((cluster, shard), ([], []))
+    def slot(shard: int) -> tuple[list, list]:
+        return routed.setdefault(shard, ([], []))
 
-    for cluster_index, cluster in enumerate(plan):
-        shards = 1 if cluster.colocate_all else max(1, workers)
-        for tid, row in delete_rows:
-            shard = 0 if cluster.colocate_all else shard_index(row, cluster.key, shards, tid)
-            slot(cluster_index, shard)[0].append(tid)
-        for tid, row in insert_rows:
-            shard = 0 if cluster.colocate_all else shard_index(row, cluster.key, shards, tid)
-            slot(cluster_index, shard)[1].append((tid, row))
+    for tid, row in delete_rows:
+        slot(shard_index(row, plan.key, shards, tid))[0].append((tid, row))
+    for tid, row in insert_rows:
+        slot(shard_index(row, plan.key, shards, tid))[1].append((tid, row))
     return routed
 
 

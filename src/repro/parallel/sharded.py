@@ -1,27 +1,38 @@
 """Sharded multi-core detection: any delegate backend, fanned out per shard.
 
 The paper's detectors (and their engine adapters) are single-threaded over
-the whole relation.  :class:`ShardedBackend` scales them out on one machine:
+the whole relation.  :class:`ShardedBackend` scales them out on one machine
+with a **single-pass** shared-nothing protocol — every stored tuple ships to
+exactly one shard (replication factor 1.0):
 
 1. the constraint set is compiled into a partition plan
-   (:func:`repro.parallel.partition.extract_partition_plan`) — one hash
-   partition pass per cluster of LHS-compatible embedded-FD fragments, with
-   the co-location-free pattern constraints riding along;
-2. for every cluster the stored relation is hash-partitioned into
-   ``workers`` shared-nothing shards (tuples agreeing on the cluster key
-   are co-located; a ``colocate_all`` cluster — empty-LHS embedded FDs —
-   keeps the whole relation in one shard);
+   (:func:`repro.parallel.partition.plan_partitions`): one primary hash key
+   plus a split of Σ's normalized fragments into *local* fragments
+   (pattern-constraint riders and embedded FDs whose LHS contains the key —
+   their violations are decidable within a shard) and *summary* fragments
+   (embedded FDs whose ``X``-groups may straddle shards);
+2. the stored relation is hash-partitioned once into ``workers``
+   shared-nothing shards (CRC32 of the key projection, round-robin by tid
+   for a keyless plan);
 3. each non-empty shard becomes an independent task: a fresh delegate
-   backend (``naive`` / ``batch`` / ``incremental``) is built in the worker,
-   loaded with the shard and asked to detect.  The task carries the
-   delegate's resolved *factory*, not its registry name, so runtime-registered
-   delegates work even under ``spawn`` start methods where workers re-import
-   a registry containing only the built-ins;
+   backend (``naive`` / ``batch`` / ``incremental``) is built in the
+   worker and loaded with the shard.  The shard's Σ is the local fragments
+   plus the *pattern projections* of the summary fragments (identical SV
+   semantics, no embedded FD), so the delegate's ordinary ``detect()``
+   yields every single-tuple violation and the multi-tuple violations of
+   the local fragments.  For the summary fragments the delegate's
+   ``fd_group_summary`` hook emits compact
+   ``(cid, xv) → (yv multiset, witness tids)`` group summaries
+   (:mod:`repro.detection.summaries`) — aggregated groups, never raw rows.
+   The task carries the delegate's resolved *factory*, not its registry
+   name, so runtime-registered delegates work even under ``spawn`` start
+   methods;
 4. per-shard violation sets are remapped to the global constraint
-   identifiers and merged.  Shards of one cluster partition the relation,
-   and clusters partition the constraint set, so every (tuple, fragment)
-   pair is examined exactly once — the merged result is identical to a
-   single-threaded whole-relation pass.
+   identifiers and merged, and the per-shard summaries are folded into a
+   :class:`repro.parallel.summary.SummaryStore` whose merged groups
+   materialise the cross-shard multi-tuple violations.  Shards partition
+   the relation and every (tuple, fragment) pair is examined exactly once,
+   so the result is identical to a single-threaded whole-relation pass.
 
 Tasks run in a :mod:`concurrent.futures` pool.  ``executor="process"``
 (default) sidesteps the GIL and suits the pure-Python and SQLite delegates
@@ -40,26 +51,36 @@ on the function itself, or the sharded backend (which cannot afford to
 construct a probe instance) conservatively falls back to recompute-on-update.
 The maintained protocol:
 
-1. on the first update (or an explicit ``ensure_ready()``) every shard of
-   every cluster is *bootstrapped*: a persistent per-shard delegate — an
-   INCDETECT state holding the shard's rows, SV/MV flags, Aux(D) and macro
-   rows — is built inside a **stateful shard lane** and kept alive between
-   calls.  A lane is a single-worker executor pinned to a subset of the
-   shards, so a shard's state always lives where its tasks run;
-2. each update ΔD is routed through the *same* partition plan as detection
-   (:func:`repro.parallel.partition.route_delta`): deleted tuples are
-   resolved to their stored values and hashed to the shard that holds them,
-   inserted tuples get coordinator-assigned global tids and hash the same
-   way.  Only the touched shards receive a task; every other shard does no
-   work at all — per-shard cost is proportional to the routed delta, not to
-   |D|;
+1. on the first update (or an explicit ``ensure_ready()``) every shard is
+   *bootstrapped*: a persistent per-shard delegate — an INCDETECT state
+   holding the shard's rows, SV/MV flags, Aux(D) and macro rows — is built
+   inside a **stateful shard lane** and kept alive between calls, and its
+   full group summary seeds the coordinator's summary store.  A lane is a
+   single-worker executor pinned to a shard, so a shard's state always
+   lives where its tasks run;
+2. each update ΔD is routed through the *same* single-pass plan as
+   detection (:func:`repro.parallel.partition.route_delta`): deleted tuples
+   are resolved to their stored values and hashed to the one shard that
+   holds them, inserted tuples get coordinator-assigned global tids and
+   hash the same way.  Only the touched shards receive a task; every other
+   shard does no work at all — per-shard cost is proportional to the routed
+   delta, not to |D|;
 3. each touched shard applies its slice of ΔD with INCDETECT (shard-local
-   ``delete_tuples`` / ``insert_tuples`` with pinned global tids) and
-   returns its new violation set, read from the maintained flags;
-4. the coordinator swaps the touched shards' contributions into its
-   per-shard violation cache and re-merges — an exact replacement merge, so
-   the result is identical to a single-threaded INCDETECT pass over the
-   whole relation.
+   ``delete_tuples`` / ``insert_tuples`` with pinned global tids), whose
+   violation readback is itself a *flag delta* — probes bounded by the
+   shard's maintained violation set — and emits the slice's **summary
+   delta** (the delegate's
+   ``fd_summary_delta`` hook, matching with the same semantics as its full
+   bootstrap summary) for the summary fragments — signed yv-count and
+   witness changes, bounded by |ΔD|;
+4. the coordinator swaps the touched shards' flag contributions into its
+   per-shard violation cache, folds the summary deltas into the summary
+   store, and re-merges — an exact replacement merge, so the result is
+   identical to a single-threaded INCDETECT pass over the whole relation.
+
+After updates, ``detect()`` reads the live merged state instead of
+re-fanning out one-shot tasks (``full_detect_count`` stays put — the
+"no hidden recompute" guarantee now covers the read path too).
 
 ``workers=1`` keeps the plain single-state path (one INCDETECT state over
 the whole Σ and relation — byte-for-byte the delegate's own behaviour), and
@@ -84,6 +105,7 @@ from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.instance import Relation
 from repro.core.schema import RelationSchema, Value
 from repro.core.violations import MultiTupleViolation, SingleTupleViolation, ViolationSet
+from repro.detection.summaries import Summary, SummaryDelta
 from repro.engine.backends import (
     DetectorBackend,
     InMemoryRelationBackend,
@@ -91,7 +113,14 @@ from repro.engine.backends import (
     resolve_backend_factory,
 )
 from repro.exceptions import EngineError
-from repro.parallel.partition import bucket_rows, extract_partition_plan, route_delta
+from repro.parallel.partition import (
+    PartitionPlan,
+    bucket_rows,
+    cluster_replication_factor,
+    plan_partitions,
+    route_delta,
+)
+from repro.parallel.summary import SummaryStore, summary_nbytes
 
 __all__ = ["ShardedBackend", "DEFAULT_EXECUTOR", "detect_sharded"]
 
@@ -99,11 +128,13 @@ __all__ = ["ShardedBackend", "DEFAULT_EXECUTOR", "detect_sharded"]
 _EXECUTORS = ("process", "thread", "serial")
 DEFAULT_EXECUTOR = "process"
 
-#: One unit of work:
-#: (schema, delegate factory, [(global_cid, fragment)], rows, want_breakdown).
+#: One unit of work: (schema, delegate factory,
+#: [(global_cid, fragment)] evaluated natively, [(global_cid, fragment)]
+#: summarised, rows, want_breakdown).
 _ShardTask = tuple[
     RelationSchema,
     Callable[..., DetectorBackend],
+    list[tuple[int, ECFD]],
     list[tuple[int, ECFD]],
     list[tuple[int, dict[str, str]]],
     bool,
@@ -137,14 +168,34 @@ def _remap_cids(violations: ViolationSet, mapping: Mapping[int, int]) -> Violati
     return remapped
 
 
-def _detect_shard(task: _ShardTask) -> tuple[ViolationSet, dict[int, dict[str, int]]]:
+def _load_shard(
+    backend: DetectorBackend,
+    schema: RelationSchema,
+    rows: list[tuple[int, dict[str, str]]],
+) -> None:
+    """Load ``(tid, row)`` pairs into a freshly built delegate backend."""
+    database = backend.database
+    if database is not None:
+        # SQL delegates: straight into the substrate, one pass, tids kept.
+        database.insert_tuples([row for _, row in rows], tids=[tid for tid, _ in rows])
+    else:
+        shard = Relation(schema)
+        for tid, row in rows:
+            shard.insert_with_tid(tid, row)
+        backend.load_relation(shard)
+
+
+def _detect_shard(
+    task: _ShardTask,
+) -> tuple[ViolationSet, dict[int, dict[str, int]], Summary]:
     """Run one delegate backend over one shard (executes inside a worker).
 
-    Returns the shard's violation set and per-constraint breakdown (empty
-    unless requested — for the SQL delegates it costs an extra grouped
-    ``Q_sv`` pass), both keyed by global constraint identifiers.
+    Returns the shard's violation set (keyed by global constraint
+    identifiers), its per-constraint breakdown (empty unless requested —
+    for the SQL delegates it costs an extra grouped ``Q_sv`` pass) and its
+    group summaries for the summary fragments.
     """
-    schema, factory, fragments, rows, want_breakdown = task
+    schema, factory, fragments, summary_fragments, rows, want_breakdown = task
     local_sigma = ECFDSet([fragment for _, fragment in fragments])
     # Single-pattern fragments normalize 1:1 in order, so the delegate's
     # local CIDs are simply 1..k over the fragment list.
@@ -152,22 +203,16 @@ def _detect_shard(task: _ShardTask) -> tuple[ViolationSet, dict[int, dict[str, i
 
     backend = factory(schema=schema, sigma=local_sigma, path=":memory:")
     try:
-        database = backend.database
-        if database is not None:
-            # SQL delegates: straight into the substrate, one pass, tids kept.
-            database.insert_tuples([row for _, row in rows], tids=[tid for tid, _ in rows])
-        else:
-            shard = Relation(schema)
-            for tid, row in rows:
-                shard.insert_with_tid(tid, row)
-            backend.load_relation(shard)
+        _load_shard(backend, schema, rows)
         violations = backend.detect()
         breakdown = backend.breakdown() if want_breakdown else {}
+        summary = backend.fd_group_summary(summary_fragments) if summary_fragments else {}
     finally:
         backend.close()
     return (
         _remap_cids(violations, mapping),
         {mapping.get(cid, cid): dict(stats) for cid, stats in breakdown.items()},
+        summary,
     )
 
 
@@ -187,73 +232,95 @@ _STATE_NAMESPACES = _counter(1)
 
 
 class _ShardState:
-    """One live shard: its delegate backend and the local→global CID map."""
+    """One live shard: its delegate backend, CID map and summary fragments."""
 
-    __slots__ = ("backend", "mapping")
+    __slots__ = ("backend", "mapping", "summary_fragments")
 
-    def __init__(self, backend: DetectorBackend, mapping: Mapping[int, int]):
+    def __init__(
+        self,
+        backend: DetectorBackend,
+        mapping: Mapping[int, int],
+        summary_fragments: list[tuple[int, ECFD]],
+    ):
         self.backend = backend
         self.mapping = mapping
+        self.summary_fragments = summary_fragments
 
 
 #: Bootstrap work unit: (state key, schema, delegate factory,
-#: [(global_cid, fragment)], shard rows).
+#: [(global_cid, fragment)] evaluated natively, [(global_cid, fragment)]
+#: summarised, shard rows).
 _BootstrapTask = tuple[
     str,
     RelationSchema,
     Callable[..., DetectorBackend],
     list[tuple[int, ECFD]],
+    list[tuple[int, ECFD]],
     list[tuple[int, dict[str, str]]],
 ]
 
-#: Update work unit: (state key, routed ΔD⁻ tids, routed ΔD⁺ (tid, row) pairs).
-_UpdateTask = tuple[str, list[int], list[tuple[int, dict[str, str]]]]
+#: Update work unit: (state key, routed ΔD⁻ (tid, row) pairs, routed ΔD⁺
+#: (tid, row) pairs).  Deletions carry their coordinator-resolved values so
+#: the lane can emit the summary delta without re-reading storage.
+_UpdateTask = tuple[
+    str,
+    list[tuple[int, dict[str, str]]],
+    list[tuple[int, dict[str, str]]],
+]
 
 
-def _shard_bootstrap(task: _BootstrapTask) -> tuple[str, ViolationSet]:
+def _shard_bootstrap(task: _BootstrapTask) -> tuple[str, ViolationSet, Summary]:
     """Build one persistent shard state (runs inside the shard's lane).
 
     Loads the shard rows with their *global* tids, initialises the
     delegate's maintained state (for INCDETECT: the batch pass computing
     flags, Aux(D) and macro rows) and parks the live backend in
     :data:`_SHARD_STATES` for later :func:`_shard_update` calls.  Returns
-    the shard's violation set on global constraint identifiers.
+    the shard's violation set on global constraint identifiers together
+    with its full group summary, which seeds the coordinator's store.
     """
-    key, schema, factory, fragments, rows = task
+    key, schema, factory, fragments, summary_fragments, rows = task
     local_sigma = ECFDSet([fragment for _, fragment in fragments])
     mapping = {local: cid for local, (cid, _) in enumerate(fragments, start=1)}
 
     backend = factory(schema=schema, sigma=local_sigma, path=":memory:")
-    database = backend.database
-    if database is not None:
-        database.insert_tuples([row for _, row in rows], tids=[tid for tid, _ in rows])
-    else:
-        shard = Relation(schema)
-        for tid, row in rows:
-            shard.insert_with_tid(tid, row)
-        backend.load_relation(shard)
+    _load_shard(backend, schema, rows)
     backend.ensure_ready()
-    _SHARD_STATES[key] = _ShardState(backend, mapping)
-    return key, _remap_cids(backend.detect(), mapping)
+    summary = backend.fd_group_summary(summary_fragments) if summary_fragments else {}
+    _SHARD_STATES[key] = _ShardState(backend, mapping, list(summary_fragments))
+    return key, _remap_cids(backend.detect(), mapping), summary
 
 
-def _shard_update(task: _UpdateTask) -> tuple[str, ViolationSet]:
+def _shard_update(
+    task: _UpdateTask,
+) -> tuple[str, ViolationSet, SummaryDelta, dict | None]:
     """Apply one routed delta to a live shard state (runs inside its lane).
 
     Work is INCDETECT's: a fixed number of SQL statements touching only the
-    affected groups of this shard.  Inserted tuples keep their
-    coordinator-assigned global tids.  Returns the shard's *new* violation
-    set (read from the maintained flags), which the coordinator swaps in
-    for the shard's previous contribution.
+    affected groups of this shard, plus a pattern match per (delta tuple,
+    summary fragment) pair for the summary delta.  Inserted tuples keep
+    their coordinator-assigned global tids.  Returns the shard's *new*
+    violation set (maintained by flag deltas — readback proportional to
+    the affected groups), the summary delta of this slice, and the
+    delegate's readback diagnostics.
     """
-    key, delete_tids, insert_pairs = task
+    key, delete_pairs, insert_pairs = task
     state = _SHARD_STATES[key]
+    delta: SummaryDelta = {}
+    if state.summary_fragments:
+        # Emitted by the backend so the LHS-match semantics are the same
+        # ones its full bootstrap summary used (Python matching for
+        # in-memory delegates, stringified constants for SQL delegates).
+        delta = state.backend.fd_summary_delta(
+            state.summary_fragments, delete_pairs, insert_pairs
+        )
     violations = state.backend.incremental_update(
-        delete_tids,
+        [tid for tid, _ in delete_pairs],
         [row for _, row in insert_pairs],
         insert_tids=[tid for tid, _ in insert_pairs],
     )
-    return key, _remap_cids(violations, state.mapping)
+    readback = getattr(state.backend, "last_readback", None)
+    return key, _remap_cids(violations, state.mapping), delta, readback
 
 
 def _shard_breakdown(key: str) -> tuple[str, dict[int, dict[str, int]]]:
@@ -261,7 +328,10 @@ def _shard_breakdown(key: str) -> tuple[str, dict[int, dict[str, int]]]:
 
     Computed from the shard's *maintained* state (Aux(D), macro rows, plus
     the delegate's grouped ``Q_sv`` pass over the shard) — cost is bounded
-    by the shard, never by a whole-relation re-detection.
+    by the shard, never by a whole-relation re-detection.  Summary
+    fragments contribute their SV statistics here (their pattern projection
+    is part of the shard's Σ); their MV statistics come from the
+    coordinator's summary store.
     """
     state = _SHARD_STATES[key]
     breakdown = state.backend.breakdown()
@@ -291,11 +361,13 @@ class ShardedBackend(InMemoryRelationBackend):
     """Shared-nothing sharded detection over a pluggable delegate backend.
 
     Storage lives in the in-memory relation of the shared base class; every
-    ``detect()`` partitions it according to the plan and fans the shards out
-    as one-shot tasks.  With an incremental-capable delegate the backend
+    ``detect()`` partitions it once according to the single-pass plan and
+    fans the shards out as one-shot tasks, merging flag sets and group
+    summaries exactly.  With an incremental-capable delegate the backend
     additionally supports :meth:`incremental_update` (sharded INCDETECT):
-    persistent per-shard delegate states live in stateful shard *lanes* and
-    each update only touches the shards its routed delta lands on — see the
+    persistent per-shard delegate states live in stateful shard *lanes*,
+    each update only touches the shards its routed delta lands on, and the
+    coordinator's summary store absorbs the lanes' summary deltas — see the
     module docstring for the full protocol.
 
     Parameters
@@ -314,8 +386,8 @@ class ShardedBackend(InMemoryRelationBackend):
         route ``apply_update`` through sharded INCDETECT while ``"naive"``
         / ``"batch"`` keep the recompute fallback.
     workers:
-        Shards per partition pass and pool size; defaults to the machine's
-        CPU count.
+        Number of shards and pool size; defaults to the machine's CPU
+        count.
     executor:
         ``"process"`` (default), ``"thread"`` or ``"serial"``.
 
@@ -325,12 +397,18 @@ class ShardedBackend(InMemoryRelationBackend):
         Diagnostics of the most recent :meth:`incremental_update`:
         ``shards_total`` / ``shards_touched`` (states live vs. tasked this
         update), ``routed_deletes`` / ``routed_inserts`` (delta tuples
-        routed, counted once per cluster they land in) and ``bootstrap``
-        (whether this call built the shard states).  ``None`` until the
-        first incremental update.
+        routed — each exactly once under the single-pass plan),
+        ``summary_groups_touched`` (merged groups the update's summary
+        deltas landed in), ``readback_tids`` (flags read back across the
+        touched shards — bounded by their maintained violation sets, never
+        |D|) and
+        ``bootstrap`` (whether this call built the shard states).  ``None``
+        until the first incremental update.
     full_detect_count:
         Number of full sharded detection passes run so far — the
         "no hidden recompute" counter the incremental tests assert on.
+        ``detect()`` with live shard states serves the merged maintained
+        state and leaves this counter untouched.
     """
 
     name = "sharded"
@@ -369,17 +447,30 @@ class ShardedBackend(InMemoryRelationBackend):
         if self.workers < 1:
             raise EngineError(f"workers must be >= 1, got {self.workers}")
         self.executor = executor
-        self._plan = extract_partition_plan(self.sigma)
+        self._plan: PartitionPlan = plan_partitions(self.sigma)
+        # Σ is fixed for the backend's lifetime, so the old clustered plan's
+        # replication baseline is a constant — computed once, not per
+        # partition_stats() call (the benchmarks read stats inside timed
+        # regions).
+        self._clustered_replication = cluster_replication_factor(self.sigma)
         self._pool: Executor | None = None
         self._last_violations: ViolationSet | None = None
         self._last_breakdown: dict[int, dict[str, int]] | None = None
+        #: Wire size / group counts of the most recent summary exchange
+        #: (one-shot detection or shard bootstrap), for partition_stats().
+        self._summary_trace: dict = {"groups": 0, "bytes": 0, "witnesses": 0}
         # --- stateful shard lanes (sharded INCDETECT) ---
         self._lanes: list[Executor] | None = None
         self._states_live = False
-        #: (cluster_index, shard_index) -> {"key": state key, "lane": lane index,
-        #: "cluster_key": partition key} for every live shard state.
-        self._shard_layout: dict[tuple[int, int], dict] = {}
+        #: shard_index -> state key, for every live shard state.  Lanes
+        #: are 1:1 with shards under the single-pass plan: shard *i*'s
+        #: state lives on (and is only ever addressed through) lane *i*.
+        self._shard_layout: dict[int, str] = {}
         self._shard_violations: dict[str, ViolationSet] = {}
+        #: The coordinator's merged cross-shard group summaries (live
+        #: alongside the shard states; fed full summaries at bootstrap and
+        #: signed deltas on every update).
+        self._summary_store = SummaryStore()
         self.last_update_trace: dict | None = None
         self.full_detect_count = 0
 
@@ -394,10 +485,8 @@ class ShardedBackend(InMemoryRelationBackend):
     # Detection
     # ------------------------------------------------------------------
     def _build_tasks(self, want_breakdown: bool) -> list[_ShardTask]:
-        # Materialise every stored tuple once; clusters only re-hash the
-        # projection, they never rebuild the row payloads.  Values are
-        # already text (every ingestion path stringifies), so this is a
-        # plain dict copy.
+        # Materialise every stored tuple once; values are already text
+        # (every ingestion path stringifies), so this is a plain dict copy.
         rows = [
             (t.tid, t.as_dict())
             for t in self._relation.tuples()
@@ -407,22 +496,24 @@ class ShardedBackend(InMemoryRelationBackend):
         if self.workers <= 1:
             # One shard, whole Σ — byte-for-byte the delegate's own pass.
             return [
-                (self.schema, factory, list(self.sigma.normalize()), rows, want_breakdown)
+                (self.schema, factory, list(self.sigma.normalize()), [], rows, want_breakdown)
             ]
+        fragments = self._plan.shard_fragments()
+        if not fragments:
+            return []
         tasks: list[_ShardTask] = []
-        for cluster in self._plan:
-            if cluster.colocate_all:
-                # Empty-LHS embedded FDs: one global X-group, one shard.
-                if rows:
-                    tasks.append(
-                        (self.schema, factory, cluster.fragments, rows, want_breakdown)
+        for shard in bucket_rows(rows, self._plan.key, self.workers):
+            if shard:
+                tasks.append(
+                    (
+                        self.schema,
+                        factory,
+                        fragments,
+                        self._plan.summary_fragments,
+                        shard,
+                        want_breakdown,
                     )
-                continue
-            for shard in bucket_rows(rows, cluster.key, self.workers):
-                if shard:
-                    tasks.append(
-                        (self.schema, factory, cluster.fragments, shard, want_breakdown)
-                    )
+                )
         return tasks
 
     def _ensure_pool(self, task_count: int) -> Executor | None:
@@ -440,34 +531,68 @@ class ShardedBackend(InMemoryRelationBackend):
         return self._pool
 
     def detect(self) -> ViolationSet:
+        if self._states_live and self._last_violations is not None:
+            # The shard states maintain vio(D) exactly across updates —
+            # serve the merged live state instead of re-fanning out a
+            # hidden one-shot detection (full_detect_count stays put).
+            return self._last_violations
         return self._detect(want_breakdown=False)
 
     def detect_with_breakdown(self) -> ViolationSet:
+        if self._states_live and self._last_violations is not None:
+            # breakdown() below reads the maintained per-shard statistics
+            # and the summary store; no full pass needed here either.
+            return self._last_violations
         # Collect violations and per-constraint statistics in ONE sharded
         # pass; a later breakdown() call then hits the cache instead of
         # repeating the whole detection.
         return self._detect(want_breakdown=True)
+
+    def _merge_summary_breakdown(
+        self, breakdown: dict[int, dict[str, int]], store: SummaryStore
+    ) -> dict[int, dict[str, int]]:
+        """Fold the store's MV statistics for summary fragments into a breakdown."""
+        for cid, stats in store.per_constraint_stats().items():
+            slot = breakdown.setdefault(cid, {"sv": 0, "mv_groups": 0, "mv_tuples": 0})
+            slot["mv_groups"] += stats["mv_groups"]
+            slot["mv_tuples"] += stats["mv_tuples"]
+        return breakdown
 
     def _detect(self, want_breakdown: bool) -> ViolationSet:
         self.full_detect_count += 1
         tasks = self._build_tasks(want_breakdown)
         merged = ViolationSet()
         breakdown: dict[int, dict[str, int]] = {}
+        store = SummaryStore()
+        summary_bytes = 0
         if tasks:
             pool = self._ensure_pool(len(tasks))
             if pool is None:
                 results = [_detect_shard(task) for task in tasks]
             else:
                 results = list(pool.map(_detect_shard, tasks))
-            for shard_violations, shard_breakdown in results:
+            for shard_violations, shard_breakdown, shard_summary in results:
                 merged.update(shard_violations)
+                if shard_summary:
+                    store.apply_summary(shard_summary)
+                    summary_bytes += summary_nbytes(shard_summary)
                 for cid, stats in shard_breakdown.items():
                     slot = breakdown.setdefault(cid, {"sv": 0, "mv_groups": 0, "mv_tuples": 0})
                     for key, value in stats.items():
                         slot[key] = slot.get(key, 0) + value
+            # Cross-shard merge: the multi-tuple violations of the summary
+            # fragments, reconstructed from the folded group summaries.
+            merged.update(store.violations())
+        self._summary_trace = {
+            "groups": store.group_count(),
+            "bytes": summary_bytes,
+            "witnesses": store.witness_count(),
+        }
         self._last_violations = merged
         if want_breakdown:
-            self._last_breakdown = dict(sorted(breakdown.items()))
+            self._last_breakdown = dict(
+                sorted(self._merge_summary_breakdown(breakdown, store).items())
+            )
         # A plain detect leaves any cached breakdown alone: the data has not
         # changed since it was computed (mutations invalidate both).
         return merged
@@ -475,33 +600,25 @@ class ShardedBackend(InMemoryRelationBackend):
     # ------------------------------------------------------------------
     # Incremental updates (sharded INCDETECT)
     # ------------------------------------------------------------------
-    def _stateful_layout(self) -> list[tuple[tuple[int, int], list[tuple[int, ECFD]], tuple[str, ...], bool]]:
-        """The shard grid: ``((cluster, shard), fragments, key, colocate_all)``.
+    def _stateful_layout(self) -> list[tuple[int, list[tuple[int, ECFD]], list[tuple[int, ECFD]]]]:
+        """The shard grid: ``(shard_index, native fragments, summary fragments)``.
 
         Mirrors :meth:`_build_tasks` exactly — ``workers <= 1`` collapses to
-        one whole-Σ shard (the plain delegate), otherwise every cluster gets
-        ``workers`` shards (one for a ``colocate_all`` cluster).  *Empty*
-        shards are part of the grid too: an insert may route to a shard that
-        held no tuples at bootstrap time, so its state must exist.
+        one whole-Σ shard (the plain delegate), otherwise the single-pass
+        plan yields ``workers`` shards.  *Empty* shards are part of the grid
+        too: an insert may route to a shard that held no tuples at
+        bootstrap time, so its state must exist.
         """
         if self.workers <= 1:
-            return [((0, 0), list(self.sigma.normalize()), (), True)]
-        layout = []
-        for cluster_index, cluster in enumerate(self._plan):
-            shards = 1 if cluster.colocate_all else self.workers
-            for shard in range(shards):
-                layout.append(
-                    ((cluster_index, shard), cluster.fragments, cluster.key, cluster.colocate_all)
-                )
-        return layout
-
-    def _lane_for(self, cluster_index: int, shard_index: int) -> int:
-        """The lane a shard is pinned to — stable for the backend's lifetime.
-
-        Offsetting by the cluster index spreads single-shard clusters
-        (``colocate_all``) across lanes instead of piling them on lane 0.
-        """
-        return (cluster_index + shard_index) % self.workers
+            fragments = list(self.sigma.normalize())
+            return [(0, fragments, [])] if fragments else []
+        fragments = self._plan.shard_fragments()
+        if not fragments:
+            return []
+        return [
+            (shard, fragments, self._plan.summary_fragments)
+            for shard in range(self.workers)
+        ]
 
     def _run_in_lanes(self, fn: Callable, tasks: list[tuple[int, object]]) -> list:
         """Run ``(lane, task)`` pairs on their pinned lanes and gather results.
@@ -524,9 +641,10 @@ class ShardedBackend(InMemoryRelationBackend):
         """Bootstrap the persistent per-shard INCDETECT states once.
 
         Returns ``True`` when this call performed the bootstrap (the full
-        per-shard initialisation pass), ``False`` when the states were
-        already live.  Not meaningful for non-incremental delegates, which
-        raise instead.
+        per-shard initialisation pass, seeding the summary store from the
+        shards' full summaries), ``False`` when the states were already
+        live.  Not meaningful for non-incremental delegates, which raise
+        instead.
         """
         if not self.supports_incremental:
             raise EngineError(
@@ -544,25 +662,21 @@ class ShardedBackend(InMemoryRelationBackend):
         ]
         factory = self._delegate_factory
         self._shard_layout = {}
+        self._summary_store = SummaryStore()
         tasks: list[tuple[int, _BootstrapTask]] = []
-        # One bucketing pass per cluster (as in _build_tasks), indexed per
-        # shard below — not one per (cluster, shard).
-        buckets: dict[int, list[list[tuple[int, dict[str, str]]]]] = {}
-        for (cluster_index, shard_index), fragments, cluster_key, colocate_all in self._stateful_layout():
-            if self.workers <= 1 or colocate_all:
+        buckets: list[list[tuple[int, dict[str, str]]]] | None = None
+        for shard_index, fragments, summary_fragments in self._stateful_layout():
+            if self.workers <= 1:
                 shard_rows = rows
             else:
-                if cluster_index not in buckets:
-                    buckets[cluster_index] = bucket_rows(rows, cluster_key, self.workers)
-                shard_rows = buckets[cluster_index][shard_index]
-            key = f"{namespace}:{cluster_index}:{shard_index}"
-            lane = self._lane_for(cluster_index, shard_index)
-            self._shard_layout[(cluster_index, shard_index)] = {
-                "key": key,
-                "lane": lane,
-                "cluster_key": cluster_key,
-            }
-            tasks.append((lane, (key, self.schema, factory, fragments, shard_rows)))
+                if buckets is None:
+                    buckets = bucket_rows(rows, self._plan.key, self.workers)
+                shard_rows = buckets[shard_index]
+            key = f"{namespace}:0:{shard_index}"
+            self._shard_layout[shard_index] = key
+            tasks.append(
+                (shard_index, (key, self.schema, factory, fragments, summary_fragments, shard_rows))
+            )
         try:
             results = self._run_in_lanes(_shard_bootstrap, tasks)
         except Exception:
@@ -571,7 +685,18 @@ class ShardedBackend(InMemoryRelationBackend):
             # the next call.
             self._invalidate_shard_states()
             raise
-        self._shard_violations = {key: violations for key, violations in results}
+        summary_bytes = 0
+        self._shard_violations = {}
+        for key, violations, shard_summary in results:
+            self._shard_violations[key] = violations
+            if shard_summary:
+                self._summary_store.apply_summary(shard_summary)
+                summary_bytes += summary_nbytes(shard_summary)
+        self._summary_trace = {
+            "groups": self._summary_store.group_count(),
+            "bytes": summary_bytes,
+            "witnesses": self._summary_store.witness_count(),
+        }
         self._last_violations = self._merge_shard_violations()
         self._states_live = True
         return True
@@ -579,13 +704,16 @@ class ShardedBackend(InMemoryRelationBackend):
     def _merge_shard_violations(self) -> ViolationSet:
         """The exact union of every live shard's current violation set.
 
-        Shards of one cluster partition the relation and clusters partition
-        Σ, so the union over the per-shard cache equals a single-threaded
-        pass; cost is proportional to the number of violations, never |D|.
+        Per-shard flags cover the single-tuple violations and the local
+        fragments' multi-tuple ones; the summary store contributes the
+        cross-shard multi-tuple violations.  Shards partition the relation,
+        so the union equals a single-threaded pass; cost is proportional to
+        the number of violations, never |D|.
         """
         merged = ViolationSet()
         for violations in self._shard_violations.values():
             merged.update(violations)
+        merged.update(self._summary_store.violations())
         return merged
 
     def _invalidate_shard_states(self) -> None:
@@ -601,7 +729,7 @@ class ShardedBackend(InMemoryRelationBackend):
             return
         if self._shard_layout:
             tasks = [
-                (entry["lane"], entry["key"]) for entry in self._shard_layout.values()
+                (shard, key) for shard, key in self._shard_layout.items()
             ]
             try:
                 self._run_in_lanes(_shard_drop, tasks)
@@ -613,6 +741,7 @@ class ShardedBackend(InMemoryRelationBackend):
             self._lanes = None
         self._shard_layout = {}
         self._shard_violations = {}
+        self._summary_store = SummaryStore()
         self._states_live = False
 
     def ensure_ready(self) -> None:
@@ -633,13 +762,14 @@ class ShardedBackend(InMemoryRelationBackend):
     ) -> ViolationSet:
         """Sharded INCDETECT: maintain vio(D) touching only the routed shards.
 
-        Deletions are resolved to their stored rows (the hash key needs the
-        values) and applied first; insertions get fresh ``max(tid) + 1``
-        identifiers — the same discipline as every other backend — unless
-        ``insert_tids`` pins them.  Each cluster of the partition plan
-        routes its slice of ΔD to the shard the tuples belong to; only those
-        shards receive work.  The returned violation set is the exact merge
-        of every shard's maintained state.
+        Deletions are resolved to their stored rows (both the hash key and
+        the summary delta need the values) and applied first; insertions
+        get fresh ``max(tid) + 1`` identifiers — the same discipline as
+        every other backend — unless ``insert_tids`` pins them.  The
+        single-pass plan routes every delta tuple to exactly one shard;
+        only those shards receive work.  The returned violation set is the
+        exact merge of every shard's maintained flags and the delta-updated
+        summary store.
 
         Failure semantics: if a shard task (or a dying lane) raises after
         the delta was applied to coordinator storage, the per-shard states
@@ -675,35 +805,53 @@ class ShardedBackend(InMemoryRelationBackend):
                 self._relation.insert_with_tid(tid, row)
 
             # --- route the delta and task only the touched shards ---
-            if self.workers <= 1:
-                routed = {(0, 0): ([tid for tid, _ in delete_pairs], insert_pairs)}
-                if not delete_pairs and not insert_pairs:
-                    routed = {}
+            if not self._shard_layout or (not delete_pairs and not insert_pairs):
+                routed = {}
+            elif self.workers <= 1:
+                routed = {0: (delete_pairs, insert_pairs)}
             else:
                 routed = route_delta(self._plan, self.workers, delete_pairs, insert_pairs)
             tasks: list[tuple[int, _UpdateTask]] = []
-            for (cluster_index, shard_index), (shard_deletes, shard_inserts) in sorted(routed.items()):
-                entry = self._shard_layout[(cluster_index, shard_index)]
-                tasks.append((entry["lane"], (entry["key"], shard_deletes, shard_inserts)))
+            for shard_index, (shard_deletes, shard_inserts) in sorted(routed.items()):
+                key = self._shard_layout[shard_index]
+                tasks.append((shard_index, (key, shard_deletes, shard_inserts)))
             results = self._run_in_lanes(_shard_update, tasks)
         except Exception:
             self._invalidate_shard_states()
             self._last_violations = None
             raise
 
-        # --- exact delta merge: swap touched shards' contributions ---
-        for key, violations in results:
+        # --- exact delta merge: swap touched shards' flag contributions and
+        # fold their summary deltas into the store ---
+        groups_touched = 0
+        readback_tids = 0
+        delta_bytes = 0
+        for key, violations, delta, readback in results:
             self._shard_violations[key] = violations
+            if delta:
+                groups_touched += self._summary_store.apply_delta(delta)
+                delta_bytes += summary_nbytes(delta)
+            if readback:
+                readback_tids += readback.get("scanned", 0)
         merged = self._merge_shard_violations()
         self._last_violations = merged
         self._last_breakdown = None
+        # The trace always describes the *most recent* summary exchange:
+        # here the update's deltas, at bootstrap the full summaries.
+        self._summary_trace = {
+            "groups": self._summary_store.group_count(),
+            "bytes": delta_bytes,
+            "witnesses": self._summary_store.witness_count(),
+        }
         self.last_update_trace = {
             "mode": "incremental",
             "bootstrap": bootstrap,
             "shards_total": len(self._shard_layout),
             "shards_touched": len(routed),
-            "routed_deletes": sum(len(deletes) for deletes, _ in routed.values()),
-            "routed_inserts": sum(len(inserts) for _, inserts in routed.values()),
+            "routed_deletes": len(delete_pairs),
+            "routed_inserts": len(insert_pairs),
+            "summary_groups_touched": groups_touched,
+            "readback_tids": readback_tids,
         }
         return merged
 
@@ -711,32 +859,54 @@ class ShardedBackend(InMemoryRelationBackend):
         """Per-shard state statistics from the live INCDETECT states.
 
         Bootstraps the states if needed (incremental delegates only) and
-        returns one entry per shard — ``cluster`` / ``shard`` indices, the
-        cluster's partition ``key`` and the delegate's ``state_stats()``
-        (tuples, Aux(D) groups, macro rows) — so operators can see where
-        the maintained memory actually lives instead of guessing.
+        returns one entry per shard — the shard index, the plan's partition
+        ``key`` and the delegate's ``state_stats()`` (tuples, Aux(D)
+        groups, macro rows) — so operators can see where the maintained
+        memory actually lives instead of guessing.  (``cluster`` is always
+        0 under the single-pass plan and kept for dashboard compatibility.)
         """
         self._ensure_shard_states()
         by_key = {
-            entry["key"]: (position, entry)
-            for position, entry in self._shard_layout.items()
+            state_key: shard_index
+            for shard_index, state_key in self._shard_layout.items()
         }
-        tasks = [
-            (entry["lane"], entry["key"]) for _, entry in sorted(by_key.values())
-        ]
+        tasks = sorted(
+            (shard, state_key) for shard, state_key in self._shard_layout.items()
+        )
         results = self._run_in_lanes(_shard_state_stats, tasks)
+        key = self._plan.key if self.workers > 1 else ()
         stats = []
-        for key, shard_stats in results:
-            (cluster_index, shard_index), entry = by_key[key]
+        for state_key, shard_stats in results:
             stats.append(
                 {
-                    "cluster": cluster_index,
-                    "shard": shard_index,
-                    "key": tuple(entry["cluster_key"]),
+                    "cluster": 0,
+                    "shard": by_key[state_key],
+                    "key": tuple(key),
                     **shard_stats,
                 }
             )
-        return sorted(stats, key=lambda item: (item["cluster"], item["shard"]))
+        return sorted(stats, key=lambda item: item["shard"])
+
+    def partition_stats(self) -> dict:
+        """The single-pass plan and its replication / summary accounting.
+
+        Reports the primary ``key``, the local/summary fragment split, the
+        replication factor (1.0 by construction — every stored row ships to
+        exactly one shard; ``clustered_replication_factor`` is what the
+        pre-1.4 multi-pass plan would have shipped) and the group count /
+        wire bytes of the most recent summary exchange.
+        """
+        return {
+            "key": tuple(self._plan.key),
+            "workers": self.workers,
+            "local_fragments": len(self._plan.local_fragments),
+            "summary_fragments": len(self._plan.summary_fragments),
+            "replication_factor": self._plan.replication_factor,
+            "clustered_replication_factor": self._clustered_replication,
+            "summary_groups": self._summary_trace.get("groups", 0),
+            "summary_bytes": self._summary_trace.get("bytes", 0),
+            "summary_witnesses": self._summary_trace.get("witnesses", 0),
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -751,21 +921,22 @@ class ShardedBackend(InMemoryRelationBackend):
         # The per-constraint statistics cost the SQL delegates an extra
         # grouped Q_sv pass, so plain detect() skips them.  With live shard
         # states (after incremental updates) an uncached request is served
-        # from the maintained per-shard state — per-shard cost, and the
-        # update path never pays a hidden whole-relation re-detection.
-        # Without live states it triggers one sharded pass collecting both
-        # violations and statistics.
+        # from the maintained per-shard state plus the summary store —
+        # per-shard cost, and the update path never pays a hidden
+        # whole-relation re-detection.  Without live states it triggers one
+        # sharded pass collecting both violations and statistics.
         if self._last_breakdown is None and self._states_live:
-            tasks = [
-                (entry["lane"], entry["key"])
-                for _, entry in sorted(self._shard_layout.items())
-            ]
+            tasks = sorted(
+                (shard, state_key)
+                for shard, state_key in self._shard_layout.items()
+            )
             merged: dict[int, dict[str, int]] = {}
             for _, shard_breakdown in self._run_in_lanes(_shard_breakdown, tasks):
                 for cid, stats in shard_breakdown.items():
                     slot = merged.setdefault(cid, {"sv": 0, "mv_groups": 0, "mv_tuples": 0})
                     for key, value in stats.items():
                         slot[key] = slot.get(key, 0) + value
+            merged = self._merge_summary_breakdown(merged, self._summary_store)
             self._last_breakdown = dict(sorted(merged.items()))
         if self._last_breakdown is None:
             self._detect(want_breakdown=True)
@@ -773,9 +944,21 @@ class ShardedBackend(InMemoryRelationBackend):
         return dict(self._last_breakdown)
 
     def shard_plan(self) -> list[tuple[tuple[str, ...], list[int]]]:
-        """The partition plan as ``(key, [global CIDs])`` pairs, for callers
-        that want to inspect or log how Σ was clustered."""
-        return [(cluster.key, cluster.fragment_cids()) for cluster in self._plan]
+        """The plan's fragment sides as ``(key, [global CIDs])`` pairs.
+
+        The first entry is the locally-evaluated side under the primary
+        key; a second entry (present when Σ has summary fragments) carries
+        the summary-merged side (its key is empty — those groups are merged
+        across shards, not co-located).
+        """
+        entries = [
+            (tuple(self._plan.key), sorted(cid for cid, _ in self._plan.local_fragments))
+        ]
+        if self._plan.summary_fragments:
+            entries.append(
+                ((), sorted(cid for cid, _ in self._plan.summary_fragments))
+            )
+        return entries
 
     # ------------------------------------------------------------------
     # Lifecycle

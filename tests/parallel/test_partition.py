@@ -1,4 +1,9 @@
-"""Unit tests for LHS-key extraction and hash partitioning."""
+"""Unit tests for partition planning and hash partitioning.
+
+``extract_partition_plan`` is the legacy LHS clustering (still driving
+primary-key selection and replication accounting); ``plan_partitions`` is
+the single-pass plan the sharded backend executes.
+"""
 
 import pytest
 
@@ -6,7 +11,14 @@ from repro.core import ECFD, Relation
 from repro.core.schema import cust_ext_schema
 from repro.datagen.generator import DatasetGenerator
 from repro.datagen.workload import paper_workload
-from repro.parallel import extract_partition_plan, partition_rows, shard_index
+from repro.parallel import (
+    cluster_replication_factor,
+    extract_partition_plan,
+    partition_rows,
+    plan_partitions,
+    route_delta,
+    shard_index,
+)
 from repro.core.ecfd import ECFDSet
 
 
@@ -82,6 +94,89 @@ class TestPartitionPlan:
         first = [(c.key, c.fragment_cids()) for c in extract_partition_plan(sigma)]
         second = [(c.key, c.fragment_cids()) for c in extract_partition_plan(sigma)]
         assert first == second
+
+
+class TestSinglePassPlan:
+    def test_every_fragment_on_exactly_one_side(self, sigma):
+        plan = plan_partitions(sigma)
+        assigned = [cid for cid, _ in plan.local_fragments + plan.summary_fragments]
+        expected = [cid for cid, _ in sigma.normalize()]
+        assert sorted(assigned) == sorted(expected)
+        assert len(assigned) == len(set(assigned))
+
+    def test_local_fds_contain_key_summary_fds_do_not(self, sigma):
+        plan = plan_partitions(sigma)
+        assert plan.key  # the paper workload offers a useful key
+        for _, fragment in plan.local_fragments:
+            if fragment.requires_colocation():
+                assert set(plan.key) <= set(fragment.lhs)
+        for _, fragment in plan.summary_fragments:
+            assert fragment.requires_colocation()
+            assert not set(plan.key) <= set(fragment.lhs)
+
+    def test_primary_key_serves_most_fragments(self, sigma):
+        """The key is the greedy cluster key covering the most embedded FDs."""
+        plan = plan_partitions(sigma)
+        fd_lhs = [
+            set(f.lhs) for _, f in sigma.normalize()
+            if f.requires_colocation() and f.lhs
+        ]
+        local = sum(1 for lhs in fd_lhs if set(plan.key) <= lhs)
+        for cluster in extract_partition_plan(sigma):
+            if cluster.key:
+                assert sum(1 for lhs in fd_lhs if set(cluster.key) <= lhs) <= local
+
+    def test_riders_are_always_local(self, ext_schema):
+        fd = ECFD(ext_schema, lhs=[], rhs=["CT"], tableau=[({}, {"CT": "_"})])
+        rider = ECFD(
+            ext_schema, lhs=["CT"], rhs=[], pattern_rhs=["AC"],
+            tableau=[({"CT": "NYC"}, {"AC": {"212", "718"}})],
+        )
+        plan = plan_partitions(ECFDSet([fd, rider]))
+        assert plan.key == ()  # no embedded-FD LHS offers a hash key
+        assert [f.requires_colocation() for _, f in plan.local_fragments] == [False]
+        assert [f.lhs for _, f in plan.summary_fragments] == [()]
+
+    def test_empty_lhs_fd_is_summary_merged(self, ext_schema):
+        phi = ECFD(ext_schema, lhs=[], rhs=["CT"], tableau=[({}, {"CT": "_"})])
+        plan = plan_partitions(ECFDSet([phi]))
+        assert plan.local_fragments == []
+        assert len(plan.summary_fragments) == 1
+
+    def test_shard_fragments_project_summary_fds(self, sigma):
+        plan = plan_partitions(sigma)
+        projected = dict(plan.shard_fragments())
+        for cid, fragment in plan.summary_fragments:
+            projection = projected[cid]
+            assert projection.rhs == ()
+            assert projection.pattern_rhs == fragment.rhs + fragment.pattern_rhs
+            assert projection.lhs == fragment.lhs
+        for cid, fragment in plan.local_fragments:
+            assert projected[cid] is fragment
+
+    def test_replication_accounting(self, sigma):
+        plan = plan_partitions(sigma)
+        assert plan.replication_factor == 1.0
+        assert cluster_replication_factor(sigma) == 3.0  # CT / ZIP / ITEM_TITLE
+
+    def test_plan_is_deterministic(self, sigma):
+        first = plan_partitions(sigma)
+        second = plan_partitions(sigma)
+        assert first.describe() == second.describe()
+
+    def test_route_delta_routes_each_tuple_once(self, sigma):
+        plan = plan_partitions(sigma)
+        rows = DatasetGenerator(seed=4).generate_rows(50, 10.0)
+        pairs = [(tid, {k: str(v) for k, v in row.items()}) for tid, row in enumerate(rows, start=1)]
+        routed = route_delta(plan, 4, pairs[:20], pairs[20:])
+        deletes = [tid for d, _ in routed.values() for tid, _ in d]
+        inserts = [tid for _, i in routed.values() for tid, _ in i]
+        assert sorted(deletes) == [tid for tid, _ in pairs[:20]]
+        assert sorted(inserts) == [tid for tid, _ in pairs[20:]]
+        # Routing agrees with load-time bucketing: keyed on the projection.
+        for shard, (dels, ins) in routed.items():
+            for tid, row in dels + ins:
+                assert shard_index(row, plan.key, 4, tid) == shard
 
 
 class TestHashPartitioning:

@@ -190,12 +190,12 @@ class TestShardedEquivalence:
         assert engine.detect().clean
         engine.close()
 
-    def test_empty_lhs_fd_is_not_scattered(self, ext_schema):
-        """Regression: X = ∅ means one global group — it must not be sharded.
+    def test_empty_lhs_fd_is_summary_merged_exactly(self, ext_schema):
+        """X = ∅ means one global group spanning every shard.
 
-        The keyless round-robin used for co-location-free riders would split
-        the single group across shards and silently drop every multi-tuple
-        violation.
+        The single-pass plan splits the group round-robin and reconstructs
+        its violations through the cross-shard summary merge — no shard can
+        witness them alone, and none may be dropped.
         """
         from repro.core import ECFD, ECFDSet
 
@@ -216,6 +216,42 @@ class TestShardedEquivalence:
             assert sharded.detect().violations == reference.violations
             sharded.close()
         single.close()
+
+    def test_riders_parallelise_alongside_empty_lhs_fd(self, ext_schema):
+        """Regression: riders sharing Σ with an empty-LHS FD used to be dealt
+        onto its single-shard colocate_all cluster, serialising
+        embarrassingly-parallel work.  Under the single-pass plan the FD is
+        summary-merged and the riders spread over every shard."""
+        from repro.core import ECFD, ECFDSet
+
+        fd = ECFD(ext_schema, lhs=[], rhs=["CT"], tableau=[({}, {"CT": "_"})])
+        rider = ECFD(
+            ext_schema,
+            lhs=["CT"],
+            rhs=[],
+            pattern_rhs=["AC"],
+            tableau=[({"CT": "_"}, {"AC": {"212", "718"}})],
+        )
+        sigma = ECFDSet([fd, rider])
+        rows = DatasetGenerator(seed=17).generate_rows(80, 10.0)
+
+        single = DataQualityEngine(ext_schema, sigma, backend="naive", workers=1)
+        single.load(rows)
+        reference = single.detect()
+
+        sharded = DataQualityEngine(
+            ext_schema, sigma, backend="naive", workers=4, executor="serial"
+        )
+        sharded.load(rows)
+        assert sharded.detect().violations == reference.violations
+        # The work actually fans out: several shard tasks, not one.
+        assert len(sharded.backend._build_tasks(False)) > 1
+        stats = sharded.partition_stats()
+        assert stats["replication_factor"] == 1.0
+        assert stats["summary_fragments"] == 1  # the empty-LHS FD
+        assert stats["local_fragments"] == 1  # the rider, on every shard
+        single.close()
+        sharded.close()
 
 
 class TestBreakdownSinglePass:

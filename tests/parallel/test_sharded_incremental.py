@@ -38,9 +38,9 @@ def ext_schema():
 def sigma(ext_schema):
     """The paper workload plus an empty-LHS eCFD.
 
-    The extra constraint forces a ``colocate_all`` cluster into the
-    partition plan, so every update batch also exercises the single-shard
-    routing path the satellite calls out.
+    The extra constraint is a summary fragment under the single-pass plan
+    (its one global ``X``-group spans every shard), so every update batch
+    also exercises the cross-shard summary-delta merge path.
     """
     phi = ECFD(ext_schema, lhs=[], rhs=["CT"], tableau=[({}, {"CT": "_"})])
     return ECFDSet(list(paper_workload()) + [phi])
@@ -127,30 +127,55 @@ class TestShardedIncrementalEquivalence:
         )
         engine.close()
 
+    def test_detect_after_updates_reads_live_shard_states(
+        self, ext_schema, sigma, base_rows, update_workload, incremental_reference
+    ):
+        """Regression: detect() after apply_update used to silently re-fan
+        out one-shot tasks instead of reading the maintained shard states."""
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=4, executor="serial"
+        )
+        engine.load(base_rows)
+        for batch in update_workload:
+            engine.apply_update(batch)
+        baseline = engine.backend.full_detect_count
+        result = engine.detect()
+        assert engine.backend.full_detect_count == baseline, (
+            "detect() with live shard states must serve the merged "
+            "maintained violations, not run a hidden full detection"
+        )
+        assert result.violations == incremental_reference[-1].violations
+        # The breakdown read path must stay recompute-free too.
+        with_breakdown = engine.detect(with_breakdown=True)
+        assert engine.backend.full_detect_count == baseline
+        assert with_breakdown.violations == result.violations
+        assert with_breakdown.per_constraint
+        engine.close()
+
 
 class TestDeltaRoutingProportionality:
-    def test_single_tuple_delta_touches_one_shard_per_cluster(
+    def test_single_tuple_delta_touches_exactly_one_shard(
         self, ext_schema, sigma, base_rows
     ):
-        """Per-shard work is proportional to the routed delta, not |D|."""
+        """Per-shard work is proportional to the routed delta, not |D|.
+
+        Under the single-pass plan every delta tuple routes to exactly one
+        shard — no per-cluster replication."""
         engine = DataQualityEngine(
             ext_schema, sigma, backend="incremental", workers=4, executor="serial"
         )
         engine.load(base_rows)
         engine.apply_update(delete_tids=[7])
         trace = engine.backend.last_update_trace
-        clusters = len(engine.backend.shard_plan())
         assert trace["mode"] == "incremental"
-        # One deleted tuple routes to exactly one shard per cluster it
-        # appears in — never to the whole shard grid.
-        assert trace["shards_touched"] <= clusters
+        assert trace["shards_touched"] == 1
         assert trace["shards_touched"] < trace["shards_total"]
-        assert trace["routed_deletes"] == clusters
+        assert trace["routed_deletes"] == 1
         assert trace["routed_inserts"] == 0
         engine.close()
 
     def test_untouched_shards_receive_no_tasks(self, ext_schema, sigma, base_rows):
-        """Trace a batch and check routed totals equal |ΔD| x clusters."""
+        """Trace a batch and check routed totals equal |ΔD| exactly."""
         engine = DataQualityEngine(
             ext_schema, sigma, backend="incremental", workers=4, executor="serial"
         )
@@ -158,16 +183,42 @@ class TestDeltaRoutingProportionality:
         batch_inserts = DatasetGenerator(seed=21).generate_rows(25, 20.0)
         engine.apply_update(insert_rows=batch_inserts, delete_tids=[11, 12, 13])
         trace = engine.backend.last_update_trace
-        clusters = len(engine.backend.shard_plan())
-        assert trace["routed_deletes"] == 3 * clusters
-        assert trace["routed_inserts"] == 25 * clusters
+        assert trace["routed_deletes"] == 3
+        assert trace["routed_inserts"] == 25
         assert trace["shards_touched"] <= trace["shards_total"]
         engine.close()
 
+    def test_update_readback_is_delta_proportional(self, ext_schema):
+        """The flag readback scans affected groups, never whole shards.
 
-class TestColocateAllAndEmptyShards:
-    def test_update_hitting_colocate_all_cluster(self, ext_schema, sigma):
-        """Empty-LHS constraints live on one shard; deltas must reach it."""
+        High-cardinality LHS values keep every group tiny, so the readback
+        bound (the deleted tuples' groups) is orders of magnitude below the
+        shard size — the old per-update whole-shard flag scan would read
+        hundreds of tids here."""
+        phi = ECFD(
+            ext_schema, lhs=["ZIP"], rhs=["CT"],
+            tableau=[({"ZIP": "_"}, {"CT": "_"})],
+        )
+        rows = [
+            {a: "x" for a in ext_schema.attribute_names}
+            | {"ZIP": str(10000 + i), "CT": f"city-{i}"}
+            for i in range(600)
+        ]
+        engine = DataQualityEngine(
+            ext_schema, ECFDSet([phi]), backend="incremental", workers=2,
+            executor="serial",
+        )
+        engine.load(rows)
+        engine.backend.ensure_ready()
+        engine.apply_update(delete_tids=[7, 8])
+        trace = engine.backend.last_update_trace
+        assert trace["readback_tids"] <= 4
+        engine.close()
+
+
+class TestSummaryMergedAndEmptyShards:
+    def test_update_hitting_global_group(self, ext_schema, sigma):
+        """Empty-LHS constraints span every shard; summary deltas must merge."""
         rows = DatasetGenerator(seed=13).generate_rows(300, 0.0)
         reference = DataQualityEngine(ext_schema, sigma, backend="incremental")
         reference.load(rows)
@@ -178,11 +229,12 @@ class TestColocateAllAndEmptyShards:
         )
         engine.load(rows)
         # A clean relation still violates ∅ -> CT (mixed CT values); deleting
-        # tuples changes the single global group, which only the
-        # colocate_all shard maintains.
+        # tuples changes the single global group, which no single shard can
+        # witness — the summary store has to absorb the deltas.
         expected = reference.apply_update(delete_tids=[1, 2, 3])
         result = engine.apply_update(delete_tids=[1, 2, 3])
         assert result.violations == expected.violations
+        assert engine.backend.last_update_trace["summary_groups_touched"] >= 1
         assert not expected.clean
         reference.close()
         engine.close()

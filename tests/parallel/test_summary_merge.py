@@ -1,0 +1,289 @@
+"""Randomized Σ/workload equivalence for the cross-shard summary-merge path.
+
+The single-pass plan routes every tuple to one shard and reconstructs the
+multi-tuple violations of non-co-located embedded FDs from merged
+``(cid, xv, yv-multiset)`` summaries.  These tests stress the merge with
+randomly structured constraint sets — overlapping and disjoint LHS sets,
+empty-LHS FDs, pattern-only riders, value-set and complement-set patterns —
+over small-domain data (dense groups, plenty of cross-shard splits), and
+with deletion-heavy update streams through the stateful INCDETECT lanes.
+Every run is compared against single-threaded detection; sharding is an
+execution strategy, never a semantics change.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ECFD, ECFDSet
+from repro.core.patterns import ComplementSet
+from repro.core.schema import cust_ext_schema
+from repro.engine import DataQualityEngine
+
+SCHEMA = cust_ext_schema()
+#: Attributes drawn into random embedded-FD LHS/RHS sets; the small value
+#: cardinalities below make their groups dense enough to split across shards.
+ATTR_POOL = ["CT", "ZIP", "AC", "ITEM_TYPE", "ITEM_TITLE", "PRICE"]
+CARDINALITY = {
+    "AC": 5, "PN": 40, "NM": 30, "STR": 25, "CT": 4, "ZIP": 6,
+    "ITEM_TYPE": 3, "ITEM_TITLE": 8, "PRICE": 5,
+}
+
+
+def _value(attribute: str, index: int) -> str:
+    return f"{attribute.lower()}-{index}"
+
+
+def _random_rows(rng: random.Random, count: int) -> list[dict]:
+    return [
+        {
+            attribute: _value(attribute, rng.randrange(CARDINALITY[attribute]))
+            for attribute in SCHEMA.attribute_names
+        }
+        for _ in range(count)
+    ]
+
+
+def _random_lhs_pattern(rng: random.Random, attribute: str):
+    roll = rng.random()
+    if roll < 0.6:
+        return "_"
+    values = {
+        _value(attribute, i)
+        for i in rng.sample(range(CARDINALITY[attribute]), k=rng.randint(1, 2))
+    }
+    if roll < 0.85:
+        return values
+    return ComplementSet(values)
+
+
+def _random_sigma(rng: random.Random) -> ECFDSet:
+    """3-6 constraints with random LHS overlap structure.
+
+    Embedded FDs (some sharing LHS attributes — co-locatable under one key
+    — some disjoint or empty-LHS — summary-merged) plus pattern-only
+    riders.
+    """
+    ecfds = []
+    for _ in range(rng.randint(2, 4)):
+        lhs = rng.sample(ATTR_POOL, k=rng.choice([0, 1, 1, 1, 2]))
+        rhs = [rng.choice([a for a in ATTR_POOL if a not in lhs])]
+        tableau = [(
+            {a: _random_lhs_pattern(rng, a) for a in lhs},
+            {a: "_" for a in rhs},
+        )]
+        ecfds.append(ECFD(SCHEMA, lhs=lhs, rhs=rhs, tableau=tableau))
+    for _ in range(rng.randint(1, 2)):
+        lhs = [rng.choice(ATTR_POOL)]
+        yp = rng.choice([a for a in ATTR_POOL if a not in lhs])
+        allowed = {
+            _value(yp, i)
+            for i in rng.sample(range(CARDINALITY[yp]), k=rng.randint(1, 3))
+        }
+        ecfds.append(
+            ECFD(
+                SCHEMA, lhs=lhs, rhs=[], pattern_rhs=[yp],
+                tableau=[({a: _random_lhs_pattern(rng, a) for a in lhs}, {yp: allowed})],
+            )
+        )
+    return ECFDSet(ecfds)
+
+
+def _reference(sigma: ECFDSet, rows: list[dict], backend: str = "naive"):
+    engine = DataQualityEngine(SCHEMA, sigma, backend=backend, workers=1)
+    engine.load(rows)
+    result = engine.detect()
+    engine.close()
+    return result
+
+
+class TestRandomizedDetectionEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("delegate", ("naive", "batch"))
+    def test_sharded_matches_single_threaded(self, seed, delegate):
+        rng = random.Random(seed)
+        sigma = _random_sigma(rng)
+        rows = _random_rows(rng, 250)
+        reference = _reference(sigma, rows, backend=delegate)
+
+        engine = DataQualityEngine(
+            SCHEMA, sigma, backend=delegate, workers=3, executor="serial"
+        )
+        engine.load(rows)
+        result = engine.detect()
+        assert result.violations == reference.violations
+        assert engine.partition_stats()["replication_factor"] == 1.0
+        engine.close()
+
+    @pytest.mark.parametrize("executor", ("serial", "thread", "process"))
+    def test_every_executor_agrees_on_random_sigma(self, executor):
+        rng = random.Random(99)
+        sigma = _random_sigma(rng)
+        rows = _random_rows(rng, 200)
+        reference = _reference(sigma, rows, backend="batch")
+
+        engine = DataQualityEngine(
+            SCHEMA, sigma, backend="batch", workers=3, executor=executor
+        )
+        engine.load(rows)
+        assert engine.detect().violations == reference.violations
+        engine.close()
+
+    def test_empty_lhs_heavy_sigma(self):
+        """Several empty-LHS FDs at once: every group spans every shard."""
+        sigma = ECFDSet(
+            [
+                ECFD(SCHEMA, lhs=[], rhs=[a], tableau=[({}, {a: "_"})])
+                for a in ("CT", "ZIP", "ITEM_TYPE")
+            ]
+        )
+        rng = random.Random(7)
+        rows = _random_rows(rng, 120)
+        reference = _reference(sigma, rows)
+        engine = DataQualityEngine(
+            SCHEMA, sigma, backend="naive", workers=4, executor="serial"
+        )
+        engine.load(rows)
+        assert engine.detect().violations == reference.violations
+        stats = engine.partition_stats()
+        assert stats["summary_fragments"] == 3 and stats["local_fragments"] == 0
+        engine.close()
+
+
+class TestRandomizedUpdateStreamEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_deletion_heavy_stream_matches_incremental_and_recompute(self, seed):
+        """Deletion-heavy update streams through the INCDETECT lanes.
+
+        Heavy deletions exercise the summary store's pruning side (yv
+        counts dropping to zero, groups losing their last witness) — the
+        direction a set-based (non-multiset) summary would get wrong.
+        """
+        rng = random.Random(1000 + seed)
+        sigma = _random_sigma(rng)
+        rows = _random_rows(rng, 240)
+
+        incremental = DataQualityEngine(SCHEMA, sigma, backend="incremental")
+        incremental.load(rows)
+        incremental.detect()
+        recompute = DataQualityEngine(SCHEMA, sigma, backend="batch")
+        recompute.load(rows)
+
+        engine = DataQualityEngine(
+            SCHEMA, sigma, backend="incremental", workers=3, executor="serial"
+        )
+        engine.load(rows)
+        engine.backend.ensure_ready()
+        baseline = engine.backend.full_detect_count
+
+        live = list(range(1, len(rows) + 1))
+        next_tid = len(rows) + 1
+        for _ in range(4):
+            deletes = rng.sample(live, k=min(len(live), rng.randint(30, 50)))
+            inserts = _random_rows(rng, rng.randint(0, 10))
+            expected = incremental.apply_update(
+                delete_tids=deletes, insert_rows=inserts
+            )
+            redetected = recompute.apply_update(
+                delete_tids=deletes, insert_rows=inserts
+            )
+            result = engine.apply_update(delete_tids=deletes, insert_rows=inserts)
+            assert result.incremental
+            assert result.violations == expected.violations
+            assert result.violations == redetected.violations
+            live = [tid for tid in live if tid not in set(deletes)]
+            live.extend(range(next_tid, next_tid + len(inserts)))
+            next_tid += len(inserts)
+
+        # The read path after the stream is exact and recompute-free.
+        assert engine.detect().violations == incremental.detect().violations
+        assert engine.backend.full_detect_count == baseline
+        incremental.close()
+        recompute.close()
+        engine.close()
+
+    def test_int_pattern_constants_drain_exactly(self):
+        """Regression: int pattern constants on a summary fragment.
+
+        The SQL delegates compare stringified constants against the
+        text-stored data (212 matches '212'); the bootstrap summaries come
+        from that pushed-down scan, so update deltas must be emitted under
+        the *same* semantics.  A Python-side ``in {212, 718}`` match would
+        skip every delta for these tuples, leaving ghost witnesses the
+        store could never retire."""
+        phi = ECFD(
+            SCHEMA, lhs=["AC"], rhs=["CT"],
+            tableau=[({"AC": {212, 718}}, {"CT": "_"})],
+        )
+        decoy = ECFD(  # occupies the primary key so phi is summary-merged
+            SCHEMA, lhs=["ZIP"], rhs=["NM"],
+            tableau=[({"ZIP": "_"}, {"NM": "_"})],
+        )
+        sigma = ECFDSet([decoy, phi])
+        rows = [
+            {a: "x" for a in SCHEMA.attribute_names}
+            | {"AC": "212", "CT": f"city-{i % 4}", "ZIP": str(i)}
+            for i in range(40)
+        ]
+        reference = DataQualityEngine(SCHEMA, sigma, backend="incremental")
+        reference.load(rows)
+        reference.detect()
+        engine = DataQualityEngine(
+            SCHEMA, sigma, backend="incremental", workers=4, executor="serial"
+        )
+        engine.load(rows)
+        engine.backend.ensure_ready()
+        assert engine.partition_stats()["summary_fragments"] >= 1
+
+        # Drain the violating AC=212 group completely, batch by batch.
+        for start in (1, 21):
+            deletes = list(range(start, start + 20))
+            expected = reference.apply_update(delete_tids=deletes)
+            result = engine.apply_update(delete_tids=deletes)
+            assert result.violations == expected.violations
+        assert engine.backend._summary_store.witness_count() == 0
+        reference.close()
+        engine.close()
+
+    def test_same_round_tid_reuse_keeps_witnesses(self):
+        """Regression: delete the max tid and insert in one round.
+
+        The ``max(tid) + 1`` discipline re-assigns the freed identifier, and
+        the old and new rows can hash to *different* shards — the summary
+        store sees a -tid delta from one shard and a +tid delta from
+        another, in either order.  Witness counting must keep the reborn
+        tuple's membership in the summary-merged global group.
+        """
+        fd = ECFD(
+            SCHEMA, lhs=["ZIP"], rhs=["CT"],
+            tableau=[({"ZIP": "_"}, {"CT": "_"})],
+        )
+        global_fd = ECFD(SCHEMA, lhs=[], rhs=["AC"], tableau=[({}, {"AC": "_"})])
+        sigma = ECFDSet([fd, global_fd])
+        base = [
+            {a: "x" for a in SCHEMA.attribute_names}
+            | {"ZIP": str(10000 + i), "CT": f"c{i}", "AC": f"a{i % 3}"}
+            for i in range(8)
+        ]
+        replacement = (
+            {a: "y" for a in SCHEMA.attribute_names}
+            | {"ZIP": "99999", "CT": "fresh", "AC": "a-new"}
+        )
+
+        reference = DataQualityEngine(SCHEMA, sigma, backend="incremental")
+        reference.load(base)
+        reference.detect()
+        engine = DataQualityEngine(
+            SCHEMA, sigma, backend="incremental", workers=4, executor="serial"
+        )
+        engine.load(base)
+        engine.backend.ensure_ready()
+
+        # tid 8 dies and is immediately reborn as the replacement row.
+        expected = reference.apply_update(delete_tids=[8], insert_rows=[replacement])
+        result = engine.apply_update(delete_tids=[8], insert_rows=[replacement])
+        assert engine.tids() == reference.tids()  # identifier 8 was reused
+        assert result.violations == expected.violations
+        assert 8 in result.violations.mv_tids  # distinct ACs: everyone violates
+        reference.close()
+        engine.close()
