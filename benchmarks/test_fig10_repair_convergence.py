@@ -1,0 +1,112 @@
+"""Fig. 10 (beyond the paper): repair convergence — wall time and rounds.
+
+The paper's conclusion names "algorithms for eliminating eCFD violations and
+repairing data" as future work; this benchmark measures the repair subsystem
+the library grew from it.  The default noisy dataset (``REPRO_BENCH_SIZE``
+tuples at 5% noise, the paper workload) is repaired to a clean state under
+two strategies:
+
+* ``greedy`` — the Bohannon-style baseline: every round re-runs a full
+  reference detection over the whole relation;
+* ``incremental`` — violation-driven repair: seeded once from the engine's
+  maintained INCDETECT state, each round's fix batch re-validated by delta
+  maintenance only (``full_detects`` stays 0 — asserted here).
+
+``test_fig10_repair_convergence[incremental]`` is the repair hot path
+tracked by the CI perf-regression gate (``benchmarks/check_regression.py``
+against ``benchmarks/baseline.json``), alongside the fig8/fig9 detection
+paths.  Convergence data (rounds, changed cells, re-detection rows avoided)
+is recorded in ``extra_info`` so every ``BENCH_<sha>.json`` artifact carries
+the repair trajectory.
+"""
+
+import os
+
+import pytest
+
+from conftest import BENCH_SIZE, dataset_rows
+
+from repro.core.schema import cust_ext_schema
+from repro.engine import DataQualityEngine
+
+NOISE = 5.0
+MAX_ROUNDS = 20
+#: strategy -> engine backend it runs over (workers=1: single-threaded).
+STRATEGIES = {"greedy": "batch", "incremental": "incremental"}
+
+
+def _seeded_engine(rows, workload, backend: str) -> DataQualityEngine:
+    engine = DataQualityEngine(cust_ext_schema(), workload, backend=backend)
+    engine.load(rows)
+    # vio(D) is known before the repair starts (the paper's standing
+    # assumption for maintenance): the incremental strategy seeds from this
+    # maintained state instead of paying a scan inside the timed region.
+    engine.detect()
+    return engine
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_fig10_repair_convergence(benchmark, strategy, base_workload):
+    rows = dataset_rows(BENCH_SIZE, NOISE)
+    outcome = {}
+
+    def setup():
+        return (_seeded_engine(rows, base_workload, STRATEGIES[strategy]),), {}
+
+    def run(engine):
+        result = engine.repair(strategy=strategy, max_rounds=MAX_ROUNDS)
+        outcome.update(result.trace, rounds=result.rounds, cells=result.cells_changed)
+        engine.close()
+        return result
+
+    result = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert result.clean
+    if strategy == "incremental":
+        # Zero full re-detections after the seeding scan — the property the
+        # strategy exists for, asserted on every benchmark run.
+        assert result.trace["full_detects"] == 0
+        assert result.trace["maintained_rounds"] == result.rounds
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["tuples"] = BENCH_SIZE
+    benchmark.extra_info["cores"] = os.cpu_count()
+    benchmark.extra_info["rounds"] = outcome.get("rounds", 0)
+    benchmark.extra_info["cells_changed"] = outcome.get("cells", 0)
+    benchmark.extra_info["full_detects"] = outcome.get("full_detects", 0)
+    benchmark.extra_info["redetect_rows_avoided"] = outcome.get(
+        "redetect_rows_avoided", 0
+    )
+
+
+def test_fig10_sharded_repair_exactness(base_workload):
+    """Sharded repair (workers=4) is bit-exact vs. the greedy baseline."""
+    rows = dataset_rows(BENCH_SIZE, NOISE)
+
+    single = _seeded_engine(rows, base_workload, "batch")
+    baseline = single.repair(strategy="greedy", max_rounds=MAX_ROUNDS)
+    reference = {t.tid: t.values() for t in single.to_relation().tuples()}
+    single.close()
+
+    sharded = DataQualityEngine(
+        cust_ext_schema(), base_workload, backend="incremental", workers=4
+    )
+    sharded.load(rows)
+    sharded.detect()
+    result = sharded.repair(max_rounds=MAX_ROUNDS)
+    repaired = {t.tid: t.values() for t in sharded.to_relation().tuples()}
+    trace = result.trace
+    sharded.close()
+
+    assert result.strategy == "sharded" and result.clean
+    assert repaired == reference
+    assert result.cost == baseline.cost
+    assert result.cells_changed == baseline.cells_changed
+    # Repair work is delta-routed: no full re-detection, and the summary
+    # fragments' dirty groups were elected from the merged summary store.
+    assert trace["full_detects"] == 0
+    assert trace["summary_groups_repaired"] > 0
+    print(
+        f"\nfig10: |D|={BENCH_SIZE}: greedy {baseline.rounds} rounds / "
+        f"{baseline.cells_changed} cells; sharded(4) {result.rounds} rounds, "
+        f"{trace['summary_groups_repaired']} summary-elected groups, "
+        f"{trace['redetect_rows_avoided']} re-detect rows avoided"
+    )

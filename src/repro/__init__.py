@@ -27,8 +27,11 @@ The library provides:
   experimental setting of Section VI;
 * experiment drivers (:mod:`repro.experiments`) that regenerate every figure
   of the paper's evaluation;
-* extensions sketched as future work in the paper: violation repair
-  (:mod:`repro.repair`) and eCFD discovery (:mod:`repro.discovery`).
+* extensions sketched as future work in the paper: violation-driven repair
+  with pluggable strategies — greedy, incremental (INCDETECT delta
+  re-validation) and sharded (summary-elected group fixes) —
+  (:mod:`repro.repair`, :mod:`repro.parallel.repair`) and eCFD discovery
+  (:mod:`repro.discovery`).
 
 Quickstart
 ----------
@@ -91,8 +94,13 @@ from repro.engine import (
     register_backend,
 )
 from repro.exceptions import EngineError, ReproError, UnknownBackendError
+from repro.repair import (
+    RepairStrategy,
+    available_strategies,
+    register_strategy,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CFD",
@@ -110,12 +118,14 @@ __all__ = [
     "RelationSchema",
     "RelationTuple",
     "RepairResult",
+    "RepairStrategy",
     "ReproError",
     "UnknownBackendError",
     "ValueSet",
     "ViolationSet",
     "Wildcard",
     "available_backends",
+    "available_strategies",
     "cfd_from_ecfd",
     "cust_ext_schema",
     "cust_schema",
@@ -123,5 +133,6 @@ __all__ = [
     "parse_ecfd",
     "parse_ecfd_set",
     "register_backend",
+    "register_strategy",
     "__version__",
 ]

@@ -206,6 +206,24 @@ class Relation:
             del self._tuples[t.tid]
         return doomed
 
+    def replace_cell(self, tid: int, attribute: str, value: Value) -> RelationTuple:
+        """Overwrite one cell of the tuple ``tid`` in place; returns the new tuple.
+
+        The tuple identifier is preserved — this is the mutation primitive of
+        value-modification repair, where a fix changes a cell but the tuple
+        keeps its identity (so violation sets before and after the fix remain
+        comparable).  Tuples are immutable, so the stored tuple is swapped
+        for an updated copy.
+        """
+        current = self._tuples.get(tid)
+        if current is None:
+            raise SchemaError(
+                f"relation {self.schema.name!r} has no tuple with tid={tid}"
+            )
+        updated = current.replace(**{attribute: value})
+        self._tuples[tid] = updated
+        return updated
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------

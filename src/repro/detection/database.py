@@ -140,6 +140,38 @@ class ECFDDatabase:
         self.connection.commit()
         return len(rows)
 
+    def update_cells(self, cells: Iterable[tuple[int, str, Value]]) -> int:
+        """Overwrite single cells in place; returns the number of updates run.
+
+        ``cells`` yields ``(tid, attribute, value)`` triples, applied in
+        order with values stored as text like every other ingestion path.
+        Tuple identifiers (and the SV/MV flag columns) are untouched — this
+        is the storage primitive of in-place repair.  Updating a tid that
+        does not exist raises (matching
+        :meth:`repro.core.instance.Relation.replace_cell`) — a silently
+        dropped fix would break the cross-backend equivalence discipline.
+        """
+        count = 0
+        for tid, attribute, value in cells:
+            if attribute not in self.schema:
+                raise DatabaseError(
+                    f"cannot update unknown attribute {attribute!r} of "
+                    f"{self.schema.name!r}"
+                )
+            cursor = self.connection.execute(
+                f"UPDATE {quote_identifier(self.table_name)} "
+                f"SET {quote_identifier(attribute)} = ? WHERE tid = ?",
+                (str(value), tid),
+            )
+            if cursor.rowcount == 0:
+                self.connection.rollback()
+                raise DatabaseError(
+                    f"table {self.table_name!r} has no tuple with tid={tid}"
+                )
+            count += 1
+        self.connection.commit()
+        return count
+
     def delete_tuples(self, tids: Iterable[int]) -> int:
         """Delete the rows with the given identifiers; returns the count removed."""
         tid_list = list(tids)

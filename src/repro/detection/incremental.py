@@ -90,6 +90,10 @@ class IncrementalDetector:
         #: ``scanned`` (tids whose flags were probed — bounded by the
         #: maintained violation set, never |D|) and the delta size.
         self.last_readback: dict | None = None
+        #: Full BATCHDETECT passes run (initialisation / re-initialisation
+        #: after resets).  Updates never move it — the counter the repair
+        #: strategies' zero-re-detection guarantee is asserted on.
+        self.full_detect_count = 0
 
     # ------------------------------------------------------------------
     # Initialisation
@@ -97,6 +101,7 @@ class IncrementalDetector:
     def initialize(self) -> ViolationSet:
         """Run the initial batch detection (computes flags, Aux(D) and the macro rows)."""
         result = self.batch.detect()
+        self.full_detect_count += 1
         self._initialized = True
         self._cached = result
         return result

@@ -7,6 +7,11 @@
   registry future storage strategies plug into;
 * :mod:`repro.engine.results` — structured, serializable result objects
   (:class:`DetectionResult`, :class:`RepairResult`, :class:`QualityReport`).
+
+Repair routes through the strategy registry of
+:mod:`repro.repair.strategies` exactly like detection routes through the
+backend registry — ``engine.repair(strategy="greedy" | "incremental" |
+"sharded")``, with the default picked from the backend's capabilities.
 """
 
 from repro.engine.backends import (

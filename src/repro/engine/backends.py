@@ -84,6 +84,11 @@ class DetectorBackend(ABC):
     name: ClassVar[str] = ""
     #: Whether :meth:`incremental_update` maintains violations without a full pass.
     supports_incremental: ClassVar[bool] = False
+    #: Full detection passes run so far — the trace counter the repair
+    #: strategies' "no hidden recompute" guarantees are asserted on.
+    #: Backends that track it shadow this with an instance attribute (or a
+    #: property); 0 means "never counted", not "never detected".
+    full_detect_count: int = 0
 
     def __init__(
         self,
@@ -168,6 +173,24 @@ class DetectorBackend(ABC):
         Called by the engine before timing an incremental update, so
         first-time initialisation cost is never attributed to the update.
         """
+
+    def apply_cell_changes(self, changes: Sequence) -> None:
+        """Apply repair cell changes to storage, preserving tuple identifiers.
+
+        ``changes`` is a sequence of :class:`repro.repair.cost.CellChange`
+        (duck-typed: ``tid`` / ``attribute`` / ``new_value``), applied in
+        order — the in-place fix path of :meth:`DataQualityEngine.repair`,
+        replacing the old materialise-and-reload.  Values are stringified
+        like every other ingestion path.  Backends that maintain detection
+        state across calls must invalidate it here.  The generic fallback
+        patches a materialised copy and reloads it; the built-in adapters
+        override with true in-place updates.
+        """
+        patched = self.to_relation()
+        for change in changes:
+            patched.replace_cell(change.tid, change.attribute, str(change.new_value))
+        self.clear()
+        self.load_relation(patched)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -306,6 +329,13 @@ class InMemoryRelationBackend(DetectorBackend):
         self._relation = Relation(self.schema)
         self._on_mutation()
 
+    def apply_cell_changes(self, changes: Sequence) -> None:
+        for change in changes:
+            self._relation.replace_cell(
+                change.tid, change.attribute, str(change.new_value)
+            )
+        self._on_mutation()
+
     # -- introspection --------------------------------------------------
     def count(self) -> int:
         return len(self._relation)
@@ -336,14 +366,18 @@ class NaiveBackend(InMemoryRelationBackend):
     ):
         super().__init__(schema, sigma, path)
         self.detector = NaiveDetector(self.sigma, self._relation)
+        self.full_detect_count = 0
 
-    def clear(self) -> None:
-        super().clear()
+    def _on_mutation(self) -> None:
+        # Any storage change invalidates the cached detection result (and
+        # clear() swaps the relation object itself): introspection must
+        # lazily re-detect instead of reporting pre-mutation flags.
         self.detector.relation = self._relation
         self.detector.last_violations = None
 
     # -- detection ------------------------------------------------------
     def detect(self) -> ViolationSet:
+        self.full_detect_count += 1
         return self.detector.detect()
 
     def fd_group_summary(self, fragments: Sequence[tuple[int, ECFD]]) -> dict:
@@ -466,6 +500,19 @@ class _SQLBackend(DetectorBackend):
     def violation_counts(self) -> dict[str, int]:
         return self._database.flag_counts()
 
+    def apply_cell_changes(self, changes: Sequence) -> None:
+        self._database.update_cells(
+            (change.tid, change.attribute, change.new_value) for change in changes
+        )
+        # The flags, Aux(D) and macro rows described the pre-repair data;
+        # leave the store looking fresh and never-detected so flag-reading
+        # introspection (violation_counts, breakdown) re-detects instead of
+        # reporting stale violations on the repaired rows.
+        self._database.reset_flags()
+        self._database.execute(f"DELETE FROM {quote_identifier(AUX_TABLE)}")
+        self._database.execute(f"DELETE FROM {quote_identifier(MACRO_TABLE)}")
+        self._database.commit()
+
     def breakdown(self) -> dict[int, dict[str, int]]:
         return _sql_breakdown(self._database)
 
@@ -502,8 +549,10 @@ class BatchBackend(_SQLBackend):
     ):
         super().__init__(schema, sigma, path)
         self.detector = BatchDetector(self._database, self.sigma)
+        self.full_detect_count = 0
 
     def detect(self) -> ViolationSet:
+        self.full_detect_count += 1
         return self.detector.detect()
 
     def fd_group_summary(self, fragments: Sequence[tuple[int, ECFD]]) -> dict:
@@ -555,6 +604,16 @@ class IncrementalBackend(_SQLBackend):
         return self.detector.fd_group_summary(fragments)
 
     @property
+    def full_detect_count(self) -> int:  # type: ignore[override]
+        """Batch initialisation passes run by the maintained INCDETECT state.
+
+        Incremental updates never move this counter — the repair strategies
+        assert on it that delta re-validation ran zero full re-detections
+        after the seeding scan.
+        """
+        return self.detector.full_detect_count
+
+    @property
     def last_readback(self) -> dict | None:
         """Flag-readback diagnostics of the most recent incremental update."""
         return self.detector.last_readback
@@ -583,6 +642,14 @@ class IncrementalBackend(_SQLBackend):
         assigned = super().apply_delta(delete_tids, insert_rows)
         self.detector.reset()
         return assigned
+
+    def apply_cell_changes(self, changes: Sequence) -> None:
+        # An out-of-band storage mutation: the maintained flags / Aux(D) no
+        # longer describe the data, so the state resets (the *incremental*
+        # repair strategy avoids exactly this by shipping its fixes through
+        # incremental_update instead).
+        super().apply_cell_changes(changes)
+        self.detector.reset()
 
     def clear(self) -> None:
         super().clear()

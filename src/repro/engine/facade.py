@@ -33,7 +33,8 @@ from repro.engine.backends import DetectorBackend, create_backend
 from repro.engine.results import DetectionResult, QualityReport, RepairResult
 from repro.exceptions import EngineError, UnsatisfiableError
 from repro.repair.cost import RepairCostModel
-from repro.repair.repairer import GreedyRepairer
+from repro.repair.repairer import GreedyRepairer, RepairOutcome
+from repro.repair.strategies import create_strategy
 
 __all__ = ["DataQualityEngine", "DEFAULT_CHUNK_SIZE"]
 
@@ -270,33 +271,90 @@ class DataQualityEngine:
     # ------------------------------------------------------------------
     # Repair
     # ------------------------------------------------------------------
+    def _default_repair_strategy(self) -> str:
+        """The repair strategy best matched to the engine's backend.
+
+        Sharded engines with an incremental-capable delegate get the
+        ``"sharded"`` strategy (routed fix deltas, summary-elected group
+        fixes); other incremental-capable backends get ``"incremental"``
+        (INCDETECT delta re-validation); everything else falls back to the
+        ``"greedy"`` full-re-detection baseline.
+        """
+        if self.backend.supports_incremental:
+            if getattr(self.backend, "summary_store", None) is not None:
+                return "sharded"
+            return "incremental"
+        return "greedy"
+
     def repair(
         self,
+        strategy: str | None = None,
         max_rounds: int = 10,
         cost_model: RepairCostModel | None = None,
-        reload: bool = True,
+        workers: int | None = None,
+        apply: bool = True,
     ) -> RepairResult:
-        """Repair the stored data with greedy value modification.
+        """Repair the stored data in place with a pluggable strategy.
 
-        The backend's data is materialised, repaired with
-        :class:`~repro.repair.GreedyRepairer` and — unless ``reload=False``
-        — written back so the engine keeps serving the repaired state.  The
-        returned result carries the serializable audit trail; ``clean``
-        reflects a fresh detection over the repaired data.
+        ``strategy`` names a registered repair strategy (``"greedy"``,
+        ``"incremental"``, ``"sharded"``, or anything added via
+        :func:`repro.repair.register_strategy`); the default picks the
+        strongest one the backend supports.  Fixes are applied to the
+        backend **in place** under the original tuple identifiers — no
+        materialise-and-reload — and incremental strategies re-validate each
+        round through the backend's maintained violation state (for sharded
+        engines the per-shard INCDETECT states stay live across the repair
+        and the fix deltas are routed like any other update).
+
+        ``workers`` optionally documents the expected repair parallelism; it
+        must match the engine's own worker count (repair always runs through
+        the engine's backend — construct the engine with ``workers=N`` to
+        shard the repair path).
+
+        ``apply=False`` is a dry run: the repair is planned on a
+        materialised copy with the greedy baseline and the audit returned,
+        but the stored data is left untouched.
+
+        Raises
+        ------
+        RepairError
+            If Σ is unsatisfiable or the strategy fails to converge within
+            ``max_rounds``.
         """
-        working = self.backend.to_relation()
-        repairer = GreedyRepairer(self.sigma, cost_model=cost_model, max_rounds=max_rounds)
-        started = time.perf_counter()
-        outcome = repairer.repair(working)
-        repair_seconds = time.perf_counter() - started
-
-        if reload:
-            self.backend.clear()
-            self.backend.load_relation(outcome.relation)
-            clean = self.detect().clean
+        if workers is not None and workers != self.workers:
+            raise EngineError(
+                f"repair parallelism is fixed by the engine's configuration "
+                f"(workers={self.workers}); construct the engine with "
+                f"workers={workers} to change it"
+            )
+        if strategy is not None:
+            name = strategy
+        elif apply:
+            name = self._default_repair_strategy()
         else:
-            clean = self.sigma.violations(outcome.relation).is_clean()
+            name = "greedy"  # dry runs plan on a copy — the baseline's job
+        started = time.perf_counter()
+        if apply:
+            strategy_obj = create_strategy(
+                name, sigma=self.sigma, cost_model=cost_model, max_rounds=max_rounds
+            )
+            outcome = strategy_obj.repair(self.backend)
+        else:
+            if name != "greedy":
+                raise EngineError(
+                    f"apply=False plans the repair on a materialised copy and "
+                    f"only supports the 'greedy' strategy (got {name!r})"
+                )
+            repairer = GreedyRepairer(
+                self.sigma, cost_model=cost_model, max_rounds=max_rounds
+            )
+            outcome = repairer.repair(self.backend.to_relation())
+        repair_seconds = time.perf_counter() - started
+        return self._repair_result(name, outcome, repair_seconds)
 
+    def _repair_result(
+        self, strategy: str, outcome: RepairOutcome, seconds: float
+    ) -> RepairResult:
         changes = tuple(
             {
                 "tid": change.tid,
@@ -308,13 +366,17 @@ class DataQualityEngine:
         )
         return RepairResult(
             backend=self.backend_name,
-            clean=clean,
+            strategy=strategy,
+            # Strategies raise RepairError instead of returning dirty data,
+            # so a returned outcome is a converged (clean) repair.
+            clean=True,
             cells_changed=outcome.change_count,
             tuples_changed=len(outcome.changed_tids()),
             cost=outcome.cost,
             rounds=outcome.rounds,
-            seconds=repair_seconds,
+            seconds=seconds,
             changes=changes,
+            trace=dict(outcome.trace),
             relation=outcome.relation,
         )
 

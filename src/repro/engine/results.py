@@ -149,10 +149,26 @@ class DetectionResult:
 class RepairResult:
     """The outcome of one repair pass through the engine.
 
-    The underlying :class:`repro.repair.GreedyRepairer` audit is flattened
-    into plain dictionaries (``{"tid", "attribute", "before", "after"}``) so
-    the result serializes; the repaired relation itself is attached for
+    This is the library's *one* serializable repair audit type (the repair
+    layer's working object is :class:`repro.repair.RepairOutcome`): the
+    strategy's cell changes are flattened into plain dictionaries
+    (``{"tid", "attribute", "before", "after"}``), the repair-path counters
+    land in ``trace``, and the repaired relation itself is attached for
     in-process use but excluded from comparison and serialization.
+
+    Attributes
+    ----------
+    strategy:
+        Registry name of the repair strategy that produced the result
+        (``"greedy"``, ``"incremental"``, ``"sharded"``, ...).
+    trace:
+        Repair-path diagnostics: ``full_detects`` (whole-relation detection
+        passes the strategy ran), ``maintained_rounds`` (rounds re-validated
+        by INCDETECT delta maintenance), ``redetect_rows_avoided`` (rows a
+        full re-detection would have scanned in those rounds),
+        ``summary_groups_repaired`` (cross-shard groups whose fix was
+        elected from merged summaries) and ``rounds`` (the per-round
+        convergence log).
     """
 
     backend: str
@@ -163,12 +179,15 @@ class RepairResult:
     rounds: int
     seconds: float
     changes: tuple[dict[str, Any], ...] = ()
+    strategy: str = "greedy"
+    trace: dict[str, Any] = field(default_factory=dict)
     relation: Any = field(default=None, compare=False, repr=False)
 
     def to_dict(self) -> dict[str, Any]:
         """A plain JSON-serializable representation (without the relation)."""
         return {
             "backend": self.backend,
+            "strategy": self.strategy,
             "clean": self.clean,
             "cells_changed": self.cells_changed,
             "tuples_changed": self.tuples_changed,
@@ -176,6 +195,7 @@ class RepairResult:
             "rounds": self.rounds,
             "seconds": self.seconds,
             "changes": [dict(change) for change in self.changes],
+            "trace": dict(self.trace),
         }
 
     @classmethod
@@ -183,6 +203,7 @@ class RepairResult:
         """Rebuild a result from :meth:`to_dict` output (no relation attached)."""
         return cls(
             backend=data["backend"],
+            strategy=data.get("strategy", "greedy"),
             clean=data["clean"],
             cells_changed=data["cells_changed"],
             tuples_changed=data["tuples_changed"],
@@ -190,6 +211,7 @@ class RepairResult:
             rounds=data["rounds"],
             seconds=data["seconds"],
             changes=tuple(dict(change) for change in data.get("changes", [])),
+            trace=dict(data.get("trace", {})),
         )
 
 

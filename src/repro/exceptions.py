@@ -105,5 +105,25 @@ class RepairError(ReproError):
     """A repair could not be constructed (e.g. unsatisfiable constraints)."""
 
 
+class UnknownStrategyError(EngineError):
+    """An unregistered repair strategy name was requested.
+
+    Attributes
+    ----------
+    name:
+        The unknown strategy name.
+    available:
+        The strategy names registered at the time of the lookup.
+    """
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        listing = ", ".join(repr(s) for s in available) or "(none registered)"
+        super().__init__(
+            f"unknown repair strategy {name!r}; available strategies: {listing}"
+        )
+        self.name = name
+        self.available = tuple(available)
+
+
 class DiscoveryError(ReproError):
     """eCFD discovery was invoked with invalid parameters."""

@@ -8,7 +8,11 @@
   detectors' ``fd_group_summary`` hooks;
 * :mod:`repro.parallel.sharded` — the ``"sharded"`` engine backend, which
   fans any delegate detector out over shared-nothing shards in a process or
-  thread pool and merges per-shard flags and summaries exactly.
+  thread pool and merges per-shard flags and summaries exactly;
+* :mod:`repro.parallel.repair` — the ``"sharded"`` repair strategy: fix
+  deltas routed through the partition plan to the owning shards' INCDETECT
+  lanes, cross-shard embedded-FD group fixes elected directly from the
+  coordinator's merged summary store.
 """
 
 from repro.parallel.partition import (
@@ -21,6 +25,7 @@ from repro.parallel.partition import (
     route_delta,
     shard_index,
 )
+from repro.parallel.repair import ShardedRepairStrategy
 from repro.parallel.sharded import DEFAULT_EXECUTOR, ShardedBackend, detect_sharded
 from repro.parallel.summary import SummaryStore, summary_nbytes
 
@@ -29,6 +34,7 @@ __all__ = [
     "PartitionCluster",
     "PartitionPlan",
     "ShardedBackend",
+    "ShardedRepairStrategy",
     "SummaryStore",
     "cluster_replication_factor",
     "detect_sharded",

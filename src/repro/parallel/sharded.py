@@ -943,6 +943,27 @@ class ShardedBackend(InMemoryRelationBackend):
         assert self._last_breakdown is not None
         return dict(self._last_breakdown)
 
+    @property
+    def summary_store(self) -> SummaryStore:
+        """The coordinator's merged cross-shard group summaries (live view).
+
+        Fed full summaries at bootstrap / one-shot detection and signed
+        deltas on every incremental update.  Sharded repair reads its
+        ``(cid, xv) → yv-multiset`` state to elect group fixes without
+        pulling rows off the shards.
+        """
+        return self._summary_store
+
+    def summary_fragment_cids(self) -> frozenset[int]:
+        """Global CIDs of the fragments resolved through the summary merge.
+
+        Empty for ``workers <= 1`` (one whole-Σ shard — every fragment is
+        local, and the summary store stays unused).
+        """
+        if self.workers <= 1:
+            return frozenset()
+        return frozenset(cid for cid, _ in self._plan.summary_fragments)
+
     def shard_plan(self) -> list[tuple[tuple[str, ...], list[int]]]:
         """The plan's fragment sides as ``(key, [global CIDs])`` pairs.
 

@@ -152,6 +152,19 @@ class SummaryStore:
             )
         return result
 
+    def group_counts(self, cid: int, xv: tuple) -> dict[tuple, int] | None:
+        """The merged ``{yv: count}`` multiset of one ``(cid, xv)`` group.
+
+        ``None`` when the store holds no such group.  This is the election
+        source of sharded repair: a cross-shard embedded-FD group's majority
+        RHS is read off the merged multiset directly — no shard ever ships
+        its rows to the coordinator for the vote.
+        """
+        entry = self._groups.get((cid, xv))
+        if entry is None:
+            return None
+        return dict(entry[0])
+
     def per_constraint_stats(self) -> dict[int, dict[str, int]]:
         """MV statistics per constraint: violating group and tuple counts."""
         stats: dict[int, dict] = {}

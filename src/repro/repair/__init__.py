@@ -1,6 +1,49 @@
-"""Value-modification repair of eCFD violations (paper future work, Section VIII)."""
+"""Value-modification repair of eCFD violations (paper future work, Section VIII).
+
+The subsystem is violation-driven and layered like detection:
+
+* :mod:`repro.repair.cost` — the cell-change audit primitives
+  (:class:`CellChange`, :class:`RepairCostModel`);
+* :mod:`repro.repair.fixes` — :class:`FixPlanner`, the deterministic
+  per-round fix derivation every strategy shares (flags in, cell changes
+  out), and the :func:`elect_rhs` majority election;
+* :mod:`repro.repair.repairer` — :class:`GreedyRepairer`, the standalone
+  relation-level baseline (full re-detection per round);
+* :mod:`repro.repair.strategies` — the :class:`RepairStrategy` registry the
+  engine routes :meth:`~repro.engine.DataQualityEngine.repair` through:
+  ``"greedy"``, ``"incremental"`` (INCDETECT delta re-validation) and —
+  registered from :mod:`repro.parallel.repair` — ``"sharded"``
+  (summary-elected group fixes over routed shard deltas).
+"""
 
 from repro.repair.cost import CellChange, RepairCostModel
-from repro.repair.repairer import GreedyRepairer, RepairResult
+from repro.repair.fixes import FixPlanner, RoundPlan, elect_rhs
+from repro.repair.repairer import GreedyRepairer, RepairOutcome
+from repro.repair.strategies import (
+    GreedyRepairStrategy,
+    IncrementalRepairStrategy,
+    RepairStrategy,
+    available_strategies,
+    create_strategy,
+    register_strategy,
+    resolve_strategy_factory,
+    unregister_strategy,
+)
 
-__all__ = ["CellChange", "GreedyRepairer", "RepairCostModel", "RepairResult"]
+__all__ = [
+    "CellChange",
+    "FixPlanner",
+    "GreedyRepairStrategy",
+    "GreedyRepairer",
+    "IncrementalRepairStrategy",
+    "RepairCostModel",
+    "RepairOutcome",
+    "RepairStrategy",
+    "RoundPlan",
+    "available_strategies",
+    "create_strategy",
+    "elect_rhs",
+    "register_strategy",
+    "resolve_strategy_factory",
+    "unregister_strategy",
+]

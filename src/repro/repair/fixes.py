@@ -1,0 +1,259 @@
+"""Deterministic per-round fix planning, shared by every repair strategy.
+
+A repair round turns the current violation flags into a batch of
+:class:`~repro.repair.cost.CellChange` fixes.  Every strategy — the greedy
+baseline (full re-detection per round), the incremental repairer (INCDETECT
+delta maintenance) and the sharded repairer (summary-elected group fixes) —
+must derive the *same* batch from the same ``(relation, flags)`` state, or
+their repaired relations diverge and the cross-strategy equivalence
+guarantees collapse.  :class:`FixPlanner` is that shared derivation.  It
+works from the uniform flag representation (SV / MV tid sets), not from
+detailed violation records, because the SQL and sharded detectors maintain
+flags only; the grouping structure is re-derived from the live relation
+restricted to the flagged tuples — cost proportional to ``|vio(D)|``, never
+to ``|D|``.
+
+One round plans in two phases, in this order:
+
+1. **Multi-tuple (embedded FD) fixes** are planned against the
+   *start-of-round* snapshot: per fragment, the MV-flagged tuples matching
+   the LHS pattern are grouped on their ``X`` projection, and each group
+   holding ≥ 2 distinct RHS combinations elects a repair value with
+   :func:`elect_rhs`.  Planned writes are applied only after the whole
+   phase, so every fragment's election sees the same snapshot — which is
+   also exactly the state the sharded coordinator's summary store describes
+   (the store is only advanced by the previous round's deltas), letting the
+   sharded strategy elect **directly from the merged yv multisets** and
+   still agree bit-for-bit with the single-threaded baseline.
+2. **Single-tuple (pattern constraint) fixes** run over the post-phase-1
+   relation with immediate application: an SV-flagged tuple that still
+   matches a fragment's LHS but fails its RHS pattern gets the failing
+   attribute overwritten by :meth:`FixPlanner._pick_replacement`, which
+   prefers values already in the column (served from a per-(round,
+   attribute) active-domain cache — computed once per round, not once per
+   violation).
+
+Fix values follow the library's text storage discipline (every backend
+stores values as text), so replacements drawn from pattern constants are
+stringified before they are written.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.core.ecfd import ECFD, ECFDSet, PatternTuple
+from repro.core.instance import Relation, RelationTuple
+from repro.core.schema import Value
+from repro.core.violations import ViolationSet
+from repro.repair.cost import CellChange
+
+__all__ = ["FixPlanner", "RoundPlan", "elect_rhs", "GroupCountsHook"]
+
+#: Optional election source for multi-tuple fixes: ``hook(cid, xv)`` returns
+#: the group's ``{yv: count}`` multiset (the sharded coordinator's merged
+#: summary state) or ``None`` to fall back to counting the group's members
+#: in the planning relation.
+GroupCountsHook = Callable[[int, tuple], "Mapping[tuple, int] | None"]
+
+
+def elect_rhs(
+    counts: Mapping[tuple, int],
+    pattern: PatternTuple,
+    rhs_attributes: Sequence[str],
+) -> tuple:
+    """The RHS value vector a violating embedded-FD group is rewritten to.
+
+    Majority vote over the group's ``{yv: count}`` multiset, restricted to
+    combinations that also satisfy the fragment's own RHS pattern (an
+    elected value failing the pattern would immediately re-violate the
+    pattern constraint); when no combination qualifies, the unrestricted
+    majority wins.  Ties break deterministically on the stringified value
+    vector, so the election is independent of multiset iteration order —
+    the property that lets the sharded coordinator elect from its merged
+    summary store and still agree with a single-threaded count.
+    """
+
+    def admissible(yv: tuple) -> bool:
+        return all(
+            pattern.rhs_entry(a).matches(v) for a, v in zip(rhs_attributes, yv)
+        )
+
+    candidates = {yv: n for yv, n in counts.items() if n > 0 and admissible(yv)}
+    if not candidates:
+        candidates = {yv: n for yv, n in counts.items() if n > 0}
+    best = max(candidates.values())
+    return min(
+        (yv for yv, n in candidates.items() if n == best),
+        key=lambda yv: tuple(str(v) for v in yv),
+    )
+
+
+@dataclass
+class RoundPlan:
+    """The outcome of planning one repair round."""
+
+    #: The planned cell changes, already applied to the planning relation.
+    changes: list[CellChange] = field(default_factory=list)
+    #: Multi-tuple fixes in ``changes`` (embedded-FD group rewrites).
+    mv_fixes: int = 0
+    #: Single-tuple fixes in ``changes`` (pattern-constraint rewrites).
+    sv_fixes: int = 0
+    #: Groups whose election came from a summary-store hook, not from rows.
+    summary_groups: int = 0
+
+
+class FixPlanner:
+    """Deterministic fix derivation from violation flags and a live relation.
+
+    Parameters
+    ----------
+    sigma:
+        The constraint set being repaired; fixes are planned per normalized
+        single-pattern fragment, in global CID order.
+    """
+
+    def __init__(self, sigma: ECFDSet | Sequence[ECFD]):
+        self.sigma = sigma if isinstance(sigma, ECFDSet) else ECFDSet(list(sigma))
+        self._fragments = self.sigma.normalize()
+
+    # ------------------------------------------------------------------
+    # Round planning
+    # ------------------------------------------------------------------
+    def plan_round(
+        self,
+        relation: Relation,
+        violations: ViolationSet,
+        group_counts: GroupCountsHook | None = None,
+    ) -> RoundPlan:
+        """Plan (and apply to ``relation``) one round of fixes.
+
+        ``violations`` are the flags of ``relation``'s state at round start;
+        ``group_counts`` optionally serves group elections from merged
+        summaries (see :data:`GroupCountsHook`).  The returned plan's
+        changes have already been written into ``relation`` — callers ship
+        the same batch to their backend, keeping the two in lockstep.
+        """
+        plan = RoundPlan()
+        self._plan_multi_fixes(relation, violations.mv_tids, group_counts, plan)
+        self._plan_single_fixes(relation, violations.sv_tids, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Multi-tuple (embedded FD) fixes
+    # ------------------------------------------------------------------
+    def _plan_multi_fixes(
+        self,
+        relation: Relation,
+        mv_tids: frozenset[int],
+        group_counts: GroupCountsHook | None,
+        plan: RoundPlan,
+    ) -> None:
+        if not mv_tids:
+            return
+        ordered_tids = sorted(mv_tids)
+        planned: list[CellChange] = []
+        #: Cells already claimed this phase — elections are planned against
+        #: one shared snapshot, so the first fragment (CID order) to claim a
+        #: cell wins and later conflicting elections wait for the next round.
+        written: set[tuple[int, str]] = set()
+        for cid, fragment in self._fragments:
+            if not fragment.rhs:
+                continue  # pattern-only rider: no embedded FD to repair
+            pattern = fragment.tableau[0]
+            groups: dict[tuple, list[RelationTuple]] = {}
+            for tid in ordered_tids:
+                t = relation.get(tid)
+                if t is None or not pattern.matches_lhs(t):
+                    continue
+                groups.setdefault(t.project(fragment.lhs), []).append(t)
+            for xv in sorted(groups, key=lambda v: tuple(str(x) for x in v)):
+                members = groups[xv]
+                if len(members) < 2:
+                    continue
+                counts: Mapping[tuple, int] | None = None
+                if group_counts is not None:
+                    counts = group_counts(cid, xv)
+                from_summary = counts is not None
+                if counts is None:
+                    counts = Counter(m.project(fragment.rhs) for m in members)
+                if sum(1 for n in counts.values() if n > 0) < 2:
+                    continue  # the group no longer (or never did) violate
+                elected = elect_rhs(counts, pattern, fragment.rhs)
+                if from_summary:
+                    plan.summary_groups += 1
+                for member in members:
+                    assert member.tid is not None
+                    for attribute, target in zip(fragment.rhs, elected):
+                        cell = (member.tid, attribute)
+                        if member[attribute] != target and cell not in written:
+                            planned.append(
+                                CellChange(member.tid, attribute, member[attribute], target)
+                            )
+                            written.add(cell)
+        for change in planned:
+            relation.replace_cell(change.tid, change.attribute, change.new_value)
+        plan.changes.extend(planned)
+        plan.mv_fixes += len(planned)
+
+    # ------------------------------------------------------------------
+    # Single-tuple (pattern constraint) fixes
+    # ------------------------------------------------------------------
+    def _plan_single_fixes(
+        self, relation: Relation, sv_tids: frozenset[int], plan: RoundPlan
+    ) -> None:
+        if not sv_tids:
+            return
+        ordered_tids = sorted(sv_tids)
+        #: Per-round active-domain cache: the sorted column values computed
+        #: at most once per attribute, instead of once per violation.
+        domain_cache: dict[str, list[Value]] = {}
+        for cid, fragment in self._fragments:
+            pattern = fragment.tableau[0]
+            for tid in ordered_tids:
+                t = relation.get(tid)
+                if t is None or not pattern.matches_lhs(t) or pattern.matches_rhs(t):
+                    continue  # already fixed by an earlier change this round
+                attribute = pattern.failing_rhs_attribute(t)
+                if attribute is None:
+                    continue
+                replacement = self._pick_replacement(
+                    fragment, attribute, t[attribute], relation, domain_cache
+                )
+                if replacement is None or replacement == t[attribute]:
+                    continue
+                plan.changes.append(
+                    CellChange(tid, attribute, t[attribute], replacement)
+                )
+                plan.sv_fixes += 1
+                relation.replace_cell(tid, attribute, replacement)
+
+    def _pick_replacement(
+        self,
+        fragment: ECFD,
+        attribute: str,
+        current: Value,
+        relation: Relation,
+        domain_cache: dict[str, list[Value]],
+    ) -> Value | None:
+        """A replacement value admitted by the fragment's RHS pattern.
+
+        Prefers values already occurring in the column (they are more likely
+        to be the intended correct value and to agree with other
+        constraints); falls back to any admissible domain value, stringified
+        to match the storage discipline.
+        """
+        domain = domain_cache.get(attribute)
+        if domain is None:
+            domain = sorted(relation.active_domain(attribute), key=str)
+            domain_cache[attribute] = domain
+        pattern = fragment.tableau[0].rhs_entry(attribute)
+        for candidate in domain:
+            if candidate != current and pattern.matches(candidate):
+                return candidate
+        fallback = pattern.pick(self.sigma.schema.domain(attribute), avoid=[current])
+        if fallback is None or isinstance(fallback, str):
+            return fallback
+        return str(fallback)

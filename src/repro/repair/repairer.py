@@ -7,54 +7,69 @@ CFDs, so — like the heuristic of Bohannon et al. (SIGMOD 2005) that the
 paper points to — :class:`GreedyRepairer` applies local, greedy fixes and
 iterates until the data is clean:
 
+* a **multiple-tuple violation** of an embedded FD is fixed by electing the
+  majority RHS combination inside the offending group and rewriting the
+  minority tuples to it (majority voting minimises the number of changed
+  cells for that group);
 * a **single-tuple violation** of a pattern constraint is fixed by
   overwriting the failing RHS / Yp attribute with a value admitted by the
   pattern (the cheapest local fix; the replacement is chosen
   deterministically and re-checked against the other constraints on the next
-  round);
-* a **multiple-tuple violation** of an embedded FD is fixed by electing the
-  most frequent RHS combination inside the offending group and rewriting the
-  minority tuples to it (majority voting minimises the number of changed
-  cells for that group).
+  round).
 
-Each round runs the reference detector, applies one batch of fixes and
-recounts; the loop stops when the relation is clean or when ``max_rounds``
-is exhausted (the greedy fixes are not guaranteed to converge for every
-constraint interaction, in which case a :class:`~repro.exceptions.RepairError`
-is raised rather than returning dirty data silently).
+The per-round fix derivation lives in :class:`~repro.repair.fixes.FixPlanner`
+and is shared with the incremental and sharded repair strategies
+(:mod:`repro.repair.strategies`), so every strategy plans identical fixes
+from identical violation state; what distinguishes this baseline is *how it
+re-validates*: each round runs the reference detector over the whole
+relation (``full_detect_count`` counts those passes), applies one batch of
+fixes and recounts.  The loop stops when the relation is clean or when
+``max_rounds`` is exhausted (the greedy fixes are not guaranteed to converge
+for every constraint interaction, in which case a
+:class:`~repro.exceptions.RepairError` is raised rather than returning dirty
+data silently).
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Sequence
 
 from repro.analysis.satisfiability import is_satisfiable
 from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.instance import Relation
-from repro.core.schema import Value
-from repro.core.violations import ViolationSet
 from repro.detection.naive import NaiveDetector
 from repro.exceptions import RepairError
 from repro.repair.cost import CellChange, RepairCostModel
+from repro.repair.fixes import FixPlanner
 
-__all__ = ["RepairResult", "GreedyRepairer"]
+__all__ = ["RepairOutcome", "GreedyRepairer"]
 
 
-class RepairResult:
-    """The outcome of a repair: the repaired relation plus an audit trail."""
+class RepairOutcome:
+    """The outcome of a repair: the repaired relation plus an audit trail.
+
+    This is the repair layer's working result (the engine façade flattens it
+    into the serializable :class:`repro.engine.results.RepairResult`, the
+    one audit type shipped across process boundaries — the two used to share
+    a name, which this class resolves).
+    """
 
     def __init__(
         self,
-        relation: Relation,
+        relation: Relation | None,
         changes: list[CellChange],
         cost: float,
         rounds: int,
+        trace: dict | None = None,
     ):
         self.relation = relation
         self.changes = tuple(changes)
         self.cost = cost
         self.rounds = rounds
+        #: Repair-path diagnostics: per-round convergence plus the strategy's
+        #: cost counters (full detections run, rounds maintained by deltas,
+        #: re-detection rows avoided, summary-elected groups).
+        self.trace = dict(trace or {})
 
     @property
     def change_count(self) -> int:
@@ -67,12 +82,18 @@ class RepairResult:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"RepairResult(cells={self.change_count}, cost={self.cost}, rounds={self.rounds})"
+            f"RepairOutcome(cells={self.change_count}, cost={self.cost}, rounds={self.rounds})"
         )
 
 
 class GreedyRepairer:
-    """Greedy value-modification repair for a set of eCFDs."""
+    """Greedy value-modification repair for a set of eCFDs.
+
+    The baseline strategy: every round re-detects the whole relation with
+    the reference detector.  :attr:`full_detect_count` counts those full
+    passes across the repairer's lifetime — the "re-detect cost" the
+    incremental strategy exists to avoid.
+    """
 
     def __init__(
         self,
@@ -84,129 +105,77 @@ class GreedyRepairer:
         self.cost_model = cost_model if cost_model is not None else RepairCostModel()
         self.max_rounds = max_rounds
         self.detector = NaiveDetector(self.sigma)
-        self._fragments = self.sigma.normalize()
+        self.planner = FixPlanner(self.sigma)
+        self.full_detect_count = 0
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def repair(self, relation: Relation) -> RepairResult:
+    def repair(self, relation: Relation) -> RepairOutcome:
         """Return a repaired copy of ``relation`` satisfying Σ.
 
         Raises
         ------
         RepairError
-            If Σ is unsatisfiable (no repair can exist) or the greedy loop
-            fails to converge within ``max_rounds``.
+            If Σ is unsatisfiable (no repair can exist), the greedy loop
+            fails to converge within ``max_rounds``, or a round cannot plan
+            any fix for the remaining violations.
         """
         if not is_satisfiable(self.sigma):
             raise RepairError("the constraint set is unsatisfiable; no repair exists")
 
         working = relation.copy()
         changes: list[CellChange] = []
+        rounds_trace: list[dict] = []
         for round_number in range(1, self.max_rounds + 1):
             violations = self.detector.detect(working)
+            self.full_detect_count += 1
             if violations.is_clean():
-                return RepairResult(
-                    working, changes, self.cost_model.cost(changes), rounds=round_number - 1
+                return self._outcome(working, changes, round_number - 1, rounds_trace)
+            plan = self.planner.plan_round(working, violations)
+            if not plan.changes:
+                raise RepairError(
+                    f"greedy repair stalled in round {round_number}: no fix applies "
+                    f"to the {len(violations)} remaining dirty tuples"
                 )
-            changes.extend(self._fix_single_violations(working, violations))
-            changes.extend(self._fix_multi_violations(working, violations))
+            changes.extend(plan.changes)
+            rounds_trace.append(
+                {
+                    "round": round_number,
+                    "dirty": len(violations),
+                    "mv_fixes": plan.mv_fixes,
+                    "sv_fixes": plan.sv_fixes,
+                    "changes": len(plan.changes),
+                }
+            )
 
         final = self.detector.detect(working)
+        self.full_detect_count += 1
         if final.is_clean():
-            return RepairResult(working, changes, self.cost_model.cost(changes), rounds=self.max_rounds)
+            return self._outcome(working, changes, self.max_rounds, rounds_trace)
         raise RepairError(
             f"greedy repair did not converge within {self.max_rounds} rounds; "
             f"{len(final)} tuples remain dirty"
         )
 
-    # ------------------------------------------------------------------
-    # Single-tuple (pattern-constraint) fixes
-    # ------------------------------------------------------------------
-    def _fix_single_violations(
-        self, relation: Relation, violations: ViolationSet
-    ) -> list[CellChange]:
-        changes: list[CellChange] = []
-        fragment_by_cid = dict(self._fragments)
-        for record in violations.single_records:
-            tuple_ = relation.get(record.tid)
-            if tuple_ is None:
-                continue
-            fragment = fragment_by_cid.get(record.constraint_id)
-            if fragment is None:
-                continue
-            pattern = fragment.tableau[0]
-            if not pattern.matches_lhs(tuple_) or pattern.matches_rhs(tuple_):
-                continue  # already fixed by an earlier change this round
-            attribute = pattern.failing_rhs_attribute(tuple_)
-            if attribute is None:
-                continue
-            replacement = self._pick_replacement(fragment, attribute, tuple_[attribute], relation)
-            if replacement is None or replacement == tuple_[attribute]:
-                continue
-            changes.append(
-                CellChange(record.tid, attribute, tuple_[attribute], replacement)
-            )
-            self._apply_change(relation, record.tid, attribute, replacement)
-        return changes
-
-    def _pick_replacement(
-        self, fragment: ECFD, attribute: str, current: Value, relation: Relation
-    ) -> Value | None:
-        """A replacement value admitted by the fragment's RHS pattern.
-
-        Prefers values already occurring in the column (they are more likely
-        to be the intended correct value and to agree with other
-        constraints); falls back to any admissible domain value.
-        """
-        pattern = fragment.tableau[0].rhs_entry(attribute)
-        for candidate in sorted(relation.active_domain(attribute), key=str):
-            if candidate != current and pattern.matches(candidate):
-                return candidate
-        return pattern.pick(self.sigma.schema.domain(attribute), avoid=[current])
-
-    # ------------------------------------------------------------------
-    # Multiple-tuple (embedded FD) fixes
-    # ------------------------------------------------------------------
-    def _fix_multi_violations(
-        self, relation: Relation, violations: ViolationSet
-    ) -> list[CellChange]:
-        changes: list[CellChange] = []
-        fragment_by_cid = dict(self._fragments)
-        for record in violations.multi_records:
-            fragment = fragment_by_cid.get(record.constraint_id)
-            if fragment is None or not fragment.rhs:
-                continue
-            members = [relation.get(tid) for tid in sorted(record.tids)]
-            members = [m for m in members if m is not None]
-            if len(members) < 2:
-                continue
-            # Majority vote on the RHS combination, restricted to combinations
-            # that also satisfy the fragment's own RHS pattern (otherwise the
-            # elected value would immediately re-violate the pattern constraint).
-            pattern = fragment.tableau[0]
-            combos = Counter(
-                member.project(fragment.rhs)
-                for member in members
-                if all(pattern.rhs_entry(a).matches(member[a]) for a in fragment.rhs)
-            )
-            if not combos:
-                combos = Counter(member.project(fragment.rhs) for member in members)
-            elected, _ = combos.most_common(1)[0]
-            for member in members:
-                assert member.tid is not None
-                for attribute, target in zip(fragment.rhs, elected):
-                    if member[attribute] != target:
-                        changes.append(CellChange(member.tid, attribute, member[attribute], target))
-                        self._apply_change(relation, member.tid, attribute, target)
-        return changes
-
-    # ------------------------------------------------------------------
-    # In-place cell update
-    # ------------------------------------------------------------------
-    def _apply_change(self, relation: Relation, tid: int, attribute: str, value: Value) -> None:
-        current = relation.get(tid)
-        if current is None:
-            return
-        updated = current.replace(**{attribute: value})
-        relation._tuples[tid] = updated
+    def _outcome(
+        self,
+        working: Relation,
+        changes: list[CellChange],
+        rounds: int,
+        rounds_trace: list[dict],
+    ) -> RepairOutcome:
+        return RepairOutcome(
+            working,
+            changes,
+            self.cost_model.cost(changes),
+            rounds=rounds,
+            trace={
+                "strategy": "greedy",
+                "full_detects": self.full_detect_count,
+                "maintained_rounds": 0,
+                "redetect_rows_avoided": 0,
+                "summary_groups_repaired": 0,
+                "rounds": rounds_trace,
+            },
+        )

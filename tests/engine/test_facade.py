@@ -145,23 +145,47 @@ class TestUpdateDeltas:
 
 
 class TestRepairAndReport:
-    def test_repair_reloads_clean_data(self, ext_schema, workload):
+    def test_repair_applies_clean_data_in_place(self, ext_schema, workload):
         with DataQualityEngine(ext_schema, workload, backend="batch") as engine:
             engine.load(DatasetGenerator(seed=1).generate(300, 5.0))
             before = engine.detect()
             assert before.dirty_count > 0
+            tids_before = engine.tids()
             repair = engine.repair(max_rounds=15)
             assert repair.clean
+            assert repair.strategy == "greedy"  # batch backend: baseline
             assert repair.cells_changed >= repair.tuples_changed > 0
             assert engine.detect().dirty_count == 0  # engine now serves repaired data
+            assert engine.tids() == tids_before  # in place: identifiers preserved
 
-    def test_repair_without_reload_keeps_dirty_state(self, ext_schema, workload):
+    def test_repair_routes_through_incremental_strategy(self, ext_schema, workload):
+        with DataQualityEngine(ext_schema, workload, backend="incremental") as engine:
+            engine.load(DatasetGenerator(seed=1).generate(300, 5.0))
+            assert engine.detect().dirty_count > 0
+            repair = engine.repair(max_rounds=15)
+            assert repair.strategy == "incremental"
+            assert repair.clean
+            # Zero full re-detections after the seeding scan, and the engine
+            # keeps serving the maintained (clean) state.
+            assert repair.trace["full_detects"] == 0
+            assert repair.trace["maintained_rounds"] == repair.rounds
+            assert engine.detect().dirty_count == 0
+
+    def test_repair_dry_run_keeps_dirty_state(self, ext_schema, workload):
         with DataQualityEngine(ext_schema, workload, backend="batch") as engine:
             engine.load(DatasetGenerator(seed=1).generate(300, 5.0))
             engine.detect()
-            repair = engine.repair(max_rounds=15, reload=False)
-            assert repair.clean  # the returned relation is clean ...
+            repair = engine.repair(max_rounds=15, apply=False)
+            assert repair.clean  # the planned repair converges ...
             assert engine.detect().dirty_count > 0  # ... but the store is untouched
+            with pytest.raises(EngineError, match="greedy"):
+                engine.repair(apply=False, strategy="incremental")
+
+    def test_repair_workers_must_match_engine(self, ext_schema, workload):
+        with DataQualityEngine(ext_schema, workload, backend="batch") as engine:
+            engine.load(DatasetGenerator(seed=1).generate(50, 5.0))
+            with pytest.raises(EngineError, match="workers"):
+                engine.repair(workers=4)
 
     def test_report_summarises_workload_and_detection(self, ext_schema, workload, seeded_rows):
         with DataQualityEngine(ext_schema, workload, backend="batch") as engine:

@@ -1,0 +1,138 @@
+"""Randomized strategy × executor × workers repair equivalence.
+
+Every repair strategy plans its fixes with the shared
+:class:`~repro.repair.fixes.FixPlanner`, so for the same data and Σ they
+must all produce the *same* clean relation and the *same* cell-change cost
+accounting — strategies differ in how they re-validate (full re-detection
+vs. INCDETECT deltas vs. routed shard deltas with summary-elected group
+fixes), never in outcome.  These tests stress that guarantee in the style of
+``tests/parallel/test_summary_merge.py``: randomly structured constraint
+sets (overlapping / disjoint / empty LHS sets, value-set and complement-set
+patterns, pattern-only riders) over small-domain data, repaired under every
+strategy × executor × workers combination and compared bit-for-bit against
+the single-threaded greedy baseline.  Greedy repair is not guaranteed to
+converge for every random constraint interaction; when the baseline raises
+:class:`~repro.exceptions.RepairError`, every other combination must raise
+too — divergence in *failure* would be just as much of a semantics bug.
+"""
+
+import random
+
+import pytest
+
+from repro.core.schema import cust_ext_schema
+from repro.datagen import DatasetGenerator, paper_workload
+from repro.engine import DataQualityEngine
+from repro.exceptions import RepairError
+from tests.parallel.test_summary_merge import _random_rows, _random_sigma
+
+SCHEMA = cust_ext_schema()
+MAX_ROUNDS = 25
+
+#: (strategy, backend, workers, executor) combinations swept per seed; the
+#: first entry is the single-threaded greedy baseline everything else is
+#: compared against.
+COMBOS = [
+    ("greedy", "naive", 1, "serial"),
+    ("greedy", "batch", 1, "serial"),
+    ("incremental", "incremental", 1, "serial"),
+    ("incremental", "incremental", 3, "serial"),
+    ("sharded", "incremental", 3, "serial"),
+    ("sharded", "incremental", 4, "thread"),
+]
+
+
+def _repair_snapshot(sigma, rows, strategy, backend, workers, executor):
+    """Run one engine repair; returns (relation cells, cost, change count)."""
+    engine = DataQualityEngine(
+        SCHEMA, sigma, backend=backend, workers=workers, executor=executor
+    )
+    try:
+        engine.load(rows)
+        result = engine.repair(strategy=strategy, max_rounds=MAX_ROUNDS)
+        assert result.clean
+        assert engine.violation_counts()["dirty"] == 0
+        cells = {
+            t.tid: t.values() for t in engine.to_relation().tuples()
+        }
+        return cells, result.cost, result.cells_changed, result.trace
+    finally:
+        engine.close()
+
+
+class TestRandomizedRepairEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_combinations_match_greedy_baseline(self, seed):
+        rng = random.Random(4000 + seed)
+        sigma = _random_sigma(rng)
+        rows = _random_rows(rng, 180)
+
+        baseline_error = None
+        baseline = None
+        try:
+            baseline = _repair_snapshot(sigma, rows, *COMBOS[0])
+        except RepairError as error:
+            baseline_error = error
+        for strategy, backend, workers, executor in COMBOS[1:]:
+            if baseline_error is not None:
+                with pytest.raises(RepairError):
+                    _repair_snapshot(sigma, rows, strategy, backend, workers, executor)
+                continue
+            cells, cost, changed, trace = _repair_snapshot(
+                sigma, rows, strategy, backend, workers, executor
+            )
+            assert cells == baseline[0], (
+                f"{strategy}/{backend}/workers={workers}/{executor} diverged "
+                f"from the greedy baseline on seed {seed}"
+            )
+            assert cost == baseline[1]
+            assert changed == baseline[2]
+            if strategy != "greedy":
+                # Delta re-validation all the way: no full re-detections.
+                assert trace["full_detects"] == 0
+
+    def test_single_shard_workload_identical_accounting(self):
+        """All strategies at workers=1 on the paper workload (single shard)."""
+        sigma = paper_workload(SCHEMA)
+        rows = DatasetGenerator(seed=11).generate_rows(300, 6.0)
+        snapshots = {}
+        for strategy, backend in (
+            ("greedy", "naive"),
+            ("greedy", "batch"),
+            ("incremental", "incremental"),
+        ):
+            snapshots[(strategy, backend)] = _repair_snapshot(
+                sigma, rows, strategy, backend, 1, "serial"
+            )
+        reference = snapshots[("greedy", "naive")]
+        for key, snapshot in snapshots.items():
+            assert snapshot[0] == reference[0], f"{key} relation diverged"
+            assert snapshot[1:3] == reference[1:3], f"{key} cost accounting diverged"
+
+
+class TestPaperWorkloadShardedBitExactness:
+    def test_sharded_workers4_matches_single_threaded_greedy(self):
+        """The acceptance check: bit-exact clean relation at workers=4."""
+        sigma = paper_workload(SCHEMA)
+        rows = DatasetGenerator(seed=0).generate_rows(800, 5.0)
+
+        baseline = _repair_snapshot(sigma, rows, "greedy", "batch", 1, "serial")
+
+        engine = DataQualityEngine(
+            SCHEMA, sigma, backend="incremental", workers=4, executor="process"
+        )
+        try:
+            engine.load(rows)
+            result = engine.repair(max_rounds=MAX_ROUNDS)
+            assert result.strategy == "sharded"
+            assert result.clean
+            # Zero full re-detections after the bootstrap seeding scan.
+            assert result.trace["full_detects"] == 0
+            assert engine.backend.full_detect_count == 0
+            assert result.trace["summary_groups_repaired"] > 0
+            cells = {t.tid: t.values() for t in engine.to_relation().tuples()}
+            assert cells == baseline[0]
+            assert result.cost == baseline[1]
+            assert result.cells_changed == baseline[2]
+        finally:
+            engine.close()
