@@ -38,11 +38,16 @@ from pathlib import Path
 #: maintained by apply_update) — the hot path of update-heavy serving.  The
 #: fig10 incremental benchmark is the repair hot path: a full clean-up of
 #: the 5%-noise dataset re-validated by INCDETECT deltas only (zero full
-#: re-detections after the seeding scan).
+#: re-detections after the seeding scan).  The fig11 workers=1 benchmark is
+#: the always-on service's sustained-throughput path: a Poisson-structured
+#: update stream driven through admission control, the delta coalescer and
+#: the pump into the single-threaded INCDETECT delegate — the serving hot
+#: path of the streaming front end.
 TRACKED_BENCHMARKS = (
     "test_fig8_sharded_batch_detect_scaling[1]",
     "test_fig9_sharded_incremental_update[1]",
     "test_fig10_repair_convergence[incremental]",
+    "test_fig11_service_sustained_throughput[1]",
 )
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"

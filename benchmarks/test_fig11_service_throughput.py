@@ -1,0 +1,173 @@
+"""Fig. 11 (beyond the paper): sustained service throughput and latency.
+
+The always-on quality service keeps vio(D) maintained while clients stream
+updates; this benchmark measures what that costs at steady state.  A
+Poisson-structured stream of small update events (seeded mix of insertions
+and deletions of live tuples, tid reuse included) is driven through the
+async API as fast as admission control admits it — an open-loop arrival
+*structure* under closed-loop pressure, so the timed region measures the
+service's capacity (coalescer + admission + pump + routed lanes), not the
+generator's sleeping.  Reported per run:
+
+* ``updates_per_second`` — raw operations applied / wall-clock drive time
+  (the sustained-throughput headline);
+* ``p99_latency_ms`` — 99th percentile of submit→applied latency per
+  event, queueing under back-pressure included.
+
+Service construction, base-data load and the detection bootstrap happen in
+setup (untimed), matching the other figures' assumption that vio(D) is
+known before the stream starts.  ``workers=1`` runs the plain INCDETECT
+delegate under the service front end and feeds the CI perf-regression gate
+(``benchmarks/check_regression.py`` against ``benchmarks/baseline.json``);
+higher worker counts show the sharded lanes absorbing the same stream.
+Exactness of the streamed state is asserted separately below and in
+``tests/service/``.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from conftest import BENCH_SIZE, DEFAULT_NOISE, dataset_rows
+
+from repro.core.schema import cust_ext_schema
+from repro.datagen.generator import DatasetGenerator
+from repro.datagen.updates import UpdateGenerator
+from repro.engine import DataQualityEngine
+from repro.service import QualityService
+
+WORKER_COUNTS = [1, 2, 4]
+#: Streamed events per run; each carries OPS_PER_EVENT raw operations.
+EVENTS = max(60, BENCH_SIZE // 10)
+OPS_PER_EVENT = 2
+#: Arrival-process rate (shapes the stream; the drive is not paced by it).
+POISSON_RATE = 500.0
+
+
+def _stream_events(row_count: int, seed: int = 7):
+    updates = UpdateGenerator(DatasetGenerator(seed=seed), seed=seed + 1)
+    return list(
+        updates.poisson_stream(
+            range(1, row_count + 1),
+            rate=POISSON_RATE,
+            events=EVENTS,
+            ops_per_event=OPS_PER_EVENT,
+            insert_fraction=0.55,
+            noise_percent=DEFAULT_NOISE,
+        )
+    )
+
+
+def _started_service(loop, rows, workload, workers: int) -> QualityService:
+    service = QualityService(
+        cust_ext_schema(),
+        workload,
+        workers=workers,
+        executor="thread",
+        max_batch=256,
+        queue_capacity=512,
+    )
+    loop.run_until_complete(service.start(rows))
+    return service
+
+
+async def _drive(service: QualityService, events) -> dict:
+    """Submit the whole stream, then wait for the last window to apply."""
+    loop = asyncio.get_running_loop()
+    submitted = []
+    started = loop.time()
+    for event in events:
+        t0 = loop.time()
+        receipt = await service.submit(
+            event.batch.delete_tids, event.batch.insert_rows
+        )
+        submitted.append((t0, receipt))
+    applied = await asyncio.gather(*(r.applied for _, r in submitted))
+    elapsed = loop.time() - started
+    latencies = sorted(done - t0 for (t0, _), done in zip(submitted, applied))
+    ops = sum(
+        e.batch.insert_count + e.batch.delete_count for e in events
+    )
+    return {
+        "elapsed": elapsed,
+        "updates_per_second": ops / elapsed if elapsed else float("inf"),
+        "p99_latency_ms": latencies[int(0.99 * (len(latencies) - 1))] * 1e3,
+        "mean_latency_ms": sum(latencies) / len(latencies) * 1e3,
+        "ops": ops,
+    }
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_fig11_service_sustained_throughput(benchmark, workers, base_workload):
+    rows = dataset_rows(BENCH_SIZE)
+    events = _stream_events(len(rows))
+
+    def setup():
+        loop = asyncio.new_event_loop()
+        service = _started_service(loop, rows, base_workload, workers)
+        return (loop, service), {}
+
+    def run(loop, service):
+        measured = loop.run_until_complete(_drive(service, events))
+        measured["service_stats"] = loop.run_until_complete(service.stats())
+        loop.run_until_complete(service.stop())
+        loop.close()
+        return measured
+
+    measured = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    stats = measured["service_stats"]
+    assert stats["submissions"] == EVENTS
+    # The maintained state answered throughout; nothing recomputed.
+    assert stats["last_update_trace"] is None or stats["last_update_trace"]["mode"] == "incremental"
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["tuples"] = BENCH_SIZE
+    benchmark.extra_info["events"] = EVENTS
+    benchmark.extra_info["ops"] = measured["ops"]
+    benchmark.extra_info["updates_per_second"] = round(measured["updates_per_second"], 1)
+    benchmark.extra_info["p99_latency_ms"] = round(measured["p99_latency_ms"], 3)
+    benchmark.extra_info["mean_latency_ms"] = round(measured["mean_latency_ms"], 3)
+    benchmark.extra_info["ships"] = stats["ships"]
+    benchmark.extra_info["shipped_batches"] = stats["shipped_batches"]
+    benchmark.extra_info["coalesced_away"] = (
+        stats["coalescer"]["cancelled_inserts"] * 2
+        + stats["coalescer"]["skipped_deletes"]
+    )
+    benchmark.extra_info["admission_waits"] = stats["admission"]["waits"]
+    benchmark.extra_info["cores"] = os.cpu_count()
+
+
+def test_fig11_streamed_state_exactness(base_workload):
+    """The streamed, coalesced state equals a raw single-threaded replay."""
+    rows = dataset_rows(BENCH_SIZE)
+    events = _stream_events(len(rows))
+
+    with DataQualityEngine(
+        cust_ext_schema(), base_workload, backend="incremental"
+    ) as reference:
+        reference.load(rows)
+        reference.detect()
+        for event in events:
+            reference.apply_update(event.batch)
+        expected = reference.backend.detect()
+        expected_count = reference.count()
+
+    async def scenario():
+        service = QualityService(
+            cust_ext_schema(), base_workload, workers=4, executor="thread"
+        )
+        await service.start(rows)
+        try:
+            for event in events:
+                await service.submit(event.batch.delete_tids, event.batch.insert_rows)
+            counts = await service.detect()
+            flags = await service._run_engine(service.engine.backend.detect)
+            return counts, flags
+        finally:
+            await service.stop()
+
+    counts, flags = asyncio.run(scenario())
+    assert flags == expected
+    assert counts == {**expected.summary(), "tuples": expected_count}
+    # The service never fell back to a full re-detection.
+    assert counts["dirty"] == expected.summary()["dirty"]

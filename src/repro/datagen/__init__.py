@@ -10,7 +10,7 @@ size sweeps, and update-batch generation for the incremental experiments.
 from repro.datagen.generator import DatasetGenerator
 from repro.datagen.geography import CityRecord, area_codes, city_catalog, find_city
 from repro.datagen.items import ITEM_TYPES, ItemRecord, item_catalog, price_band, titles_by_type
-from repro.datagen.updates import UpdateBatch, UpdateGenerator
+from repro.datagen.updates import UpdateBatch, UpdateEvent, UpdateGenerator
 from repro.datagen.workload import (
     LI_AREA_CODES,
     NYC_AREA_CODES,
@@ -27,6 +27,7 @@ __all__ = [
     "LI_AREA_CODES",
     "NYC_AREA_CODES",
     "UpdateBatch",
+    "UpdateEvent",
     "UpdateGenerator",
     "area_codes",
     "city_catalog",

@@ -21,11 +21,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.datagen.generator import DatasetGenerator
 
-__all__ = ["UpdateBatch", "UpdateGenerator"]
+__all__ = ["UpdateBatch", "UpdateEvent", "UpdateGenerator"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,16 @@ class UpdateBatch:
     @property
     def delete_count(self) -> int:
         return len(self.delete_tids)
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One arrival of a Poisson update stream: when it lands and what it carries."""
+
+    #: Seconds since the start of the stream (cumulative exponential gaps).
+    arrival: float
+    #: The update ΔD of this arrival.
+    batch: UpdateBatch
 
 
 class UpdateGenerator:
@@ -111,3 +121,67 @@ class UpdateGenerator:
             live |= set(range(start, start + batch.insert_count))
             workload.append(batch)
         return workload
+
+    def poisson_stream(
+        self,
+        existing_tids: Sequence[int],
+        rate: float,
+        events: int,
+        ops_per_event: int = 1,
+        insert_fraction: float = 0.5,
+        noise_percent: float = 0.0,
+    ) -> Iterator[UpdateEvent]:
+        """A Poisson arrival process of small update batches over a live table.
+
+        The sustained-throughput setting (fig. 11 and the quality service's
+        tests) needs an *open* workload: updates arriving at a target
+        ``rate`` (events per second, exponential inter-arrival gaps) rather
+        than one big batch.  Each event carries ``ops_per_event`` operations,
+        each an insertion with probability ``insert_fraction`` and a
+        deletion of a live tuple otherwise (an event against an empty table
+        falls back to insertions, so the stream never stalls).
+
+        Tid tracking follows the same discipline as :meth:`make_workload` —
+        deletions are applied to the live population first, then insertions
+        take fresh ``max(live) + 1`` identifiers, so tids may be *reused*
+        after a deletion exactly like every backend's storage layer reuses
+        them.  That makes one stream replayable against any backend (and
+        against the service's coalescer) for equivalence and throughput
+        runs.  Everything — arrival gaps, op mix, deletion targets, inserted
+        rows — draws from this generator's seeded RNG, so two generators
+        built with the same seed yield identical streams.
+
+        Yields :class:`UpdateEvent` lazily; materialise with ``list(...)``
+        when the driver needs the whole schedule up front.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if events < 0:
+            raise ValueError(f"events must be >= 0, got {events}")
+        if ops_per_event < 1:
+            raise ValueError(f"ops_per_event must be >= 1, got {ops_per_event}")
+        if not 0.0 <= insert_fraction <= 1.0:
+            raise ValueError(
+                f"insert_fraction must be in [0, 1], got {insert_fraction}"
+            )
+        live = set(int(tid) for tid in existing_tids)
+        clock = 0.0
+        for _ in range(events):
+            clock += self.rng.expovariate(rate)
+            inserts = 0
+            delete_pool = sorted(live)
+            delete_tids: list[int] = []
+            for _ in range(ops_per_event):
+                if delete_pool and self.rng.random() >= insert_fraction:
+                    victim = delete_pool.pop(self.rng.randrange(len(delete_pool)))
+                    delete_tids.append(victim)
+                else:
+                    inserts += 1
+            rows = tuple(self.generator.generate_rows(inserts, noise_percent))
+            batch = UpdateBatch(
+                insert_rows=rows, delete_tids=tuple(sorted(delete_tids))
+            )
+            live -= set(batch.delete_tids)
+            start = (max(live) if live else 0) + 1
+            live |= set(range(start, start + batch.insert_count))
+            yield UpdateEvent(arrival=clock, batch=batch)

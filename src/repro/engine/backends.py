@@ -167,6 +167,35 @@ class DetectorBackend(ABC):
             f"backend {self.name!r} does not support incremental updates"
         )
 
+    def incremental_update_many(
+        self,
+        batches: Sequence[
+            tuple[Sequence[int], Sequence[Mapping[str, Value]], Sequence[int] | None]
+        ],
+    ) -> ViolationSet:
+        """Apply a sequence of updates, maintaining violations throughout.
+
+        ``batches`` is an ordered sequence of ``(delete_tids, insert_rows,
+        insert_tids)`` triples with the same per-batch semantics as
+        :meth:`incremental_update`; the returned violation set describes the
+        state after the *last* batch (for an empty sequence: the current
+        maintained state).  The default replays the batches one at a time —
+        semantically the reference behaviour every override must match.
+        Backends with a fan-out path override it to *pipeline* the whole
+        sequence (the sharded backend routes batch ``N+1`` while its lanes
+        are still chewing batch ``N``), which must stay bit-exact with this
+        sequential replay.
+        """
+        violations: ViolationSet | None = None
+        for delete_tids, insert_rows, insert_tids in batches:
+            violations = self.incremental_update(
+                delete_tids, insert_rows, insert_tids=insert_tids
+            )
+        if violations is None:
+            self.ensure_ready()
+            violations = self.detect()
+        return violations
+
     def ensure_ready(self) -> None:
         """Bring any lazily initialised detection state up to date.
 

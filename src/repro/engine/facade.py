@@ -216,25 +216,7 @@ class DataQualityEngine:
         :class:`~repro.parallel.ShardedBackend`); first-time shard
         bootstrapping happens in ``ensure_ready`` outside the timed region.
         """
-        deletes, inserts = list(delete_tids), list(insert_rows)
-        if delta is not None:
-            if isinstance(delta, Mapping):
-                unknown = set(delta) - {"delete_tids", "insert_rows"}
-                if unknown:
-                    raise EngineError(
-                        f"unrecognized delta keys {sorted(unknown)}; "
-                        "expected 'delete_tids' and/or 'insert_rows'"
-                    )
-                deletes = list(delta.get("delete_tids", ())) + deletes
-                inserts = list(delta.get("insert_rows", ())) + inserts
-            elif hasattr(delta, "delete_tids") or hasattr(delta, "insert_rows"):
-                deletes = list(getattr(delta, "delete_tids", ())) + deletes
-                inserts = list(getattr(delta, "insert_rows", ())) + inserts
-            else:
-                raise EngineError(
-                    "delta must expose 'insert_rows' / 'delete_tids' "
-                    f"(got {type(delta).__name__})"
-                )
+        deletes, inserts = self._normalize_delta(delta, delete_tids, insert_rows)
 
         if self.backend.supports_incremental:
             # The paper assumes vio(D) is known before the update arrives, so
@@ -264,6 +246,80 @@ class DataQualityEngine:
             apply_seconds=apply_seconds,
             incremental=incremental,
             per_constraint=self.backend.breakdown() if with_breakdown else None,
+        )
+        self._last_detection = result
+        return result
+
+    @staticmethod
+    def _normalize_delta(
+        delta: Any,
+        delete_tids: Sequence[int] = (),
+        insert_rows: Sequence[Mapping[str, Value]] = (),
+    ) -> tuple[list[int], list[Mapping[str, Value]]]:
+        """``(delete_tids, insert_rows)`` of a delta in any accepted shape."""
+        deletes, inserts = list(delete_tids), list(insert_rows)
+        if delta is not None:
+            if isinstance(delta, Mapping):
+                unknown = set(delta) - {"delete_tids", "insert_rows"}
+                if unknown:
+                    raise EngineError(
+                        f"unrecognized delta keys {sorted(unknown)}; "
+                        "expected 'delete_tids' and/or 'insert_rows'"
+                    )
+                deletes = list(delta.get("delete_tids", ())) + deletes
+                inserts = list(delta.get("insert_rows", ())) + inserts
+            elif hasattr(delta, "delete_tids") or hasattr(delta, "insert_rows"):
+                deletes = list(getattr(delta, "delete_tids", ())) + deletes
+                inserts = list(getattr(delta, "insert_rows", ())) + inserts
+            else:
+                raise EngineError(
+                    "delta must expose 'insert_rows' / 'delete_tids' "
+                    f"(got {type(delta).__name__})"
+                )
+        return deletes, inserts
+
+    def apply_updates(self, deltas: Iterable[Any]) -> DetectionResult:
+        """Apply an ordered sequence of updates in one pipelined call.
+
+        Each element of ``deltas`` is anything :meth:`apply_update` accepts
+        as a delta (an :class:`~repro.datagen.updates.UpdateBatch`, a
+        mapping with ``delete_tids`` / ``insert_rows`` keys, ...); batches
+        are applied in order with the single-call semantics — the returned
+        result describes the state after the last one.  On an
+        incremental-capable backend the whole sequence goes through the
+        backend's ``incremental_update_many``, which the sharded backend
+        pipelines: batch ``N+1`` is routed while the shard lanes are still
+        processing batch ``N``, with one coordinator barrier at the end
+        instead of one per call.  Other backends fold the sequence into a
+        single storage delta and re-detect once.
+        """
+        batches = [self._normalize_delta(delta) for delta in deltas]
+        if self.backend.supports_incremental:
+            self.backend.ensure_ready()
+            started = time.perf_counter()
+            violations = self.backend.incremental_update_many(
+                [(deletes, inserts, None) for deletes, inserts in batches]
+            )
+            detect_seconds = time.perf_counter() - started
+            apply_seconds, incremental = 0.0, True
+        else:
+            # No maintained state to keep exact per batch — apply every
+            # batch to storage, then detect once over the final data.
+            started = time.perf_counter()
+            for deletes, inserts in batches:
+                self.backend.apply_delta(deletes, inserts)
+            applied = time.perf_counter()
+            violations = self.backend.detect()
+            detect_seconds = time.perf_counter() - applied
+            apply_seconds, incremental = applied - started, False
+
+        result = DetectionResult.from_violations(
+            backend=self.backend_name,
+            violations=violations,
+            tuple_count=self.backend.count(),
+            seconds=detect_seconds,
+            apply_seconds=apply_seconds,
+            incremental=incremental,
         )
         self._last_detection = result
         return result

@@ -394,10 +394,13 @@ class ShardedBackend(InMemoryRelationBackend):
     Attributes
     ----------
     last_update_trace:
-        Diagnostics of the most recent :meth:`incremental_update`:
+        Diagnostics of the most recent :meth:`incremental_update` /
+        :meth:`incremental_update_many` call:
         ``shards_total`` / ``shards_touched`` (states live vs. tasked this
         update), ``routed_deletes`` / ``routed_inserts`` (delta tuples
         routed — each exactly once under the single-pass plan),
+        ``batches`` / ``lane_tasks`` (pipelined batch count and the lane
+        tasks they fanned out to),
         ``summary_groups_touched`` (merged groups the update's summary
         deltas landed in), ``readback_tids`` (flags read back across the
         touched shards — bounded by their maintained violation sets, never
@@ -620,22 +623,35 @@ class ShardedBackend(InMemoryRelationBackend):
             for shard in range(self.workers)
         ]
 
-    def _run_in_lanes(self, fn: Callable, tasks: list[tuple[int, object]]) -> list:
-        """Run ``(lane, task)`` pairs on their pinned lanes and gather results.
+    def _submit_to_lanes(
+        self, fn: Callable, tasks: list[tuple[int, object]]
+    ) -> list[Callable[[], object]]:
+        """Dispatch ``(lane, task)`` pairs to their pinned lanes without waiting.
 
-        Serial execution (``executor="serial"`` or a single worker) runs
-        inline — shard states then live in this process's module dict.
+        Returns one result thunk per task, in submission order — calling a
+        thunk blocks until its task is done.  This is the pipelining
+        primitive: a caller may submit several waves of tasks back to back
+        and only then collect, so lane ``i`` starts wave ``N+1`` the moment
+        it finishes its slice of wave ``N`` (tasks submitted to one lane run
+        in order).  Serial execution (``executor="serial"`` or a single
+        worker) runs inline at submission time — shard states then live in
+        this process's module dict — which is the degenerate pipeline.
         Otherwise each lane is a single-worker pool created on first use and
         kept alive until :meth:`close`, so the states it holds survive
-        between calls; tasks submitted to one lane run in order.
+        between calls.
         """
         if self.executor == "serial" or self.workers <= 1:
-            return [fn(task) for _, task in tasks]
+            results = [fn(task) for _, task in tasks]
+            return [lambda result=result: result for result in results]
         if self._lanes is None:
             pool_class = ThreadPoolExecutor if self.executor == "thread" else ProcessPoolExecutor
             self._lanes = [pool_class(max_workers=1) for _ in range(self.workers)]
         futures = [self._lanes[lane].submit(fn, task) for lane, task in tasks]
-        return [future.result() for future in futures]
+        return [future.result for future in futures]
+
+    def _run_in_lanes(self, fn: Callable, tasks: list[tuple[int, object]]) -> list:
+        """Run ``(lane, task)`` pairs on their pinned lanes and gather results."""
+        return [collect() for collect in self._submit_to_lanes(fn, tasks)]
 
     def _ensure_shard_states(self) -> bool:
         """Bootstrap the persistent per-shard INCDETECT states once.
@@ -779,43 +795,84 @@ class ShardedBackend(InMemoryRelationBackend):
         caught-and-retried failure may therefore duplicate the inserted
         rows under fresh tids, like any retried ``apply_delta``.)
         """
-        if insert_tids is not None and len(insert_tids) != len(insert_rows):
-            raise EngineError("insert_tids and insert_rows must have the same length")
+        return self.incremental_update_many([(delete_tids, insert_rows, insert_tids)])
+
+    def incremental_update_many(
+        self,
+        batches: Sequence[
+            tuple[Sequence[int], Sequence[Mapping[str, Value]], Sequence[int] | None]
+        ],
+    ) -> ViolationSet:
+        """Pipelined sharded INCDETECT over an ordered batch sequence.
+
+        Semantically a sequential replay of :meth:`incremental_update` per
+        batch, but without the per-call coordinator round-trip: every batch
+        is routed and its lane tasks *submitted* immediately (lanes process
+        their tasks in submission order, so shard-local update order is
+        preserved), and the coordinator waits at a single barrier after the
+        last batch.  While lane ``i`` chews batch ``N``'s slice, the
+        coordinator is already resolving, applying and routing batch
+        ``N+1`` — the delta-routing single-point becomes a pipeline stage
+        instead of a serial bottleneck.
+
+        The merge stays exact: each lane result carries the shard's *full*
+        maintained flag set after its task, so replacement-merging results
+        in submission order leaves exactly the last (= final) contribution
+        per shard; the signed summary deltas are folded in the same order
+        (per-lane order is what correctness needs — deltas of different
+        shards commute over the counted multisets).  Failure semantics are
+        those of :meth:`incremental_update`: any lane failure invalidates
+        the shard states, while coordinator storage keeps every batch that
+        was applied to it.
+        """
         bootstrap = self._ensure_shard_states()
+        for _, insert_rows, insert_tids in batches:
+            if insert_tids is not None and len(insert_tids) != len(insert_rows):
+                raise EngineError("insert_tids and insert_rows must have the same length")
+        total_deletes = 0
+        total_inserts = 0
+        touched_shards: set[int] = set()
         try:
-            # --- apply ΔD⁻ to coordinator storage, resolving rows for routing ---
-            delete_pairs: list[tuple[int, dict[str, str]]] = []
-            for tid in delete_tids:
-                stored = self._relation.get(int(tid))
-                if stored is not None:
-                    delete_pairs.append((int(tid), stored.as_dict()))
-            for tid, _ in delete_pairs:
-                self._relation.delete(tid)
+            pending: list[Callable[[], object]] = []
+            for delete_tids, insert_rows, insert_tids in batches:
+                # --- apply ΔD⁻ to coordinator storage, resolving rows for routing ---
+                delete_pairs: list[tuple[int, dict[str, str]]] = []
+                for tid in delete_tids:
+                    stored = self._relation.get(int(tid))
+                    if stored is not None:
+                        delete_pairs.append((int(tid), stored.as_dict()))
+                for tid, _ in delete_pairs:
+                    self._relation.delete(tid)
 
-            # --- apply ΔD⁺, assigning global tids like every other backend ---
-            if insert_tids is not None:
-                assigned = [int(tid) for tid in insert_tids]
-            else:
-                start = self._max_tid() + 1
-                assigned = list(range(start, start + len(insert_rows)))
-            insert_pairs = [
-                (tid, self._stringified(row)) for tid, row in zip(assigned, insert_rows)
-            ]
-            for tid, row in insert_pairs:
-                self._relation.insert_with_tid(tid, row)
+                # --- apply ΔD⁺, assigning global tids like every other backend ---
+                if insert_tids is not None:
+                    assigned = [int(tid) for tid in insert_tids]
+                else:
+                    start = self._max_tid() + 1
+                    assigned = list(range(start, start + len(insert_rows)))
+                insert_pairs = [
+                    (tid, self._stringified(row)) for tid, row in zip(assigned, insert_rows)
+                ]
+                for tid, row in insert_pairs:
+                    self._relation.insert_with_tid(tid, row)
+                total_deletes += len(delete_pairs)
+                total_inserts += len(insert_pairs)
 
-            # --- route the delta and task only the touched shards ---
-            if not self._shard_layout or (not delete_pairs and not insert_pairs):
-                routed = {}
-            elif self.workers <= 1:
-                routed = {0: (delete_pairs, insert_pairs)}
-            else:
-                routed = route_delta(self._plan, self.workers, delete_pairs, insert_pairs)
-            tasks: list[tuple[int, _UpdateTask]] = []
-            for shard_index, (shard_deletes, shard_inserts) in sorted(routed.items()):
-                key = self._shard_layout[shard_index]
-                tasks.append((shard_index, (key, shard_deletes, shard_inserts)))
-            results = self._run_in_lanes(_shard_update, tasks)
+                # --- route the batch and task only the touched shards ---
+                if not self._shard_layout or (not delete_pairs and not insert_pairs):
+                    routed = {}
+                elif self.workers <= 1:
+                    routed = {0: (delete_pairs, insert_pairs)}
+                else:
+                    routed = route_delta(self._plan, self.workers, delete_pairs, insert_pairs)
+                touched_shards.update(routed)
+                tasks: list[tuple[int, _UpdateTask]] = []
+                for shard_index, (shard_deletes, shard_inserts) in sorted(routed.items()):
+                    key = self._shard_layout[shard_index]
+                    tasks.append((shard_index, (key, shard_deletes, shard_inserts)))
+                pending.extend(self._submit_to_lanes(_shard_update, tasks))
+            # --- the one barrier: collect every batch's lane results ---
+            results = [collect() for collect in pending]
         except Exception:
             self._invalidate_shard_states()
             self._last_violations = None
@@ -846,10 +903,12 @@ class ShardedBackend(InMemoryRelationBackend):
         self.last_update_trace = {
             "mode": "incremental",
             "bootstrap": bootstrap,
+            "batches": len(batches),
+            "lane_tasks": len(results),
             "shards_total": len(self._shard_layout),
-            "shards_touched": len(routed),
-            "routed_deletes": len(delete_pairs),
-            "routed_inserts": len(insert_pairs),
+            "shards_touched": len(touched_shards),
+            "routed_deletes": total_deletes,
+            "routed_inserts": total_inserts,
             "summary_groups_touched": groups_touched,
             "readback_tids": readback_tids,
         }

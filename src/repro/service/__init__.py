@@ -1,0 +1,35 @@
+"""The always-on quality service (streaming front end over the engine).
+
+This package keeps a :class:`~repro.engine.DataQualityEngine` running as a
+long-lived subsystem: concurrent clients stream updates in, the violation
+set vio(D) is maintained continuously through the sharded INCDETECT lanes,
+and queries answer from the live merged state without re-detection.
+
+* :class:`~repro.service.service.QualityService` — the asyncio service
+  core: admission control, delta coalescing, the single pump shipping
+  pipelined batches to the lanes, and ``detect`` / ``breakdown`` /
+  ``repair`` / ``stats`` queries with read-your-writes barriers;
+* :class:`~repro.service.coalescer.DeltaCoalescer` — nets out same-tid
+  churn per window (insert→delete cancels; delete + reinsert of one
+  identifier folds to a value update) while preserving the backend's tid
+  discipline bit-exactly;
+* :class:`~repro.service.admission.AdmissionController` — bounds admitted
+  but unshipped operations, parking fast producers in back-pressure;
+* :class:`~repro.service.server.QualityServer` /
+  :class:`~repro.service.server.QualityClient` — a thin TCP JSON-lines
+  skin over the async API.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.coalescer import DeltaCoalescer
+from repro.service.server import QualityClient, QualityServer
+from repro.service.service import QualityService, SubmitReceipt
+
+__all__ = [
+    "AdmissionController",
+    "DeltaCoalescer",
+    "QualityClient",
+    "QualityServer",
+    "QualityService",
+    "SubmitReceipt",
+]

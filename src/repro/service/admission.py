@@ -1,0 +1,77 @@
+"""Admission control: bounded queue depth with producer back-pressure.
+
+The always-on service decouples producers (client submits) from the
+consumer (the pump shipping coalesced deltas to the sharded lanes).  An
+unbounded gap between them lets a fast producer grow the pending window —
+and the coordinator's memory — without limit; :class:`AdmissionController`
+bounds it.  Producers *acquire* capacity for each raw operation before the
+coalescer accepts it and the pump *releases* it once the operation's window
+has been shipped, so a producer racing ahead of the lanes parks inside
+``acquire`` (asyncio back-pressure, no busy-waiting) until the pump catches
+up.
+
+One deliberate exception: a submission larger than the whole capacity is
+admitted when the queue is empty instead of deadlocking — the bound exists
+to limit the producer/consumer gap, not to reject oversized batches (the
+coalescer's flush chunking caps what actually ships to a lane per batch).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """An asyncio counting gate over pending raw operations.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum raw operations admitted but not yet shipped.  Must be
+        positive.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"admission capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._pending = 0
+        self._condition = asyncio.Condition()
+        #: Times a producer had to wait for capacity (the back-pressure count).
+        self.waits = 0
+
+    @property
+    def pending(self) -> int:
+        """Raw operations currently admitted and awaiting shipment."""
+        return self._pending
+
+    def _admissible(self, ops: int) -> bool:
+        return self._pending == 0 or self._pending + ops <= self.capacity
+
+    async def acquire(self, ops: int) -> None:
+        """Admit ``ops`` raw operations, waiting for capacity if needed."""
+        if ops <= 0:
+            return
+        async with self._condition:
+            if not self._admissible(ops):
+                self.waits += 1
+                await self._condition.wait_for(lambda: self._admissible(ops))
+            self._pending += ops
+
+    async def release(self, ops: int) -> None:
+        """Return ``ops`` operations' capacity after their window shipped."""
+        if ops <= 0:
+            return
+        async with self._condition:
+            self._pending = max(0, self._pending - ops)
+            self._condition.notify_all()
+
+    def stats(self) -> dict[str, int]:
+        """Queue-depth bound, current depth and back-pressure wait count."""
+        return {
+            "capacity": self.capacity,
+            "pending": self._pending,
+            "waits": self.waits,
+        }

@@ -1,0 +1,169 @@
+"""Delta coalescing: merge same-tid churn before it reaches the lanes.
+
+A live update stream is full of short-lived work: a tuple inserted and
+deleted within the same window, a delete immediately followed by a
+re-insert of the freed identifier (the ``max(tid) + 1`` discipline reuses
+freed maxima — the tid-reuse commute class the summary store's counted
+witnesses were built for).  Shipping each raw event to the sharded lanes
+pays routing and flag maintenance for work that cancels out;
+:class:`DeltaCoalescer` nets it out at the coordinator instead:
+
+* **insert → delete cancels**: a tuple born and killed inside the window
+  never ships at all;
+* **delete + insert of one tid folds**: when a freed identifier is reused
+  inside the window, the old tuple's delete and the new tuple's insert
+  travel in the *same* flushed batch — INCDETECT applies ΔD⁻ before ΔD⁺,
+  so the pair lands as a single value update of that identifier;
+* everything else accumulates into one pending delta per window.
+
+Correctness rests on two invariants, both enforced here:
+
+1. **tid assignment is the backend's.**  :meth:`add` assigns insert
+   identifiers against the live tid population exactly like every
+   backend's storage layer does (deletions first, then fresh
+   ``max(live) + 1`` identifiers), so the assignment a client observes is
+   identical to a single-threaded replay of the raw stream — a cancelled
+   insert frees its identifier for the next insert to take, exactly as the
+   replay would.
+2. **a flush reproduces the replay's relation.**  Every pending delete
+   references a tuple that existed before the window, every pending insert
+   is new, so shipping all deletes before all inserts (the chunk order
+   :meth:`flush` emits) drives the backend to the same final relation —
+   and the violation flags are a function of the relation, so the
+   maintained state after the flush is bit-exact with the raw replay.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.schema import Value
+
+__all__ = ["DeltaCoalescer"]
+
+
+class DeltaCoalescer:
+    """Accumulates raw update events into one net delta per window.
+
+    Parameters
+    ----------
+    existing_tids:
+        The live tuple identifiers of the backing store at window start —
+        the population deletes are validated against and insert identifiers
+        are assigned over.
+    """
+
+    def __init__(self, existing_tids: Sequence[int] = ()):
+        self._live = set(int(tid) for tid in existing_tids)
+        self._max_live = max(self._live) if self._live else 0
+        self._max_stale = False
+        #: Pre-window tuples deleted inside the window.
+        self._deletes: set[int] = set()
+        #: Tuples born inside the window, still alive: tid -> row.
+        self._inserts: dict[int, Mapping[str, Value]] = {}
+        # --- lifetime counters (survive flushes; read by service stats) ---
+        self.raw_ops = 0
+        self.cancelled_inserts = 0
+        self.skipped_deletes = 0
+        self.folded_updates = 0
+        self.flushed_ops = 0
+
+    # ------------------------------------------------------------------
+    # Accumulation
+    # ------------------------------------------------------------------
+    def _current_max(self) -> int:
+        if self._max_stale:
+            self._max_live = max(self._live) if self._live else 0
+            self._max_stale = False
+        return self._max_live
+
+    def add(
+        self,
+        delete_tids: Sequence[int] = (),
+        insert_rows: Sequence[Mapping[str, Value]] = (),
+    ) -> list[int]:
+        """Fold one raw update event in; returns the assigned insert tids.
+
+        Deletions are processed before insertions (the ΔD⁻ / ΔD⁺ order of
+        every backend); a delete of an identifier that is not live is
+        silently skipped, matching backend behaviour.
+        """
+        self.raw_ops += len(delete_tids) + len(insert_rows)
+        for tid in delete_tids:
+            tid = int(tid)
+            if tid in self._inserts:
+                # Born and killed inside the window: never ships.
+                del self._inserts[tid]
+                self._live.discard(tid)
+                self.cancelled_inserts += 1
+            elif tid in self._live:
+                self._deletes.add(tid)
+                self._live.discard(tid)
+            else:
+                self.skipped_deletes += 1
+                continue
+            if tid == self._max_live:
+                self._max_stale = True
+        assigned: list[int] = []
+        if insert_rows:
+            start = self._current_max() + 1
+            for offset, row in enumerate(insert_rows):
+                tid = start + offset
+                self._inserts[tid] = row
+                self._live.add(tid)
+                assigned.append(tid)
+            self._max_live = assigned[-1]
+            self._max_stale = False
+        return assigned
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    @property
+    def pending_ops(self) -> int:
+        """Net operations currently pending (deletes + surviving inserts)."""
+        return len(self._deletes) + len(self._inserts)
+
+    def flush(
+        self, max_batch: int | None = None
+    ) -> list[tuple[list[int], list[Mapping[str, Value]], list[int] | None]]:
+        """Drain the window into routed-delta batches, deletes first.
+
+        Returns ``(delete_tids, insert_rows, insert_tids)`` triples ready
+        for ``incremental_update_many``; insert identifiers are pinned so
+        the backend lands them exactly where the raw replay would have.
+        ``max_batch`` caps the operations per batch (admission control's
+        routed-batch bound); all delete chunks precede all insert chunks so
+        a reused identifier's delete is always applied before its insert.
+        """
+        deletes = sorted(self._deletes)
+        inserts = sorted(self._inserts.items())
+        self.folded_updates += sum(1 for tid, _ in inserts if tid in self._deletes)
+        self.flushed_ops += len(deletes) + len(inserts)
+        self._deletes = set()
+        self._inserts = {}
+        size = max_batch if max_batch and max_batch > 0 else None
+        batches: list[tuple[list[int], list[Mapping[str, Value]], list[int] | None]] = []
+        if size is None:
+            if deletes or inserts:
+                batches.append(
+                    (deletes, [row for _, row in inserts], [tid for tid, _ in inserts])
+                )
+            return batches
+        for start in range(0, len(deletes), size):
+            batches.append((deletes[start : start + size], [], None))
+        for start in range(0, len(inserts), size):
+            chunk = inserts[start : start + size]
+            batches.append(([], [row for _, row in chunk], [tid for tid, _ in chunk]))
+        return batches
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime coalescing counters (raw vs shipped work)."""
+        return {
+            "raw_ops": self.raw_ops,
+            "flushed_ops": self.flushed_ops,
+            "pending_ops": self.pending_ops,
+            "cancelled_inserts": self.cancelled_inserts,
+            "folded_updates": self.folded_updates,
+            "skipped_deletes": self.skipped_deletes,
+        }

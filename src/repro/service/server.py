@@ -1,0 +1,222 @@
+"""TCP front end: JSON-lines requests over an asyncio stream server.
+
+A thin network skin over :class:`~repro.service.service.QualityService` —
+one JSON object per line in, one per line out, connections multiplexed on
+the service's single event loop.  The protocol mirrors the async API:
+
+========== =============================================== =================
+``op``     request fields                                  reply payload
+========== =============================================== =================
+update     ``delete_tids`` (list), ``insert_rows`` (list)  ``tids`` (assigned)
+detect     —                                               ``violations``
+breakdown  —                                               ``breakdown``
+repair     ``max_rounds`` (optional)                       ``repair`` summary
+stats      —                                               ``stats``
+ping       —                                               ``pong: true``
+========== =============================================== =================
+
+Every reply carries ``"ok": true`` or ``"ok": false`` plus ``"error"``; a
+malformed line gets an error reply instead of killing the connection.  An
+``update`` reply is sent only after the submission's window has shipped, so
+a client's *next* request is guaranteed to observe its own writes.
+
+:class:`QualityClient` is the matching blocking-free client coroutine
+wrapper; the service smoke test and any out-of-process producer use it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.service.service import QualityService
+
+__all__ = ["QualityServer", "QualityClient"]
+
+
+class QualityServer:
+    """Serve a :class:`QualityService` over TCP JSON-lines.
+
+    Parameters
+    ----------
+    service:
+        A **started** quality service; the server does not manage its
+        lifecycle (stopping the server leaves the service running).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port, reported by
+        :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, service: QualityService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.base_events.Server | None = None
+        #: Connections accepted / requests served, for the smoke test.
+        self.connections = 0
+        self.requests = 0
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "QualityServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                reply = await self._dispatch(line)
+                writer.write(json.dumps(reply).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict[str, Any]:
+        self.requests += 1
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            op = request.get("op")
+            if op == "update":
+                receipt = await self.service.submit(
+                    request.get("delete_tids", ()), request.get("insert_rows", ())
+                )
+                await receipt.wait_applied()
+                return {"ok": True, "tids": receipt.tids}
+            if op == "detect":
+                return {"ok": True, "violations": await self.service.detect()}
+            if op == "breakdown":
+                breakdown = await self.service.breakdown()
+                # JSON keys are strings; keep CIDs numeric on the client side.
+                return {
+                    "ok": True,
+                    "breakdown": {str(cid): stats for cid, stats in breakdown.items()},
+                }
+            if op == "repair":
+                result = await self.service.repair(
+                    max_rounds=request.get("max_rounds", 10)
+                )
+                return {
+                    "ok": True,
+                    "repair": {
+                        "rounds": result.rounds,
+                        "cells_changed": result.cells_changed,
+                        "cost": result.cost,
+                        "clean": result.clean,
+                    },
+                }
+            if op == "stats":
+                return {"ok": True, "stats": await self.service.stats()}
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            raise ValueError(f"unknown op {op!r}")
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+class QualityClient:
+    """A JSON-lines client coroutine for :class:`QualityServer`.
+
+    One TCP connection, requests strictly pipelined (one in flight at a
+    time — the reply order is the request order, so this client keeps it
+    simple).  Usable as an async context manager.
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is None:
+            return
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._reader = self._writer = None
+
+    async def __aenter__(self) -> "QualityClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request and await its reply; raises on ``ok: false``."""
+        assert self._reader is not None and self._writer is not None, "not connected"
+        payload = {"op": op, **fields}
+        self._writer.write(json.dumps(payload).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        reply = json.loads(line)
+        if not reply.get("ok"):
+            raise RuntimeError(reply.get("error", "request failed"))
+        return reply
+
+    async def update(
+        self,
+        delete_tids: Sequence[int] = (),
+        insert_rows: Sequence[Mapping[str, Any]] = (),
+    ) -> list[int]:
+        """Ship one update event; returns the assigned insert tids once applied."""
+        reply = await self.request(
+            "update", delete_tids=list(delete_tids), insert_rows=list(insert_rows)
+        )
+        return reply["tids"]
+
+    async def detect(self) -> dict[str, int]:
+        return (await self.request("detect"))["violations"]
+
+    async def breakdown(self) -> dict[int, dict[str, int]]:
+        reply = await self.request("breakdown")
+        return {int(cid): stats for cid, stats in reply["breakdown"].items()}
+
+    async def repair(self, max_rounds: int = 10) -> dict[str, Any]:
+        return (await self.request("repair", max_rounds=max_rounds))["repair"]
+
+    async def stats(self) -> dict[str, Any]:
+        return (await self.request("stats"))["stats"]

@@ -157,3 +157,70 @@ class TestMakeWorkload:
             range(1, 51), batches=3, insert_count=5, delete_count=5
         )
         assert first == second
+
+
+class TestPoissonStream:
+    def _stream(self, seed=30, **overrides):
+        options = dict(rate=50.0, events=40, ops_per_event=2, insert_fraction=0.5)
+        options.update(overrides)
+        updates = UpdateGenerator(DatasetGenerator(seed=seed), seed=seed + 1)
+        return list(updates.poisson_stream(range(1, 61), **options))
+
+    def test_arrivals_are_strictly_increasing(self):
+        events = self._stream()
+        assert len(events) == 40
+        arrivals = [event.arrival for event in events]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+
+    def test_rate_controls_the_mean_gap(self):
+        """The mean inter-arrival gap of a long stream tracks 1/rate."""
+        events = self._stream(events=4000, rate=100.0, ops_per_event=1)
+        mean_gap = events[-1].arrival / len(events)
+        assert 0.8 / 100.0 < mean_gap < 1.2 / 100.0
+
+    def test_tid_discipline_matches_backend_replay(self):
+        """Deletions always target live tuples; reused tids are legitimate."""
+        from repro.engine import DataQualityEngine
+
+        rows = DatasetGenerator(seed=31).generate_rows(60, 5.0)
+        events = self._stream(seed=31, insert_fraction=0.4)
+        engine = DataQualityEngine(cust_ext_schema(), paper_workload(), backend="incremental")
+        engine.load(rows)
+        engine.detect()
+        for event in events:
+            assert set(event.batch.delete_tids) <= set(engine.tids())
+            engine.apply_update(event.batch)
+        engine.close()
+
+    def test_empty_table_falls_back_to_insertions(self):
+        updates = UpdateGenerator(DatasetGenerator(seed=32), seed=33)
+        events = list(
+            updates.poisson_stream([], rate=10.0, events=5, insert_fraction=0.0)
+        )
+        assert events[0].batch.insert_count >= 1  # nothing to delete yet
+
+    def test_insert_fraction_extremes(self):
+        all_inserts = self._stream(insert_fraction=1.0)
+        assert all(not e.batch.delete_tids for e in all_inserts)
+        all_deletes = self._stream(insert_fraction=0.0, events=10, ops_per_event=1)
+        assert all(e.batch.insert_count == 0 for e in all_deletes)
+
+    def test_determinism_and_laziness(self):
+        first = self._stream(seed=34)
+        second = self._stream(seed=34)
+        assert first == second
+        updates = UpdateGenerator(DatasetGenerator(seed=35), seed=36)
+        stream = updates.poisson_stream(range(1, 11), rate=5.0, events=3)
+        assert iter(stream) is stream  # a lazy generator, not a list
+
+    def test_parameter_validation(self):
+        updates = UpdateGenerator(DatasetGenerator(seed=37), seed=38)
+        with pytest.raises(ValueError):
+            next(updates.poisson_stream([], rate=0.0, events=1))
+        with pytest.raises(ValueError):
+            next(updates.poisson_stream([], rate=1.0, events=-1))
+        with pytest.raises(ValueError):
+            next(updates.poisson_stream([], rate=1.0, events=1, ops_per_event=0))
+        with pytest.raises(ValueError):
+            next(updates.poisson_stream([], rate=1.0, events=1, insert_fraction=1.5))

@@ -1,0 +1,159 @@
+"""Pipelined multi-batch updates: ``incremental_update_many`` exactness.
+
+The service's pump ships whole windows of routed batches in one call:
+``incremental_update_many`` submits batch ``N+1``'s shard tasks while the
+lanes still hold batch ``N``, with a single coordinator barrier at the end.
+Single-worker lanes process their queue in submission order, so the
+pipelined call must land the *same* maintained state as applying the
+batches one ``incremental_update`` at a time — these tests pin that down
+per executor, plus the facade's ``apply_updates`` on every backend kind.
+"""
+
+import pytest
+
+from repro.core import ECFD, ECFDSet
+from repro.core.schema import cust_ext_schema
+from repro.datagen.generator import DatasetGenerator
+from repro.datagen.updates import UpdateGenerator
+from repro.datagen.workload import paper_workload
+from repro.engine import DataQualityEngine
+
+EXECUTORS = ("serial", "thread", "process")
+BASE_SIZE = 1_200
+BATCHES = 5
+
+
+@pytest.fixture(scope="module")
+def ext_schema():
+    return cust_ext_schema()
+
+
+@pytest.fixture(scope="module")
+def sigma(ext_schema):
+    """Paper workload plus an empty-LHS rider so the summary-merge path
+    (cross-shard group deltas) is exercised by every pipelined batch."""
+    phi = ECFD(ext_schema, lhs=[], rhs=["CT"], tableau=[({}, {"CT": "_"})])
+    return ECFDSet(list(paper_workload()) + [phi])
+
+
+@pytest.fixture(scope="module")
+def base_rows():
+    return DatasetGenerator(seed=12).generate_rows(BASE_SIZE, 6.0)
+
+
+@pytest.fixture(scope="module")
+def update_workload(base_rows):
+    updates = UpdateGenerator(DatasetGenerator(seed=21), seed=2)
+    return updates.make_workload(
+        range(1, len(base_rows) + 1),
+        batches=BATCHES,
+        insert_count=60,
+        delete_count=45,
+        noise_percent=12.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential_reference(ext_schema, sigma, base_rows, update_workload):
+    """Final state after one-batch-at-a-time single-threaded application."""
+    with DataQualityEngine(ext_schema, sigma, backend="incremental") as engine:
+        engine.load(base_rows)
+        engine.detect()
+        for batch in update_workload:
+            engine.apply_update(batch)
+        flags = engine.backend.detect()
+        cells = {t.tid: t.values() for t in engine.to_relation().tuples()}
+    return flags, cells
+
+
+class TestPipelinedBatchesBitExactness:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_one_call_matches_sequential_application(
+        self, ext_schema, sigma, base_rows, update_workload, sequential_reference, executor
+    ):
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=4, executor=executor
+        )
+        try:
+            engine.load(base_rows)
+            engine.backend.ensure_ready()
+            violations = engine.backend.incremental_update_many(
+                [(b.delete_tids, b.insert_rows, None) for b in update_workload]
+            )
+            assert violations == sequential_reference[0]
+            cells = {t.tid: t.values() for t in engine.to_relation().tuples()}
+            assert cells == sequential_reference[1]
+            trace = engine.backend.last_update_trace
+            assert trace["batches"] == BATCHES
+            # Pipelining fanned out per-batch shard tasks, one barrier total.
+            assert trace["lane_tasks"] >= BATCHES
+            assert engine.backend.full_detect_count == 0
+        finally:
+            engine.close()
+
+    def test_empty_sequence_is_a_detect(self, ext_schema, sigma, base_rows):
+        with DataQualityEngine(ext_schema, sigma, backend="incremental") as engine:
+            engine.load(base_rows)
+            violations = engine.backend.incremental_update_many([])
+            assert violations == engine.backend.detect()
+
+    def test_pinned_tids_inside_a_pipeline(self, ext_schema, sigma, base_rows):
+        """Delete + reinsert under pinned identifiers across batches —
+        the coalescer's flush shape (all deletes, then pinned inserts)."""
+        with DataQualityEngine(ext_schema, sigma, backend="incremental", workers=3,
+                               executor="serial") as engine:
+            engine.load(base_rows)
+            engine.backend.ensure_ready()
+            mirror = engine.to_relation()
+            tids = [1, 2, BASE_SIZE]
+            rows = [mirror.get(tid).as_dict() for tid in tids]
+            before = engine.backend.detect()
+            engine.backend.incremental_update_many(
+                [(tids, [], None), ([], rows, tids)]
+            )
+            after = engine.backend.detect()
+            assert after == before
+            assert engine.count() == BASE_SIZE
+
+
+class TestFacadeApplyUpdates:
+    @pytest.mark.parametrize("backend", ("incremental", "batch", "naive"))
+    def test_matches_sequential_apply_update(
+        self, ext_schema, sigma, base_rows, update_workload, backend
+    ):
+        with DataQualityEngine(ext_schema, sigma, backend=backend) as reference:
+            reference.load(base_rows)
+            for batch in update_workload:
+                expected = reference.apply_update(batch)
+
+        with DataQualityEngine(ext_schema, sigma, backend=backend) as engine:
+            engine.load(base_rows)
+            result = engine.apply_updates(update_workload)
+            assert result.violations == expected.violations
+            assert result.tuple_count == expected.tuple_count
+            assert result.incremental == engine.backend.supports_incremental
+
+    def test_sharded_pipeline_through_the_facade(
+        self, ext_schema, sigma, base_rows, update_workload, sequential_reference
+    ):
+        engine = DataQualityEngine(
+            ext_schema, sigma, backend="incremental", workers=4, executor="thread"
+        )
+        try:
+            engine.load(base_rows)
+            result = engine.apply_updates(
+                [{"delete_tids": b.delete_tids, "insert_rows": b.insert_rows}
+                 for b in update_workload]
+            )
+            assert result.incremental
+            assert result.violations == sequential_reference[0]
+        finally:
+            engine.close()
+
+    def test_empty_iterable_returns_current_state(self, ext_schema, sigma, base_rows):
+        with DataQualityEngine(ext_schema, sigma, backend="incremental") as engine:
+            engine.load(base_rows)
+            baseline = engine.detect()
+            result = engine.apply_updates([])
+            assert result.violations == baseline.violations
+            assert result.tuple_count == baseline.tuple_count

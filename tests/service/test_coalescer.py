@@ -1,0 +1,210 @@
+"""Delta coalescing: same-tid churn merges, tid discipline, bit-exactness.
+
+The service's correctness anchor lives here: the violation state after any
+coalesced, batched stream must be **bit-exact** with a single-threaded
+``apply_update`` replay of the raw stream.  The randomized equivalence
+tests churn hard on purpose — high delete probability over a small live
+population forces insert→delete cancellations and delete+reinsert tid
+reuse inside every window — and compare flags *and* relation cells against
+the raw replay on every executor.
+"""
+
+import random
+
+import pytest
+
+from repro.core.schema import cust_ext_schema
+from repro.datagen.generator import DatasetGenerator
+from repro.datagen.workload import paper_workload
+from repro.engine import DataQualityEngine
+from repro.service import DeltaCoalescer
+
+SCHEMA = cust_ext_schema()
+EXECUTORS = ("serial", "thread", "process")
+
+
+class TestCoalescerUnit:
+    def test_insert_then_delete_cancels(self):
+        coalescer = DeltaCoalescer([1, 2, 3])
+        (tid,) = coalescer.add(insert_rows=[{"A": "x"}])
+        assert tid == 4
+        coalescer.add(delete_tids=[tid])
+        assert coalescer.pending_ops == 0
+        assert coalescer.flush() == []
+        assert coalescer.cancelled_inserts == 1
+
+    def test_cancelled_insert_frees_its_tid_for_reuse(self):
+        """The raw replay would reuse the freed max; the coalescer must too."""
+        coalescer = DeltaCoalescer([1, 2, 3])
+        (a,) = coalescer.add(insert_rows=[{"A": "a"}])
+        coalescer.add(delete_tids=[a])
+        (b,) = coalescer.add(insert_rows=[{"A": "b"}])
+        assert b == a == 4
+
+    def test_delete_plus_reinsert_folds_to_value_update(self):
+        """Deleting the live max and reinserting lands on the same tid."""
+        coalescer = DeltaCoalescer([1, 2, 3])
+        coalescer.add(delete_tids=[3])
+        (tid,) = coalescer.add(insert_rows=[{"A": "new"}])
+        assert tid == 3
+        batches = coalescer.flush()
+        assert batches == [([3], [{"A": "new"}], [3])]
+        assert coalescer.folded_updates == 1
+
+    def test_delete_of_unknown_tid_is_skipped(self):
+        coalescer = DeltaCoalescer([1, 2])
+        coalescer.add(delete_tids=[99])
+        assert coalescer.pending_ops == 0
+        assert coalescer.skipped_deletes == 1
+
+    def test_interior_delete_keeps_max_assignment(self):
+        coalescer = DeltaCoalescer([1, 2, 3])
+        coalescer.add(delete_tids=[1])
+        (tid,) = coalescer.add(insert_rows=[{"A": "x"}])
+        assert tid == 4  # the max is still live, 1 is not reused
+
+    def test_flush_chunks_deletes_before_inserts(self):
+        """A reused tid's delete must ship before its insert, even chunked."""
+        coalescer = DeltaCoalescer(range(1, 8))
+        coalescer.add(delete_tids=[5, 6, 7])
+        assigned = coalescer.add(insert_rows=[{"A": str(i)} for i in range(5)])
+        assert assigned == [5, 6, 7, 8, 9]
+        batches = coalescer.flush(max_batch=2)
+        assert batches[0] == ([5, 6], [], None)
+        assert batches[1] == ([7], [], None)
+        # All delete chunks precede all insert chunks; insert tids pinned.
+        assert [b[2] for b in batches[2:]] == [[5, 6], [7, 8], [9]]
+        assert all(not b[0] for b in batches[2:])
+
+    def test_flush_resets_window_but_keeps_counters(self):
+        coalescer = DeltaCoalescer([1])
+        coalescer.add(delete_tids=[1], insert_rows=[{"A": "x"}])
+        assert coalescer.flush()
+        assert coalescer.pending_ops == 0
+        assert coalescer.flush() == []
+        stats = coalescer.stats()
+        assert stats["raw_ops"] == 2
+        assert stats["flushed_ops"] == 2
+
+    def test_empty_relation_assigns_from_one(self):
+        coalescer = DeltaCoalescer()
+        assert coalescer.add(insert_rows=[{"A": "x"}]) == [1]
+
+
+def _raw_stream(rng, base_tids, rows, events, delete_bias=0.55):
+    """A churn-heavy raw event stream: ``(delete_tids, insert_rows)`` pairs.
+
+    Tracks the live population exactly like a client of the raw engine
+    would, so deletes target live tids (mostly recent ones, to force
+    same-window churn) with an occasional stale identifier mixed in.
+    """
+    live = list(base_tids)
+    stream = []
+    fresh = iter(rows)
+    for _ in range(events):
+        deletes, inserts = [], []
+        for _ in range(rng.randrange(1, 4)):
+            if live and rng.random() < delete_bias:
+                # Bias towards the newest tids: that's where cancellations
+                # and tid reuse live.
+                index = len(live) - 1 - min(rng.randrange(4), len(live) - 1)
+                deletes.append(live.pop(index))
+            else:
+                row = next(fresh)
+                inserts.append(row)
+                live.append(max(live, default=0) + 1)
+        if rng.random() < 0.1:
+            deletes.append(10_000 + rng.randrange(100))  # never-live tid
+        stream.append((deletes, inserts))
+    return stream
+
+
+def _replay_raw(sigma, base_rows, stream):
+    """Single-threaded apply_update replay; returns (flags, cells)."""
+    with DataQualityEngine(SCHEMA, sigma, backend="incremental") as engine:
+        engine.load(base_rows)
+        engine.detect()
+        for deletes, inserts in stream:
+            engine.apply_update(delete_tids=deletes, insert_rows=inserts)
+        flags = engine.backend.detect()
+        cells = {t.tid: t.values() for t in engine.to_relation().tuples()}
+    return flags, cells
+
+
+def _replay_coalesced(sigma, base_rows, stream, workers, executor, rng, max_batch):
+    """Coalesce the stream in random windows, ship flushes; same snapshot."""
+    engine = DataQualityEngine(
+        SCHEMA, sigma, backend="incremental", workers=workers, executor=executor
+    )
+    try:
+        engine.load(base_rows)
+        engine.backend.ensure_ready()
+        coalescer = DeltaCoalescer(engine.tids())
+        pending = 0
+        for deletes, inserts in stream:
+            coalescer.add(deletes, inserts)
+            pending += 1
+            if rng.random() < 0.4:  # window boundary
+                batches = coalescer.flush(max_batch)
+                if batches:
+                    engine.backend.incremental_update_many(batches)
+                pending = 0
+        batches = coalescer.flush(max_batch)
+        if batches:
+            engine.backend.incremental_update_many(batches)
+        flags = engine.backend.detect()
+        cells = {t.tid: t.values() for t in engine.to_relation().tuples()}
+        return flags, cells, coalescer
+    finally:
+        engine.close()
+
+
+class TestCoalescedStreamBitExactness:
+    """Coalesced + batched replay == raw single-threaded replay, bit for bit."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_randomized_churn_stream_matches_raw_replay(self, executor, seed):
+        rng = random.Random(7000 + seed)
+        sigma = paper_workload(SCHEMA)
+        base_rows = DatasetGenerator(seed=seed).generate_rows(250, 8.0)
+        fresh_rows = DatasetGenerator(seed=100 + seed).generate_rows(400, 12.0)
+        stream = _raw_stream(rng, range(1, len(base_rows) + 1), fresh_rows, 40)
+
+        raw_flags, raw_cells = _replay_raw(sigma, base_rows, stream)
+        flags, cells, coalescer = _replay_coalesced(
+            sigma, base_rows, stream, 3, executor,
+            random.Random(7100 + seed), rng.choice([None, 7, 32]),
+        )
+        assert flags == raw_flags
+        assert cells == raw_cells
+        # The churn bias must actually exercise the merge rules.
+        assert coalescer.cancelled_inserts + coalescer.folded_updates > 0
+
+    def test_single_worker_backend_matches_raw_replay(self):
+        """Coalescing is backend-agnostic: plain INCDETECT, no sharding."""
+        rng = random.Random(77)
+        sigma = paper_workload(SCHEMA)
+        base_rows = DatasetGenerator(seed=5).generate_rows(200, 8.0)
+        fresh_rows = DatasetGenerator(seed=55).generate_rows(300, 12.0)
+        stream = _raw_stream(rng, range(1, len(base_rows) + 1), fresh_rows, 30)
+
+        raw_flags, raw_cells = _replay_raw(sigma, base_rows, stream)
+        flags, cells, _ = _replay_coalesced(
+            sigma, base_rows, stream, 1, "serial", random.Random(78), 16
+        )
+        assert flags == raw_flags
+        assert cells == raw_cells
+
+    def test_coalescing_ships_less_than_raw(self):
+        """The point of the exercise: churn never reaches the lanes."""
+        rng = random.Random(9)
+        fresh_rows = DatasetGenerator(seed=9).generate_rows(400, 10.0)
+        stream = _raw_stream(rng, range(1, 51), fresh_rows, 60, delete_bias=0.65)
+        coalescer = DeltaCoalescer(range(1, 51))
+        for deletes, inserts in stream:
+            coalescer.add(deletes, inserts)
+        coalescer.flush()
+        stats = coalescer.stats()
+        assert stats["flushed_ops"] < stats["raw_ops"]
+        assert stats["cancelled_inserts"] > 0

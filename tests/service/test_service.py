@@ -1,0 +1,296 @@
+"""The always-on service: lifecycle, concurrent clients, live-state queries.
+
+Covers the ISSUE's smoke requirement — start the service, stream updates
+from three concurrent clients over TCP, query the live state, shut down
+cleanly — plus the async-API guarantees underneath it: read-your-writes
+barriers, admission back-pressure, maintained state answered without
+re-detection, and a service-level bit-exactness check of a Poisson stream
+against the raw single-threaded replay.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.schema import cust_ext_schema
+from repro.datagen.generator import DatasetGenerator
+from repro.datagen.updates import UpdateGenerator
+from repro.datagen.workload import paper_workload
+from repro.engine import DataQualityEngine
+from repro.exceptions import EngineError
+from repro.service import AdmissionController, QualityClient, QualityServer, QualityService
+
+SCHEMA = cust_ext_schema()
+
+
+def _service(**overrides):
+    options = dict(workers=2, executor="thread", max_batch=64, queue_capacity=256)
+    options.update(overrides)
+    return QualityService(SCHEMA, paper_workload(SCHEMA), **options)
+
+
+def _rows(count=120, seed=3, noise=8.0):
+    return DatasetGenerator(seed=seed).generate_rows(count, noise)
+
+
+class TestServiceLifecycle:
+    def test_requires_an_incremental_backend(self):
+        with pytest.raises(EngineError, match="incremental"):
+            QualityService(SCHEMA, paper_workload(SCHEMA), backend="batch")
+
+    def test_queries_require_a_running_service(self):
+        service = _service()
+        with pytest.raises(EngineError, match="not running"):
+            asyncio.run(service.detect())
+
+    def test_start_twice_raises_and_stop_is_idempotent(self):
+        async def scenario():
+            service = _service()
+            await service.start(_rows(50))
+            try:
+                with pytest.raises(EngineError, match="already running"):
+                    await service.start()
+            finally:
+                await service.stop()
+            await service.stop()  # second stop is a no-op
+            with pytest.raises(EngineError, match="not running"):
+                await service.submit(insert_rows=[_rows(1)[0]])
+
+        asyncio.run(scenario())
+
+    def test_context_manager_round_trip(self):
+        async def scenario():
+            async with _service() as service:
+                receipt = await service.submit(insert_rows=_rows(5))
+                assert receipt.tids == [1, 2, 3, 4, 5]
+                counts = await service.detect()
+                assert counts["tuples"] == 5
+
+        asyncio.run(scenario())
+
+
+class TestLiveStateQueries:
+    def test_read_your_writes_and_no_redetection(self):
+        async def scenario():
+            service = _service()
+            await service.start(_rows())
+            try:
+                baseline = await service.detect()
+                assert baseline["tuples"] == 120
+
+                receipt = await service.submit(insert_rows=_rows(3, seed=8))
+                # detect() barriers on the pending window: the submission is
+                # visible even though wait_applied was never called.
+                counts = await service.detect()
+                assert counts["tuples"] == 123
+                assert receipt.applied.done()
+                # The maintained state answered; nothing re-detected.
+                assert service.engine.backend.full_detect_count == 0
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_breakdown_and_stats_shapes(self):
+        async def scenario():
+            async with _service() as service:
+                await service.submit(insert_rows=_rows(150, seed=7, noise=12.0))
+                assert (await service.detect())["dirty"] > 0
+                breakdown = await service.breakdown()
+                assert breakdown and all(
+                    {"sv", "mv_groups", "mv_tuples"} <= set(stats)
+                    for stats in breakdown.values()
+                )
+                stats = await service.stats()
+                assert stats["backend"] == "sharded"
+                assert stats["workers"] == 2
+                assert stats["submissions"] == 1
+                assert stats["ships"] >= 1
+                assert stats["coalescer"]["raw_ops"] == 150
+                assert stats["admission"]["capacity"] == 256
+                assert stats["last_update_trace"]["mode"] == "incremental"
+
+        asyncio.run(scenario())
+
+    def test_repair_runs_on_the_live_state(self):
+        async def scenario():
+            async with _service() as service:
+                await service.submit(insert_rows=_rows(80, noise=12.0))
+                dirty = (await service.detect())["dirty"]
+                assert dirty > 0
+                result = await service.repair()
+                assert result.clean
+                assert result.strategy == "sharded"
+                assert (await service.detect())["dirty"] == 0
+                # Streaming keeps working after a repair.
+                receipt = await service.submit(insert_rows=_rows(2, seed=21))
+                await receipt.wait_applied()
+                assert (await service.detect())["tuples"] == 82
+
+        asyncio.run(scenario())
+
+
+class TestAdmissionControl:
+    def test_oversize_submission_admitted_only_when_empty(self):
+        async def scenario():
+            gate = AdmissionController(4)
+            await gate.acquire(10)  # empty queue: oversize admitted
+            assert gate.pending == 10
+            waiter = asyncio.ensure_future(gate.acquire(1))
+            await asyncio.sleep(0)
+            assert not waiter.done()  # parked: 10 + 1 > 4
+            await gate.release(10)
+            await waiter
+            assert gate.pending == 1
+            assert gate.stats()["waits"] == 1
+
+        asyncio.run(scenario())
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+    def test_fast_producer_hits_backpressure_but_everything_lands(self):
+        async def scenario():
+            async with _service(queue_capacity=8, max_batch=4) as service:
+                rows = _rows(60, seed=13)
+                receipts = [await service.submit(insert_rows=[row]) for row in rows]
+                await receipts[-1].wait_applied()
+                counts = await service.detect()
+                assert counts["tuples"] == 60
+                stats = await service.stats()
+                assert stats["admission"]["pending"] == 0
+                # 60 single-row submits against an 8-op bound: the producer
+                # must have been parked at least once.
+                assert stats["admission"]["waits"] > 0
+
+        asyncio.run(scenario())
+
+
+class TestConcurrentTcpClients:
+    def test_three_clients_stream_query_and_shutdown(self):
+        """The smoke test: concurrent TCP clients against one live service."""
+
+        async def client_task(port, rows, deletes_every=3):
+            async with QualityClient("127.0.0.1", port) as client:
+                owned = []
+                for index, row in enumerate(rows):
+                    tids = await client.update(insert_rows=[row])
+                    owned.extend(tids)
+                    if index % deletes_every == deletes_every - 1:
+                        await client.update(delete_tids=[owned.pop()])
+                violations = await client.detect()
+                return owned, violations
+
+        async def scenario():
+            service = _service()
+            await service.start(_rows(100))
+            try:
+                async with QualityServer(service) as server:
+                    chunks = [_rows(12, seed=30 + i, noise=10.0) for i in range(3)]
+                    results = await asyncio.gather(
+                        *[client_task(server.port, chunk) for chunk in chunks]
+                    )
+                    owned = [tid for tids, _ in results for tid in tids]
+                    # Every client owns a disjoint slice of the tid space.
+                    assert len(owned) == len(set(owned))
+                    # 100 base + 3 x (12 inserted - 4 deleted).
+                    final = await service.detect()
+                    assert final["tuples"] == 124
+                    assert set(owned) <= set(service.engine.tids())
+                    # Each client read a consistent live state over TCP.
+                    for _, violations in results:
+                        assert violations["dirty"] >= 0
+                    assert server.connections == 3
+                    stats = await service.stats()
+                    assert stats["submissions"] == 3 * (12 + 4)
+                assert service.engine.backend.full_detect_count == 0
+            finally:
+                await service.stop()
+            # Clean shutdown: the service no longer accepts work.
+            with pytest.raises(EngineError, match="not running"):
+                await service.detect()
+
+        asyncio.run(scenario())
+
+    def test_protocol_errors_keep_the_connection_alive(self):
+        async def scenario():
+            async with _service() as service:
+                async with QualityServer(service) as server:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    try:
+                        writer.write(b"this is not json\n")
+                        await writer.drain()
+                        import json
+
+                        reply = json.loads(await reader.readline())
+                        assert reply["ok"] is False
+                        writer.write(b'{"op": "nonsense"}\n')
+                        await writer.drain()
+                        reply = json.loads(await reader.readline())
+                        assert reply["ok"] is False and "nonsense" in reply["error"]
+                        writer.write(b'{"op": "ping"}\n')
+                        await writer.drain()
+                        reply = json.loads(await reader.readline())
+                        assert reply == {"ok": True, "pong": True}
+                    finally:
+                        writer.close()
+                        await writer.wait_closed()
+
+        asyncio.run(scenario())
+
+
+class TestServiceBitExactness:
+    def test_poisson_stream_matches_raw_single_threaded_replay(self):
+        """Service-level anchor: streamed state == apply_update replay."""
+        sigma = paper_workload(SCHEMA)
+        base_rows = _rows(150, seed=1)
+        updates = UpdateGenerator(DatasetGenerator(seed=41), seed=17)
+        events = list(
+            updates.poisson_stream(
+                range(1, len(base_rows) + 1),
+                rate=200.0,
+                events=50,
+                ops_per_event=2,
+                insert_fraction=0.55,
+                noise_percent=10.0,
+            )
+        )
+
+        with DataQualityEngine(SCHEMA, sigma, backend="incremental") as reference:
+            reference.load(base_rows)
+            reference.detect()
+            for event in events:
+                reference.apply_update(event.batch)
+            expected_flags = reference.backend.detect()
+            expected_cells = {
+                t.tid: t.values() for t in reference.to_relation().tuples()
+            }
+
+        async def scenario():
+            rng = random.Random(5)
+            service = _service(workers=3, max_batch=16, queue_capacity=64)
+            await service.start(base_rows)
+            try:
+                for event in events:
+                    receipt = await service.submit(
+                        event.batch.delete_tids, event.batch.insert_rows
+                    )
+                    if rng.random() < 0.3:
+                        await receipt.wait_applied()  # vary the window shapes
+                counts = await service.detect()
+                flags = await service._run_engine(service.engine.backend.detect)
+                cells = {
+                    t.tid: t.values()
+                    for t in (await service._run_engine(service.engine.to_relation)).tuples()
+                }
+                assert flags == expected_flags
+                assert cells == expected_cells
+                assert counts == {**expected_flags.summary(), "tuples": len(expected_cells)}
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())
