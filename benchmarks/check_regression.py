@@ -31,24 +31,21 @@ import os
 import sys
 from pathlib import Path
 
-#: Hot paths tracked when (re)generating a baseline.  The fig8 workers=1
-#: benchmark is plain single-threaded BATCHDETECT at REPRO_BENCH_SIZE — the
-#: library's hot path per the paper's Figs. 5-7.  The fig9 workers=1
-#: benchmark is the single-threaded INCDETECT update path (a 2% batch
-#: maintained by apply_update) — the hot path of update-heavy serving.  The
-#: fig10 incremental benchmark is the repair hot path: a full clean-up of
-#: the 5%-noise dataset re-validated by INCDETECT deltas only (zero full
-#: re-detections after the seeding scan).  The fig11 workers=1 benchmark is
-#: the always-on service's sustained-throughput path: a Poisson-structured
-#: update stream driven through admission control, the delta coalescer and
-#: the pump into the single-threaded INCDETECT delegate — the serving hot
-#: path of the streaming front end.
-TRACKED_BENCHMARKS = (
-    "test_fig8_sharded_batch_detect_scaling[1]",
-    "test_fig9_sharded_incremental_update[1]",
-    "test_fig10_repair_convergence[incremental]",
-    "test_fig11_service_sustained_throughput[1]",
+# The gate runs as a plain script in CI (no PYTHONPATH, no installed
+# package); resolve the library relative to this file so the artifact
+# schema is shared with the reports layer instead of duplicated here.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.reports.schema import (  # noqa: E402
+    TRACKED_BENCHMARKS as _TRACKED,
+    validate_benchmark_payload,
 )
+
+#: Hot paths tracked when (re)generating a baseline.  The set (and each
+#: path's description) lives in :mod:`repro.reports.schema` so the gate,
+#: the trajectory report and the generated documentation tables version
+#: together.
+TRACKED_BENCHMARKS = tuple(_TRACKED)
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 DEFAULT_TOLERANCE = 0.30
@@ -62,9 +59,15 @@ REPLICATION_LIMIT = 1.0
 
 
 def load_results(results_path: Path) -> dict:
-    """The parsed pytest-benchmark JSON payload."""
+    """The parsed, schema-validated pytest-benchmark JSON payload."""
     with results_path.open() as handle:
-        return json.load(handle)
+        payload = json.load(handle)
+    problems = validate_benchmark_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"schema error: {results_path}: {problem}", file=sys.stderr)
+        raise SystemExit(1)
+    return payload
 
 
 def load_means(payload: dict) -> dict[str, float]:

@@ -7,8 +7,10 @@ See :mod:`repro.experiments.figures` for the per-figure drivers,
 
 from repro.experiments.figures import (
     ALL_FIGURES,
+    DriverSpec,
     ablation_encoding,
     ablation_maxss,
+    available_drivers,
     fig5a,
     fig5b,
     fig5c,
@@ -17,6 +19,8 @@ from repro.experiments.figures import (
     fig6c,
     fig7a,
     fig7b,
+    register_driver,
+    resolve_driver,
 )
 from repro.experiments.reporting import ExperimentResult, format_table, to_csv
 from repro.experiments.runner import (
@@ -33,6 +37,7 @@ from repro.experiments.timing import Measurement, Timer, stopwatch
 
 __all__ = [
     "ALL_FIGURES",
+    "DriverSpec",
     "ExperimentResult",
     "Measurement",
     "SCALES",
@@ -40,6 +45,7 @@ __all__ = [
     "Timer",
     "ablation_encoding",
     "ablation_maxss",
+    "available_drivers",
     "current_scale",
     "fig5a",
     "fig5b",
@@ -52,6 +58,8 @@ __all__ = [
     "format_table",
     "load_database",
     "make_engine",
+    "register_driver",
+    "resolve_driver",
     "stopwatch",
     "timed_batch_after_update",
     "timed_batch_detection",

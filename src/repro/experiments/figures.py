@@ -33,6 +33,8 @@ DBMS); EXPERIMENTS.md records the *shape* comparison for every figure.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
+from typing import Callable, Protocol
 
 from repro.core.ecfd import ECFDSet
 from repro.core.schema import cust_ext_schema
@@ -61,8 +63,64 @@ __all__ = [
     "fig7b",
     "ablation_encoding",
     "ablation_maxss",
+    "DriverSpec",
+    "register_driver",
+    "available_drivers",
+    "resolve_driver",
     "ALL_FIGURES",
 ]
+
+
+# ----------------------------------------------------------------------
+# The driver registry
+# ----------------------------------------------------------------------
+class Driver(Protocol):
+    def __call__(self, scale: "Scale | None" = None, seed: int = 0) -> ExperimentResult: ...
+
+
+@dataclass(frozen=True)
+class DriverSpec:
+    """One registered experiment driver."""
+
+    name: str
+    kind: str  #: ``"figure"`` (a paper figure) or ``"ablation"``
+    fn: Driver
+
+
+_DRIVERS: dict[str, DriverSpec] = {}
+
+
+def register_driver(name: str, kind: str = "figure") -> Callable[[Driver], Driver]:
+    """Register the decorated driver under ``name``.
+
+    Registration is the single source of truth: ``run_all`` enumerates
+    this registry, the reports layer mirrors it figure-for-figure, and a
+    regression test fails when either side drifts — a driver added here
+    cannot silently be missing from the CLI or the figure registry.
+    """
+
+    def decorate(fn: Driver) -> Driver:
+        if name in _DRIVERS:
+            raise ValueError(f"experiment driver {name!r} is already registered")
+        _DRIVERS[name] = DriverSpec(name=name, kind=kind, fn=fn)
+        return fn
+
+    return decorate
+
+
+def available_drivers() -> dict[str, DriverSpec]:
+    """All registered drivers, in registration (= presentation) order."""
+    return dict(_DRIVERS)
+
+
+def resolve_driver(name: str) -> DriverSpec:
+    """The registered driver ``name``; raises with the known names otherwise."""
+    try:
+        return _DRIVERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; known: {sorted(_DRIVERS)}"
+        ) from None
 
 
 def _workload() -> ECFDSet:
@@ -72,6 +130,7 @@ def _workload() -> ECFDSet:
 # ----------------------------------------------------------------------
 # Figure 5 — BATCHDETECT scalability
 # ----------------------------------------------------------------------
+@register_driver("fig5a")
 def fig5a(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 5(a): BATCHDETECT running time as |D| grows (noise fixed at 5%)."""
     scale = scale or current_scale()
@@ -84,6 +143,7 @@ def fig5a(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     return result
 
 
+@register_driver("fig5b")
 def fig5b(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 5(b): BATCHDETECT running time as the noise rate grows (|D| fixed)."""
     scale = scale or current_scale()
@@ -96,6 +156,7 @@ def fig5b(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     return result
 
 
+@register_driver("fig5c")
 def fig5c(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 5(c): BATCHDETECT running time as |Tp| grows (|D|, noise fixed)."""
     scale = scale or current_scale()
@@ -134,6 +195,7 @@ def _compare_on_update(
     result.measurements.extend([deletions, insertions, baseline])
 
 
+@register_driver("fig6a")
 def fig6a(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 6(a): INCDETECT vs BATCHDETECT as |D| grows (fixed update size)."""
     scale = scale or current_scale()
@@ -146,6 +208,7 @@ def fig6a(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     return result
 
 
+@register_driver("fig6b")
 def fig6b(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 6(b): INCDETECT vs BATCHDETECT as the noise rate grows."""
     scale = scale or current_scale()
@@ -157,6 +220,7 @@ def fig6b(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     return result
 
 
+@register_driver("fig6c")
 def fig6c(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 6(c): INCDETECT vs BATCHDETECT as |Tp| grows."""
     scale = scale or current_scale()
@@ -173,6 +237,7 @@ def fig6c(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 7 — effect of the update size
 # ----------------------------------------------------------------------
+@register_driver("fig7a")
 def fig7a(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 7(a): INCDETECT vs BATCHDETECT as the update size |ΔD| grows."""
     scale = scale or current_scale()
@@ -185,6 +250,7 @@ def fig7a(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     return result
 
 
+@register_driver("fig7b")
 def fig7b(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     """Fig. 7(b): growth of the number of SV / MV violation changes with the update size.
 
@@ -222,6 +288,7 @@ def fig7b(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Ablations
 # ----------------------------------------------------------------------
+@register_driver("ablation-encoding", kind="ablation")
 def ablation_encoding(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
     """Encoded SQL detection vs. the naive per-pattern detector as |Tp| grows.
 
@@ -331,15 +398,14 @@ def ablation_maxss(seed: int = 0, trials: int = 5, sigma_size: int = 8) -> Exper
     return result
 
 
-#: Registry used by ``run_all`` and the benchmark suite.
+@register_driver("ablation-maxss", kind="ablation")
+def _ablation_maxss_driver(scale: Scale | None = None, seed: int = 0) -> ExperimentResult:
+    """Registry adapter: MAXSS quality does not sweep a dataset scale."""
+    return ablation_maxss(seed=seed)
+
+
+#: Backwards-compatible view of the registry (scale-sweeping drivers only).
+#: New code should use :func:`available_drivers` / :func:`resolve_driver`.
 ALL_FIGURES = {
-    "fig5a": fig5a,
-    "fig5b": fig5b,
-    "fig5c": fig5c,
-    "fig6a": fig6a,
-    "fig6b": fig6b,
-    "fig6c": fig6c,
-    "fig7a": fig7a,
-    "fig7b": fig7b,
-    "ablation-encoding": ablation_encoding,
+    name: spec.fn for name, spec in available_drivers().items() if name != "ablation-maxss"
 }

@@ -1,15 +1,27 @@
-"""Plain-text and CSV rendering of experiment series."""
+"""Plain-text, CSV and JSON rendering of experiment series.
+
+The JSON form (:meth:`ExperimentResult.to_json` /
+:meth:`ExperimentResult.from_json`) is the interchange schema between the
+experiment drivers and the figure registry: ``run_all --json-out DIR``
+dumps one file per driver, and ``python -m repro.reports`` loads them via
+``--experiments-dir`` to plot driver-produced sweeps instead of (or next
+to) the benchmark artifacts.
+"""
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.experiments.timing import Measurement
 
 __all__ = ["ExperimentResult", "format_table", "to_csv"]
+
+#: Version tag embedded in the JSON interchange form.
+RESULT_SCHEMA = "repro.experiment-result/v1"
 
 
 def _columns(rows: Sequence[dict[str, float | str]]) -> list[str]:
@@ -76,3 +88,45 @@ class ExperimentResult:
     def to_csv(self) -> str:
         """The measurements as CSV text."""
         return to_csv(self.rows())
+
+    def to_json(self) -> str:
+        """The result in the JSON interchange form (stable key order)."""
+        payload = {
+            "schema": RESULT_SCHEMA,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "measurements": [
+                {
+                    "label": m.label,
+                    "parameter": m.parameter,
+                    "seconds": m.seconds,
+                    "extra": dict(m.extra),
+                }
+                for m in self.measurements
+            ],
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Parse the JSON interchange form back into a result.
+
+        Raises :class:`ValueError` with the structural problem when the
+        payload is not an experiment result.
+        """
+        payload = json.loads(text)
+        if not isinstance(payload, dict) or "experiment_id" not in payload:
+            raise ValueError("not an experiment-result payload (no experiment_id)")
+        result = cls(str(payload["experiment_id"]), str(payload.get("title", "")))
+        for index, entry in enumerate(payload.get("measurements", [])):
+            if not isinstance(entry, dict) or "label" not in entry:
+                raise ValueError(f"measurements[{index}]: missing label")
+            result.measurements.append(
+                Measurement(
+                    label=str(entry["label"]),
+                    parameter=entry.get("parameter", 0),
+                    seconds=float(entry.get("seconds", 0.0)),
+                    extra=dict(entry.get("extra", {})),
+                )
+            )
+        return result

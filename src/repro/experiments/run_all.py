@@ -4,7 +4,17 @@ Usage::
 
     python -m repro.experiments.run_all                 # bench scale (default)
     REPRO_SCALE=paper python -m repro.experiments.run_all   # the paper's sizes
-    python -m repro.experiments.run_all fig5a fig7b         # a subset of figures
+    python -m repro.experiments.run_all fig5a fig7b         # a subset of drivers
+    python -m repro.experiments.run_all --list              # registry contents
+    python -m repro.experiments.run_all --json-out results/ # dump sweeps as JSON
+
+The set of drivers comes from the registry in
+:mod:`repro.experiments.figures` (``@register_driver``) — this module has
+no driver list of its own, so a newly registered driver is runnable here
+immediately.  ``--json-out`` writes each driver's
+:class:`~repro.experiments.reporting.ExperimentResult` in the JSON
+interchange form that ``python -m repro.reports --experiments-dir``
+consumes, connecting the drivers to the figure registry.
 
 Each driver prints its series as an aligned text table; redirect to a file
 to keep a record (EXPERIMENTS.md was produced this way).
@@ -13,30 +23,52 @@ to keep a record (EXPERIMENTS.md was produced this way).
 from __future__ import annotations
 
 import sys
+from pathlib import Path
 
-from repro.experiments.figures import ALL_FIGURES, ablation_maxss
+from repro.experiments.figures import available_drivers, resolve_driver
 from repro.experiments.runner import current_scale
 
 __all__ = ["main"]
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Run the requested figure drivers (all of them by default)."""
+    """Run the requested figure drivers (the whole registry by default)."""
     arguments = list(sys.argv[1:] if argv is None else argv)
+
+    json_out: Path | None = None
+    if "--json-out" in arguments:
+        index = arguments.index("--json-out")
+        try:
+            json_out = Path(arguments[index + 1])
+        except IndexError:
+            print("--json-out needs a directory argument", file=sys.stderr)
+            return 2
+        del arguments[index:index + 2]
+
+    drivers = available_drivers()
+    if "--list" in arguments:
+        for name, spec in drivers.items():
+            print(f"{name:<20} {spec.kind}")
+        return 0
+
     scale = current_scale()
-    requested = arguments or list(ALL_FIGURES) + ["ablation-maxss"]
+    requested = arguments or list(drivers)
 
     print(f"# eCFD reproduction experiments (scale: {scale.name})\n")
     for name in requested:
-        if name == "ablation-maxss":
-            result = ablation_maxss()
-        elif name in ALL_FIGURES:
-            result = ALL_FIGURES[name](scale)
-        else:
-            print(f"unknown experiment {name!r}; known: {sorted(ALL_FIGURES) + ['ablation-maxss']}")
+        try:
+            spec = resolve_driver(name)
+        except ValueError as error:
+            print(error)
             return 2
+        result = spec.fn(scale)
         print(result.to_table())
         print()
+        if json_out is not None:
+            json_out.mkdir(parents=True, exist_ok=True)
+            path = json_out / f"{name}.json"
+            path.write_text(result.to_json(), encoding="utf-8")
+            print(f"(wrote {path})\n")
     return 0
 
 

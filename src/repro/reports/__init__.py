@@ -1,0 +1,71 @@
+"""Experiment reporting: a figure registry over ``BENCH_<sha>.json`` artifacts.
+
+``repro.reports`` turns the self-describing benchmark artifacts CI already
+uploads (plus optional experiment-driver sweeps) into the paper's figures,
+the growth figures, and a cross-commit perf-trajectory report — without
+re-running a single benchmark.  See ``docs/REPORTING.md`` for the
+concepts and ``python -m repro.reports --help`` for the CLI.
+"""
+
+from repro.reports.context import DEFAULT_BENCH_DIR, ReportContext
+from repro.reports.loaders import (
+    BenchEntry,
+    BenchRun,
+    load_bench_dirs,
+    load_bench_file,
+    load_experiment_dir,
+    load_experiment_file,
+)
+from repro.reports.markdown import figure_markdown, inject_block, markdown_table
+from repro.reports.model import (
+    Annotation,
+    FigureData,
+    ReportDataError,
+    ReportError,
+    Series,
+    UnknownFigureError,
+)
+from repro.reports.registry import (
+    FigureSpec,
+    available_figures,
+    figure_groups,
+    register_figure,
+    resolve_figure,
+    select_figures,
+)
+from repro.reports.render import png_available, render_png, render_svg
+from repro.reports.schema import TRACKED_BENCHMARKS, validate_benchmark_payload
+from repro.reports.trajectory import trajectory_figure, trajectory_table
+
+__all__ = [
+    "DEFAULT_BENCH_DIR",
+    "ReportContext",
+    "BenchEntry",
+    "BenchRun",
+    "load_bench_dirs",
+    "load_bench_file",
+    "load_experiment_dir",
+    "load_experiment_file",
+    "figure_markdown",
+    "inject_block",
+    "markdown_table",
+    "Annotation",
+    "FigureData",
+    "ReportDataError",
+    "ReportError",
+    "Series",
+    "UnknownFigureError",
+    "FigureSpec",
+    "available_figures",
+    "figure_groups",
+    "register_figure",
+    "resolve_figure",
+    "select_figures",
+    "png_available",
+    "render_png",
+    "render_svg",
+    "TRACKED_BENCHMARKS",
+    "validate_benchmark_payload",
+    "trajectory_figure",
+    "trajectory_table",
+]

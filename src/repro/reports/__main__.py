@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.reports``."""
+
+from repro.reports.cli import main
+
+raise SystemExit(main())

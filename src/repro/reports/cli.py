@@ -1,0 +1,143 @@
+"""``python -m repro.reports`` — one command from BENCH artifacts to figures.
+
+Commands::
+
+    python -m repro.reports list                      # registry contents
+    python -m repro.reports all [--only fig8 growth]  # every (selected) figure
+    python -m repro.reports fig10                     # one figure by name
+    python -m repro.reports docs [--check]            # (re)generate doc tables
+
+``all`` and single-figure runs read ``BENCH_*.json`` artifacts (default:
+the committed history in ``benchmarks/artifacts/``; override with
+``--bench-dir``, repeatable) plus optional experiment sweeps
+(``--experiments-dir``, produced by ``run_all --json-out``) and write SVG
+renders into ``--out`` (default ``docs/figures/``).  When run against the
+default committed artifacts, ``all`` also refreshes the generated tables
+inside ``README.md`` / ``docs/PERFORMANCE.md`` — the docs tables are
+pinned to committed inputs so the staleness check stays deterministic;
+against a fresh ``--bench-dir`` only the figures are written.
+
+No benchmarks are ever (re)run here: reporting is a pure function of the
+artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.reports import docs_sync
+from repro.reports.context import DEFAULT_BENCH_DIR, ReportContext, repo_root
+from repro.reports.model import ReportError
+from repro.reports.registry import available_figures, resolve_figure, select_figures
+from repro.reports.render import png_available, render_png, render_svg
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reports",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("command",
+                        help="'all', 'list', 'docs', or a registered figure name")
+    parser.add_argument("--bench-dir", action="append", type=Path, default=None,
+                        metavar="DIR",
+                        help="directory of BENCH_*.json artifacts (repeatable; "
+                             f"default: {DEFAULT_BENCH_DIR})")
+    parser.add_argument("--experiments-dir", type=Path, default=None, metavar="DIR",
+                        help="directory of run_all --json-out experiment dumps")
+    parser.add_argument("--out", type=Path, default=None, metavar="DIR",
+                        help=f"output directory for renders (default: {docs_sync.FIGURES_DIR})")
+    parser.add_argument("--only", action="append", default=None, metavar="NAME",
+                        help="restrict 'all' to figure or group names (repeatable)")
+    parser.add_argument("--png", action="store_true",
+                        help="also write PNG renders (needs matplotlib)")
+    parser.add_argument("--check", action="store_true",
+                        help="with 'docs': report staleness instead of rewriting")
+    return parser
+
+
+def _render_specs(specs, ctx: ReportContext, out: Path, png: bool) -> int:
+    out.mkdir(parents=True, exist_ok=True)
+    written = skipped = 0
+    png_possible = png_available()
+    if png and not png_possible:
+        print("note: --png skipped (matplotlib is not installed); SVG renders "
+              "carry the same figures", file=sys.stderr)
+    for spec in specs:
+        try:
+            figures = spec.generator(ctx)
+        except ReportError as error:
+            print(f"skipped {spec.name}: {error}", file=sys.stderr)
+            skipped += 1
+            continue
+        for figure in figures:
+            path = out / f"{figure.name}.svg"
+            path.write_text(render_svg(figure), encoding="utf-8")
+            print(f"wrote {path}")
+            written += 1
+            if png and png_possible:
+                png_path = out / f"{figure.name}.png"
+                render_png(figure, str(png_path))
+                print(f"wrote {png_path}")
+    if written == 0:
+        print("error: no figure could be rendered from the given artifacts",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    root = repo_root()
+
+    try:
+        if args.command == "list":
+            print(f"{'figure':<20} {'group':<12} title")
+            print(f"{'-' * 20} {'-' * 12} {'-' * 40}")
+            for spec in available_figures().values():
+                print(f"{spec.name:<20} {spec.group:<12} {spec.title}")
+            return 0
+
+        if args.command == "docs":
+            if args.check:
+                problems = docs_sync.check_stale(root)
+                for problem in problems:
+                    print(f"STALE  {problem}", file=sys.stderr)
+                return 1 if problems else 0
+            for changed in docs_sync.write_docs(root):
+                print(f"updated {changed}")
+            print("docs are fresh")
+            return 0
+
+        using_default_artifacts = args.bench_dir is None
+        ctx = ReportContext.load(
+            bench_dirs=args.bench_dir,
+            experiments_dir=args.experiments_dir,
+        )
+        out = args.out if args.out is not None else root / docs_sync.FIGURES_DIR
+
+        if args.command == "all":
+            specs = select_figures(args.only)
+            status = _render_specs(specs, ctx, out, args.png)
+            if status == 0 and using_default_artifacts and args.only is None:
+                for changed in docs_sync.write_docs(root):
+                    print(f"updated {changed}")
+            elif not using_default_artifacts:
+                print("note: docs tables are pinned to the committed "
+                      f"{DEFAULT_BENCH_DIR}; run 'python -m repro.reports docs' "
+                      "to refresh them", file=sys.stderr)
+            return status
+
+        spec = resolve_figure(args.command)
+        return _render_specs([spec], ctx, out, args.png)
+    except ReportError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""The input bundle a figure generator draws from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.reporting import ExperimentResult
+from repro.reports.loaders import BenchRun, load_bench_dirs, load_experiment_dir
+from repro.reports.model import ReportDataError
+
+__all__ = ["ReportContext", "DEFAULT_BENCH_DIR", "repo_root"]
+
+
+def repo_root() -> Path:
+    """The repository root (three levels above this package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+#: Where the committed artifact history lives, relative to the repo root.
+DEFAULT_BENCH_DIR = "benchmarks/artifacts"
+
+
+@dataclass
+class ReportContext:
+    """Loaded artifacts + optional experiment sweeps, ready for generators.
+
+    ``runs`` is ordered oldest-first; :attr:`latest` (the newest run) feeds
+    the per-figure generators, while the trajectory report walks all of
+    them.  ``experiments`` maps experiment ids to driver-produced sweeps
+    (``run_all --json-out``); when a figure's id is present there, the
+    generator plots the driver's sweep — typically many more points than
+    the CI-sized benchmark run — instead of the artifact's.
+    """
+
+    runs: list[BenchRun] = field(default_factory=list)
+    experiments: dict[str, ExperimentResult] = field(default_factory=dict)
+
+    @classmethod
+    def load(
+        cls,
+        bench_dirs: Sequence[Path | str] | None = None,
+        experiments_dir: Path | str | None = None,
+    ) -> "ReportContext":
+        """Load artifacts (default: the committed history) and sweeps."""
+        dirs = list(bench_dirs) if bench_dirs else [repo_root() / DEFAULT_BENCH_DIR]
+        runs = load_bench_dirs(dirs)
+        experiments = load_experiment_dir(experiments_dir) if experiments_dir else {}
+        return cls(runs=runs, experiments=experiments)
+
+    @property
+    def latest(self) -> BenchRun:
+        if not self.runs:
+            raise ReportDataError("no benchmark runs loaded")
+        return self.runs[-1]
+
+    def figure_rows(
+        self,
+        experiment_id: str,
+        bench_specs: Sequence[tuple[str, str, Sequence[str]]],
+    ) -> list[dict[str, object]]:
+        """Normalized rows for one figure, preferring the driver's sweep.
+
+        ``bench_specs`` maps the artifact's benchmark families onto series:
+        ``(benchmark base name, series label, preferred x fields)``.
+        """
+        experiment = self.experiments.get(experiment_id)
+        if experiment is not None and experiment.measurements:
+            return list(experiment.rows())
+        rows: list[dict[str, object]] = []
+        for base, label, prefer in bench_specs:
+            rows.extend(self.latest.rows(base, label=label, prefer=prefer))
+        return rows

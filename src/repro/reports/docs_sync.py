@@ -1,0 +1,161 @@
+"""Self-updating docs: generated tables and committed figure renders.
+
+The hand-written prose in ``README.md`` and ``docs/PERFORMANCE.md`` embeds
+machine-generated content between ``<!-- generated: NAME -->`` markers,
+and ``docs/figures/`` holds the SVG renders of every registered figure.
+Both regenerate *deterministically from committed inputs only* — the
+artifact history in ``benchmarks/artifacts/`` and the perf gate's
+``benchmarks/baseline.json`` — so :func:`check_stale` can compare bytes:
+if a regenerated table or figure differs from what is committed, the docs
+have drifted from the data and CI fails with the one command that fixes
+it (``python -m repro.reports all``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.reports.context import DEFAULT_BENCH_DIR, ReportContext, repo_root
+from repro.reports.markdown import inject_block, markdown_table
+from repro.reports.model import ReportDataError
+from repro.reports.registry import select_figures
+from repro.reports.render import render_svg
+from repro.reports.schema import TRACKED_BENCHMARKS
+from repro.reports.trajectory import trajectory_table
+
+__all__ = ["FIGURES_DIR", "generated_blocks", "figure_files", "check_stale", "write_docs"]
+
+#: Where the committed figure renders live, relative to the repo root.
+FIGURES_DIR = "docs/figures"
+
+
+def _tracked_hot_paths_table(root: Path) -> str:
+    """Tracked benchmark → description → committed baseline mean."""
+    baseline_path = root / "benchmarks" / "baseline.json"
+    means: dict[str, float] = {}
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        means = {
+            name: float(entry["mean"])
+            for name, entry in baseline.get("benchmarks", {}).items()
+        }
+    rows: list[list[object]] = []
+    for name, description in TRACKED_BENCHMARKS.items():
+        mean = means.get(name)
+        rows.append([
+            f"`{name}`",
+            description,
+            round(mean * 1000.0, 2) if mean is not None else "—",
+        ])
+    return markdown_table(["tracked benchmark", "hot path", "baseline mean (ms)"], rows)
+
+
+def _context(root: Path) -> ReportContext:
+    return ReportContext.load(bench_dirs=[root / DEFAULT_BENCH_DIR])
+
+
+def _trajectory_block(ctx: ReportContext) -> str:
+    headers, rows = trajectory_table(ctx.runs)
+    table = markdown_table(headers, rows)
+    note = (
+        "_Mean milliseconds per committed `BENCH_<sha>.json` artifact "
+        "(`benchmarks/artifacts/`), oldest commit first; — marks commits "
+        "before a hot path existed. Sizes: `REPRO_BENCH_SIZE=1000`._"
+    )
+    return table + "\n\n" + note
+
+
+def generated_blocks(root: Path | None = None) -> dict[tuple[str, str], str]:
+    """(document relpath, block name) → regenerated block content."""
+    root = root or repo_root()
+    ctx = _context(root)
+    trajectory = _trajectory_block(ctx)
+    return {
+        ("docs/PERFORMANCE.md", "tracked-hot-paths"): _tracked_hot_paths_table(root),
+        ("docs/PERFORMANCE.md", "perf-trajectory"): trajectory,
+        ("README.md", "perf-trajectory-sample"): trajectory,
+    }
+
+
+def figure_files(root: Path | None = None) -> dict[str, str]:
+    """figure filename (under ``docs/figures/``) → regenerated SVG text."""
+    root = root or repo_root()
+    ctx = _context(root)
+    rendered: dict[str, str] = {}
+    for spec in select_figures(None):
+        try:
+            for figure in spec.generator(ctx):
+                rendered[f"{figure.name}.svg"] = render_svg(figure)
+        except ReportDataError:
+            # The committed history cannot feed this figure (yet) — it
+            # simply has no committed render to keep fresh.
+            continue
+    return rendered
+
+
+def check_stale(root: Path | None = None) -> list[str]:
+    """Everything whose committed form differs from regeneration.
+
+    Returns human-readable problem lines (empty = docs are fresh).  Each
+    problem names the file; the fix is always the same one command.
+    """
+    root = root or repo_root()
+    problems: list[str] = []
+
+    from repro.reports.markdown import extract_block  # noqa: PLC0415
+
+    for (relpath, name), fresh in generated_blocks(root).items():
+        path = root / relpath
+        if not path.exists():
+            problems.append(f"{relpath}: file missing (carries generated block {name!r})")
+            continue
+        committed = extract_block(path.read_text(encoding="utf-8"), name)
+        if committed is None:
+            problems.append(f"{relpath}: generated block {name!r} markers missing")
+        elif committed.rstrip("\n") != fresh.rstrip("\n"):
+            problems.append(f"{relpath}: generated block {name!r} is stale")
+
+    fresh_figures = figure_files(root)
+    figures_dir = root / FIGURES_DIR
+    for filename, fresh in fresh_figures.items():
+        path = figures_dir / filename
+        if not path.exists():
+            problems.append(f"{FIGURES_DIR}/{filename}: committed render missing")
+        elif path.read_text(encoding="utf-8") != fresh:
+            problems.append(f"{FIGURES_DIR}/{filename}: committed render is stale")
+    if figures_dir.is_dir():
+        for path in sorted(figures_dir.glob("*.svg")):
+            if path.name not in fresh_figures:
+                problems.append(
+                    f"{FIGURES_DIR}/{path.name}: no registered figure produces this file"
+                )
+
+    if problems:
+        problems.append(
+            "regenerate with: PYTHONPATH=src python -m repro.reports all"
+        )
+    return problems
+
+
+def write_docs(root: Path | None = None) -> list[str]:
+    """Rewrite every generated block and figure render; returns changed paths."""
+    root = root or repo_root()
+    changed: list[str] = []
+
+    for (relpath, name), fresh in generated_blocks(root).items():
+        path = root / relpath
+        text = path.read_text(encoding="utf-8")
+        updated = inject_block(text, name, fresh)
+        if updated != text:
+            path.write_text(updated, encoding="utf-8")
+            changed.append(relpath)
+
+    figures_dir = root / FIGURES_DIR
+    figures_dir.mkdir(parents=True, exist_ok=True)
+    for filename, fresh in figure_files(root).items():
+        path = figures_dir / filename
+        if not path.exists() or path.read_text(encoding="utf-8") != fresh:
+            path.write_text(fresh, encoding="utf-8")
+            changed.append(f"{FIGURES_DIR}/{filename}")
+    return changed

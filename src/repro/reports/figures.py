@@ -1,0 +1,355 @@
+"""The built-in figure generators.
+
+Three groups:
+
+* ``paper`` — the paper's evaluation figures (5a–7b) plus the two
+  ablations, regenerated from the fig5–7 benchmark families of a
+  ``BENCH_<sha>.json`` artifact (or, when ``--experiments-dir`` provides a
+  driver sweep with the same id, from the driver's richer sweep);
+* ``growth`` — the figures of this reproduction's growth beyond the
+  paper: fig8 parallel scaling (with replication-factor annotations),
+  fig9 update routing, fig10 repair convergence across strategies, and
+  fig11 sustained service throughput / latency;
+* ``trajectory`` — the cross-commit perf trajectory over *all* loaded
+  artifacts (everything else plots only the newest).
+
+Every generator is pure: context in, :class:`FigureData` out.  Names of
+``paper``-group figures deliberately equal the experiment-driver names in
+:mod:`repro.experiments.figures` — a regression test enumerates both
+registries and fails when a driver exists without a figure (or vice
+versa), which is what keeps the two from diverging.
+"""
+
+from __future__ import annotations
+
+from repro.reports.context import ReportContext
+from repro.reports.markdown import fmt_number
+from repro.reports.model import Annotation, FigureData, ReportDataError, Series
+from repro.reports.registry import register_figure
+from repro.reports.trajectory import trajectory_figure
+
+__all__: list[str] = []
+
+
+def _series_from_rows(rows: list[dict[str, object]], y_field: str = "seconds") -> list[Series]:
+    """Group normalized rows into series (first-seen label order, x-sorted)."""
+    order: list[str] = []
+    grouped: dict[str, Series] = {}
+    for row in rows:
+        label = str(row.get("series", ""))
+        if label not in grouped:
+            grouped[label] = Series(label=label)
+            order.append(label)
+        x = row.get("parameter", 0)
+        y = row.get(y_field, 0)
+        if isinstance(x, (int, float)) and isinstance(y, (int, float)):
+            grouped[label].points.append((float(x), float(y)))
+    for series in grouped.values():
+        series.points.sort(key=lambda point: point[0])
+    return [grouped[label] for label in order]
+
+
+def _line_figure(
+    ctx: ReportContext,
+    name: str,
+    title: str,
+    xlabel: str,
+    bench_specs: list[tuple[str, str, tuple[str, ...]]],
+    ylabel: str = "seconds",
+) -> FigureData:
+    rows = ctx.figure_rows(name, bench_specs)
+    figure = FigureData(name=name, title=title, xlabel=xlabel, ylabel=ylabel,
+                        series=_series_from_rows(rows))
+    if figure.is_empty():
+        raise ReportDataError(
+            f"figure {name!r}: the newest artifact ({ctx.latest.path.name}) has no "
+            f"entries for {', '.join(base for base, _, _ in bench_specs)} and no "
+            f"experiment sweep {name!r} was provided"
+        )
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Group "paper" — the paper's evaluation shapes
+# ----------------------------------------------------------------------
+@register_figure("fig5a", "paper", "BATCHDETECT scalability in |D|")
+def fig5a(ctx: ReportContext) -> list[FigureData]:
+    return [_line_figure(ctx, "fig5a", "BATCHDETECT running time vs |D|", "|D| (tuples)",
+                         [("test_fig5a_batchdetect_scalability_in_tuples",
+                           "batchdetect", ("tuples",))])]
+
+
+@register_figure("fig5b", "paper", "BATCHDETECT scalability in noise%")
+def fig5b(ctx: ReportContext) -> list[FigureData]:
+    return [_line_figure(ctx, "fig5b", "BATCHDETECT running time vs noise%", "noise (%)",
+                         [("test_fig5b_batchdetect_scalability_in_noise",
+                           "batchdetect", ("noise_percent",))])]
+
+
+@register_figure("fig5c", "paper", "BATCHDETECT scalability in |Tp|")
+def fig5c(ctx: ReportContext) -> list[FigureData]:
+    return [_line_figure(ctx, "fig5c", "BATCHDETECT running time vs |Tp|", "|Tp| (pattern tuples)",
+                         [("test_fig5c_batchdetect_scalability_in_tableau",
+                           "batchdetect", ("tableau_size",))])]
+
+
+@register_figure("fig6a", "paper", "INCDETECT vs BATCHDETECT in |D|")
+def fig6a(ctx: ReportContext) -> list[FigureData]:
+    return [_line_figure(ctx, "fig6a", "INCDETECT vs BATCHDETECT vs |D|", "|D| (tuples)",
+                         [("test_fig6a_incdetect_scalability_in_tuples",
+                           "incdetect", ("tuples",)),
+                          ("test_fig6a_batchdetect_after_update_in_tuples",
+                           "batchdetect-after-update", ("tuples",))])]
+
+
+@register_figure("fig6b", "paper", "INCDETECT vs BATCHDETECT in noise%")
+def fig6b(ctx: ReportContext) -> list[FigureData]:
+    return [_line_figure(ctx, "fig6b", "INCDETECT vs BATCHDETECT vs noise%", "noise (%)",
+                         [("test_fig6b_incdetect_scalability_in_noise",
+                           "incdetect", ("noise_percent",)),
+                          ("test_fig6b_batchdetect_after_update_in_noise",
+                           "batchdetect-after-update", ("noise_percent",))])]
+
+
+@register_figure("fig6c", "paper", "INCDETECT vs BATCHDETECT in |Tp|")
+def fig6c(ctx: ReportContext) -> list[FigureData]:
+    return [_line_figure(ctx, "fig6c", "INCDETECT vs BATCHDETECT vs |Tp|", "|Tp| (pattern tuples)",
+                         [("test_fig6c_incdetect_scalability_in_tableau",
+                           "incdetect", ("tableau_size",)),
+                          ("test_fig6c_batchdetect_after_update_in_tableau",
+                           "batchdetect-after-update", ("tableau_size",))])]
+
+
+@register_figure("fig7a", "paper", "Effect of update size on detection cost")
+def fig7a(ctx: ReportContext) -> list[FigureData]:
+    return [_line_figure(ctx, "fig7a", "INCDETECT vs BATCHDETECT vs |ΔD|", "|ΔD| (tuples)",
+                         [("test_fig7a_incdetect_by_update_size",
+                           "incdetect", ("update_size",)),
+                          ("test_fig7a_batchdetect_by_update_size",
+                           "batchdetect-after-update", ("update_size",))])]
+
+
+@register_figure("fig7b", "paper", "Violation growth with update size")
+def fig7b(ctx: ReportContext) -> list[FigureData]:
+    rows = ctx.figure_rows(
+        "fig7b",
+        [("test_fig7b_violation_growth_with_update_size", "growth", ("update_size",))],
+    )
+    figure = FigureData(name="fig7b", title="Violation growth vs update size",
+                        xlabel="|ΔD| (tuples)", ylabel="violations")
+    # Driver sweeps report the symmetric differences (dsv/dmv); benchmark
+    # artifacts report absolute before/after counts.  Plot whichever the
+    # rows carry.
+    fields = (("dsv", "ΔSV"), ("dmv", "ΔMV")) if any("dsv" in row for row in rows) else (
+        ("sv_after", "SV after update"), ("mv_after", "MV after update"))
+    for field_name, label in fields:
+        series = Series(label=label)
+        for row in rows:
+            x, y = row.get("parameter"), row.get(field_name)
+            if isinstance(x, (int, float)) and isinstance(y, (int, float)):
+                series.points.append((float(x), float(y)))
+        series.points.sort(key=lambda point: point[0])
+        if series.points:
+            figure.series.append(series)
+    if figure.is_empty():
+        raise ReportDataError(
+            f"figure 'fig7b': no violation-growth readings in {ctx.latest.path.name}"
+        )
+    return [figure]
+
+
+# ----------------------------------------------------------------------
+# Group "ablation"
+# ----------------------------------------------------------------------
+@register_figure("ablation-encoding", "ablation", "Encoded SQL vs naive per-pattern detection")
+def ablation_encoding(ctx: ReportContext) -> list[FigureData]:
+    return [_line_figure(ctx, "ablation_encoding",
+                         "Encoded SQL detection vs naive per-pattern detection",
+                         "|Tp| (pattern tuples)",
+                         [("test_ablation_sql_batchdetect",
+                           "batchdetect-sql", ("tableau_size",)),
+                          ("test_ablation_naive_python_detector",
+                           "naive-python", ("tableau_size",))])]
+
+
+@register_figure("ablation-maxss", "ablation", "MAXSS approximation quality")
+def ablation_maxss(ctx: ReportContext) -> list[FigureData]:
+    entries = ctx.latest.parametrized("test_ablation_maxss_solver")
+    experiment = ctx.experiments.get("ablation-maxss")
+    figure = FigureData(name="ablation_maxss",
+                        title="MAXSS approximation quality vs exact optimum",
+                        xlabel="solver", ylabel="recovered / optimal cardinality",
+                        kind="bar", x_ticklabels=[])
+    ratio = Series(label="approximation ratio")
+    if experiment is not None and experiment.measurements:
+        # Average the per-trial ratios of each solver series.
+        by_solver: dict[str, list[float]] = {}
+        for m in experiment.measurements:
+            value = m.extra.get("ratio")
+            if isinstance(value, (int, float)):
+                by_solver.setdefault(m.label, []).append(float(value))
+        for index, (solver, values) in enumerate(sorted(by_solver.items())):
+            figure.x_ticklabels.append(solver)
+            ratio.points.append((float(index), round(sum(values) / len(values), 3)))
+    else:
+        for index, entry in enumerate(entries):
+            figure.x_ticklabels.append(entry.param or entry.name)
+            ratio.points.append((float(index), entry.number("ratio", 0.0) or 0.0))
+    figure.series.append(ratio)
+    if figure.is_empty():
+        raise ReportDataError(
+            f"figure 'ablation-maxss': no solver readings in {ctx.latest.path.name}"
+        )
+    return [figure]
+
+
+# ----------------------------------------------------------------------
+# Group "growth" — beyond the paper
+# ----------------------------------------------------------------------
+@register_figure("fig8", "growth", "Parallel batch-detect scaling")
+def fig8(ctx: ReportContext) -> list[FigureData]:
+    entries = ctx.latest.parametrized("test_fig8_sharded_batch_detect_scaling")
+    if not entries:
+        raise ReportDataError(f"figure 'fig8': no fig8 entries in {ctx.latest.path.name}")
+    tuples = entries[0].number("tuples")
+    figure = FigureData(
+        name="fig8_parallel_scaling",
+        title=f"Sharded BATCHDETECT vs workers (|D| = {fmt_number(tuples or 0)})",
+        xlabel="workers", ylabel="detect wall time (s)",
+    )
+    wall = Series(label="detect()")
+    for entry in entries:
+        workers = entry.parameter(("workers",))
+        wall.points.append((workers, entry.mean))
+        factor = entry.number("replication_factor")
+        if factor is not None:
+            note = f"r={fmt_number(factor, 2)}x"
+            summary_bytes = entry.number("summary_bytes")
+            if summary_bytes:
+                note += f", {fmt_number(summary_bytes / 1024.0, 1)} KB summaries"
+            figure.annotations.append(Annotation(workers, entry.mean, note))
+    figure.series.append(wall)
+    figure.caption = (
+        "Every stored row ships to exactly one shard; the per-point annotation is "
+        "the replication factor (gated <= 1.0 in CI) and the size of the cross-shard "
+        "(cid, xv, yv-multiset) summaries."
+    )
+    return [figure]
+
+
+@register_figure("fig9", "growth", "Sharded incremental update routing")
+def fig9(ctx: ReportContext) -> list[FigureData]:
+    entries = ctx.latest.parametrized("test_fig9_sharded_incremental_update")
+    if not entries:
+        raise ReportDataError(f"figure 'fig9': no fig9 entries in {ctx.latest.path.name}")
+    update_size = entries[0].number("update_size")
+    figure = FigureData(
+        name="fig9_update_routing",
+        title=f"INCDETECT update maintenance vs workers (|ΔD| = {fmt_number(update_size or 0)})",
+        xlabel="workers", ylabel="apply_update wall time (s)",
+    )
+    wall = Series(label="apply_update()")
+    for entry in entries:
+        workers = entry.parameter(("workers",))
+        wall.points.append((workers, entry.mean))
+        readback = entry.number("readback_tids")
+        if readback:
+            figure.annotations.append(
+                Annotation(workers, entry.mean, f"{fmt_number(readback)} tids probed")
+            )
+    figure.series.append(wall)
+    figure.caption = (
+        "Updates route through the partition plan to the shards they touch; the "
+        "annotation counts the violation-flag probes of the readback (bounded by the "
+        "maintained violation set, never a whole-shard scan)."
+    )
+    return [figure]
+
+
+@register_figure("fig10", "growth", "Repair convergence across strategies")
+def fig10(ctx: ReportContext) -> list[FigureData]:
+    entries = ctx.latest.parametrized("test_fig10_repair_convergence")
+    if not entries:
+        raise ReportDataError(f"figure 'fig10': no fig10 entries in {ctx.latest.path.name}")
+    figure = FigureData(
+        name="fig10_repair_convergence",
+        title="Full repair wall time by strategy (identical fixes by construction)",
+        xlabel="strategy", ylabel="repair wall time (s)",
+        kind="bar", x_ticklabels=[],
+    )
+    wall = Series(label="repair()")
+    captions: list[str] = []
+    for index, entry in enumerate(entries):
+        strategy = entry.param or str(entry.extra.get("strategy", entry.name))
+        figure.x_ticklabels.append(strategy)
+        wall.points.append((float(index), entry.mean))
+        rounds = entry.number("rounds")
+        cells = entry.number("cells_changed")
+        if rounds is not None and cells is not None:
+            captions.append(
+                f"{strategy}: {fmt_number(rounds)} rounds, {fmt_number(cells)} cells, "
+                f"{fmt_number(entry.number('full_detects', 0) or 0)} full detections"
+            )
+    figure.series.append(wall)
+    figure.caption = (
+        "All strategies share one deterministic FixPlanner (bit-exact repaired "
+        "relations); they differ only in re-validation cost. " + "; ".join(captions)
+    )
+    return [figure]
+
+
+@register_figure("fig11", "growth", "Sustained service throughput and latency")
+def fig11(ctx: ReportContext) -> list[FigureData]:
+    entries = ctx.latest.parametrized("test_fig11_service_sustained_throughput")
+    if not entries:
+        raise ReportDataError(f"figure 'fig11': no fig11 entries in {ctx.latest.path.name}")
+    throughput = FigureData(
+        name="fig11_service_throughput",
+        title="Always-on service: sustained update throughput vs workers",
+        xlabel="workers", ylabel="updates / second",
+        caption=(
+            "A Poisson-structured update stream driven through admission control, the "
+            "delta coalescer and the pump as fast as the service admits it."
+        ),
+    )
+    latency = FigureData(
+        name="fig11_service_latency",
+        title="Always-on service: submit-to-applied latency vs workers",
+        xlabel="workers", ylabel="latency (ms)",
+        caption="p99 and mean of the per-submission applied-future latency.",
+    )
+    rate = Series(label="sustained updates/s")
+    p99 = Series(label="p99")
+    mean = Series(label="mean")
+    for entry in entries:
+        workers = entry.parameter(("workers",))
+        value = entry.number("updates_per_second")
+        if value is not None:
+            rate.points.append((workers, value))
+        for series, key in ((p99, "p99_latency_ms"), (mean, "mean_latency_ms")):
+            reading = entry.number(key)
+            if reading is not None:
+                series.points.append((workers, reading))
+    throughput.series.append(rate)
+    latency.series = [series for series in (p99, mean) if series.points]
+    figures = [figure for figure in (throughput, latency) if not figure.is_empty()]
+    if not figures:
+        raise ReportDataError(
+            f"figure 'fig11': fig11 entries in {ctx.latest.path.name} carry no "
+            "throughput/latency readings in extra_info"
+        )
+    return figures
+
+
+# ----------------------------------------------------------------------
+# Group "trajectory"
+# ----------------------------------------------------------------------
+@register_figure("perf-trajectory", "trajectory", "Perf trajectory across commits")
+def perf_trajectory(ctx: ReportContext) -> list[FigureData]:
+    figure = trajectory_figure(ctx.runs)
+    if figure.is_empty():
+        raise ReportDataError(
+            "figure 'perf-trajectory': none of the loaded artifacts contain a "
+            "tracked hot-path benchmark"
+        )
+    return [figure]

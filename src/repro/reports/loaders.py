@@ -1,0 +1,222 @@
+"""Loaders: ``BENCH_<sha>.json`` artifacts and experiment-result JSON.
+
+Everything downstream of these loaders (figure generators, the trajectory
+report, the docs emitter) consumes one normalized row shape — the same
+shape :meth:`repro.experiments.reporting.ExperimentResult.rows` produces::
+
+    {"series": <label>, "parameter": <x>, "seconds": <y>, **extra}
+
+so a figure can be fed indifferently from a benchmark artifact or from an
+experiment driver's dumped sweep.
+
+Tolerance policy: a *structurally broken* artifact (no ``benchmarks``
+list, entries without names or means) raises :class:`ReportDataError`
+with the file and the problems; everything else degrades gracefully —
+unknown benchmark names are simply never selected, and missing
+``extra_info`` readings fall back to the benchmark's parametrization or
+drop an annotation.  An empty directory raises an actionable error that
+says how to produce artifacts, because every caller downstream would
+otherwise emit an empty report that *looks* like a measurement.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.experiments.reporting import ExperimentResult
+from repro.reports.model import ReportDataError
+from repro.reports.schema import artifact_sha, validate_benchmark_payload
+
+__all__ = [
+    "BenchEntry",
+    "BenchRun",
+    "load_bench_file",
+    "load_bench_dirs",
+    "load_experiment_file",
+    "load_experiment_dir",
+]
+
+#: ``test_name[param]`` → (base, param).
+_PARAMETRIZED = re.compile(r"^(?P<base>[^\[]+)(?:\[(?P<param>.*)\])?$")
+
+
+def _as_number(value: object, default: float | None = None) -> float | None:
+    """``value`` as a float when it is one (or parses as one), else ``default``."""
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return default
+    return default
+
+
+@dataclass
+class BenchEntry:
+    """One benchmark's readings inside an artifact."""
+
+    name: str          #: full pytest id, e.g. ``test_fig8_...[4]``
+    base: str          #: id without the parametrization
+    param: str | None  #: the raw parametrization string, if any
+    mean: float        #: mean seconds
+    stddev: float
+    rounds: int
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def number(self, key: str, default: float | None = None) -> float | None:
+        """A numeric ``extra_info`` reading, ``default`` when absent/non-numeric."""
+        return _as_number(self.extra.get(key), default)
+
+    def parameter(self, prefer: Sequence[str] = ()) -> float:
+        """The entry's x value: a preferred ``extra_info`` field, else its param."""
+        for key in prefer:
+            value = self.number(key)
+            if value is not None:
+                return value
+        return _as_number(self.param, 0.0) or 0.0
+
+
+@dataclass
+class BenchRun:
+    """One parsed ``BENCH_<sha>.json`` artifact."""
+
+    sha: str
+    date: str  #: ISO timestamp of the measured commit (falls back to run time)
+    path: Path
+    entries: dict[str, BenchEntry] = field(default_factory=dict)
+
+    @property
+    def short_sha(self) -> str:
+        return self.sha[:7]
+
+    def entry(self, name: str) -> BenchEntry | None:
+        return self.entries.get(name)
+
+    def parametrized(self, base: str) -> list[BenchEntry]:
+        """All entries of one benchmark family, in numeric-aware param order."""
+        found = [e for e in self.entries.values() if e.base == base]
+
+        def order(entry: BenchEntry) -> tuple[float, str]:
+            numeric = _as_number(entry.param)
+            return (numeric if numeric is not None else float("inf"), entry.param or "")
+
+        return sorted(found, key=order)
+
+    def rows(self, base: str, label: str | None = None,
+             prefer: Sequence[str] = ()) -> list[dict[str, object]]:
+        """The family's entries as normalized rows (see module docstring)."""
+        rows: list[dict[str, object]] = []
+        for entry in self.parametrized(base):
+            row: dict[str, object] = {
+                "series": label if label is not None else base,
+                "parameter": entry.parameter(prefer),
+                "seconds": entry.mean,
+            }
+            row.update(entry.extra)
+            rows.append(row)
+        return rows
+
+
+def load_bench_file(path: Path | str, sha: str | None = None) -> BenchRun:
+    """Parse and validate one artifact file.
+
+    The commit sha comes from the payload's ``commit_info.id`` when
+    present, else the ``BENCH_<sha>.json`` filename, else the explicit
+    ``sha`` argument — in that priority order (the payload is
+    self-describing; the filename is the CI convention).
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ReportDataError(f"{path}: unreadable benchmark artifact ({error})") from error
+    problems = validate_benchmark_payload(payload)
+    if problems:
+        listed = "; ".join(problems[:5]) + ("; ..." if len(problems) > 5 else "")
+        raise ReportDataError(f"{path}: not a pytest-benchmark payload ({listed})")
+
+    commit_info = payload.get("commit_info") or {}
+    resolved_sha = commit_info.get("id") or artifact_sha(path.name) or sha or "unknown"
+    date = commit_info.get("time") or payload.get("datetime") or ""
+    run = BenchRun(sha=str(resolved_sha), date=str(date), path=path)
+    for raw in payload["benchmarks"]:
+        match = _PARAMETRIZED.match(raw["name"])
+        base = match.group("base") if match else raw["name"]
+        param = match.group("param") if match else None
+        stats = raw["stats"]
+        run.entries[raw["name"]] = BenchEntry(
+            name=raw["name"],
+            base=base,
+            param=param,
+            mean=float(stats["mean"]),
+            stddev=float(_as_number(stats.get("stddev"), 0.0) or 0.0),
+            rounds=int(_as_number(stats.get("rounds"), 0) or 0),
+            extra=dict(raw.get("extra_info") or {}),
+        )
+    return run
+
+
+def load_bench_dirs(directories: Iterable[Path | str]) -> list[BenchRun]:
+    """Every ``BENCH_*.json`` under the given directories, oldest first.
+
+    Runs are ordered by (commit date, sha) so the trajectory reads
+    left-to-right in history order; when the same sha appears in several
+    directories the last one loaded wins (a fresh CI artifact overrides a
+    committed copy of the same commit).
+    """
+    paths: list[Path] = []
+    searched: list[str] = []
+    for directory in directories:
+        directory = Path(directory)
+        searched.append(str(directory))
+        if directory.is_file():
+            paths.append(directory)
+            continue
+        if directory.is_dir():
+            paths.extend(sorted(directory.glob("BENCH_*.json")))
+    if not paths:
+        raise ReportDataError(
+            "no BENCH_*.json artifacts found in: " + ", ".join(searched) + ".\n"
+            "Produce one with:\n"
+            "  PYTHONPATH=src python -m pytest benchmarks -q "
+            "--benchmark-json BENCH_$(git rev-parse HEAD).json\n"
+            "or point --bench-dir at a directory of CI artifacts "
+            "(the committed history lives in benchmarks/artifacts/)."
+        )
+    by_sha: dict[str, BenchRun] = {}
+    for path in paths:
+        run = load_bench_file(path)
+        by_sha[run.sha] = run
+    return sorted(by_sha.values(), key=lambda run: (run.date, run.sha))
+
+
+def load_experiment_file(path: Path | str) -> ExperimentResult:
+    """One ``run_all --json-out`` dump, as an :class:`ExperimentResult`."""
+    path = Path(path)
+    try:
+        return ExperimentResult.from_json(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise ReportDataError(f"{path}: unreadable experiment result ({error})") from error
+
+
+def load_experiment_dir(directory: Path | str) -> dict[str, ExperimentResult]:
+    """Every ``*.json`` experiment dump in a directory, keyed by experiment id.
+
+    Unlike the benchmark loader an empty (or missing) directory is fine —
+    experiment sweeps are an optional enrichment over the artifacts.
+    """
+    directory = Path(directory)
+    results: dict[str, ExperimentResult] = {}
+    if not directory.is_dir():
+        return results
+    for path in sorted(directory.glob("*.json")):
+        result = load_experiment_file(path)
+        results[result.experiment_id] = result
+    return results

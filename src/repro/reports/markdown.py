@@ -1,0 +1,130 @@
+"""Deterministic Markdown emission: tables and generated-block injection.
+
+The docs under ``docs/`` embed machine-generated tables between marker
+comments::
+
+    <!-- generated: perf-trajectory -->
+    | ... table ... |
+    <!-- /generated: perf-trajectory -->
+
+:func:`inject_block` replaces only the content between a block's markers
+(the surrounding prose stays hand-written), and the staleness check
+regenerates every block and compares bytes — so the emitters here must be
+deterministic: stable ordering, explicit number formatting, no
+timestamps.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.reports.model import FigureData, ReportError
+
+__all__ = ["fmt_number", "markdown_table", "figure_markdown", "inject_block", "extract_block"]
+
+
+def fmt_number(value: object, digits: int = 4) -> str:
+    """A stable human rendering of one cell value.
+
+    Integers print bare; floats round to ``digits`` significant decimals
+    with trailing zeros trimmed (``0.0320`` → ``0.032``), so regenerated
+    tables are byte-identical run to run.
+    """
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        text = f"{value:.{digits}f}".rstrip("0").rstrip(".")
+        return text if text not in ("", "-") else "0"
+    return str(value)
+
+
+def markdown_table(headers: list[str], rows: list[list[object]]) -> str:
+    """A GitHub-flavored Markdown table with escaped pipes."""
+
+    def cell(value: object) -> str:
+        return fmt_number(value).replace("|", "\\|")
+
+    lines = [
+        "| " + " | ".join(cell(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(value) for value in row) + " |")
+    return "\n".join(lines)
+
+
+def figure_markdown(figure: FigureData) -> str:
+    """A figure's series as a Markdown table (one row per x, one column per series).
+
+    This is the textual twin of the SVG render — same data, greppable and
+    diffable, used for the perf-trajectory report emitted into ``docs/``.
+    """
+    labels = [series.label for series in figure.series]
+    xs: list[float] = []
+    for series in figure.series:
+        for x, _ in series.points:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    by_series = [{x: y for x, y in series.points} for series in figure.series]
+
+    def x_name(x: float) -> str:
+        if figure.x_ticklabels is not None and int(x) < len(figure.x_ticklabels):
+            return figure.x_ticklabels[int(x)]
+        return fmt_number(x)
+
+    rows = [
+        [x_name(x)] + [
+            fmt_number(values[x]) if x in values else "—" for values in by_series
+        ]
+        for x in xs
+    ]
+    table = markdown_table([figure.xlabel, *labels], rows)
+    parts = [f"**{figure.title}** ({figure.ylabel})", "", table]
+    if figure.caption:
+        parts += ["", f"_{figure.caption}_"]
+    return "\n".join(parts)
+
+
+def _block_pattern(name: str) -> re.Pattern[str]:
+    escaped = re.escape(name)
+    return re.compile(
+        rf"(<!-- generated: {escaped} -->\n).*?(<!-- /generated: {escaped} -->)",
+        re.DOTALL,
+    )
+
+
+def inject_block(text: str, name: str, content: str) -> str:
+    """Replace the generated block ``name`` in a document with ``content``.
+
+    The markers themselves are preserved; the content is placed between
+    them with a trailing newline.  Raises :class:`ReportError` when the
+    document does not carry the block's markers — a silent no-op would let
+    docs drift exactly the way this machinery exists to prevent.
+    """
+    pattern = _block_pattern(name)
+    replaced, count = pattern.subn(
+        lambda match: match.group(1) + content.rstrip("\n") + "\n" + match.group(2),
+        text,
+    )
+    if count == 0:
+        raise ReportError(
+            f"generated block {name!r} not found "
+            f"(expected '<!-- generated: {name} -->' ... '<!-- /generated: {name} -->')"
+        )
+    return replaced
+
+
+def extract_block(text: str, name: str) -> str | None:
+    """The current content of a generated block, or ``None`` if absent."""
+    match = _block_pattern(name).search(text)
+    if match is None:
+        return None
+    body = match.group(0)
+    open_end = body.index("-->\n") + len("-->\n")
+    close_start = body.rindex("<!-- /generated:")
+    return body[open_end:close_start]

@@ -1,0 +1,81 @@
+"""Data model of the reporting layer: figures as renderer-independent data.
+
+A figure generator never draws anything — it turns loaded artifact rows
+into a :class:`FigureData` (series of points, labels, annotations), and the
+renderers in :mod:`repro.reports.render` / :mod:`repro.reports.markdown`
+turn that into SVG / Markdown deterministically.  Keeping the two apart is
+what makes the docs staleness check possible: regenerating a figure from
+the same committed artifact is byte-identical, every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ReportError",
+    "ReportDataError",
+    "UnknownFigureError",
+    "Series",
+    "Annotation",
+    "FigureData",
+]
+
+
+class ReportError(Exception):
+    """Base class for reporting failures with a user-actionable message."""
+
+
+class ReportDataError(ReportError):
+    """The input artifacts cannot support the requested report."""
+
+
+class UnknownFigureError(ReportError):
+    """A figure name that is not in the registry."""
+
+
+@dataclass
+class Series:
+    """One plotted line/bar group: a label and its (x, y) points."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def xs(self) -> list[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> list[float]:
+        return [y for _, y in self.points]
+
+
+@dataclass
+class Annotation:
+    """A short text note pinned to a data coordinate."""
+
+    x: float
+    y: float
+    text: str
+
+
+@dataclass
+class FigureData:
+    """A renderer-independent figure: what to draw, not how.
+
+    ``kind`` is ``"line"`` (numeric x axis) or ``"bar"`` (categorical x
+    axis; ``x_ticklabels`` names the categories and every series point's x
+    is the category index).  ``caption`` is emitted under the figure in
+    Markdown output and as the SVG ``<desc>``.
+    """
+
+    name: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+    annotations: list[Annotation] = field(default_factory=list)
+    kind: str = "line"
+    x_ticklabels: list[str] | None = None
+    caption: str = ""
+
+    def is_empty(self) -> bool:
+        return not any(s.points for s in self.series)

@@ -1,0 +1,277 @@
+"""Deterministic SVG rendering of :class:`~repro.reports.model.FigureData`.
+
+The renderer is dependency-free on purpose: the container that regenerates
+the committed figures in CI has no plotting stack, and the docs staleness
+check needs byte-identical output for identical input.  Every coordinate
+is formatted with an explicit precision, ordering is the figure's own
+series order, and nothing (no timestamp, no library version) leaks into
+the output.
+
+PNG output is an optional extra gated on matplotlib being importable —
+:func:`png_available` / :func:`render_png` — because raster output cannot
+be produced portably from the standard library.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import math
+from xml.sax.saxutils import escape
+
+from repro.reports.model import FigureData, ReportError, Series
+
+__all__ = ["render_svg", "png_available", "render_png", "PALETTE"]
+
+#: Colorblind-safe categorical palette (Observable 10 ordering).
+PALETTE = (
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0",
+    "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+)
+
+WIDTH, HEIGHT = 760, 440
+MARGIN_LEFT, MARGIN_RIGHT, MARGIN_TOP, MARGIN_BOTTOM = 72, 24, 48, 56
+AXIS_COLOR = "#6b7280"
+GRID_COLOR = "#e5e7eb"
+TEXT_COLOR = "#1f2937"
+FONT = "font-family=\"Helvetica,Arial,sans-serif\""
+
+
+def _fmt(value: float) -> str:
+    """Pixel coordinates at fixed 2-decimal precision (deterministic)."""
+    return f"{value:.2f}"
+
+
+def _tick_label(value: float) -> str:
+    """Human tick labels: integers bare, large values thinned, floats trimmed."""
+    if abs(value) >= 10000 and value == int(value):
+        return f"{int(value):,}".replace(",", " ")  # thin space groups
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    text = f"{value:.4f}".rstrip("0").rstrip(".")
+    return text or "0"
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> list[float]:
+    """Rounded tick positions covering [low, high]."""
+    if high <= low:
+        high = low + (abs(low) or 1.0)
+    span = high - low
+    raw_step = span / max(count - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for factor in (1, 2, 2.5, 5, 10):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    first = math.floor(low / step) * step
+    ticks = []
+    tick = first
+    while tick <= high + step * 1e-9:
+        ticks.append(round(tick, 10))
+        tick += step
+    return ticks
+
+
+def _marker(x: float, y: float, index: int, color: str) -> str:
+    """A per-series marker shape so series stay distinguishable in grayscale."""
+    shape = index % 4
+    r = 4.0
+    if shape == 0:  # circle
+        return f'<circle cx="{_fmt(x)}" cy="{_fmt(y)}" r="{r}" fill="{color}"/>'
+    if shape == 1:  # square
+        return (f'<rect x="{_fmt(x - r)}" y="{_fmt(y - r)}" width="{_fmt(2 * r)}" '
+                f'height="{_fmt(2 * r)}" fill="{color}"/>')
+    if shape == 2:  # diamond
+        points = f"{_fmt(x)},{_fmt(y - r - 1)} {_fmt(x + r + 1)},{_fmt(y)} " \
+                 f"{_fmt(x)},{_fmt(y + r + 1)} {_fmt(x - r - 1)},{_fmt(y)}"
+        return f'<polygon points="{points}" fill="{color}"/>'
+    points = f"{_fmt(x)},{_fmt(y - r - 1)} {_fmt(x + r + 1)},{_fmt(y + r)} " \
+             f"{_fmt(x - r - 1)},{_fmt(y + r)}"
+    return f'<polygon points="{points}" fill="{color}"/>'
+
+
+def _data_bounds(series: list[Series]) -> tuple[float, float, float, float]:
+    xs = [x for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(0.0, min(ys)), max(ys)
+    if x_high == x_low:
+        x_low, x_high = x_low - 0.5, x_high + 0.5
+    if y_high == y_low:
+        y_high = y_low + (abs(y_low) or 1.0)
+    return x_low, x_high, y_low, y_high
+
+
+def render_svg(figure: FigureData) -> str:
+    """The figure as standalone SVG text (one trailing newline)."""
+    if figure.is_empty():
+        raise ReportError(f"figure {figure.name!r} has no data points to render")
+
+    plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+    categorical = figure.kind == "bar"
+
+    if categorical:
+        categories = figure.x_ticklabels or []
+        x_low, x_high = -0.5, max(len(categories) - 0.5, 0.5)
+        _, _, y_low, y_high = _data_bounds(figure.series)
+        y_ticks = _nice_ticks(y_low, y_high)
+        y_high = max(y_high, y_ticks[-1])
+        x_ticks = list(range(len(categories)))
+    else:
+        x_low, x_high, y_low, y_high = _data_bounds(figure.series)
+        x_ticks = _nice_ticks(x_low, x_high)
+        y_ticks = _nice_ticks(y_low, y_high)
+        x_low, x_high = min(x_low, x_ticks[0]), max(x_high, x_ticks[-1])
+        y_high = max(y_high, y_ticks[-1])
+        y_low = min(y_low, y_ticks[0])
+
+    def px(x: float) -> float:
+        return MARGIN_LEFT + (x - x_low) / (x_high - x_low) * plot_w
+
+    def py(y: float) -> float:
+        return MARGIN_TOP + plot_h - (y - y_low) / (y_high - y_low) * plot_h
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" '
+        f'viewBox="0 0 {WIDTH} {HEIGHT}">',
+        f"<desc>{escape(figure.caption or figure.title)}</desc>",
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="#ffffff"/>',
+        f'<text x="{MARGIN_LEFT}" y="24" {FONT} font-size="15" font-weight="bold" '
+        f'fill="{TEXT_COLOR}">{escape(figure.title)}</text>',
+    ]
+
+    # Gridlines + y ticks.
+    for tick in y_ticks:
+        if not (y_low - 1e-9 <= tick <= y_high + 1e-9):
+            continue
+        y = py(tick)
+        parts.append(f'<line x1="{MARGIN_LEFT}" y1="{_fmt(y)}" '
+                     f'x2="{MARGIN_LEFT + plot_w}" y2="{_fmt(y)}" '
+                     f'stroke="{GRID_COLOR}" stroke-width="1"/>')
+        parts.append(f'<text x="{MARGIN_LEFT - 8}" y="{_fmt(y + 4)}" {FONT} '
+                     f'font-size="11" text-anchor="end" fill="{AXIS_COLOR}">'
+                     f"{escape(_tick_label(tick))}</text>")
+
+    # X ticks.
+    for index, tick in enumerate(x_ticks):
+        if not categorical and not (x_low - 1e-9 <= tick <= x_high + 1e-9):
+            continue
+        x = px(float(tick))
+        label = (figure.x_ticklabels[index]
+                 if categorical and figure.x_ticklabels and index < len(figure.x_ticklabels)
+                 else _tick_label(float(tick)))
+        parts.append(f'<line x1="{_fmt(x)}" y1="{MARGIN_TOP + plot_h}" '
+                     f'x2="{_fmt(x)}" y2="{MARGIN_TOP + plot_h + 5}" '
+                     f'stroke="{AXIS_COLOR}" stroke-width="1"/>')
+        parts.append(f'<text x="{_fmt(x)}" y="{MARGIN_TOP + plot_h + 20}" {FONT} '
+                     f'font-size="11" text-anchor="middle" fill="{AXIS_COLOR}">'
+                     f"{escape(label)}</text>")
+
+    # Axes.
+    parts.append(f'<line x1="{MARGIN_LEFT}" y1="{MARGIN_TOP}" x2="{MARGIN_LEFT}" '
+                 f'y2="{MARGIN_TOP + plot_h}" stroke="{AXIS_COLOR}" stroke-width="1"/>')
+    parts.append(f'<line x1="{MARGIN_LEFT}" y1="{MARGIN_TOP + plot_h}" '
+                 f'x2="{MARGIN_LEFT + plot_w}" y2="{MARGIN_TOP + plot_h}" '
+                 f'stroke="{AXIS_COLOR}" stroke-width="1"/>')
+    parts.append(f'<text x="{MARGIN_LEFT + plot_w / 2:.2f}" y="{HEIGHT - 12}" {FONT} '
+                 f'font-size="12" text-anchor="middle" fill="{TEXT_COLOR}">'
+                 f"{escape(figure.xlabel)}</text>")
+    parts.append(f'<text x="16" y="{MARGIN_TOP + plot_h / 2:.2f}" {FONT} font-size="12" '
+                 f'text-anchor="middle" fill="{TEXT_COLOR}" '
+                 f'transform="rotate(-90 16 {MARGIN_TOP + plot_h / 2:.2f})">'
+                 f"{escape(figure.ylabel)}</text>")
+
+    # Series.
+    if categorical:
+        groups = max(len(figure.series), 1)
+        slot = plot_w / max(len(figure.x_ticklabels or []), 1)
+        bar_w = slot * 0.7 / groups
+        for s_index, series in enumerate(figure.series):
+            color = PALETTE[s_index % len(PALETTE)]
+            for x, y in series.points:
+                left = px(x) - (0.35 * slot) + s_index * bar_w
+                top = py(y)
+                parts.append(
+                    f'<rect x="{_fmt(left)}" y="{_fmt(top)}" width="{_fmt(bar_w)}" '
+                    f'height="{_fmt(MARGIN_TOP + plot_h - top)}" fill="{color}"/>'
+                )
+                parts.append(f'<text x="{_fmt(left + bar_w / 2)}" y="{_fmt(top - 6)}" {FONT} '
+                             f'font-size="10" text-anchor="middle" fill="{TEXT_COLOR}">'
+                             f"{escape(_tick_label(y))}</text>")
+    else:
+        for s_index, series in enumerate(figure.series):
+            color = PALETTE[s_index % len(PALETTE)]
+            if len(series.points) > 1:
+                path = " ".join(
+                    ("M" if index == 0 else "L") + f"{_fmt(px(x))},{_fmt(py(y))}"
+                    for index, (x, y) in enumerate(series.points)
+                )
+                parts.append(f'<path d="{path}" fill="none" stroke="{color}" '
+                             f'stroke-width="2"/>')
+            for x, y in series.points:
+                parts.append(_marker(px(x), py(y), s_index, color))
+
+    # Legend (top-right, inside the plot).
+    legend_x = MARGIN_LEFT + plot_w - 8
+    for s_index, series in enumerate(figure.series):
+        color = PALETTE[s_index % len(PALETTE)]
+        y = MARGIN_TOP + 10 + s_index * 16
+        parts.append(f'<rect x="{_fmt(legend_x - 10)}" y="{_fmt(y - 8)}" width="10" '
+                     f'height="10" fill="{color}"/>')
+        parts.append(f'<text x="{_fmt(legend_x - 16)}" y="{_fmt(y + 1)}" {FONT} '
+                     f'font-size="11" text-anchor="end" fill="{TEXT_COLOR}">'
+                     f"{escape(series.label)}</text>")
+
+    # Annotations.
+    for annotation in figure.annotations:
+        x, y = px(annotation.x), py(annotation.y)
+        parts.append(f'<text x="{_fmt(x + 6)}" y="{_fmt(y - 8)}" {FONT} font-size="10" '
+                     f'fill="{AXIS_COLOR}">{escape(annotation.text)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def png_available() -> bool:
+    """Whether the optional matplotlib-based PNG renderer can run here."""
+    return importlib.util.find_spec("matplotlib") is not None
+
+
+def render_png(figure: FigureData, path: str) -> None:
+    """Rasterize a figure to PNG via matplotlib (optional dependency).
+
+    Raises :class:`ReportError` with installation guidance when matplotlib
+    is absent — the SVG output is the canonical, dependency-free artifact.
+    """
+    if not png_available():
+        raise ReportError(
+            "PNG rendering needs matplotlib, which is not installed; "
+            "the SVG output carries the same figure without extra dependencies"
+        )
+    import matplotlib  # noqa: PLC0415 - optional, gated above
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt  # noqa: PLC0415
+
+    fig, axes = plt.subplots(figsize=(7.6, 4.4), dpi=100)
+    if figure.kind == "bar":
+        groups = max(len(figure.series), 1)
+        width = 0.7 / groups
+        for index, series in enumerate(figure.series):
+            xs = [x + (index - (groups - 1) / 2) * width for x, _ in series.points]
+            axes.bar(xs, series.ys(), width=width, label=series.label,
+                     color=PALETTE[index % len(PALETTE)])
+        if figure.x_ticklabels:
+            axes.set_xticks(range(len(figure.x_ticklabels)))
+            axes.set_xticklabels(figure.x_ticklabels)
+    else:
+        for index, series in enumerate(figure.series):
+            axes.plot(series.xs(), series.ys(), marker="o", label=series.label,
+                      color=PALETTE[index % len(PALETTE)])
+    axes.set_title(figure.title)
+    axes.set_xlabel(figure.xlabel)
+    axes.set_ylabel(figure.ylabel)
+    axes.legend()
+    fig.tight_layout()
+    fig.savefig(path)
+    plt.close(fig)

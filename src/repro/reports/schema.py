@@ -1,0 +1,128 @@
+"""The shared schema of ``BENCH_<sha>.json`` benchmark artifacts.
+
+CI's ``perf`` job runs the benchmark suite with ``--benchmark-json`` and
+uploads the resulting pytest-benchmark payload as ``BENCH_<sha>.json``.
+Three consumers read those files and must agree on their shape:
+
+* :mod:`benchmarks.check_regression <benchmarks>` — the perf gate
+  (``benchmarks/check_regression.py`` imports this module);
+* :mod:`repro.reports.loaders` — the figure registry's artifact loader;
+* :mod:`repro.reports.trajectory` — the cross-commit perf report over the
+  committed artifacts in ``benchmarks/artifacts/``.
+
+This module is that agreement: the artifact filename convention, the
+minimal required payload shape, and the tracked hot paths (with their
+human descriptions, so the generated documentation tables and the gate
+version together).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+__all__ = [
+    "ARTIFACT_PATTERN",
+    "TRACKED_BENCHMARKS",
+    "EXTRA_INFO_FIELDS",
+    "artifact_sha",
+    "validate_benchmark_payload",
+]
+
+#: Artifact filename convention: ``BENCH_<git sha>.json`` (7-40 hex chars).
+ARTIFACT_PATTERN = re.compile(r"^BENCH_(?P<sha>[0-9a-f]{7,40})\.json$")
+
+#: The hot paths tracked by the perf gate and plotted by the trajectory
+#: report, with the description shown in the generated documentation
+#: tables.  Order is the presentation order.
+TRACKED_BENCHMARKS: dict[str, str] = {
+    "test_fig8_sharded_batch_detect_scaling[1]": (
+        "single-threaded BATCHDETECT `detect()` at `REPRO_BENCH_SIZE` "
+        "(Figs. 5–7 workhorse)"
+    ),
+    "test_fig9_sharded_incremental_update[1]": (
+        "single-threaded INCDETECT `apply_update()` of a 2% batch "
+        "(the incremental update path)"
+    ),
+    "test_fig10_repair_convergence[incremental]": (
+        "full repair of the 5%-noise dataset re-validated by INCDETECT "
+        "deltas only (the repair path)"
+    ),
+    "test_fig11_service_sustained_throughput[1]": (
+        "the always-on service draining a Poisson update stream through "
+        "admission + coalescing + the pump into INCDETECT "
+        "(the streaming-serving path)"
+    ),
+}
+
+#: Where each benchmark family writes its ``extra_info`` readings.  Keys are
+#: benchmark-name prefixes; values the fields the reports layer consumes.
+#: Loaders treat every field as optional — a missing reading degrades the
+#: figure (an annotation is dropped), it never crashes the render.
+EXTRA_INFO_FIELDS: dict[str, tuple[str, ...]] = {
+    "test_fig5": ("tuples", "noise_percent", "tableau_size", "dirty"),
+    "test_fig6": ("tuples", "noise_percent", "tableau_size", "update_size", "dirty"),
+    "test_fig7a": ("update_fraction", "update_size", "dirty"),
+    "test_fig7b": ("update_size", "sv_before", "mv_before", "sv_after", "mv_after"),
+    "test_fig8": (
+        "workers", "tuples", "replication_factor", "summary_bytes",
+        "summary_groups", "speedup_vs_serial",
+    ),
+    "test_fig9": (
+        "workers", "tuples", "update_size", "readback_tids",
+        "summary_groups_touched",
+    ),
+    "test_fig10": (
+        "strategy", "tuples", "rounds", "cells_changed", "full_detects",
+        "redetect_rows_avoided",
+    ),
+    "test_fig11": (
+        "workers", "tuples", "updates_per_second", "p99_latency_ms",
+        "mean_latency_ms", "ships", "shipped_batches", "coalesced_away",
+    ),
+    "test_ablation_sql": ("tableau_size", "dirty"),
+    "test_ablation_naive": ("tableau_size", "dirty"),
+    "test_ablation_maxss": ("sigma_size", "exact_optimum", "approx_cardinality", "ratio"),
+}
+
+
+def artifact_sha(filename: str) -> str | None:
+    """The commit sha encoded in an artifact filename, or ``None``."""
+    match = ARTIFACT_PATTERN.match(filename)
+    return match.group("sha") if match else None
+
+
+def validate_benchmark_payload(payload: Any) -> list[str]:
+    """Structural problems in a parsed ``BENCH_*.json`` payload.
+
+    Returns an empty list when the payload has the minimal shape every
+    consumer relies on: a mapping with a ``benchmarks`` list whose entries
+    each carry a string ``name`` and a ``stats`` mapping with a numeric
+    ``mean``.  Everything else (``extra_info``, ``commit_info``,
+    ``datetime``, ...) is optional by design — old artifacts stay loadable.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload is {type(payload).__name__}, expected a JSON object"]
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        return ["payload has no 'benchmarks' list"]
+    for index, entry in enumerate(benchmarks):
+        where = f"benchmarks[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: entry is {type(entry).__name__}, expected an object")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing benchmark 'name'")
+        else:
+            where = f"benchmarks[{index}] ({name})"
+        stats = entry.get("stats")
+        if not isinstance(stats, dict):
+            problems.append(f"{where}: missing 'stats' object")
+        elif not isinstance(stats.get("mean"), (int, float)):
+            problems.append(f"{where}: stats.mean missing or non-numeric")
+        extra = entry.get("extra_info")
+        if extra is not None and not isinstance(extra, dict):
+            problems.append(f"{where}: extra_info is {type(extra).__name__}, expected an object")
+    return problems

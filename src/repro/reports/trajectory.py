@@ -1,0 +1,71 @@
+"""The cross-commit perf-trajectory report.
+
+One series per tracked hot path (the same set the perf gate enforces,
+from :mod:`repro.reports.schema`), one x position per benchmark artifact,
+oldest commit first.  The report renders twice from the same data: an SVG
+via the figure registry, and a Markdown table emitted into
+``docs/PERFORMANCE.md`` between generated markers — every PR that drops
+its ``BENCH_<sha>.json`` into ``benchmarks/artifacts/`` extends both.
+"""
+
+from __future__ import annotations
+
+from repro.reports.loaders import BenchRun
+from repro.reports.model import FigureData, Series
+from repro.reports.schema import TRACKED_BENCHMARKS
+
+__all__ = ["SERIES_LABELS", "trajectory_figure", "trajectory_table"]
+
+#: Tracked benchmark → short legend label.
+SERIES_LABELS: dict[str, str] = {
+    "test_fig8_sharded_batch_detect_scaling[1]": "fig8 batch detect",
+    "test_fig9_sharded_incremental_update[1]": "fig9 incremental update",
+    "test_fig10_repair_convergence[incremental]": "fig10 repair",
+    "test_fig11_service_sustained_throughput[1]": "fig11 service window",
+}
+
+
+def _label(tracked: str) -> str:
+    return SERIES_LABELS.get(tracked, tracked)
+
+
+def trajectory_figure(runs: list[BenchRun]) -> FigureData:
+    """Mean milliseconds of every tracked hot path across the runs."""
+    figure = FigureData(
+        name="perf_trajectory",
+        title="Perf trajectory: tracked hot paths across commits",
+        xlabel="commit",
+        ylabel="mean time (ms)",
+        x_ticklabels=[run.short_sha for run in runs],
+        caption=(
+            "Mean seconds of the perf gate's tracked benchmarks per committed "
+            "BENCH_<sha>.json artifact (oldest commit left). A missing marker "
+            "means the hot path did not exist at that commit yet."
+        ),
+    )
+    for tracked in TRACKED_BENCHMARKS:
+        series = Series(label=_label(tracked))
+        for index, run in enumerate(runs):
+            entry = run.entry(tracked)
+            if entry is not None:
+                series.points.append((float(index), entry.mean * 1000.0))
+        if series.points:
+            figure.series.append(series)
+    return figure
+
+
+def trajectory_table(runs: list[BenchRun]) -> tuple[list[str], list[list[object]]]:
+    """The same data as a Markdown-ready (headers, rows) pair.
+
+    One row per commit; one column per tracked hot path, in mean
+    milliseconds (``—`` before the hot path existed).
+    """
+    headers = ["commit", "date"] + [f"{_label(name)} (ms)" for name in TRACKED_BENCHMARKS]
+    rows: list[list[object]] = []
+    for run in runs:
+        row: list[object] = [f"`{run.short_sha}`", run.date[:10] or "—"]
+        for tracked in TRACKED_BENCHMARKS:
+            entry = run.entry(tracked)
+            row.append(round(entry.mean * 1000.0, 2) if entry is not None else "—")
+        rows.append(row)
+    return headers, rows

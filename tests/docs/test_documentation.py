@@ -27,6 +27,17 @@ def test_links_and_referenced_paths_resolve(path):
     assert check_docs.check_links(path) == []
 
 
+def test_generated_docs_and_figures_are_fresh():
+    """The committed generated blocks and figure renders match regeneration.
+
+    Same check as CI's ``tools/check_docs.py --stale``: every
+    ``<!-- generated: ... -->`` block and every ``docs/figures/*.svg`` is
+    regenerated in-memory from the committed ``benchmarks/artifacts/``
+    history and compared byte-for-byte.
+    """
+    assert check_docs.check_generated() == []
+
+
 @pytest.mark.parametrize("path", _documentation_files(), ids=lambda p: p.name)
 def test_doctest_examples_pass(path):
     src = str(check_docs.REPO_ROOT / "src")

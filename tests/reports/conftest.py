@@ -1,0 +1,14 @@
+from pathlib import Path
+
+import pytest
+
+from synthetic_artifacts import SHA_NEW, SHA_OLD, write_artifact
+
+
+@pytest.fixture
+def bench_dir(tmp_path: Path) -> Path:
+    """Two commits of synthetic artifacts (enough for a trajectory)."""
+    directory = tmp_path / "artifacts"
+    write_artifact(directory, SHA_OLD, "2026-01-01T00:00:00+00:00")
+    write_artifact(directory, SHA_NEW, "2026-02-01T00:00:00+00:00")
+    return directory

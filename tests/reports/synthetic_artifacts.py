@@ -1,0 +1,78 @@
+"""Synthetic ``BENCH_<sha>.json`` payload builders shared by the reports tests.
+
+The payloads mimic what CI's ``perf`` job uploads: a pytest-benchmark
+document with ``commit_info`` and parametrized entries carrying
+``extra_info`` readings.  Everything is tiny and hand-written so the
+tests exercise the loaders' tolerance policy, not the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SHA_OLD = "a" * 40
+SHA_NEW = "b" * 40
+
+
+def bench_entry(name: str, mean: float, extra: dict | None = None) -> dict:
+    return {
+        "name": name,
+        "stats": {"mean": mean, "stddev": mean / 10.0, "rounds": 3,
+                  "min": mean * 0.9, "max": mean * 1.1},
+        "extra_info": extra or {},
+    }
+
+
+def make_payload(sha: str, date: str, benchmarks: list[dict]) -> dict:
+    return {
+        "machine_info": {"python_version": "3.11.0", "system": "Linux"},
+        "commit_info": {"id": sha, "time": date},
+        "datetime": date,
+        "benchmarks": benchmarks,
+    }
+
+
+def default_benchmarks() -> list[dict]:
+    """A small but figure-complete benchmark set (fig5a, fig8–fig11)."""
+    entries = [
+        bench_entry("test_fig5a_batchdetect_scalability_in_tuples[100]", 0.010,
+                    {"tuples": 100, "dirty": 7}),
+        bench_entry("test_fig5a_batchdetect_scalability_in_tuples[200]", 0.021,
+                    {"tuples": 200, "dirty": 15}),
+        bench_entry("test_fig10_repair_convergence[greedy]", 0.120,
+                    {"strategy": "greedy", "rounds": 2, "cells_changed": 30,
+                     "full_detects": 3, "tuples": 1000}),
+        bench_entry("test_fig10_repair_convergence[incremental]", 0.030,
+                    {"strategy": "incremental", "rounds": 2, "cells_changed": 30,
+                     "full_detects": 0, "redetect_rows_avoided": 2000,
+                     "tuples": 1000}),
+        # A benchmark unknown to every figure: loaders must carry it
+        # harmlessly, figures must never select it.
+        bench_entry("test_some_future_benchmark[1]", 0.001),
+    ]
+    for workers, mean in ((1, 0.050), (2, 0.030), (4, 0.020)):
+        entries.append(bench_entry(
+            f"test_fig8_sharded_batch_detect_scaling[{workers}]", mean,
+            {"workers": workers, "tuples": 1000, "replication_factor": 1.0,
+             "summary_bytes": 9000, "summary_groups": 40}))
+        entries.append(bench_entry(
+            f"test_fig9_sharded_incremental_update[{workers}]", mean / 4.0,
+            {"workers": workers, "tuples": 1000, "update_size": 20,
+             "readback_tids": 18, "summary_groups_touched": 4}))
+        entries.append(bench_entry(
+            f"test_fig11_service_sustained_throughput[{workers}]", mean / 2.0,
+            {"workers": workers, "tuples": 1000, "updates_per_second": 9000.0,
+             "p99_latency_ms": 18.5, "mean_latency_ms": 6.2,
+             "ships": 1, "shipped_batches": 2, "coalesced_away": 12}))
+    return entries
+
+
+def write_artifact(directory: Path, sha: str, date: str,
+                   benchmarks: list[dict] | None = None) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{sha}.json"
+    payload = make_payload(sha, date, benchmarks if benchmarks is not None
+                           else default_benchmarks())
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

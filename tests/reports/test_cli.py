@@ -1,0 +1,90 @@
+"""End-to-end CLI behaviour on synthetic artifacts (no docs are touched)."""
+
+from pathlib import Path
+
+from repro.reports.cli import main
+
+from synthetic_artifacts import SHA_OLD, write_artifact
+
+
+def test_list_names_every_registered_figure(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig5a", "fig8", "fig11", "perf-trajectory"):
+        assert name in out
+
+
+def test_all_renders_selected_group_to_out_dir(bench_dir, tmp_path, capsys):
+    out = tmp_path / "renders"
+    assert main(["all", "--bench-dir", str(bench_dir),
+                 "--out", str(out), "--only", "growth"]) == 0
+    written = {path.name for path in out.glob("*.svg")}
+    assert written == {
+        "fig8_parallel_scaling.svg", "fig9_update_routing.svg",
+        "fig10_repair_convergence.svg", "fig11_service_throughput.svg",
+        "fig11_service_latency.svg",
+    }
+    # An explicit --bench-dir must never rewrite the committed docs.
+    assert "updated" not in capsys.readouterr().out
+
+
+def test_single_figure_by_name(bench_dir, tmp_path):
+    out = tmp_path / "one"
+    assert main(["fig8", "--bench-dir", str(bench_dir), "--out", str(out)]) == 0
+    assert [path.name for path in out.glob("*.svg")] == ["fig8_parallel_scaling.svg"]
+
+
+def test_unknown_figure_is_exit_2_with_known_names(bench_dir, tmp_path, capsys):
+    assert main(["fig99", "--bench-dir", str(bench_dir),
+                 "--out", str(tmp_path / "x")]) == 2
+    err = capsys.readouterr().err
+    assert "fig99" in err and "fig8" in err
+
+
+def test_unknown_only_token_is_exit_2(bench_dir, tmp_path, capsys):
+    assert main(["all", "--bench-dir", str(bench_dir),
+                 "--out", str(tmp_path / "x"), "--only", "bogus"]) == 2
+    assert "bogus" in capsys.readouterr().err
+
+
+def test_empty_bench_dir_is_an_error_message_not_a_traceback(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["all", "--bench-dir", str(empty),
+                 "--out", str(tmp_path / "x")]) == 2
+    err = capsys.readouterr().err
+    assert "no BENCH_*.json artifacts" in err
+    assert "Traceback" not in err
+
+
+def test_experiments_dir_enriches_paper_figures(bench_dir, tmp_path):
+    # A driver sweep with the figure's experiment id wins over bench rows.
+    experiments = tmp_path / "experiments"
+    experiments.mkdir()
+    (experiments / "fig5a.json").write_text(
+        '{"schema": "repro.experiment-result/v1", "experiment_id": "fig5a",\n'
+        ' "title": "BATCHDETECT scalability in |D|",\n'
+        ' "measurements": [\n'
+        '  {"label": "batchdetect", "parameter": 500, "seconds": 0.5, "extra": {}},\n'
+        '  {"label": "batchdetect", "parameter": 1000, "seconds": 1.0, "extra": {}}\n'
+        ' ]}\n',
+        encoding="utf-8")
+    out = tmp_path / "renders"
+    assert main(["fig5a", "--bench-dir", str(bench_dir),
+                 "--experiments-dir", str(experiments),
+                 "--out", str(out)]) == 0
+    svg = (out / "fig5a.svg").read_text(encoding="utf-8")
+    assert "1000" in svg  # the sweep's x range, not the artifact's 100/200
+
+
+def test_renders_are_deterministic_across_two_cli_runs(bench_dir, tmp_path):
+    first, second = tmp_path / "first", tmp_path / "second"
+    for out in (first, second):
+        assert main(["all", "--bench-dir", str(bench_dir),
+                     "--out", str(out), "--only", "growth"]) == 0
+
+    def snapshot(directory: Path) -> dict[str, str]:
+        return {path.name: path.read_text(encoding="utf-8")
+                for path in sorted(directory.glob("*.svg"))}
+
+    assert snapshot(first) == snapshot(second)

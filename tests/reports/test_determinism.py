@@ -1,0 +1,80 @@
+"""Renders and generated markdown must be byte-identical across runs.
+
+This is the property the docs staleness check stands on: regenerating
+from the same committed inputs must reproduce the committed bytes on any
+machine, so nothing here may depend on time, dict iteration accidents or
+float repr noise.
+"""
+
+from repro.reports import (
+    ReportContext,
+    figure_markdown,
+    markdown_table,
+    render_svg,
+    resolve_figure,
+    select_figures,
+    trajectory_table,
+)
+from repro.reports.markdown import extract_block, fmt_number, inject_block
+
+
+def _context(bench_dir):
+    return ReportContext.load(bench_dirs=[bench_dir])
+
+
+def test_svg_render_is_byte_identical_across_two_loads(bench_dir):
+    spec = resolve_figure("fig8")
+    first = [render_svg(f) for f in spec.generator(_context(bench_dir))]
+    second = [render_svg(f) for f in spec.generator(_context(bench_dir))]
+    assert first == second
+    assert all(svg.startswith("<svg") for svg in first)
+    assert all(svg.endswith("\n") for svg in first)
+
+
+def test_all_figures_render_deterministically(bench_dir):
+    def render_all():
+        ctx = _context(bench_dir)
+        out = {}
+        for spec in select_figures(["paper", "growth", "trajectory"]):
+            try:
+                for figure in spec.generator(ctx):
+                    out[figure.name] = render_svg(figure)
+            except Exception:
+                continue  # synthetic artifacts don't feed every figure
+        return out
+
+    first, second = render_all(), render_all()
+    assert first == second
+    assert "fig8_parallel_scaling" in first
+    assert "perf_trajectory" in first
+
+
+def test_trajectory_markdown_is_byte_identical(bench_dir):
+    def table():
+        ctx = _context(bench_dir)
+        headers, rows = trajectory_table(ctx.runs)
+        return markdown_table(headers, rows)
+
+    first, second = table(), table()
+    assert first == second
+    assert "`aaaaaaa`" in first and "`bbbbbbb`" in first
+
+
+def test_figure_markdown_is_stable(bench_dir):
+    ctx = _context(bench_dir)
+    figure = resolve_figure("fig8").generator(ctx)[0]
+    assert figure_markdown(figure) == figure_markdown(figure)
+
+
+def test_fmt_number_has_no_repr_noise():
+    assert fmt_number(1000) == "1000"
+    assert fmt_number(1000.0) == "1000"
+    assert fmt_number(0.1 + 0.2) == "0.3"
+    assert fmt_number(1.23456, 2) == "1.23"
+
+
+def test_inject_then_extract_roundtrip():
+    doc = "before\n<!-- generated: x -->\nold\n<!-- /generated: x -->\nafter\n"
+    updated = inject_block(doc, "x", "| a |\n|---|\n| 1 |")
+    assert extract_block(updated, "x").strip() == "| a |\n|---|\n| 1 |"
+    assert inject_block(updated, "x", "| a |\n|---|\n| 1 |") == updated  # idempotent

@@ -1,0 +1,108 @@
+"""Loader tolerance: graceful on degraded inputs, loud on broken ones."""
+
+import json
+
+import pytest
+
+from repro.reports import ReportDataError, load_bench_dirs, load_bench_file
+
+from synthetic_artifacts import (
+    SHA_NEW,
+    SHA_OLD,
+    bench_entry,
+    make_payload,
+    write_artifact,
+)
+
+
+def test_runs_ordered_oldest_first(bench_dir):
+    runs = load_bench_dirs([bench_dir])
+    assert [run.sha for run in runs] == [SHA_OLD, SHA_NEW]
+    assert runs[0].short_sha == "a" * 7
+
+
+def test_payload_sha_beats_filename(tmp_path):
+    # A renamed artifact must not lie about its commit.
+    path = tmp_path / f"BENCH_{'c' * 40}.json"
+    payload = make_payload(SHA_OLD, "2026-01-01T00:00:00+00:00",
+                           [bench_entry("test_x", 0.01)])
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    assert load_bench_file(path).sha == SHA_OLD
+
+
+def test_filename_sha_used_when_payload_has_none(tmp_path):
+    path = tmp_path / f"BENCH_{'c' * 40}.json"
+    path.write_text(json.dumps({"benchmarks": [bench_entry("test_x", 0.01)]}),
+                    encoding="utf-8")
+    assert load_bench_file(path).sha == "c" * 40
+
+
+def test_duplicate_sha_last_directory_wins(bench_dir, tmp_path):
+    fresh = tmp_path / "fresh"
+    write_artifact(fresh, SHA_NEW, "2026-02-01T00:00:00+00:00",
+                   [bench_entry("test_only_here", 0.5)])
+    runs = load_bench_dirs([bench_dir, fresh])
+    assert len(runs) == 2
+    newest = runs[-1]
+    assert newest.sha == SHA_NEW
+    assert newest.entry("test_only_here") is not None
+
+
+def test_parametrized_numeric_aware_order(bench_dir):
+    run = load_bench_dirs([bench_dir])[-1]
+    entries = run.parametrized("test_fig8_sharded_batch_detect_scaling")
+    assert [entry.param for entry in entries] == ["1", "2", "4"]
+
+
+def test_unknown_benchmark_names_are_tolerated_never_selected(bench_dir):
+    run = load_bench_dirs([bench_dir])[-1]
+    assert run.entry("test_some_future_benchmark[1]") is not None
+    assert run.parametrized("test_never_ran") == []
+    assert run.rows("test_never_ran") == []
+
+
+def test_missing_extra_info_keys_degrade_to_defaults(bench_dir):
+    run = load_bench_dirs([bench_dir])[-1]
+    entry = run.entry("test_some_future_benchmark[1]")
+    assert entry.number("replication_factor") is None
+    assert entry.number("replication_factor", 1.5) == 1.5
+    # parameter() falls back to the parametrization when the preferred
+    # extra_info fields are absent.
+    assert entry.parameter(("workers",)) == 1.0
+
+
+def test_rows_are_normalized(bench_dir):
+    run = load_bench_dirs([bench_dir])[-1]
+    rows = run.rows("test_fig8_sharded_batch_detect_scaling",
+                    label="detect", prefer=("workers",))
+    assert [row["parameter"] for row in rows] == [1.0, 2.0, 4.0]
+    assert all(row["series"] == "detect" for row in rows)
+    assert all(row["seconds"] > 0 for row in rows)
+    assert rows[0]["replication_factor"] == 1.0  # extra_info rides along
+
+
+def test_empty_bench_dir_is_an_actionable_error(tmp_path):
+    empty = tmp_path / "nothing"
+    empty.mkdir()
+    with pytest.raises(ReportDataError) as excinfo:
+        load_bench_dirs([empty])
+    message = str(excinfo.value)
+    assert str(empty) in message
+    assert "pytest benchmarks" in message          # says how to produce one
+    assert "benchmarks/artifacts" in message       # and where history lives
+
+
+def test_structurally_broken_artifact_names_the_file(tmp_path):
+    path = tmp_path / f"BENCH_{'d' * 40}.json"
+    path.write_text(json.dumps({"benchmarks": [{"stats": {}}]}), encoding="utf-8")
+    with pytest.raises(ReportDataError) as excinfo:
+        load_bench_file(path)
+    assert path.name in str(excinfo.value)
+
+
+def test_unparsable_json_names_the_file(tmp_path):
+    path = tmp_path / f"BENCH_{'e' * 40}.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ReportDataError) as excinfo:
+        load_bench_file(path)
+    assert path.name in str(excinfo.value)

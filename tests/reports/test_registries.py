@@ -1,0 +1,62 @@
+"""The driver registry and the figure registry must not diverge.
+
+``python -m repro.experiments.run_all`` runs the driver registry;
+``python -m repro.reports`` runs the figure registry.  The paper-group
+figure names deliberately equal the driver names, and this module is the
+regression test the docstrings point at: a driver without a figure (or a
+figure without a driver) fails here before it can ship.
+"""
+
+from repro.experiments import ALL_FIGURES, available_drivers, resolve_driver
+from repro.experiments.run_all import main as run_all_main
+from repro.reports import available_figures
+
+import pytest
+
+
+def _figures_by_group(group: str) -> set[str]:
+    return {spec.name for spec in available_figures().values() if spec.group == group}
+
+
+def test_paper_figures_mirror_figure_drivers():
+    driver_names = {name for name, spec in available_drivers().items()
+                    if spec.kind == "figure"}
+    assert driver_names == _figures_by_group("paper")
+
+
+def test_ablation_figures_mirror_ablation_drivers():
+    driver_names = {name for name, spec in available_drivers().items()
+                    if spec.kind == "ablation"}
+    assert driver_names == _figures_by_group("ablation")
+
+
+def test_growth_figures_have_no_drivers_by_design():
+    # fig8–fig11 are benchmark-only: they plot sharding/service readings
+    # that the single-process experiment harness cannot produce.
+    assert _figures_by_group("growth") & set(available_drivers()) == set()
+
+
+def test_all_figures_mapping_derives_from_the_registry():
+    drivers = available_drivers()
+    assert set(ALL_FIGURES) == set(drivers) - {"ablation-maxss"}
+    for name, fn in ALL_FIGURES.items():
+        assert fn is drivers[name].fn
+
+
+def test_resolve_driver_unknown_lists_the_registry():
+    with pytest.raises(ValueError) as excinfo:
+        resolve_driver("fig99")
+    message = str(excinfo.value)
+    assert "fig99" in message and "fig5a" in message
+
+
+def test_run_all_list_enumerates_every_driver(capsys):
+    assert run_all_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in available_drivers():
+        assert name in out
+
+
+def test_run_all_rejects_unknown_driver(capsys):
+    assert run_all_main(["fig99"]) == 2
+    assert "fig99" in capsys.readouterr().out

@@ -19,9 +19,18 @@ Checked files: ``README.md`` and ``docs/*.md``.  Exit status 0 when all
 checks pass, 1 otherwise — CI runs this as the ``docs`` job, and the tier-1
 suite runs the same functions via ``tests/docs/test_documentation.py``.
 
+A third, opt-in check guards the *generated* documentation:
+
+* **staleness** (``--stale``) — every ``<!-- generated: NAME -->`` block in
+  the docs and every figure under ``docs/figures/`` is regenerated
+  in-memory from the committed artifacts in `benchmarks/artifacts/` (via
+  :mod:`repro.reports.docs_sync`) and compared byte-for-byte with what is
+  committed; any drift fails the check with the command that fixes it.
+
 Usage::
 
-    PYTHONPATH=src python tools/check_docs.py
+    PYTHONPATH=src python tools/check_docs.py            # links + doctests
+    PYTHONPATH=src python tools/check_docs.py --stale    # + generated docs
 """
 
 from __future__ import annotations
@@ -104,12 +113,22 @@ def run_doctests(path: Path) -> tuple[int, int, str]:
     return results.failed, results.attempted, "\n".join(runner_output)
 
 
-def main() -> int:
+def check_generated() -> list[str]:
+    """Stale generated blocks/figures (see ``repro.reports.docs_sync``)."""
+    from repro.reports.docs_sync import check_stale
+
+    return check_stale()
+
+
+def main(argv: list[str] | None = None) -> int:
     # The doctested examples import the library; make `repro` importable
     # regardless of how the tool was invoked.
     src = str(REPO_ROOT / "src")
     if src not in sys.path:
         sys.path.insert(0, src)
+
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    check_stale_requested = "--stale" in arguments
 
     failures = 0
     for path in documentation_files():
@@ -127,6 +146,14 @@ def main() -> int:
         if log:
             print(log)
         failures += failed
+
+    if check_stale_requested:
+        stale = check_generated()
+        for problem in stale:
+            print(f"STALE      {problem}")
+        status = "ok" if not stale else "FAIL"
+        print(f"generated docs {status}")
+        failures += len(stale)
 
     if failures:
         print(f"\ndocumentation checks FAILED ({failures} problems)", file=sys.stderr)
