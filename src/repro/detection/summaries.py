@@ -41,6 +41,7 @@ from repro.exceptions import DetectionError
 __all__ = [
     "Summary",
     "SummaryDelta",
+    "merge_summaries",
     "summarize_rows",
     "summary_delta",
     "accumulate_group",
@@ -131,6 +132,31 @@ def summarize_rows(
                 tid,
             )
     return summary
+
+
+def merge_summaries(summaries: Iterable[Summary]) -> Summary:
+    """Merge several shards' full summaries into one partial summary.
+
+    The reduce stage of the remote fabric: a worker hosting several shard
+    lanes folds their bootstrap summaries *worker-side* and ships one
+    merged partial, so the coordinator receives ``O(workers)`` summaries
+    instead of ``O(shards)`` — the empty-LHS worst case (witness sets of
+    size ``O(|D|)``) crosses the network once per worker, not once per
+    shard.  Exact by construction: shards partition the relation, so yv
+    counts add and witness-tid lists concatenate without collision, and
+    folding the merged partial into a :class:`~repro.parallel.summary.SummaryStore`
+    lands on the same state as folding each input in turn.
+    """
+    merged: Summary = {}
+    for summary in summaries:
+        for cid, groups in summary.items():
+            slot = merged.setdefault(cid, {})
+            for xv, (counts, tids) in groups.items():
+                merged_counts, merged_tids = slot.setdefault(xv, ({}, []))
+                for yv, count in counts.items():
+                    merged_counts[yv] = merged_counts.get(yv, 0) + count
+                merged_tids.extend(tids)
+    return merged
 
 
 def summary_delta(

@@ -79,7 +79,17 @@ class DataQualityEngine:
         parallelism.
     executor:
         Pool kind for sharded detection: ``"process"`` (default),
-        ``"thread"`` or ``"serial"``.  Ignored when ``workers=1``.
+        ``"thread"``, ``"serial"`` or ``"remote"`` (shard lanes on
+        standalone worker processes over the RPC fabric — see
+        :class:`~repro.parallel.ShardedBackend`).  Ignored when
+        ``workers=1`` unless ``backend="sharded"``.
+    remote_workers:
+        Worker fleet for ``executor="remote"``: a list of ``"host:port"``
+        addresses, or an integer to spawn that many localhost workers the
+        engine owns.  ``None`` reads ``REPRO_REMOTE_WORKERS`` and falls
+        back to auto-spawning.
+    rpc_timeout:
+        Per-call reply deadline of the remote executor, seconds.
     """
 
     def __init__(
@@ -91,6 +101,8 @@ class DataQualityEngine:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         workers: int = 1,
         executor: str = "process",
+        remote_workers: Any = None,
+        rpc_timeout: float = 30.0,
     ):
         self.schema = schema
         self.sigma = sigma if isinstance(sigma, ECFDSet) else ECFDSet(list(sigma))
@@ -98,18 +110,27 @@ class DataQualityEngine:
         if workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        sharded_kwargs: dict[str, Any] = {"workers": workers, "executor": executor}
+        if executor == "remote":
+            sharded_kwargs["remote_workers"] = remote_workers
+            sharded_kwargs["rpc_timeout"] = rpc_timeout
+        elif remote_workers is not None:
+            raise EngineError(
+                "remote_workers only applies to executor='remote' "
+                f"(got executor={executor!r})"
+            )
         if backend == "sharded":
             # Explicit sharded backend: honour the given worker count
             # verbatim (workers=1 is a serial single-task pass), so
             # engine.workers always describes the actual parallelism.
             self.backend: DetectorBackend = create_backend(
                 backend, schema=schema, sigma=self.sigma, path=path,
-                workers=workers, executor=executor,
+                **sharded_kwargs,
             )
         elif workers > 1:
             self.backend = create_backend(
                 "sharded", schema=schema, sigma=self.sigma, path=path,
-                delegate=backend, workers=workers, executor=executor,
+                delegate=backend, **sharded_kwargs,
             )
         else:
             self.backend = create_backend(

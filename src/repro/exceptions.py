@@ -101,6 +101,71 @@ class UnknownBackendError(EngineError):
         self.available = tuple(available)
 
 
+class FabricError(EngineError):
+    """The remote shard fabric failed beyond what recovery could absorb.
+
+    Raised by the remote executor when no healthy worker remains to host a
+    shard lane, when the worker pool could not be spawned or reached, or
+    when recovery itself fails.  Transient single-lane failures (a worker
+    death, a severed or timed-out connection) are *not* reported this way —
+    the coordinator re-pins the lost lanes and re-bootstraps their shard
+    states from its own storage instead.
+    """
+
+
+class LaneFailedError(FabricError):
+    """One remote shard lane failed mid-call (worker death, sever, timeout).
+
+    Internal signal of the remote executor: the coordinator catches it at
+    its merge barrier, invalidates only the failed lanes' shard states and
+    re-bootstraps them.  It escapes to callers only when recovery is
+    impossible (see :class:`FabricError`).
+
+    Attributes
+    ----------
+    lane:
+        Index of the failed shard lane.
+    address:
+        ``(host, port)`` of the worker the lane was pinned to, if known.
+    """
+
+    def __init__(self, message: str, lane: int, address: tuple[str, int] | None = None):
+        super().__init__(message)
+        self.lane = lane
+        self.address = address
+
+
+class RemoteCallError(FabricError):
+    """A remote worker executed the call and raised; carries the remote error.
+
+    Distinct from :class:`LaneFailedError`: the lane and its shard state
+    are healthy — the *operation* failed on the worker (bad payload, a
+    delegate bug) — so the coordinator propagates instead of recovering.
+
+    Attributes
+    ----------
+    remote_type:
+        Class name of the exception raised on the worker.
+    remote_traceback:
+        The worker-side traceback, for diagnostics.
+    """
+
+    def __init__(self, remote_type: str, message: str, remote_traceback: str = ""):
+        super().__init__(f"remote worker raised {remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_traceback = remote_traceback
+
+
+class ServiceTimeoutError(ReproError, TimeoutError):
+    """A quality-service client request got no reply within its timeout.
+
+    Subclasses :class:`TimeoutError` too, so generic timeout handling
+    catches it; the request may or may not have been executed server-side
+    (the client cannot know) — reconnect before retrying non-idempotent
+    operations.
+    """
+
+
 class RepairError(ReproError):
     """A repair could not be constructed (e.g. unsatisfiable constraints)."""
 

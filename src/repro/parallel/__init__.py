@@ -12,8 +12,19 @@
 * :mod:`repro.parallel.repair` — the ``"sharded"`` repair strategy: fix
   deltas routed through the partition plan to the owning shards' INCDETECT
   lanes, cross-shard embedded-FD group fixes elected directly from the
-  coordinator's merged summary store.
+  coordinator's merged summary store;
+* :mod:`repro.parallel.transport` / :mod:`repro.parallel.worker` /
+  :mod:`repro.parallel.remote` — the remote shard fabric
+  (``executor="remote"``): a length-prefixed asyncio RPC transport, the
+  standalone worker process hosting lane-pinned shard states
+  (``python -m repro.parallel.worker``), and the coordinator-side worker
+  pool with lane pinning, retry/backoff and lost-lane recovery;
+* :mod:`repro.parallel.chaos` — a frame-aware fault-injection proxy for
+  testing the fabric (drop / delay / duplicate / sever on frame
+  boundaries, from a seeded deterministic plan).
 """
+
+from repro.parallel.chaos import ChaosProxy, scripted_plan, start_proxies
 
 from repro.parallel.partition import (
     PartitionCluster,
@@ -25,23 +36,39 @@ from repro.parallel.partition import (
     route_delta,
     shard_index,
 )
+from repro.parallel.remote import (
+    LocalWorkerHandle,
+    RemoteWorkerPool,
+    parse_address,
+    spawn_local_workers,
+)
 from repro.parallel.repair import ShardedRepairStrategy
 from repro.parallel.sharded import DEFAULT_EXECUTOR, ShardedBackend, detect_sharded
 from repro.parallel.summary import SummaryStore, summary_nbytes
+from repro.parallel.transport import RetryPolicy, RpcConnection
 
 __all__ = [
+    "ChaosProxy",
     "DEFAULT_EXECUTOR",
+    "LocalWorkerHandle",
     "PartitionCluster",
     "PartitionPlan",
+    "RemoteWorkerPool",
+    "RetryPolicy",
+    "RpcConnection",
     "ShardedBackend",
     "ShardedRepairStrategy",
     "SummaryStore",
     "cluster_replication_factor",
     "detect_sharded",
     "extract_partition_plan",
+    "parse_address",
     "partition_rows",
     "plan_partitions",
     "route_delta",
+    "scripted_plan",
     "shard_index",
+    "spawn_local_workers",
+    "start_proxies",
     "summary_nbytes",
 ]

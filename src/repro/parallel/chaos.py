@@ -1,0 +1,287 @@
+"""A frame-aware fault-injection proxy for the remote shard fabric.
+
+:class:`ChaosProxy` sits between the coordinator's lane connections and one
+worker, speaking the length-prefixed framing of
+:mod:`repro.parallel.transport` so faults land on *frame* boundaries — a
+dropped frame is a lost call, not a half-frame that only tests the framing
+code.  Per frame it can
+
+* **pass** — forward unchanged;
+* **drop** — swallow the frame (the caller times out);
+* **delay** — hold the frame (and everything behind it on that direction)
+  for a scripted interval before forwarding;
+* **duplicate** — forward the frame twice (exercises the client's stale
+  sequence-number discard);
+* **sever** — close both sides of the connection mid-conversation.
+
+Determinism: every decision comes from a ``decide(direction, index)``
+callable.  The default is built from a seeded :class:`random.Random` and
+the constructor's rates, drawn per connection and direction in frame order
+— given the fabric's strictly pipelined per-lane streams, run *N* with
+seed *s* makes exactly the decisions run *N-1* made.  No decision ever
+reads the wall clock; scripted tests pass an explicit ``decide`` (e.g.
+"sever the reply stream after frame 3") for pinpoint failures.
+
+Duplication is applied only to worker→coordinator frames by the default
+plan: duplicating a *request* would re-execute the operation on the worker
+(TCP never does that), while a duplicated *reply* is precisely the stale
+frame the transport promises to discard.
+
+The proxy runs its own asyncio loop on a daemon thread, like the worker
+pool it impersonates; ``start()`` / ``stop()`` are blocking and the bound
+address is :attr:`address` — point ``remote_workers`` at it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+from typing import Callable, Sequence
+
+from repro.parallel.remote import Address, parse_address
+from repro.parallel.transport import _LENGTH
+
+__all__ = ["ChaosProxy", "scripted_plan", "start_proxies"]
+
+#: Frame fates a plan may return.
+_ACTIONS = ("pass", "drop", "delay", "duplicate", "sever")
+
+#: Direction labels handed to ``decide``: coordinator→worker requests and
+#: worker→coordinator replies.
+REQUEST = "request"
+REPLY = "reply"
+
+
+def scripted_plan(
+    script: dict[tuple[str, int], str]
+) -> Callable[[str, int], str]:
+    """A decide callable replaying an explicit ``(direction, index) -> action`` map.
+
+    Unlisted frames pass.  The precision tool: "drop reply 2, sever after
+    request 5" is four characters of script, not a seed hunt.
+    """
+
+    def decide(direction: str, index: int) -> str:
+        return script.get((direction, index), "pass")
+
+    return decide
+
+
+class ChaosProxy:
+    """A TCP proxy to one worker, injecting frame-level faults.
+
+    Parameters
+    ----------
+    target:
+        The real worker's endpoint (``"host:port"`` or ``(host, port)``).
+    seed / drop / delay / duplicate / sever:
+        Default-plan knobs: per-frame fault probabilities drawn from
+        ``random.Random(seed)``.  ``duplicate`` applies to replies only
+        (see the module docstring); ``sever`` closes the connection.
+    delay_seconds:
+        How long a delayed frame (and the frames queued behind it) waits.
+        Scripted, not random — determinism lives in *which* frames are
+        delayed, and the interval just has to outlast nothing (the lanes
+        are pipelined, so a small constant exercises the reordering
+        window without slowing the suite).
+    decide:
+        Overrides the default plan entirely:
+        ``decide(direction, frame_index) -> action`` with ``direction``
+        one of :data:`REQUEST` / :data:`REPLY` and ``frame_index``
+        counting that connection's frames in that direction from 0.
+    """
+
+    def __init__(
+        self,
+        target: "str | Address",
+        seed: int = 0,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        duplicate: float = 0.0,
+        sever: float = 0.0,
+        delay_seconds: float = 0.02,
+        decide: Callable[[str, int], str] | None = None,
+        host: str = "127.0.0.1",
+    ):
+        self.target = parse_address(target)
+        self.host = host
+        self.seed = seed
+        self.rates = {"drop": drop, "delay": delay, "duplicate": duplicate, "sever": sever}
+        self.delay_seconds = delay_seconds
+        self._decide = decide
+        self._server: asyncio.base_events.Server | None = None
+        self._connection_ids = iter(range(1_000_000))
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        #: Fault accounting, summed over every connection and direction.
+        self.counters = {action: 0 for action in _ACTIONS}
+        self.connections = 0
+
+    # ------------------------------------------------------------------
+    # Decision plans
+    # ------------------------------------------------------------------
+    def _default_plan(self, connection_id: int, direction: str) -> Callable[[int], str]:
+        """One seeded RNG per (connection, direction): frame order within a
+        direction is the stream order, so the draw sequence is reproducible."""
+        rng = random.Random(f"{self.seed}:{connection_id}:{direction}")
+
+        def decide(index: int) -> str:
+            roll = rng.random()
+            threshold = 0.0
+            for action in ("drop", "delay", "duplicate", "sever"):
+                threshold += self.rates[action]
+                if roll < threshold:
+                    if action == "duplicate" and direction != REPLY:
+                        return "pass"
+                    return action
+            return "pass"
+
+        return decide
+
+    # ------------------------------------------------------------------
+    # Lifecycle (blocking wrappers over the loop thread)
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Address:
+        assert self._server is not None, "proxy not started"
+        return (self.host, self._server.sockets[0].getsockname()[1])
+
+    def start(self) -> "ChaosProxy":
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="chaos-proxy", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._server is None:
+            raise RuntimeError("chaos proxy failed to start")
+        return self
+
+    def _run_loop(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        self._server = self._loop.run_until_complete(
+            asyncio.start_server(self._handle, self.host, 0)
+        )
+        self._started.set()
+        self._loop.run_forever()
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+
+        async def _close() -> None:
+            assert self._server is not None
+            self._server.close()
+            await self._server.wait_closed()
+
+        try:
+            asyncio.run_coroutine_threadsafe(_close(), self._loop).result(timeout=5.0)
+        except Exception:  # noqa: BLE001 - teardown is best-effort
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        assert self._thread is not None
+        self._thread.join(timeout=5.0)
+        self._loop.close()
+        self._loop = None
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Proxying
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        connection_id = next(self._connection_ids)
+        host, port = self.target
+        try:
+            worker_reader, worker_writer = await asyncio.open_connection(host, port)
+        except OSError:
+            client_writer.close()
+            return
+        severed = asyncio.Event()
+        pumps = [
+            asyncio.ensure_future(
+                self._pump(
+                    client_reader, worker_writer, REQUEST, connection_id, severed
+                )
+            ),
+            asyncio.ensure_future(
+                self._pump(
+                    worker_reader, client_writer, REPLY, connection_id, severed
+                )
+            ),
+        ]
+        await asyncio.wait(pumps)
+        for writer in (client_writer, worker_writer):
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        direction: str,
+        connection_id: int,
+        severed: asyncio.Event,
+    ) -> None:
+        decide = (
+            (lambda index: self._decide(direction, index))
+            if self._decide is not None
+            else self._default_plan(connection_id, direction)
+        )
+        index = 0
+        try:
+            while not severed.is_set():
+                prefix = await reader.readexactly(_LENGTH.size)
+                (length,) = _LENGTH.unpack(prefix)
+                frame = prefix + await reader.readexactly(length)
+                action = decide(index)
+                index += 1
+                if action not in _ACTIONS:
+                    raise ValueError(f"chaos plan returned unknown action {action!r}")
+                self.counters[action] += 1
+                if action == "drop":
+                    continue
+                if action == "sever":
+                    severed.set()
+                    break
+                if action == "delay":
+                    await asyncio.sleep(self.delay_seconds)
+                writer.write(frame)
+                if action == "duplicate":
+                    writer.write(frame)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        finally:
+            # One direction ending ends the conversation: a stream proxy
+            # cannot forward one side of a dead connection truthfully.
+            severed.set()
+            writer.close()
+
+
+def start_proxies(
+    targets: Sequence["str | Address"], seed: int = 0, **kwargs
+) -> list[ChaosProxy]:
+    """Start one proxy per target, seeding each distinctly off ``seed``."""
+    proxies = []
+    try:
+        for offset, target in enumerate(targets):
+            proxies.append(ChaosProxy(target, seed=seed + offset, **kwargs).start())
+    except Exception:
+        for proxy in proxies:
+            proxy.stop()
+        raise
+    return proxies

@@ -112,7 +112,7 @@ from repro.engine.backends import (
     register_backend,
     resolve_backend_factory,
 )
-from repro.exceptions import EngineError
+from repro.exceptions import EngineError, FabricError, LaneFailedError
 from repro.parallel.partition import (
     PartitionPlan,
     bucket_rows,
@@ -120,12 +120,17 @@ from repro.parallel.partition import (
     plan_partitions,
     route_delta,
 )
+from repro.parallel.remote import (
+    RemoteWorkerPool,
+    resolve_worker_addresses,
+    spawn_local_workers,
+)
 from repro.parallel.summary import SummaryStore, summary_nbytes
 
 __all__ = ["ShardedBackend", "DEFAULT_EXECUTOR", "detect_sharded"]
 
 #: Executor kinds accepted by the backend.
-_EXECUTORS = ("process", "thread", "serial")
+_EXECUTORS = ("process", "thread", "serial", "remote")
 DEFAULT_EXECUTOR = "process"
 
 #: One unit of work: (schema, delegate factory,
@@ -357,6 +362,50 @@ def _shard_drop(key: str) -> str:
     return key
 
 
+def _shard_full_summary(key: str) -> tuple[str, Summary]:
+    """Re-emit one live shard's current full group summary (recovery path).
+
+    Read-only over the maintained state, hence idempotent — safe to retry
+    over a reconnect.  On a remote worker the summary is *held* for the
+    follow-up reduce instead of being returned (see
+    :mod:`repro.parallel.worker`).
+    """
+    state = _SHARD_STATES[key]
+    summary = (
+        state.backend.fd_group_summary(state.summary_fragments)
+        if state.summary_fragments
+        else {}
+    )
+    return key, summary
+
+
+#: Remote fabric dispatch: the shard functions above, named as worker ops.
+#: The remote executor sends the op name and the *same* task payload the
+#: in-host lanes pass positionally; :mod:`repro.parallel.worker` routes it
+#: back to the identical function on the worker's copy of this module.
+_REMOTE_OPS: dict[Callable, str] = {
+    _detect_shard: "detect_shard",
+    _shard_bootstrap: "bootstrap",
+    _shard_update: "update",
+    _shard_breakdown: "breakdown",
+    _shard_state_stats: "state_stats",
+    _shard_drop: "drop",
+    _shard_full_summary: "full_summary",
+}
+
+#: Ops safe to blind-retry over a reconnect: stateless (``detect_shard``),
+#: read-only (``breakdown`` / ``state_stats`` / ``full_summary``), or
+#: overwrite-on-rerun (``bootstrap`` drops any previous state at its key;
+#: ``drop`` of a dropped key is a no-op).  ``update`` is deliberately
+#: absent — a reply lost *after* execution would double-apply the delta, so
+#: its failure path is lane loss and re-bootstrap instead.
+#: ``reduce_summaries`` is also absent: it *pops* the held summaries, so a
+#: retry after an ambiguous failure would silently merge nothing.
+_IDEMPOTENT_OPS = frozenset(
+    {"detect_shard", "bootstrap", "breakdown", "state_stats", "drop", "full_summary"}
+)
+
+
 class ShardedBackend(InMemoryRelationBackend):
     """Shared-nothing sharded detection over a pluggable delegate backend.
 
@@ -389,7 +438,26 @@ class ShardedBackend(InMemoryRelationBackend):
         Number of shards and pool size; defaults to the machine's CPU
         count.
     executor:
-        ``"process"`` (default), ``"thread"`` or ``"serial"``.
+        ``"process"`` (default), ``"thread"``, ``"serial"`` or
+        ``"remote"``.  The remote executor runs every shard lane on a
+        standalone worker process (``python -m repro.parallel.worker``)
+        over the length-prefixed RPC transport; lanes are *pinned* to
+        workers so INCDETECT shard state survives across calls, and on a
+        worker death or call timeout the coordinator re-pins the lost
+        lanes and re-bootstraps **only their shards** from its own storage
+        (never a hidden full re-detection — ``full_detect_count`` stays
+        put).  Bootstrap summaries are merged worker-side by a reduce
+        stage before they cross the network, one partial per worker.
+    remote_workers:
+        Remote-executor worker fleet (ignored otherwise): a list of
+        ``"host:port"`` addresses (or ``(host, port)`` pairs) naming
+        external workers, or an integer to spawn that many localhost
+        workers owned (and stopped) by the backend.  ``None`` reads the
+        ``REPRO_REMOTE_WORKERS`` environment variable and falls back to
+        spawning ``min(workers, 4)`` locals.
+    rpc_timeout:
+        Per-call reply deadline of the remote executor, seconds.  An
+        overdue call loses its lane (recovery re-bootstraps the shard).
 
     Attributes
     ----------
@@ -424,6 +492,8 @@ class ShardedBackend(InMemoryRelationBackend):
         delegate: str = "batch",
         workers: int | None = None,
         executor: str = DEFAULT_EXECUTOR,
+        remote_workers: "int | str | Sequence | None" = None,
+        rpc_timeout: float = 30.0,
     ):
         super().__init__(schema, sigma, path)
         if path != ":memory:":
@@ -437,6 +507,11 @@ class ShardedBackend(InMemoryRelationBackend):
         if executor not in _EXECUTORS:
             raise EngineError(
                 f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
+            )
+        if remote_workers is not None and executor != "remote":
+            raise EngineError(
+                "remote_workers only applies to executor='remote' "
+                f"(got executor={executor!r})"
             )
         self.delegate = delegate
         self._delegate_factory = resolve_backend_factory(delegate)
@@ -476,6 +551,18 @@ class ShardedBackend(InMemoryRelationBackend):
         self._summary_store = SummaryStore()
         self.last_update_trace: dict | None = None
         self.full_detect_count = 0
+        # --- remote fabric (executor="remote") ---
+        self._remote_workers = remote_workers
+        self._rpc_timeout = rpc_timeout
+        self._remote_pool: RemoteWorkerPool | None = None
+        #: Localhost workers this backend spawned (and must stop); empty
+        #: when the fleet is external.
+        self._owned_workers: list = []
+        #: Recovery epoch embedded in state keys: re-bootstrapped shards get
+        #: fresh keys, so a straggling reply addressed to a lost state can
+        #: never be mistaken for the recovered one.
+        self._state_epoch = 0
+        self._state_namespace = ""
 
     def _on_mutation(self) -> None:
         self._last_violations = None
@@ -569,11 +656,14 @@ class ShardedBackend(InMemoryRelationBackend):
         store = SummaryStore()
         summary_bytes = 0
         if tasks:
-            pool = self._ensure_pool(len(tasks))
-            if pool is None:
-                results = [_detect_shard(task) for task in tasks]
+            if self.executor == "remote":
+                results = self._remote_detect(tasks)
             else:
-                results = list(pool.map(_detect_shard, tasks))
+                pool = self._ensure_pool(len(tasks))
+                if pool is None:
+                    results = [_detect_shard(task) for task in tasks]
+                else:
+                    results = list(pool.map(_detect_shard, tasks))
             for shard_violations, shard_breakdown, shard_summary in results:
                 merged.update(shard_violations)
                 if shard_summary:
@@ -599,6 +689,59 @@ class ShardedBackend(InMemoryRelationBackend):
         # A plain detect leaves any cached breakdown alone: the data has not
         # changed since it was computed (mutations invalidate both).
         return merged
+
+    # ------------------------------------------------------------------
+    # Remote fabric (executor="remote")
+    # ------------------------------------------------------------------
+    def _ensure_remote_pool(self) -> RemoteWorkerPool:
+        """The lane pool over the worker fleet, spawning locals if owed.
+
+        Built lazily — constructing the backend must not fork worker
+        processes the caller may never use — and kept until :meth:`close`.
+        """
+        if self._remote_pool is None:
+            addresses, spawn = resolve_worker_addresses(
+                self._remote_workers, default_spawn=min(self.workers, 4)
+            )
+            if spawn:
+                self._owned_workers = spawn_local_workers(spawn)
+                addresses = [handle.address for handle in self._owned_workers]
+            self._remote_pool = RemoteWorkerPool(
+                addresses, rpc_timeout=self._rpc_timeout
+            )
+        return self._remote_pool
+
+    def _remote_detect(self, tasks: list[_ShardTask]) -> list:
+        """One-shot detection fanned out over the remote lanes.
+
+        ``detect_shard`` is stateless (the worker builds, runs and discards
+        the delegate), so a lane failure here is absorbed by one re-pin and
+        a resubmission of the failed tasks — no shard state is at stake.  A
+        second failure propagates: with no healthy worker left there is
+        nothing to recover onto.
+        """
+        pool = self._ensure_remote_pool()
+        lanes = [index % max(1, self.workers) for index in range(len(tasks))]
+        pending = [
+            pool.submit(lane, "detect_shard", task, retryable=True)
+            for lane, task in zip(lanes, tasks)
+        ]
+        results: list = [None] * len(tasks)
+        failed: list[int] = []
+        for index, collect in enumerate(pending):
+            try:
+                results[index] = collect()
+            except LaneFailedError:
+                failed.append(index)
+        if failed:
+            pool.repin_lanes(sorted({lanes[index] for index in failed}))
+            retries = [
+                (index, pool.submit(lanes[index], "detect_shard", tasks[index], retryable=True))
+                for index in failed
+            ]
+            for index, collect in retries:
+                results[index] = collect()
+        return results
 
     # ------------------------------------------------------------------
     # Incremental updates (sharded INCDETECT)
@@ -639,7 +782,22 @@ class ShardedBackend(InMemoryRelationBackend):
         Otherwise each lane is a single-worker pool created on first use and
         kept alive until :meth:`close`, so the states it holds survive
         between calls.
+
+        Under ``executor="remote"`` a lane is a pinned worker connection
+        instead: the function is translated to its worker op
+        (:data:`_REMOTE_OPS`) and the payload crosses the RPC transport
+        unchanged.  Same contract — per-lane FIFO, thunks in submission
+        order — with one addition: a thunk may raise
+        :class:`~repro.exceptions.LaneFailedError` when the lane's worker
+        died, which the update path turns into shard re-bootstrap.
         """
+        if self.executor == "remote":
+            pool = self._ensure_remote_pool()
+            op = _REMOTE_OPS[fn]
+            return [
+                pool.submit(lane, op, task, retryable=op in _IDEMPOTENT_OPS)
+                for lane, task in tasks
+            ]
         if self.executor == "serial" or self.workers <= 1:
             results = [fn(task) for _, task in tasks]
             return [lambda result=result: result for result in results]
@@ -670,7 +828,8 @@ class ShardedBackend(InMemoryRelationBackend):
             )
         if self._states_live:
             return False
-        namespace = f"sharded-{os.getpid()}-{next(_STATE_NAMESPACES)}"
+        self._state_namespace = f"sharded-{os.getpid()}-{next(_STATE_NAMESPACES)}"
+        self._state_epoch = 0
         rows = [
             (t.tid, t.as_dict())
             for t in self._relation.tuples()
@@ -688,7 +847,7 @@ class ShardedBackend(InMemoryRelationBackend):
                 if buckets is None:
                     buckets = bucket_rows(rows, self._plan.key, self.workers)
                 shard_rows = buckets[shard_index]
-            key = f"{namespace}:0:{shard_index}"
+            key = self._state_key(shard_index)
             self._shard_layout[shard_index] = key
             tasks.append(
                 (shard_index, (key, self.schema, factory, fragments, summary_fragments, shard_rows))
@@ -708,6 +867,16 @@ class ShardedBackend(InMemoryRelationBackend):
             if shard_summary:
                 self._summary_store.apply_summary(shard_summary)
                 summary_bytes += summary_nbytes(shard_summary)
+        if self.executor == "remote":
+            # Remote bootstraps return no summaries: each worker *held* its
+            # lanes' full summaries, and the reduce stage merges them
+            # worker-side — one partial per worker crosses the network
+            # instead of one O(|shard|) summary per shard.
+            try:
+                summary_bytes = self._reduce_held_summaries(dict(self._shard_layout))
+            except Exception:
+                self._invalidate_shard_states()
+                raise
         self._summary_trace = {
             "groups": self._summary_store.group_count(),
             "bytes": summary_bytes,
@@ -716,6 +885,166 @@ class ShardedBackend(InMemoryRelationBackend):
         self._last_violations = self._merge_shard_violations()
         self._states_live = True
         return True
+
+    def _state_key(self, shard_index: int) -> str:
+        """The state key of ``shard_index`` at the current recovery epoch."""
+        return f"{self._state_namespace}:{self._state_epoch}:{shard_index}"
+
+    def _reduce_held_summaries(self, layout: Mapping[int, str]) -> int:
+        """Fold the workers' held summaries into the store, one call per worker.
+
+        ``layout`` maps shard index (= lane) to the state key whose held
+        summary should be claimed.  Each worker merges its lanes' summaries
+        locally (:func:`repro.detection.summaries.merge_summaries`) and
+        ships one partial; folding the partials is exact because shards
+        partition the relation.  Returns the wire bytes of the partials.
+        ``reduce_summaries`` pops what it merges, so this is a one-shot
+        claim — a failure means the lanes on that worker are lost and the
+        caller re-requests fresh summaries after recovery.
+        """
+        pool = self._ensure_remote_pool()
+        summary_bytes = 0
+        pending = []
+        for _address, lanes in sorted(pool.lanes_by_address(layout).items()):
+            keys = [layout[lane] for lane in lanes]
+            pending.append(pool.submit(lanes[0], "reduce_summaries", keys))
+        for collect in pending:
+            partial = collect()
+            if partial:
+                self._summary_store.apply_summary(partial)
+                summary_bytes += summary_nbytes(partial)
+        return summary_bytes
+
+    def _recover_remote_lanes(self, failed_lanes: set[int], outcomes: list) -> dict:
+        """Re-pin lost lanes and re-bootstrap only their shards; exact by design.
+
+        The coordinator's storage receives every batch *before* the lanes
+        do, so at any failure point storage already holds the post-update
+        relation: re-bootstrapping a lost shard from storage lands on
+        exactly the state a surviving lane would have reached by applying
+        the deltas — that is what makes kill-a-worker-mid-update recovery
+        bit-exact.  The procedure:
+
+        1. widen the lost set to every lane pinned to a worker that no
+           longer answers a ping (an unprobed dead worker would fail the
+           next call anyway — better one recovery than many);
+        2. re-pin the lost lanes onto healthy workers and re-bootstrap
+           their shards from storage under fresh epoch keys (summaries
+           held worker-side);
+        3. rebuild the summary store from scratch: every surviving lane
+           re-emits (and holds) its current full summary, then one reduce
+           per worker claims everything — this round's in-flight summary
+           deltas are *discarded*, because the fresh full summaries already
+           reflect every update the survivors applied.
+
+        Successful lane results collected before the failure carry those
+        shards' current flag sets and are folded in by the caller; lost
+        shards get theirs from the re-bootstrap.  A failure *during*
+        recovery widens the lost set and retries, bounded by the fleet
+        size; with no healthy worker left a
+        :class:`~repro.exceptions.FabricError` propagates (and the caller
+        invalidates all shard states, as for any unrecoverable failure).
+        Never triggers a full detection — ``full_detect_count`` is
+        untouched.
+        """
+        pool = self._ensure_remote_pool()
+        lost = set(failed_lanes)
+        # Fold the flags of every lane task that *did* complete; a lane that
+        # completed some batches and then died is in ``lost`` and gets its
+        # state rebuilt below, overwriting this.
+        for key, violations, _delta, _readback in outcomes:
+            self._shard_violations[key] = violations
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > len(pool.addresses) + 1:
+                raise FabricError(
+                    f"remote recovery did not converge after {attempts - 1} "
+                    f"attempts; lost lanes: {sorted(lost)}"
+                )
+            health = pool.probe_addresses()
+            lost.update(
+                lane
+                for lane in self._shard_layout
+                if not health.get(pool.lane_address(lane), False)
+            )
+            pool.repin_lanes(sorted(lost))
+            try:
+                self._rebootstrap_shards(sorted(lost))
+                summary_bytes = self._rebuild_summary_store(lost)
+                break
+            except LaneFailedError as exc:
+                lost.add(exc.lane)
+        self._summary_trace = {
+            "groups": self._summary_store.group_count(),
+            "bytes": summary_bytes,
+            "witnesses": self._summary_store.witness_count(),
+        }
+        return {
+            "lanes_lost": sorted(lost),
+            "recovered_shards": len(lost),
+            "recovery_attempts": attempts,
+        }
+
+    def _rebootstrap_shards(self, shards: list[int]) -> None:
+        """Rebuild the given shards' states from coordinator storage.
+
+        Fresh epoch keys ensure nothing can confuse a rebuilt state with
+        its lost predecessor; the bootstrap summaries stay held worker-side
+        for the follow-up reduce.  Old keys are not dropped — they lived on
+        dead workers (or die with the next worker restart) and their new
+        epoch makes them unreachable either way.
+        """
+        if not shards:
+            return
+        self._state_epoch += 1
+        rows = [
+            (t.tid, t.as_dict())
+            for t in self._relation.tuples()
+            if t.tid is not None
+        ]
+        fragments_by_shard = {
+            shard: (fragments, summary_fragments)
+            for shard, fragments, summary_fragments in self._stateful_layout()
+        }
+        buckets = (
+            bucket_rows(rows, self._plan.key, self.workers) if self.workers > 1 else None
+        )
+        tasks: list[tuple[int, _BootstrapTask]] = []
+        for shard in shards:
+            fragments, summary_fragments = fragments_by_shard[shard]
+            shard_rows = rows if buckets is None else buckets[shard]
+            key = self._state_key(shard)
+            tasks.append(
+                (
+                    shard,
+                    (key, self.schema, self._delegate_factory, fragments, summary_fragments, shard_rows),
+                )
+            )
+        results = self._run_in_lanes(_shard_bootstrap, tasks)
+        for (shard, task), (key, violations, _held) in zip(tasks, results):
+            self._shard_violations.pop(self._shard_layout.get(shard, ""), None)
+            self._shard_layout[shard] = key
+            self._shard_violations[key] = violations
+
+    def _rebuild_summary_store(self, freshly_bootstrapped: set[int]) -> int:
+        """Re-derive the summary store from the lanes' live states.
+
+        Surviving lanes re-emit (and hold) their current full group
+        summaries — ``full_summary`` is idempotent, so a retry after a
+        reconnect is safe — the freshly bootstrapped lanes already hold
+        theirs, and one reduce per worker claims the lot into a brand-new
+        store.
+        """
+        survivors = sorted(
+            lane for lane in self._shard_layout if lane not in freshly_bootstrapped
+        )
+        pending = [
+            (lane, self._shard_layout[lane]) for lane in survivors
+        ]
+        self._run_in_lanes(_shard_full_summary, pending)
+        self._summary_store = SummaryStore()
+        return self._reduce_held_summaries(dict(self._shard_layout))
 
     def _merge_shard_violations(self) -> ViolationSet:
         """The exact union of every live shard's current violation set.
@@ -832,6 +1161,7 @@ class ShardedBackend(InMemoryRelationBackend):
         total_deletes = 0
         total_inserts = 0
         touched_shards: set[int] = set()
+        recovery: dict | None = None
         try:
             pending: list[Callable[[], object]] = []
             for delete_tids, insert_rows, insert_tids in batches:
@@ -872,7 +1202,10 @@ class ShardedBackend(InMemoryRelationBackend):
                     tasks.append((shard_index, (key, shard_deletes, shard_inserts)))
                 pending.extend(self._submit_to_lanes(_shard_update, tasks))
             # --- the one barrier: collect every batch's lane results ---
-            results = [collect() for collect in pending]
+            if self.executor == "remote":
+                results, recovery = self._collect_remote_updates(pending)
+            else:
+                results = [collect() for collect in pending]
         except Exception:
             self._invalidate_shard_states()
             self._last_violations = None
@@ -912,7 +1245,38 @@ class ShardedBackend(InMemoryRelationBackend):
             "summary_groups_touched": groups_touched,
             "readback_tids": readback_tids,
         }
+        if recovery is not None:
+            self.last_update_trace.update(recovery)
+        if self._remote_pool is not None:
+            self.last_update_trace["transport"] = self._remote_pool.transport_stats()
         return merged
+
+    def _collect_remote_updates(
+        self, pending: Sequence[Callable[[], object]]
+    ) -> tuple[list, dict | None]:
+        """Collect remote lane results, recovering from lane losses.
+
+        Without a failure this is the plain barrier.  When a lane died
+        (worker killed, connection severed, call timed out) the completed
+        results still carry their shards' exact current flags; the lost
+        lanes go through :meth:`_recover_remote_lanes`, which rebuilds
+        their shards from coordinator storage and re-derives the summary
+        store — so the returned results list is empty then (flags and
+        store are already final) and the caller's delta folding has
+        nothing left to do.  :class:`~repro.exceptions.RemoteCallError`
+        (the worker is fine, the operation raised) propagates like any
+        in-process failure and invalidates the shard states.
+        """
+        outcomes = []
+        failed_lanes: set[int] = set()
+        for collect in pending:
+            try:
+                outcomes.append(collect())
+            except LaneFailedError as exc:
+                failed_lanes.add(exc.lane)
+        if not failed_lanes:
+            return outcomes, None
+        return [], self._recover_remote_lanes(failed_lanes, outcomes)
 
     def shard_stats(self) -> list[dict]:
         """Per-shard state statistics from the live INCDETECT states.
@@ -936,15 +1300,28 @@ class ShardedBackend(InMemoryRelationBackend):
         key = self._plan.key if self.workers > 1 else ()
         stats = []
         for state_key, shard_stats in results:
-            stats.append(
-                {
-                    "cluster": 0,
-                    "shard": by_key[state_key],
-                    "key": tuple(key),
-                    **shard_stats,
-                }
-            )
+            entry = {
+                "cluster": 0,
+                "shard": by_key[state_key],
+                "key": tuple(key),
+                **shard_stats,
+            }
+            if self.executor == "remote":
+                host, port = self._ensure_remote_pool().lane_address(entry["shard"])
+                entry["address"] = f"{host}:{port}"
+            stats.append(entry)
         return sorted(stats, key=lambda item: item["shard"])
+
+    def transport_stats(self) -> dict[str, int] | None:
+        """The remote fabric's transport counters, ``None`` off the remote path.
+
+        Cumulative over the backend's lifetime: ``rpc_calls`` /
+        ``rpc_retries``, ``bytes_sent`` / ``bytes_received`` on the wire,
+        and the recovery counters ``lanes_lost`` / ``repins``.
+        """
+        if self._remote_pool is None:
+            return None
+        return self._remote_pool.transport_stats()
 
     def partition_stats(self) -> dict:
         """The single-pass plan and its replication / summary accounting.
@@ -1044,11 +1421,26 @@ class ShardedBackend(InMemoryRelationBackend):
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the one-shot pool, the shard lanes and their states."""
+        """Shut down the one-shot pool, the shard lanes and their states.
+
+        Idempotent.  On the remote path the shard states are dropped on
+        their workers first (while the connections are still open), then
+        the pool's connections and event loop go down, and finally any
+        workers this backend spawned are stopped — externally provided
+        workers are left running.
+        """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
         self._invalidate_shard_states()
+        if self._remote_pool is not None:
+            if self._owned_workers:
+                self._remote_pool.shutdown_workers()
+            self._remote_pool.close()
+            self._remote_pool = None
+        for handle in self._owned_workers:
+            handle.stop()
+        self._owned_workers = []
 
 
 def detect_sharded(

@@ -1,0 +1,282 @@
+"""The standalone shard worker process of the remote fabric.
+
+``python -m repro.parallel.worker --host 127.0.0.1 --port 0`` starts one
+worker: an asyncio server speaking the length-prefixed RPC protocol of
+:mod:`repro.parallel.transport` and executing the *same* shard functions
+the in-host executors run (:func:`repro.parallel.sharded._shard_bootstrap`
+and friends) — the lane/task protocol was shaped for this from the start,
+so the worker is a network skin, not a re-implementation.
+
+Execution model
+---------------
+Every request names a **lane** (a stable string identity chosen by the
+coordinator).  The worker pins each lane to its own single-thread executor,
+created on first use and kept for the worker's lifetime, so
+
+* a lane's operations run strictly in submission order (the pipelining
+  contract of ``incremental_update_many``);
+* the SQLite-backed INCDETECT state a lane's bootstrap creates is only ever
+  touched from the thread that created it (SQLite connections are
+  thread-affine);
+* a *reconnecting* coordinator (after a severed connection) reaches the
+  same executor thread by sending the same lane id — shard state survives
+  connection loss, though the coordinator conservatively re-bootstraps
+  after any ambiguous failure.
+
+Different lanes run concurrently; shard states live in the worker's copy of
+:data:`repro.parallel.sharded._SHARD_STATES`, exactly as they do in a
+process-pool lane.
+
+The reduce stage
+----------------
+Bootstrap (and recovery ``full_summary``) calls do **not** return their
+group summaries: each is *held* worker-side, and one ``reduce_summaries``
+call per worker merges every held summary
+(:func:`repro.detection.summaries.merge_summaries`) into a single partial
+before it crosses the network.  With empty-LHS FDs a shard summary carries
+``O(|shard|)`` witness tids, so the coordinator-bound traffic drops from
+one ``O(|D|/shards)`` transfer per *shard* to one merged partial per
+*worker*.
+
+The worker prints ``READY <host> <port>`` on stdout once listening (the
+spawn helpers parse it — ``--port 0`` binds an ephemeral port) and exits on
+SIGTERM/SIGINT or a ``shutdown`` request.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import threading
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Sequence
+
+from repro.detection.summaries import merge_summaries
+from repro.parallel import sharded as _sharded
+from repro.parallel.transport import (
+    FrameError,
+    TransportClosed,
+    encode_frame,
+    read_frame,
+)
+
+__all__ = ["ShardWorker", "main"]
+
+
+class ShardWorker:
+    """One remote shard host: lane-pinned execution over the RPC protocol."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._lane_executors: dict[str, ThreadPoolExecutor] = {}
+        #: lane id -> state keys bootstrapped on that lane's thread, so a
+        #: clean shutdown can close each SQLite state on its owning thread.
+        self._lane_keys: dict[str, set[str]] = {}
+        self._held_summaries: dict[str, dict] = {}
+        self._held_lock = threading.Lock()
+        self._shutdown = asyncio.Event()
+        #: Requests served / connections accepted, returned by ``ping``.
+        self.requests = 0
+        self.connections = 0
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+
+    async def serve_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Drop every lane's shard states on their own threads, then retire
+        # the executors — a clean worker exit leaks neither SQLite handles
+        # nor threads.
+        loop = asyncio.get_running_loop()
+        for lane, executor in self._lane_executors.items():
+            for key in sorted(self._lane_keys.get(lane, ())):
+                try:
+                    await loop.run_in_executor(executor, _sharded._shard_drop, key)
+                except Exception:  # noqa: BLE001 - teardown is best-effort
+                    pass
+            executor.shutdown(wait=False)
+        self._lane_executors.clear()
+        self._lane_keys.clear()
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    message, _ = await read_frame(reader)
+                except (TransportClosed, FrameError):
+                    # EOF, reset, or corrupt framing: this conversation
+                    # cannot continue (states survive for a reconnect).
+                    break
+                seq, lane, op, payload = message
+                self.requests += 1
+                try:
+                    handler = _HANDLERS[op]
+                except KeyError:
+                    reply = (seq, False, ("FabricError", f"unknown op {op!r}", ""))
+                else:
+                    executor = self._lane_executors.setdefault(
+                        lane, ThreadPoolExecutor(max_workers=1, thread_name_prefix=lane)
+                    )
+                    try:
+                        result = await loop.run_in_executor(
+                            executor, handler, self, lane, payload
+                        )
+                        reply = (seq, True, result)
+                    except Exception as exc:  # noqa: BLE001 - protocol boundary
+                        reply = (
+                            seq,
+                            False,
+                            (type(exc).__name__, str(exc), traceback.format_exc()),
+                        )
+                writer.write(encode_frame(reply))
+                await writer.drain()
+                if op == "shutdown":
+                    self._shutdown.set()
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Operations (each runs on the request's lane thread)
+    # ------------------------------------------------------------------
+    def _op_ping(self, lane: str, payload: Any) -> dict:
+        return {
+            "pong": True,
+            "requests": self.requests,
+            "connections": self.connections,
+            "states": len(_sharded._SHARD_STATES),
+        }
+
+    def _op_bootstrap(self, lane: str, payload: Any) -> tuple:
+        """Build one shard state; hold its summary for the reduce stage."""
+        key = payload[0]
+        # A re-bootstrap at an existing key (retry after an ambiguous
+        # failure) must not leak the previous delegate's database.
+        _sharded._shard_drop(key)
+        key, violations, summary = _sharded._shard_bootstrap(payload)
+        with self._held_lock:
+            self._held_summaries[key] = summary
+            self._lane_keys.setdefault(lane, set()).add(key)
+        return (key, violations, None)
+
+    def _op_update(self, lane: str, payload: Any) -> tuple:
+        return _sharded._shard_update(payload)
+
+    def _op_full_summary(self, lane: str, payload: str) -> str:
+        """Re-emit one live shard's full summary (recovery); held for reduce."""
+        state = _sharded._SHARD_STATES[payload]
+        summary = (
+            state.backend.fd_group_summary(state.summary_fragments)
+            if state.summary_fragments
+            else {}
+        )
+        with self._held_lock:
+            self._held_summaries[payload] = summary
+        return payload
+
+    def _op_reduce_summaries(self, lane: str, payload: Sequence[str]) -> dict:
+        """Merge and release the held summaries of ``payload``'s state keys."""
+        with self._held_lock:
+            parts = [
+                self._held_summaries.pop(key)
+                for key in payload
+                if key in self._held_summaries
+            ]
+        return merge_summaries(parts)
+
+    def _op_detect_shard(self, lane: str, payload: Any) -> tuple:
+        return _sharded._detect_shard(payload)
+
+    def _op_breakdown(self, lane: str, payload: str) -> tuple:
+        return _sharded._shard_breakdown(payload)
+
+    def _op_state_stats(self, lane: str, payload: str) -> tuple:
+        return _sharded._shard_state_stats(payload)
+
+    def _op_drop(self, lane: str, payload: str) -> str:
+        with self._held_lock:
+            self._held_summaries.pop(payload, None)
+            for keys in self._lane_keys.values():
+                keys.discard(payload)
+        return _sharded._shard_drop(payload)
+
+    def _op_shutdown(self, lane: str, payload: Any) -> bool:
+        return True
+
+
+_HANDLERS = {
+    "ping": ShardWorker._op_ping,
+    "bootstrap": ShardWorker._op_bootstrap,
+    "update": ShardWorker._op_update,
+    "full_summary": ShardWorker._op_full_summary,
+    "reduce_summaries": ShardWorker._op_reduce_summaries,
+    "detect_shard": ShardWorker._op_detect_shard,
+    "breakdown": ShardWorker._op_breakdown,
+    "state_stats": ShardWorker._op_state_stats,
+    "drop": ShardWorker._op_drop,
+    "shutdown": ShardWorker._op_shutdown,
+}
+
+
+async def _amain(host: str, port: int) -> None:
+    worker = ShardWorker(host, port)
+    await worker.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, worker._shutdown.set)
+    print(f"READY {worker.host} {worker.port}", flush=True)
+    await worker.serve_until_shutdown()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel.worker",
+        description="Run one remote shard worker of the repro fabric.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks an ephemeral one)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(_amain(args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,9 +30,17 @@ import asyncio
 import json
 from typing import Any, Mapping, Sequence
 
+from repro.exceptions import ServiceTimeoutError
 from repro.service.service import QualityService
 
-__all__ = ["QualityServer", "QualityClient"]
+__all__ = ["QualityServer", "QualityClient", "DEFAULT_REQUEST_TIMEOUT", "DEFAULT_MAX_LINE"]
+
+#: Default per-request reply deadline of :class:`QualityClient`, seconds.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+#: Default per-line byte bound of :class:`QualityServer` (a single JSON
+#: request); a longer line gets an error reply and the connection closes.
+DEFAULT_MAX_LINE = 8 * 1024 * 1024
 
 
 class QualityServer:
@@ -46,11 +54,23 @@ class QualityServer:
     host / port:
         Bind address; ``port=0`` picks an ephemeral port, reported by
         :attr:`port` after :meth:`start`.
+    max_line:
+        Upper bound on one request line's bytes.  A client exceeding it
+        gets an ``ok: false`` reply naming the bound, then the connection
+        closes — the stream is desynchronised past an oversized line, so
+        it cannot be trusted for further framing.
     """
 
-    def __init__(self, service: QualityService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        service: QualityService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_line: int = DEFAULT_MAX_LINE,
+    ):
         self.service = service
         self.host = host
+        self.max_line = max_line
         self._requested_port = port
         self._server: asyncio.base_events.Server | None = None
         #: Connections accepted / requests served, for the smoke test.
@@ -66,7 +86,7 @@ class QualityServer:
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
-            self._handle, self.host, self._requested_port
+            self._handle, self.host, self._requested_port, limit=self.max_line
         )
 
     async def stop(self) -> None:
@@ -92,7 +112,27 @@ class QualityServer:
         self.connections += 1
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # The line outgrew the stream limit.  Reply, then close:
+                    # the unread tail would be parsed as the *next* request,
+                    # so the stream cannot be resynchronised.
+                    self.requests += 1
+                    writer.write(
+                        json.dumps(
+                            {
+                                "ok": False,
+                                "error": f"request line exceeds {self.max_line} bytes",
+                            }
+                        ).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    break
+                except (ConnectionError, OSError):
+                    # Client went away mid-request; nothing to reply to.
+                    break
                 if not line:
                     break
                 reply = await self._dispatch(line)
@@ -155,11 +195,20 @@ class QualityClient:
     One TCP connection, requests strictly pipelined (one in flight at a
     time — the reply order is the request order, so this client keeps it
     simple).  Usable as an async context manager.
+
+    Every request carries a reply deadline (``request_timeout``, per-call
+    overridable): a dead or wedged server raises
+    :class:`~repro.exceptions.ServiceTimeoutError` instead of hanging the
+    client forever.  After a timeout the connection is closed — a late
+    reply would otherwise be read as the answer to the *next* request.
     """
 
-    def __init__(self, host: str, port: int):
+    def __init__(
+        self, host: str, port: int, request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT
+    ):
         self.host = host
         self.port = port
+        self.request_timeout = request_timeout
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -183,19 +232,40 @@ class QualityClient:
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
 
-    async def request(self, op: str, **fields: Any) -> dict[str, Any]:
-        """Send one request and await its reply; raises on ``ok: false``."""
+    async def request(
+        self, op: str, timeout: float | None = None, **fields: Any
+    ) -> dict[str, Any]:
+        """Send one request and await its reply; raises on ``ok: false``.
+
+        ``timeout`` overrides the client's ``request_timeout`` for this
+        call (``None`` falls back to it; a client constructed with
+        ``request_timeout=None`` waits forever).  On expiry the connection
+        is closed and :class:`~repro.exceptions.ServiceTimeoutError` is
+        raised — the request may or may not have executed server-side.
+        """
         assert self._reader is not None and self._writer is not None, "not connected"
+        deadline = timeout if timeout is not None else self.request_timeout
         payload = {"op": op, **fields}
         self._writer.write(json.dumps(payload).encode() + b"\n")
-        await self._writer.drain()
-        line = await self._reader.readline()
+        try:
+            line = await asyncio.wait_for(self._round_trip(), deadline)
+        except asyncio.TimeoutError:
+            await self.close()
+            raise ServiceTimeoutError(
+                f"no reply to {op!r} from {self.host}:{self.port} "
+                f"within {deadline}s"
+            ) from None
         if not line:
             raise ConnectionError("server closed the connection")
         reply = json.loads(line)
         if not reply.get("ok"):
             raise RuntimeError(reply.get("error", "request failed"))
         return reply
+
+    async def _round_trip(self) -> bytes:
+        assert self._reader is not None and self._writer is not None
+        await self._writer.drain()
+        return await self._reader.readline()
 
     async def update(
         self,

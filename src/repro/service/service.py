@@ -84,6 +84,12 @@ class QualityService:
         incremental updates (the service maintains state, never
         recomputes), so ``backend`` defaults to ``"incremental"`` — with
         ``workers > 1`` that is sharded INCDETECT over per-shard lanes.
+        ``executor="remote"`` puts the lanes on standalone worker
+        processes (the remote shard fabric) — the service front end is
+        unchanged; only where the lane work runs moves off-host.
+    remote_workers / rpc_timeout:
+        Worker fleet and per-call deadline for ``executor="remote"``
+        (see :class:`~repro.parallel.ShardedBackend`); ignored otherwise.
     max_batch:
         Cap on operations per routed batch shipped to the lanes (the
         coalescer's flush chunk size); ``None`` ships each window whole.
@@ -106,19 +112,20 @@ class QualityService:
         executor: str = "thread",
         max_batch: int | None = 256,
         queue_capacity: int = 1024,
+        remote_workers: object = None,
+        rpc_timeout: float = 30.0,
     ):
         self._lane: ThreadPoolExecutor | None = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="quality-service-engine"
         )
+        engine_kwargs: dict = {"backend": backend, "workers": workers, "executor": executor}
+        if executor == "remote":
+            engine_kwargs["remote_workers"] = remote_workers
+            engine_kwargs["rpc_timeout"] = rpc_timeout
         # SQLite-backed delegates are bound to their creating thread, so
         # the engine is built on the lane every later call runs on.
         self.engine = self._lane.submit(
-            DataQualityEngine,
-            schema,
-            sigma,
-            backend=backend,
-            workers=workers,
-            executor=executor,
+            lambda: DataQualityEngine(schema, sigma, **engine_kwargs)
         ).result()
         if not self.engine.backend.supports_incremental:
             self._lane.submit(self.engine.close).result()

@@ -1,0 +1,42 @@
+"""Shared fixtures of the remote-fabric suite.
+
+Worker fleets are module-scoped: forking ``python -m repro.parallel.worker``
+costs real wall-clock, and every engine namespaces its lane ids and state
+keys, so many tests can share one fleet without sharing any state.  Chaos
+and property tests print their seed on failure through the parametrize ids
+(``seed=<n>`` appears in the failing test's node id), so a red CI run names
+the exact reproduction command.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel.remote import spawn_local_workers
+
+
+@pytest.fixture(scope="module")
+def worker_fleet():
+    """Two localhost shard workers, stopped (hard) at module teardown."""
+    handles = spawn_local_workers(2)
+    yield handles
+    for handle in handles:
+        handle.stop()
+
+
+@pytest.fixture(scope="module")
+def worker_addresses(worker_fleet):
+    """The fleet's ``(host, port)`` endpoints, for ``remote_workers=``."""
+    return [handle.address for handle in worker_fleet]
+
+
+@pytest.fixture
+def open_fds():
+    """Count this process's open file descriptors (leak assertions)."""
+
+    def count() -> int:
+        return len(os.listdir("/proc/self/fd"))
+
+    return count

@@ -1,0 +1,277 @@
+"""Chaos tests: fault injection between the coordinator and its workers.
+
+The :class:`~repro.parallel.chaos.ChaosProxy` sits on the wire and drops,
+delays, duplicates or severs frames on scripted or seeded plans — never on
+wall-clock randomness — while these tests assert the fabric's contract:
+after any recovered fault the maintained violation state (and a repaired
+relation) is **bit-exact** with a serial replay of the same stream, and
+recovery re-bootstraps only the lost shards (``full_detect_count`` never
+moves).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import DataQualityEngine
+from repro.parallel.chaos import REPLY, REQUEST, ChaosProxy
+from repro.parallel.remote import spawn_local_workers
+
+from tests.parallel.test_summary_merge import (
+    SCHEMA,
+    _random_rows,
+    _random_sigma,
+)
+
+
+def _snapshot(engine) -> dict[int, dict[str, str]]:
+    """The engine's relation as ``tid -> row``, for bit-exact comparison."""
+    return {t.tid: t.as_dict() for t in engine.to_relation().tuples()}
+
+
+def _engines(sigma, rows, addresses, rpc_timeout=10.0):
+    serial = DataQualityEngine(
+        SCHEMA, sigma, backend="incremental", workers=3, executor="serial"
+    )
+    serial.load(rows)
+    serial.backend.ensure_ready()
+    remote = DataQualityEngine(
+        SCHEMA,
+        sigma,
+        backend="incremental",
+        workers=3,
+        executor="remote",
+        remote_workers=[f"{host}:{port}" for host, port in addresses],
+        rpc_timeout=rpc_timeout,
+    )
+    remote.load(rows)
+    remote.backend.ensure_ready()
+    return serial, remote
+
+
+def _run_stream(rng, serial, remote, rounds=3, population=180):
+    """Drive both engines with the same stream, asserting equality per round."""
+    live = sorted(_snapshot(serial))
+    for _ in range(rounds):
+        deletes = rng.sample(live, k=min(len(live), rng.randint(20, 35)))
+        inserts = _random_rows(rng, rng.randint(0, 8))
+        expected = serial.apply_update(delete_tids=deletes, insert_rows=inserts)
+        result = remote.apply_update(delete_tids=deletes, insert_rows=inserts)
+        assert result.violations == expected.violations
+        live = sorted(_snapshot(serial))
+
+
+class TestBenignFaults:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_delayed_and_duplicated_frames_stay_bit_exact(self, seed):
+        """Delay and duplication are absorbed below the recovery layer.
+
+        Duplicates exercise the stale-seq discard; delays exercise the
+        pipelining barrier.  Neither may lose a lane, let alone corrupt the
+        maintained state.
+        """
+        fleet = spawn_local_workers(2)
+        proxies = []
+        try:
+            proxies = [
+                ChaosProxy(
+                    handle.address,
+                    seed=seed + offset,
+                    delay=0.10,
+                    duplicate=0.15,
+                    delay_seconds=0.01,
+                ).start()
+                for offset, handle in enumerate(fleet)
+            ]
+            rng = random.Random(100 + seed)
+            sigma = _random_sigma(rng)
+            rows = _random_rows(rng, 150)
+            serial, remote = _engines(
+                sigma, rows, [proxy.address for proxy in proxies]
+            )
+            baseline = remote.backend.full_detect_count
+            _run_stream(rng, serial, remote)
+            assert remote.detect().violations == serial.detect().violations
+            assert remote.backend.full_detect_count == baseline
+            stats = remote.backend.transport_stats()
+            assert stats["lanes_lost"] == 0 and stats["repins"] == 0
+            faults = {
+                action: sum(proxy.counters[action] for proxy in proxies)
+                for action in ("delay", "duplicate")
+            }
+            # The seeded plans really did inject faults (rates are high
+            # enough that a silent all-pass run would be a broken proxy).
+            assert faults["delay"] > 0 and faults["duplicate"] > 0
+            serial.close()
+            remote.close()
+        finally:
+            for proxy in proxies:
+                proxy.stop()
+            for handle in fleet:
+                handle.stop()
+
+    def test_duplicated_replies_only_touch_the_discard_path(self):
+        """Every reply duplicated: rpc bytes double, results do not."""
+        fleet = spawn_local_workers(1)
+        proxy = None
+        try:
+            proxy = ChaosProxy(
+                fleet[0].address,
+                decide=lambda direction, index: (
+                    "duplicate" if direction == REPLY else "pass"
+                ),
+            ).start()
+            rng = random.Random(7)
+            sigma = _random_sigma(rng)
+            rows = _random_rows(rng, 100)
+            serial, remote = _engines(sigma, rows, [proxy.address])
+            _run_stream(rng, serial, remote, rounds=2)
+            assert proxy.counters["duplicate"] > 0
+            assert remote.backend.transport_stats()["lanes_lost"] == 0
+            serial.close()
+            remote.close()
+        finally:
+            if proxy is not None:
+                proxy.stop()
+            for handle in fleet:
+                handle.stop()
+
+
+class TestSeveredConnections:
+    def test_severed_worker_link_recovers_bit_exact(self):
+        """Flip one worker's link to sever-everything mid-stream.
+
+        Every lane pinned through the proxy is lost on its next call; the
+        coordinator must re-pin onto the healthy worker, re-bootstrap only
+        the lost shards from post-delta storage, and keep the stream
+        bit-exact — without any full re-detection.
+        """
+        fleet = spawn_local_workers(2)
+        mode = {"action": "pass"}
+        proxy = None
+        try:
+            proxy = ChaosProxy(
+                fleet[0].address,
+                decide=lambda direction, index: mode["action"],
+            ).start()
+            rng = random.Random(200)
+            sigma = _random_sigma(rng)
+            rows = _random_rows(rng, 160)
+            serial, remote = _engines(
+                sigma, rows, [proxy.address, fleet[1].address]
+            )
+            baseline = remote.backend.full_detect_count
+            _run_stream(rng, serial, remote, rounds=1)
+
+            mode["action"] = "sever"  # worker 0's link goes dark
+            live = sorted(_snapshot(serial))
+            deletes = rng.sample(live, k=40)
+            inserts = _random_rows(rng, 8)
+            expected = serial.apply_update(delete_tids=deletes, insert_rows=inserts)
+            result = remote.apply_update(delete_tids=deletes, insert_rows=inserts)
+            assert result.violations == expected.violations
+            trace = remote.backend.last_update_trace
+            assert trace["lanes_lost"] == [0, 2]
+            assert trace["recovered_shards"] == 2
+            assert remote.backend.full_detect_count == baseline
+            healthy = f"{fleet[1].address[0]}:{fleet[1].address[1]}"
+            assert {e["address"] for e in remote.shard_stats()} == {healthy}
+            assert proxy.counters["sever"] > 0
+
+            # Link restored: the fabric does not move lanes back (pins are
+            # sticky) but keeps running exactly on the survivor.
+            mode["action"] = "pass"
+            _run_stream(rng, serial, remote, rounds=2)
+            assert remote.backend.full_detect_count == baseline
+            serial.close()
+            remote.close()
+        finally:
+            if proxy is not None:
+                proxy.stop()
+            for handle in fleet:
+                handle.stop()
+
+
+class TestKilledWorker:
+    def test_killed_worker_stream_and_repair_match_serial_replay(self):
+        """The acceptance scenario: SIGKILL a worker mid-update-stream.
+
+        After recovery the violation sets stay bit-exact round by round,
+        ``full_detect_count`` is unchanged, and a full repair on the
+        recovered fabric produces the *same relation, tuple for tuple*, as
+        the serial replay's repair.
+        """
+        fleet = spawn_local_workers(2)
+        try:
+            rng = random.Random(300)
+            sigma = _random_sigma(rng)
+            rows = _random_rows(rng, 160)
+            serial, remote = _engines(
+                sigma, rows, [handle.address for handle in fleet]
+            )
+            baseline = remote.backend.full_detect_count
+            _run_stream(rng, serial, remote, rounds=1)
+
+            fleet[0].kill()  # no goodbye: RST on the next lane call
+            _run_stream(rng, serial, remote, rounds=2)
+            trace = remote.backend.last_update_trace
+            assert remote.backend.full_detect_count == baseline
+            assert trace["transport"]["lanes_lost"] >= 1
+
+            expected_repair = serial.repair(max_rounds=6)
+            actual_repair = remote.repair(max_rounds=6)
+            assert actual_repair.clean == expected_repair.clean
+            assert actual_repair.cells_changed == expected_repair.cells_changed
+            assert _snapshot(remote) == _snapshot(serial)
+            assert remote.detect().violations == serial.detect().violations
+            serial.close()
+            remote.close()
+        finally:
+            for handle in fleet:
+                handle.stop()
+
+
+class TestScriptedPrecision:
+    def test_single_dropped_reply_times_out_and_recovers(self):
+        """Drop exactly one reply frame: the call times out, the lane dies,
+        and recovery rebuilds its shard — one lost frame, zero lost data."""
+        fleet = spawn_local_workers(2)
+        dropped = {"armed": False, "done": False}
+
+        def decide(direction: str, index: int) -> str:
+            if direction == REPLY and dropped["armed"] and not dropped["done"]:
+                dropped["done"] = True
+                return "drop"
+            return "pass"
+
+        proxy = None
+        try:
+            proxy = ChaosProxy(fleet[0].address, decide=decide).start()
+            rng = random.Random(400)
+            sigma = _random_sigma(rng)
+            rows = _random_rows(rng, 120)
+            serial, remote = _engines(
+                sigma,
+                rows,
+                [proxy.address, fleet[1].address],
+                rpc_timeout=1.5,  # the dropped reply costs one short timeout
+            )
+            baseline = remote.backend.full_detect_count
+            _run_stream(rng, serial, remote, rounds=1)
+
+            dropped["armed"] = True
+            _run_stream(rng, serial, remote, rounds=2)
+            assert dropped["done"], "the scripted drop never fired"
+            assert proxy.counters["drop"] == 1
+            assert remote.backend.transport_stats()["lanes_lost"] >= 1
+            assert remote.backend.full_detect_count == baseline
+            assert remote.detect().violations == serial.detect().violations
+            serial.close()
+            remote.close()
+        finally:
+            if proxy is not None:
+                proxy.stop()
+            for handle in fleet:
+                handle.stop()

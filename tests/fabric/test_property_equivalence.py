@@ -1,0 +1,191 @@
+"""Property suite: remote == thread == serial, under a seeded random sweep.
+
+Each case draws a random constraint set (embedded FDs with overlapping,
+disjoint and *empty* LHS sets, value-set and complement-set disjunction
+patterns, pattern-only riders), random small-domain data and a random
+update/delete mix, then runs the identical workload through the serial,
+thread and remote executors.  Sharding is an execution strategy: every
+violation set, breakdown and repaired relation must be bit-identical
+across the three, at every round.
+
+Seeds are in the parametrize ids, so a failing CI run names its exact
+reproduction (``test_...[delete-heavy-2-seed3]`` reruns with ``-k``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import DataQualityEngine
+
+from tests.parallel.test_summary_merge import (
+    SCHEMA,
+    _random_rows,
+    _random_sigma,
+)
+
+#: update/delete mix profiles: (deletes per round, inserts per round).
+PROFILES = {
+    "delete-heavy": (lambda rng: rng.randint(30, 45), lambda rng: rng.randint(0, 4)),
+    "insert-heavy": (lambda rng: rng.randint(3, 8), lambda rng: rng.randint(15, 25)),
+    "balanced": (lambda rng: rng.randint(12, 20), lambda rng: rng.randint(10, 18)),
+}
+
+
+def _build(sigma, rows, executor, workers, addresses=None):
+    kwargs = {}
+    if executor == "remote":
+        kwargs["remote_workers"] = [f"{h}:{p}" for h, p in addresses]
+    engine = DataQualityEngine(
+        SCHEMA,
+        sigma,
+        backend="incremental",
+        workers=workers,
+        executor=executor,
+        **kwargs,
+    )
+    engine.load(rows)
+    engine.backend.ensure_ready()
+    return engine
+
+
+def _relation(engine):
+    return {t.tid: t.as_dict() for t in engine.to_relation().tuples()}
+
+
+class TestRandomizedExecutorEquivalence:
+    @pytest.mark.parametrize("workers", (2, 4))
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_detect_and_update_streams_agree(
+        self, seed, profile, workers, worker_addresses
+    ):
+        rng = random.Random(f"{seed}:{profile}:{workers}")
+        sigma = _random_sigma(rng)
+        rows = _random_rows(rng, 140)
+        deletes_of, inserts_of = PROFILES[profile]
+
+        engines = {
+            "serial": _build(sigma, rows, "serial", workers),
+            "thread": _build(sigma, rows, "thread", workers),
+            "remote": _build(sigma, rows, "remote", workers, worker_addresses),
+        }
+        baseline = engines["remote"].backend.full_detect_count
+        try:
+            live = list(range(1, len(rows) + 1))
+            next_tid = len(rows) + 1
+            for _ in range(3):
+                deletes = rng.sample(live, k=min(len(live), deletes_of(rng)))
+                inserts = _random_rows(rng, inserts_of(rng))
+                results = {
+                    name: engine.apply_update(
+                        delete_tids=deletes, insert_rows=inserts
+                    )
+                    for name, engine in engines.items()
+                }
+                assert (
+                    results["remote"].violations
+                    == results["thread"].violations
+                    == results["serial"].violations
+                )
+                live = [tid for tid in live if tid not in set(deletes)]
+                live.extend(range(next_tid, next_tid + len(inserts)))
+                next_tid += len(inserts)
+
+            final = {
+                name: engine.detect().violations for name, engine in engines.items()
+            }
+            assert final["remote"] == final["thread"] == final["serial"]
+            breakdowns = {
+                name: engine.backend.breakdown() for name, engine in engines.items()
+            }
+            assert breakdowns["remote"] == breakdowns["thread"] == breakdowns["serial"]
+            # The whole sweep is recompute-free on the remote fabric.
+            assert engines["remote"].backend.full_detect_count == baseline
+        finally:
+            for engine in engines.values():
+                engine.close()
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_repair_lands_on_the_same_relation(self, seed, worker_addresses):
+        rng = random.Random(9000 + seed)
+        sigma = _random_sigma(rng)
+        rows = _random_rows(rng, 120)
+        engines = {
+            "serial": _build(sigma, rows, "serial", 3),
+            "thread": _build(sigma, rows, "thread", 3),
+            "remote": _build(sigma, rows, "remote", 3, worker_addresses),
+        }
+        from repro.exceptions import RepairError
+
+        def outcome(engine):
+            # A random Σ may be unrepairable within the round budget; what
+            # equivalence demands is that every executor lands on the SAME
+            # outcome — converged with identical counts, or not at all.
+            try:
+                result = engine.repair(max_rounds=6)
+                return ("converged", result.cells_changed, result.clean)
+            except RepairError:
+                return ("did-not-converge",)
+
+        try:
+            repairs = {name: outcome(engine) for name, engine in engines.items()}
+            assert repairs["remote"] == repairs["thread"] == repairs["serial"]
+            relations = {name: _relation(engine) for name, engine in engines.items()}
+            assert relations["remote"] == relations["thread"] == relations["serial"]
+            post = {
+                name: engine.detect().violations for name, engine in engines.items()
+            }
+            assert post["remote"] == post["thread"] == post["serial"]
+        finally:
+            for engine in engines.values():
+                engine.close()
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_empty_lhs_and_disjunction_heavy_sigma(self, seed, worker_addresses):
+        """Force the summary-merge worst case through the remote fabric.
+
+        Empty-LHS FDs put every group on every shard (the reduce stage's
+        whole reason to exist); complement-set patterns exercise the
+        disjunctive matching on both sides of the wire.
+        """
+        from repro.core import ECFD, ECFDSet
+        from repro.core.patterns import ComplementSet
+
+        rng = random.Random(7000 + seed)
+        sigma = ECFDSet(
+            [
+                ECFD(SCHEMA, lhs=[], rhs=[a], tableau=[({}, {a: "_"})])
+                for a in ("CT", "ZIP")
+            ]
+            + [
+                ECFD(
+                    SCHEMA,
+                    lhs=["AC"],
+                    rhs=["CT"],
+                    tableau=[({"AC": ComplementSet({"ac-0"})}, {"CT": "_"})],
+                )
+            ]
+        )
+        rows = _random_rows(rng, 120)
+        engines = {
+            "serial": _build(sigma, rows, "serial", 4),
+            "remote": _build(sigma, rows, "remote", 4, worker_addresses),
+        }
+        try:
+            assert (
+                engines["remote"].detect().violations
+                == engines["serial"].detect().violations
+            )
+            live = list(range(1, len(rows) + 1))
+            deletes = rng.sample(live, k=50)
+            results = {
+                name: engine.apply_update(delete_tids=deletes)
+                for name, engine in engines.items()
+            }
+            assert results["remote"].violations == results["serial"].violations
+        finally:
+            for engine in engines.values():
+                engine.close()

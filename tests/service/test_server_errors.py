@@ -1,0 +1,164 @@
+"""Error paths of the TCP skin: bad frames, dead peers, reply deadlines.
+
+The fix under test: ``QualityClient.request`` used to wait forever on a
+dead or wedged server.  Every request now carries a reply deadline that
+raises the typed :class:`~repro.exceptions.ServiceTimeoutError`; the server
+side gets the matching hardening — malformed JSON answers an error reply,
+an oversized line answers then closes (the stream cannot be resynchronised
+past it), and a client vanishing mid-request never takes the server down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.schema import cust_ext_schema
+from repro.datagen.workload import paper_workload
+from repro.exceptions import ReproError, ServiceTimeoutError
+from repro.service import QualityClient, QualityServer, QualityService
+from repro.service.server import DEFAULT_MAX_LINE, DEFAULT_REQUEST_TIMEOUT
+
+SCHEMA = cust_ext_schema()
+
+
+def _service():
+    return QualityService(SCHEMA, paper_workload(SCHEMA), workers=1)
+
+
+class TestServerErrorPaths:
+    def test_malformed_json_line_gets_an_error_reply_not_a_dead_server(self):
+        async def scenario():
+            async with _service() as service:
+                async with QualityServer(service) as server:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    writer.write(b"{not json at all\n")
+                    await writer.drain()
+                    reply = json.loads(await reader.readline())
+                    assert reply["ok"] is False
+                    # Same connection, next request: fully functional.
+                    writer.write(b'{"op": "ping"}\n')
+                    await writer.drain()
+                    assert json.loads(await reader.readline()) == {
+                        "ok": True,
+                        "pong": True,
+                    }
+                    # A JSON line that is not an object is a request error too.
+                    writer.write(b"[1, 2, 3]\n")
+                    await writer.drain()
+                    reply = json.loads(await reader.readline())
+                    assert reply["ok"] is False and "object" in reply["error"]
+                    writer.close()
+                    await writer.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_oversized_line_is_answered_then_the_connection_closes(self):
+        async def scenario():
+            async with _service() as service:
+                async with QualityServer(service, max_line=1024) as server:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    huge = b'{"op": "ping", "pad": "' + b"x" * 4096 + b'"}\n'
+                    writer.write(huge)
+                    await writer.drain()
+                    reply = json.loads(await reader.readline())
+                    assert reply["ok"] is False
+                    assert "1024" in reply["error"]
+                    # Past an oversized line the stream cannot be re-framed;
+                    # the server closes rather than guess.
+                    assert await reader.read() == b""
+                    writer.close()
+                    # ...but fresh connections are served as usual.
+                    async with QualityClient("127.0.0.1", server.port) as client:
+                        assert (await client.request("ping"))["pong"] is True
+
+        asyncio.run(scenario())
+
+    def test_default_line_bound_is_generous(self):
+        assert DEFAULT_MAX_LINE == 8 * 1024 * 1024
+
+    def test_disconnect_mid_request_leaves_the_server_serving(self):
+        async def scenario():
+            async with _service() as service:
+                async with QualityServer(service) as server:
+                    # Half a request, then gone — no newline ever arrives.
+                    _, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    writer.write(b'{"op": "detect"')
+                    await writer.drain()
+                    writer.close()
+                    await writer.wait_closed()
+                    # The torn connection is not a request and kills nothing.
+                    async with QualityClient("127.0.0.1", server.port) as client:
+                        assert (await client.request("ping"))["pong"] is True
+                    assert server.connections == 2
+
+        asyncio.run(scenario())
+
+
+class TestClientTimeout:
+    def test_dead_server_raises_a_typed_timeout_not_a_hang(self):
+        async def swallow(reader, writer):
+            await reader.read()  # accept, read, never reply
+
+        async def scenario():
+            server = await asyncio.start_server(swallow, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = QualityClient("127.0.0.1", port, request_timeout=0.2)
+            await client.connect()
+            with pytest.raises(ServiceTimeoutError, match="within 0.2s"):
+                await client.request("ping")
+            # The timed-out connection is closed: a late reply must never be
+            # read as the answer to a later request.
+            assert client._writer is None
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_per_call_timeout_overrides_the_client_default(self):
+        async def swallow(reader, writer):
+            await reader.read()
+
+        async def scenario():
+            server = await asyncio.start_server(swallow, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = QualityClient("127.0.0.1", port)  # default 30s
+            await client.connect()
+            with pytest.raises(ServiceTimeoutError, match="within 0.1s"):
+                await client.request("ping", timeout=0.1)
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_timeout_error_is_both_typed_and_a_timeout(self):
+        # Callers can catch it as the library's error or as TimeoutError.
+        assert issubclass(ServiceTimeoutError, ReproError)
+        assert issubclass(ServiceTimeoutError, TimeoutError)
+        assert DEFAULT_REQUEST_TIMEOUT == 30.0
+
+    def test_real_requests_finish_well_inside_the_deadline(self):
+        async def scenario():
+            async with _service() as service:
+                async with QualityServer(service) as server:
+                    async with QualityClient(
+                        "127.0.0.1", server.port, request_timeout=10.0
+                    ) as client:
+                        tids = await client.update(
+                            insert_rows=[
+                                {a: "x" for a in SCHEMA.attribute_names}
+                            ]
+                        )
+                        assert len(tids) == 1
+                        counts = await client.detect()
+                        assert counts["tuples"] == 1
+
+        asyncio.run(scenario())
