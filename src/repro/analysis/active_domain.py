@@ -19,7 +19,7 @@ disagree on an attribute without touching any constant).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.ecfd import ECFD
 from repro.core.schema import RelationSchema, Value

@@ -27,7 +27,7 @@ motivates the implication analysis with.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.analysis.active_domain import active_domains, mentioned_attributes
 from repro.core.ecfd import ECFD, ECFDSet

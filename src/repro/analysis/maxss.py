@@ -22,7 +22,7 @@ certainly unsatisfiable; otherwise the approximation is inconclusive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.analysis.reduction import ReductionResult, reduce_to_maxgsat
 from repro.core.ecfd import ECFD, ECFDSet

@@ -41,7 +41,7 @@ each attribute, the value whose variable is true) and returns the subset of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.analysis.active_domain import active_domains, mentioned_attributes
 from repro.core.ecfd import ECFD, ECFDSet

@@ -31,7 +31,7 @@ compared in the test-suite and in the MAXSS ablation benchmark.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.analysis.active_domain import active_domains, mentioned_attributes
 from repro.core.ecfd import ECFD, ECFDSet

@@ -26,7 +26,7 @@ infinite-domain-only setting.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.ecfd import ECFD, ECFDSet, PatternTuple
 from repro.core.patterns import ValueSet, Wildcard

@@ -24,7 +24,7 @@ apart.  The reverse direction, :func:`cfd_from_ecfd`, succeeds exactly when
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.core.ecfd import ECFD, PatternTuple
 from repro.core.instance import Relation

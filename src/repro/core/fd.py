@@ -18,7 +18,7 @@ therefore needs ordinary FD machinery:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.instance import Relation, RelationTuple
 from repro.core.schema import RelationSchema, Value

@@ -20,7 +20,7 @@ its primary key so that violation sets can be compared across detectors.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.schema import RelationSchema, Value
 from repro.exceptions import SchemaError

@@ -39,7 +39,7 @@ in ``tests/core/test_parser.py``).
 from __future__ import annotations
 
 import re
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.core.ecfd import ECFD, PatternTuple
 from repro.core.patterns import (

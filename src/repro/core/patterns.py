@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.core.schema import Domain, Value
 from repro.exceptions import PatternError

@@ -26,7 +26,7 @@ as convenience constructors at the bottom of the module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.exceptions import DomainError, SchemaError
 

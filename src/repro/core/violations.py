@@ -23,7 +23,7 @@ equivalence tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.core.schema import Value
 

@@ -28,7 +28,7 @@ experiment harness relies on this for repeatability.
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.instance import Relation
 from repro.core.schema import RelationSchema, cust_ext_schema

@@ -26,7 +26,7 @@ in Σ.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.violations import ViolationSet

@@ -27,7 +27,7 @@ value comparisons between the data table and the pattern tables exact.
 from __future__ import annotations
 
 import sqlite3
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.core.instance import Relation, RelationTuple
 from repro.core.schema import RelationSchema, Value

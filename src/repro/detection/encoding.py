@@ -35,7 +35,7 @@ on the relation schema R, exactly as the paper remarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.patterns import ComplementSet, PatternValue, ValueSet, Wildcard

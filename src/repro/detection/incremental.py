@@ -41,7 +41,7 @@ allows ("they can all be performed using SQL statements").
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.schema import Value

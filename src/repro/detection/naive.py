@@ -25,7 +25,7 @@ recent run.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.instance import Relation

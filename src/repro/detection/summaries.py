@@ -33,7 +33,7 @@ Wire formats (plain dicts/tuples, picklable across process pools):
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence, Tuple
+from collections.abc import Callable, Iterable, Mapping, Sequence
 
 from repro.core.ecfd import ECFD
 from repro.exceptions import DetectionError
@@ -48,9 +48,9 @@ __all__ = [
 ]
 
 #: One shard's full per-fragment group summary (see module docstring).
-Summary = dict[int, dict[tuple, Tuple[dict, list]]]
+Summary = dict[int, dict[tuple, tuple[dict, list]]]
 #: One routed update's signed summary contribution change.
-SummaryDelta = dict[int, dict[tuple, Tuple[dict, list, list]]]
+SummaryDelta = dict[int, dict[tuple, tuple[dict, list, list]]]
 
 
 def _single_pattern(fragment: ECFD) -> ECFD:
@@ -62,7 +62,9 @@ def _single_pattern(fragment: ECFD) -> ECFD:
     return fragment
 
 
-def _lhs_matcher(fragment: ECFD, text_constants: bool):
+def _lhs_matcher(
+    fragment: ECFD, text_constants: bool
+) -> Callable[[Mapping[str, str]], bool]:
     """The LHS-match predicate a summary emission uses for one fragment.
 
     ``text_constants=False`` is the reference Python semantics
@@ -76,7 +78,7 @@ def _lhs_matcher(fragment: ECFD, text_constants: bool):
     pattern = _single_pattern(fragment).tableau[0]
     if not text_constants:
         return pattern.matches_lhs
-    checks = []
+    checks: list[tuple[str, frozenset[str], bool]] = []
     for attribute in fragment.lhs:
         entry = pattern.lhs_entry(attribute)
         if entry.is_wildcard:
@@ -85,7 +87,7 @@ def _lhs_matcher(fragment: ECFD, text_constants: bool):
         negate = entry.to_text().startswith("!")  # complement set
         checks.append((attribute, constants, negate))
 
-    def matches(row) -> bool:
+    def matches(row: Mapping[str, str]) -> bool:
         for attribute, constants, negate in checks:
             if (str(row[attribute]) in constants) == negate:
                 return False
@@ -95,7 +97,7 @@ def _lhs_matcher(fragment: ECFD, text_constants: bool):
 
 
 def accumulate_group(
-    groups: dict[tuple, Tuple[dict, list]], xv: tuple, yv: tuple, tid: int
+    groups: dict[tuple, tuple[dict, list]], xv: tuple, yv: tuple, tid: int
 ) -> None:
     """Fold one matching tuple's projections into a fragment's group map."""
     counts, tids = groups.setdefault(xv, ({}, []))
@@ -182,7 +184,7 @@ def summary_delta(
     delta: SummaryDelta = {}
     for cid, fragment in fragments:
         matches_lhs = _lhs_matcher(fragment, text_constants)
-        groups: dict[tuple, Tuple[dict, list, list]] = {}
+        groups: dict[tuple, tuple[dict, list, list]] = {}
         for sign, pairs in ((-1, deleted), (1, inserted)):
             for tid, row in pairs:
                 if not matches_lhs(row):

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.ecfd import ECFD, PatternTuple
 from repro.core.instance import Relation

@@ -33,7 +33,8 @@ the engine's cross-backend equivalence guarantees rest on.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, ClassVar, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import ClassVar
 
 from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.instance import Relation

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import time
 from itertools import islice
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import Any
 
 from repro.analysis.satisfiability import is_satisfiable
 from repro.core.ecfd import ECFD, ECFDSet

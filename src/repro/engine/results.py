@@ -24,7 +24,8 @@ be logged, shipped across processes or archived next to experiment output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.core.violations import ViolationSet
 

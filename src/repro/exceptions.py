@@ -49,7 +49,9 @@ class ParseError(ReproError):
         Character offset at which parsing failed, if known.
     """
 
-    def __init__(self, message: str, text: str = "", position: int | None = None):
+    def __init__(
+        self, message: str, text: str = "", position: int | None = None
+    ) -> None:
         super().__init__(message)
         self.text = text
         self.position = position
@@ -92,7 +94,7 @@ class UnknownBackendError(EngineError):
         The backend names registered at the time of the lookup.
     """
 
-    def __init__(self, name: str, available: tuple[str, ...] = ()):
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
         listing = ", ".join(repr(b) for b in available) or "(none registered)"
         super().__init__(
             f"unknown detector backend {name!r}; available backends: {listing}"
@@ -129,7 +131,9 @@ class LaneFailedError(FabricError):
         ``(host, port)`` of the worker the lane was pinned to, if known.
     """
 
-    def __init__(self, message: str, lane: int, address: tuple[str, int] | None = None):
+    def __init__(
+        self, message: str, lane: int, address: tuple[str, int] | None = None
+    ) -> None:
         super().__init__(message)
         self.lane = lane
         self.address = address
@@ -150,7 +154,9 @@ class RemoteCallError(FabricError):
         The worker-side traceback, for diagnostics.
     """
 
-    def __init__(self, remote_type: str, message: str, remote_traceback: str = ""):
+    def __init__(
+        self, remote_type: str, message: str, remote_traceback: str = ""
+    ) -> None:
         super().__init__(f"remote worker raised {remote_type}: {message}")
         self.remote_type = remote_type
         self.remote_traceback = remote_traceback
@@ -181,7 +187,7 @@ class UnknownStrategyError(EngineError):
         The strategy names registered at the time of the lookup.
     """
 
-    def __init__(self, name: str, available: tuple[str, ...] = ()):
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
         listing = ", ".join(repr(s) for s in available) or "(none registered)"
         super().__init__(
             f"unknown repair strategy {name!r}; available strategies: {listing}"

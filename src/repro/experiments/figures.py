@@ -34,7 +34,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from collections.abc import Callable
+from typing import Protocol
 
 from repro.core.ecfd import ECFDSet
 from repro.core.schema import cust_ext_schema

@@ -14,7 +14,7 @@ import csv
 import io
 import json
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.experiments.timing import Measurement
 

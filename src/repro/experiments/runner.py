@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.core.ecfd import ECFDSet
 from repro.core.schema import RelationSchema, cust_ext_schema

@@ -5,7 +5,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 __all__ = ["Measurement", "Timer", "stopwatch"]
 

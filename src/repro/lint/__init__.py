@@ -1,0 +1,30 @@
+"""repro.lint — project-specific AST invariant checks.
+
+``python -m repro.lint [paths]`` runs seven AST-visitor rules encoding
+the invariants the reproduction's correctness rests on but Python cannot
+express: wire-safety of RPC payloads (RPL001), retry idempotency backed
+by the ``@rpc_op`` registry (RPL002), engine determinism (RPL003),
+asyncio hygiene (RPL004), SQLite thread affinity (RPL005), the
+ReproError exception taxonomy (RPL006), and string-keyed registry
+consistency (RPL007).
+
+Findings suppress line-by-line with ``# reprolint: disable=RPLxxx`` and
+project-wide via the (empty by policy) baseline file; see
+``docs/LINTING.md`` for the catalog and the add-a-rule recipe.
+"""
+
+from __future__ import annotations
+
+from repro.lint.model import Rule, SourceFile, Violation
+from repro.lint.registry import RULES, rules_table
+from repro.lint.runner import LintResult, run_lint
+
+__all__ = [
+    "LintResult",
+    "RULES",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "rules_table",
+    "run_lint",
+]

@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.lint``."""
+
+from repro.lint.cli import main
+
+raise SystemExit(main())

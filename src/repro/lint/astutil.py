@@ -1,0 +1,74 @@
+"""Small AST helpers shared by the repro.lint checkers.
+
+Nothing here knows about rules — just the mechanics every checker needs:
+resolving dotted call targets, walking with parent links, and carving
+function bodies at nesting boundaries so a rule scoped to "the direct
+body of an ``async def``" does not leak into nested closures.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "body_nodes",
+    "call_name",
+    "dotted_name",
+    "iter_function_defs",
+    "parent_map",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> str | None:
+    """The dotted target of a call, e.g. ``time.sleep`` or ``open``."""
+    return dotted_name(call.func)
+
+
+def parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """child node -> parent node, for ancestor walks."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def iter_function_defs(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+_BOUNDARY = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def body_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Every node in ``func``'s *direct* body.
+
+    Stops at nested function/lambda boundaries: code inside a closure has
+    its own execution context (a nested ``def`` runs later, possibly on
+    another thread), so rules about "what runs in this frame" must not
+    descend into it.
+    """
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _BOUNDARY):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

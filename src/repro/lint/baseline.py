@@ -1,0 +1,59 @@
+"""Baseline files: the escape hatch for pre-existing findings.
+
+A baseline is a JSON list of ``(code, path, message)`` entries; findings
+matching an entry are reported as baselined and do not fail the run.
+The shipped baseline (``.reprolint-baseline.json`` at the repo root) is
+*empty by policy* — the tree lints clean — but the mechanism exists so a
+future rule can land strict while its fixes are staged across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.lint.model import Violation
+
+__all__ = ["BaselineError", "DEFAULT_BASELINE_NAME", "load_baseline", "write_baseline"]
+
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+
+class BaselineError(ReproError):
+    """A baseline file that cannot be parsed or has the wrong shape."""
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    """The ``(code, path, message)`` triples of a baseline file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(payload.get("entries"), list):
+        raise BaselineError(
+            f"baseline {path} must be an object with an 'entries' list"
+        )
+    entries: set[tuple[str, str, str]] = set()
+    for index, entry in enumerate(payload["entries"]):
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("code"), str)
+            or not isinstance(entry.get("path"), str)
+            or not isinstance(entry.get("message"), str)
+        ):
+            raise BaselineError(
+                f"baseline {path} entries[{index}] must have string "
+                "'code', 'path', and 'message'"
+            )
+        entries.add((entry["code"], entry["path"], entry["message"]))
+    return entries
+
+
+def write_baseline(path: Path, violations: list[Violation]) -> None:
+    entries = [
+        {"code": v.code, "path": v.path, "message": v.message}
+        for v in sorted(violations, key=Violation.sort_key)
+    ]
+    payload = {"version": 1, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,40 @@
+"""The checker modules of repro.lint, one per RPL rule code.
+
+Each module exports ``CODE`` plus a ``check_file(file, index)``
+generator; project-level rules additionally export
+``check_project(index)``.  The runner discovers both through the lists
+below — adding a rule is: write the module, register its
+:class:`~repro.lint.model.Rule` in :mod:`repro.lint.registry`, and add
+it here.
+"""
+
+from __future__ import annotations
+
+from repro.lint.checks import (
+    asyncio_hygiene,
+    determinism,
+    exception_taxonomy,
+    registries,
+    retry_idempotency,
+    sqlite_affinity,
+    wire_safety,
+)
+
+__all__ = ["FILE_CHECKS", "PROJECT_CHECKS"]
+
+#: ``(code, check_file)`` pairs, run per scanned file.
+FILE_CHECKS = [
+    (wire_safety.CODE, wire_safety.check_file),
+    (retry_idempotency.CODE, retry_idempotency.check_file),
+    (determinism.CODE, determinism.check_file),
+    (asyncio_hygiene.CODE, asyncio_hygiene.check_file),
+    (sqlite_affinity.CODE, sqlite_affinity.check_file),
+    (exception_taxonomy.CODE, exception_taxonomy.check_file),
+    (registries.CODE, registries.check_file),
+]
+
+#: ``(code, check_project)`` pairs, run once over the whole index.
+PROJECT_CHECKS = [
+    (retry_idempotency.CODE, retry_idempotency.check_project),
+    (registries.CODE, registries.check_project),
+]

@@ -1,0 +1,121 @@
+"""RPL004 — asyncio hygiene in the fabric's event-loop code.
+
+Inside the *direct* body of an ``async def`` (nested sync functions run
+elsewhere — typically on an executor thread — and are exempt):
+
+* no blocking calls: ``time.sleep``, subprocess spawns, ``os.system``,
+  builtin ``open``, ``socket.create_connection`` — one of these stalls
+  every lane the loop serves;
+* no bare-statement calls of module- or class-local coroutines (an
+  un-awaited coroutine silently never runs);
+* no fire-and-forget ``create_task``/``ensure_future`` — an unretained
+  task can be garbage-collected mid-flight and its exception is lost.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.astutil import body_nodes, call_name, parent_map
+from repro.lint.model import SourceFile, Violation
+from repro.lint.project import ProjectIndex
+
+CODE = "RPL004"
+
+_BLOCKING = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "socket.create_connection",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "open",
+}
+
+_SPAWNERS = {"create_task", "ensure_future"}
+
+
+def _local_coroutines(file: SourceFile) -> tuple[set[str], dict[str, set[str]]]:
+    """Module-level async def names, and class name -> async method names."""
+    module_level = {
+        node.name
+        for node in file.tree.body
+        if isinstance(node, ast.AsyncFunctionDef)
+    }
+    per_class: dict[str, set[str]] = {}
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.ClassDef):
+            per_class[node.name] = {
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, ast.AsyncFunctionDef)
+            }
+    return module_level, per_class
+
+
+def check_file(file: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+    module_coros, class_coros = _local_coroutines(file)
+    parents = parent_map(file.tree)
+    for func in ast.walk(file.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        cls = parents.get(func)
+        own_class_coros = (
+            class_coros.get(cls.name, set()) if isinstance(cls, ast.ClassDef) else set()
+        )
+        for node in body_nodes(func):
+            if isinstance(node, ast.Call):
+                target = call_name(node)
+                if target in _BLOCKING:
+                    yield Violation(
+                        CODE,
+                        file.rel,
+                        node.lineno,
+                        node.col_offset,
+                        f"blocking call {target}() inside async def "
+                        f"{func.name!r} — it stalls the whole event loop; "
+                        "use the asyncio equivalent or run_in_executor",
+                    )
+            if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+                continue
+            call = node.value
+            func_node = call.func
+            if (
+                isinstance(func_node, ast.Attribute)
+                and func_node.attr in _SPAWNERS
+            ):
+                yield Violation(
+                    CODE,
+                    file.rel,
+                    call.lineno,
+                    call.col_offset,
+                    f"fire-and-forget {func_node.attr}() — retain the task "
+                    "(and await or cancel it) so its exception cannot vanish",
+                )
+            elif isinstance(func_node, ast.Name) and func_node.id in module_coros:
+                yield Violation(
+                    CODE,
+                    file.rel,
+                    call.lineno,
+                    call.col_offset,
+                    f"coroutine {func_node.id}(...) is never awaited — "
+                    "it will not run",
+                )
+            elif (
+                isinstance(func_node, ast.Attribute)
+                and isinstance(func_node.value, ast.Name)
+                and func_node.value.id == "self"
+                and func_node.attr in own_class_coros
+            ):
+                yield Violation(
+                    CODE,
+                    file.rel,
+                    call.lineno,
+                    call.col_offset,
+                    f"coroutine self.{func_node.attr}(...) is never awaited "
+                    "— it will not run",
+                )

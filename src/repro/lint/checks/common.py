@@ -1,0 +1,34 @@
+"""Helpers shared by checkers that reason about RPC call sites."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.project import ProjectIndex
+
+__all__ = ["rpc_op_literal"]
+
+_RPC_METHODS = {"submit", "call"}
+
+
+def rpc_op_literal(call: ast.Call, index: ProjectIndex) -> str | None:
+    """The op-name literal of an RPC dispatch call, or ``None``.
+
+    An RPC dispatch site is a ``.submit(...)`` / ``.call(...)`` method
+    call whose second positional argument is a string literal — the
+    ``(lane, op, payload)`` convention of the fabric — and that either
+    names a registered op or carries a ``retryable=`` keyword.  The
+    second condition keeps unrelated ``Executor.submit`` calls (whose
+    arguments are callables, not strings) out of scope.
+    """
+    if not isinstance(call.func, ast.Attribute) or call.func.attr not in _RPC_METHODS:
+        return None
+    if len(call.args) < 2:
+        return None
+    op = call.args[1]
+    if not (isinstance(op, ast.Constant) and isinstance(op.value, str)):
+        return None
+    has_retry_kw = any(kw.arg == "retryable" for kw in call.keywords)
+    if op.value in index.rpc_ops or has_retry_kw:
+        return op.value
+    return None

@@ -1,0 +1,90 @@
+"""RPL003 — determinism of engine paths.
+
+Scope: everything under ``src/repro/``.  The reproduction's anchor is
+bit-exact equivalence of violations and repairs across executors, so
+engine code may not consult wall clocks (``time.time``/``time_ns`` —
+monotonic and perf counters are fine, they never feed results), draw
+unseeded randomness, or iterate a set where order can reach output
+without a ``sorted()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.astutil import call_name
+from repro.lint.model import SourceFile, Violation
+from repro.lint.project import ProjectIndex
+
+CODE = "RPL003"
+
+_BANNED_CALLS = {
+    "time.time": "wall-clock time.time() in an engine path",
+    "time.time_ns": "wall-clock time.time_ns() in an engine path",
+    "os.urandom": "os.urandom() in an engine path",
+}
+
+#: random.<name> calls that are fine: seeded-generator construction.
+_RANDOM_FACTORIES = {"Random", "SystemRandom", "seed"}
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call):
+        target = call_name(node)
+        return target in {"set", "frozenset"}
+    return False
+
+
+def check_file(file: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+    if not file.in_src:
+        return
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Call):
+            target = call_name(node)
+            if target in _BANNED_CALLS:
+                yield Violation(
+                    CODE,
+                    file.rel,
+                    node.lineno,
+                    node.col_offset,
+                    _BANNED_CALLS[target]
+                    + " — results must not depend on when they ran",
+                )
+            elif target and target.startswith("random."):
+                tail = target.split(".", 1)[1]
+                if tail == "Random" and not node.args:
+                    yield Violation(
+                        CODE,
+                        file.rel,
+                        node.lineno,
+                        node.col_offset,
+                        "unseeded random.Random() in an engine path — pass an "
+                        "explicit seed",
+                    )
+                elif "." not in tail and tail not in _RANDOM_FACTORIES:
+                    yield Violation(
+                        CODE,
+                        file.rel,
+                        node.lineno,
+                        node.col_offset,
+                        f"module-level random.{tail}() shares unseeded global "
+                        "state — use a seeded random.Random instance",
+                    )
+        iters: list[ast.expr] = []
+        if isinstance(node, ast.For):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if _is_set_expr(it):
+                yield Violation(
+                    CODE,
+                    file.rel,
+                    it.lineno,
+                    it.col_offset,
+                    "iterating a set without sorted() — set order is "
+                    "process-dependent and can leak into output",
+                )

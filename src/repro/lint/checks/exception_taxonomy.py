@@ -1,0 +1,95 @@
+"""RPL006 — the project exception taxonomy.
+
+* Every ``except Exception`` / ``except BaseException`` / bare
+  ``except:`` must carry the established justification comment
+  ``# noqa: BLE001 - <reason>`` on the same line — a blanket catch is
+  sometimes right (teardown, protocol boundaries) but never silently.
+* Exception classes defined in ``src/`` must subclass
+  :class:`repro.exceptions.ReproError`, and ``raise`` sites in ``src/``
+  may not raise a project class outside the hierarchy — callers dispatch
+  on it.  (Builtins like ``ValueError`` for argument validation are out
+  of scope; tests may define throwaway exceptions freely.)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.model import SourceFile, Violation
+from repro.lint.project import ProjectIndex
+
+CODE = "RPL006"
+
+_JUSTIFIED_RE = re.compile(r"#\s*noqa:\s*BLE001\s*-\s*\S")
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _catches_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    nodes = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    return any(isinstance(n, ast.Name) and n.id in _BROAD for n in nodes)
+
+
+def check_file(file: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.ExceptHandler) and _catches_broad(node):
+            line = (
+                file.lines[node.lineno - 1] if node.lineno <= len(file.lines) else ""
+            )
+            if not _JUSTIFIED_RE.search(line):
+                yield Violation(
+                    CODE,
+                    file.rel,
+                    node.lineno,
+                    node.col_offset,
+                    "broad except without a '# noqa: BLE001 - <reason>' "
+                    "justification — say why swallowing everything is safe "
+                    "here, or narrow the type",
+                )
+        if not file.in_src:
+            continue
+        if isinstance(node, ast.ClassDef):
+            info = index.classes.get(node.name)
+            if (
+                info is not None
+                and info.rel == file.rel
+                and info.line == node.lineno
+                and index.is_exception_like(node.name)
+                and not index.is_repro_error(node.name)
+            ):
+                yield Violation(
+                    CODE,
+                    file.rel,
+                    node.lineno,
+                    node.col_offset,
+                    f"exception class {node.name!r} does not subclass "
+                    "ReproError — project exceptions form one dispatchable "
+                    "hierarchy",
+                )
+        elif isinstance(node, ast.Raise):
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if (
+                name is not None
+                and name in index.classes
+                and index.is_exception_like(name)
+                and not index.is_repro_error(name)
+            ):
+                yield Violation(
+                    CODE,
+                    file.rel,
+                    node.lineno,
+                    node.col_offset,
+                    f"raise of project exception {name!r} outside the "
+                    "ReproError hierarchy",
+                )

@@ -1,0 +1,114 @@
+"""RPL002 — retries are only ever attached to registered-idempotent ops.
+
+The ``@rpc_op(name, idempotent=...)`` registry in
+:mod:`repro.parallel.transport` is the single authority on what may be
+blindly retried.  This checker enforces the static half of the
+contract:
+
+* every ``retryable=`` keyword is a literal ``False``, a literal
+  ``True`` on an op declared ``idempotent=True``, or a direct
+  ``is_idempotent(...)`` call — nothing free-form;
+* ``@rpc_op`` idempotency flags are literal booleans;
+* one op name is never declared with conflicting flags (project-level,
+  mirrors the runtime ``FabricError`` so the conflict fails in lint
+  before it fails at import).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.astutil import call_name
+from repro.lint.model import SourceFile, Violation
+from repro.lint.project import ProjectIndex
+
+CODE = "RPL002"
+
+
+def _retry_value_ok(value: ast.expr, call: ast.Call, index: ProjectIndex) -> str | None:
+    """``None`` if the retryable value is acceptable, else the problem."""
+    if isinstance(value, ast.Constant) and value.value is False:
+        return None
+    if isinstance(value, ast.Call):
+        target = call_name(value) or ""
+        if target.rsplit(".", 1)[-1] == "is_idempotent":
+            return None
+        return (
+            "retryable= must be a literal or an is_idempotent(...) call, "
+            f"not {ast.unparse(value)!r}"
+        )
+    if isinstance(value, ast.Constant) and value.value is True:
+        op = None
+        if len(call.args) >= 2:
+            arg = call.args[1]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                op = arg.value
+        if op is None:
+            return (
+                "retryable=True with a non-literal op name — the idempotency "
+                "claim cannot be statically checked; use "
+                "retryable=is_idempotent(op)"
+            )
+        decl = index.rpc_ops.get(op)
+        if decl is None:
+            return (
+                f"retryable=True attached to unregistered op {op!r} — declare "
+                "it with @rpc_op before claiming it is safe to retry"
+            )
+        if not decl.idempotent:
+            return (
+                f"retryable=True attached to op {op!r}, which is not declared "
+                "idempotent — a retried reply loss would double-apply it"
+            )
+        return None
+    return (
+        "retryable= must be a literal or an is_idempotent(...) call, "
+        f"not {ast.unparse(value)!r}"
+    )
+
+
+def check_file(file: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = call_name(node)
+        tail = target.rsplit(".", 1)[-1] if target else None
+        if tail == "rpc_op":
+            for kw in node.keywords:
+                if kw.arg == "idempotent" and not (
+                    isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, bool)
+                ):
+                    yield Violation(
+                        CODE,
+                        file.rel,
+                        node.lineno,
+                        node.col_offset,
+                        "@rpc_op idempotent= must be a literal bool — the "
+                        "flag is a static contract, not a runtime decision",
+                    )
+            continue
+        for kw in node.keywords:
+            if kw.arg != "retryable":
+                continue
+            problem = _retry_value_ok(kw.value, node, index)
+            if problem is not None:
+                yield Violation(
+                    CODE, file.rel, kw.value.lineno, kw.value.col_offset, problem
+                )
+
+
+def check_project(index: ProjectIndex) -> Iterator[Violation]:
+    for name in sorted(index.rpc_ops):
+        decl = index.rpc_ops[name]
+        if len(decl.flags) > 1:
+            for rel, line in decl.sites:
+                yield Violation(
+                    CODE,
+                    rel,
+                    line,
+                    0,
+                    f"RPC op {name!r} declared with conflicting idempotency "
+                    "flags across the project",
+                )

@@ -1,0 +1,99 @@
+"""RPL005 — SQLite thread affinity.
+
+SQLite connections are thread-affine; the fabric's whole execution model
+(one pinned lane thread per shard state) exists to honor that.  Two
+sub-checks over ``src/`` and ``benchmarks/``:
+
+* ``sqlite3`` is imported/used only in the sanctioned storage module;
+* a name bound from ``sqlite3.connect(...)`` (or ``*.connect(...)`` on
+  a sqlite3 attribute) is never referenced inside a lambda or nested
+  function in the same frame — a closure is exactly how a connection
+  leaks onto another executor's thread.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.astutil import call_name, iter_function_defs
+from repro.lint.model import SourceFile, Violation
+from repro.lint.project import ProjectIndex
+
+CODE = "RPL005"
+
+#: The only modules allowed to touch sqlite3 directly.
+SANCTIONED_SQLITE_MODULES = frozenset({"src/repro/detection/database.py"})
+
+
+def _sqlite_conn_names(scope: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and call_name(node.value) == "sqlite3.connect"
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def check_file(file: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+    if not (file.in_src or file.is_benchmark):
+        return
+    sanctioned = file.rel in SANCTIONED_SQLITE_MODULES
+    if not sanctioned:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "sqlite3":
+                        yield Violation(
+                            CODE,
+                            file.rel,
+                            node.lineno,
+                            node.col_offset,
+                            "sqlite3 imported outside the sanctioned storage "
+                            "module — route storage through "
+                            "detection/database.py",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "sqlite3":
+                    yield Violation(
+                        CODE,
+                        file.rel,
+                        node.lineno,
+                        node.col_offset,
+                        "sqlite3 imported outside the sanctioned storage "
+                        "module — route storage through detection/database.py",
+                    )
+
+    # Closure-capture check applies everywhere, sanctioned module included:
+    # even database.py must not hand its connection to another thread.
+    for func in iter_function_defs(file.tree):
+        conn_names = _sqlite_conn_names(func)
+        if not conn_names:
+            continue
+        for node in ast.walk(func):
+            inner: ast.AST | None = None
+            if isinstance(node, ast.Lambda):
+                inner = node
+            elif (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not func
+            ):
+                inner = node
+            if inner is None:
+                continue
+            for ref in ast.walk(inner):
+                if isinstance(ref, ast.Name) and ref.id in conn_names:
+                    yield Violation(
+                        CODE,
+                        file.rel,
+                        ref.lineno,
+                        ref.col_offset,
+                        f"sqlite3 connection {ref.id!r} captured in a "
+                        "closure — connections are thread-affine and must "
+                        "not escape the frame that opened them",
+                    )

@@ -1,0 +1,167 @@
+"""RPL001 — wire-safety of RPC payloads and shard tasks.
+
+Three sub-checks:
+
+* an argument at an RPC dispatch site that is a lambda, a function
+  nested in the enclosing frame, or a bound method of the enclosing
+  class — none of these survive a real pickle boundary;
+* any lambda argument to a ``.submit(...)``/``encode_frame(...)`` call
+  inside :mod:`repro.parallel` (process-pool lanes reject lambdas even
+  before the network does);
+* the summary wire-shape fingerprints ``({}, [])`` / ``({}, [], [])``
+  constructed outside ``detection/summaries.py`` — the wire format has
+  exactly one author.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.astutil import call_name, parent_map
+from repro.lint.checks.common import rpc_op_literal
+from repro.lint.model import SourceFile, Violation
+from repro.lint.project import ProjectIndex
+
+CODE = "RPL001"
+
+#: The only module allowed to build raw summary-cell tuples.
+SANCTIONED_SUMMARY_MODULES = frozenset({"src/repro/detection/summaries.py"})
+
+
+def _is_empty_dict(node: ast.expr) -> bool:
+    return isinstance(node, ast.Dict) and not node.keys
+
+
+def _is_empty_list(node: ast.expr) -> bool:
+    return isinstance(node, ast.List) and not node.elts
+
+
+def _is_summary_cell(node: ast.Tuple) -> bool:
+    elts = node.elts
+    if len(elts) == 2:
+        return _is_empty_dict(elts[0]) and _is_empty_list(elts[1])
+    if len(elts) == 3:
+        return (
+            _is_empty_dict(elts[0])
+            and _is_empty_list(elts[1])
+            and _is_empty_list(elts[2])
+        )
+    return False
+
+
+def _enclosing(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> tuple[list[ast.FunctionDef | ast.AsyncFunctionDef], ast.ClassDef | None]:
+    funcs: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+    cls: ast.ClassDef | None = None
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            funcs.append(current)
+        elif isinstance(current, ast.ClassDef) and cls is None:
+            cls = current
+        current = parents.get(current)
+    return funcs, cls
+
+
+def _nested_def_names(
+    funcs: list[ast.FunctionDef | ast.AsyncFunctionDef],
+) -> set[str]:
+    names: set[str] = set()
+    for func in funcs:
+        for node in ast.walk(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not func:
+                    names.add(node.name)
+    return names
+
+
+def _payload_args(call: ast.Call) -> Iterator[ast.expr]:
+    yield from call.args[2:]
+    for kw in call.keywords:
+        if kw.arg != "retryable":
+            yield kw.value
+
+
+def check_file(file: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
+    parents = parent_map(file.tree)
+    in_parallel = file.rel.startswith("src/repro/parallel/")
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Tuple) and _is_summary_cell(node):
+            if file.in_src and file.rel not in SANCTIONED_SUMMARY_MODULES:
+                yield Violation(
+                    CODE,
+                    file.rel,
+                    node.lineno,
+                    node.col_offset,
+                    "raw summary-cell tuple constructed outside "
+                    "detection/summaries.py — use the summaries API so the "
+                    "wire format has one author",
+                )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        op = rpc_op_literal(node, index)
+        if op is not None:
+            funcs, cls = _enclosing(node, parents)
+            nested = _nested_def_names(funcs)
+            methods = (
+                {
+                    n.name
+                    for n in cls.body
+                    if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                if cls is not None
+                else set()
+            )
+            for arg in _payload_args(node):
+                if isinstance(arg, ast.Lambda):
+                    yield Violation(
+                        CODE,
+                        file.rel,
+                        arg.lineno,
+                        arg.col_offset,
+                        f"lambda in the payload of RPC op {op!r} — payloads "
+                        "must be plain picklable data",
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in nested:
+                    yield Violation(
+                        CODE,
+                        file.rel,
+                        arg.lineno,
+                        arg.col_offset,
+                        f"closure {arg.id!r} in the payload of RPC op {op!r} "
+                        "— nested functions do not cross the wire",
+                    )
+                elif (
+                    isinstance(arg, ast.Attribute)
+                    and isinstance(arg.value, ast.Name)
+                    and arg.value.id == "self"
+                    and arg.attr in methods
+                ):
+                    yield Violation(
+                        CODE,
+                        file.rel,
+                        arg.lineno,
+                        arg.col_offset,
+                        f"bound method self.{arg.attr} in the payload of RPC "
+                        f"op {op!r} — payloads must be plain picklable data",
+                    )
+            continue
+        target = call_name(node)
+        is_submit = (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "submit"
+        )
+        if in_parallel and (is_submit or target == "encode_frame"):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    yield Violation(
+                        CODE,
+                        file.rel,
+                        arg.lineno,
+                        arg.col_offset,
+                        "lambda submitted to an executor/frame in the "
+                        "parallel fabric — process lanes and the wire both "
+                        "require picklable callables",
+                    )

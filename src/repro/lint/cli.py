@@ -1,0 +1,122 @@
+"""The ``python -m repro.lint`` command line.
+
+Exit codes: 0 clean (baselined findings do not fail the run), 1 when
+violations or parse errors remain, 2 on usage errors (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.registry import RULES
+from repro.lint.runner import run_lint
+
+__all__ = ["main"]
+
+DEFAULT_PATHS = ("src", "benchmarks", "tests")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project-specific AST invariant checks (rules RPL001-RPL007).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{rule.code} [{rule.name}] {rule.summary}")
+        return 0
+
+    root = Path(args.root).resolve()
+    paths = [Path(p) for p in (args.paths or DEFAULT_PATHS)]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    )
+    baseline: set[tuple[str, str, str]] = set()
+    if not args.write_baseline and baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    result = run_lint(paths, root, baseline)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, result.violations)
+        print(
+            f"wrote {len(result.violations)} baseline entr"
+            f"{'y' if len(result.violations) == 1 else 'ies'} to {baseline_path}"
+        )
+        return 0
+
+    if args.json:
+        payload = {
+            "files_checked": result.files_checked,
+            "violations": [v.as_json() for v in result.violations],
+            "baselined": [v.as_json() for v in result.baselined],
+            "errors": [{"path": p, "message": m} for p, m in result.errors],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for path, message in result.errors:
+            print(f"{path}: error: {message}")
+        for violation in result.violations:
+            print(violation.format())
+        summary = (
+            f"{result.files_checked} files checked, "
+            f"{len(result.violations)} violation"
+            f"{'' if len(result.violations) == 1 else 's'}"
+        )
+        if result.baselined:
+            summary += f", {len(result.baselined)} baselined"
+        if result.errors:
+            summary += f", {len(result.errors)} parse errors"
+        print(summary)
+
+    return 0 if result.ok else 1

@@ -1,0 +1,113 @@
+"""The data model of the repro lint pass: rules, violations, source files.
+
+A :class:`SourceFile` wraps one parsed module with the project-role
+classification the checkers scope on (``src`` engine code vs tests vs
+benchmarks) and the line-level ``# reprolint: disable=RPLxxx``
+suppressions.  A :class:`Violation` is one finding; its identity for
+baseline matching is the ``(code, path, message)`` triple — deliberately
+*not* the line number, so baselined findings survive unrelated edits
+above them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Rule", "SourceFile", "Violation"]
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a stable code plus the catalog strings."""
+
+    code: str
+    name: str
+    summary: str
+    rationale: str
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, located at ``path:line:col``."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        return (self.code, self.path, self.message)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_json(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """One parsed Python module plus its lint-relevant classification."""
+
+    def __init__(self, path: Path, root: Path, text: str):
+        self.path = path
+        self.root = root
+        try:
+            self.rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            self.rel = path.as_posix()
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        #: line number -> set of rule codes disabled on that line.
+        self.suppressions: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+                self.suppressions.setdefault(lineno, set()).update(codes)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> SourceFile:
+        return cls(path, root, path.read_text(encoding="utf-8"))
+
+    # -- project-role classification (paths are repo-relative posix) -----
+    @property
+    def in_src(self) -> bool:
+        return self.rel.startswith("src/repro/")
+
+    @property
+    def is_test(self) -> bool:
+        return self.rel.startswith("tests/")
+
+    @property
+    def is_benchmark(self) -> bool:
+        return self.rel.startswith("benchmarks/")
+
+    @property
+    def module(self) -> str | None:
+        """Dotted module name for files under ``src/``, else ``None``."""
+        if not self.rel.startswith("src/") or not self.rel.endswith(".py"):
+            return None
+        dotted = self.rel[len("src/") : -len(".py")].replace("/", ".")
+        return dotted.removesuffix(".__init__")
+
+    def suppressed(self, code: str, line: int) -> bool:
+        return code in self.suppressions.get(line, ())
+
+    def __repr__(self) -> str:
+        return f"SourceFile({self.rel!r})"

@@ -1,0 +1,270 @@
+"""The cross-file index the project-level checks resolve against.
+
+One pass over every scanned file collects the facts no single-file
+checker can know: which RPC ops are declared (and with what idempotency
+flag), the project exception hierarchy, every string-keyed registry
+registration, the tracked-benchmark schema, and the benchmark function
+definitions.  Authoritative declarations are collected from ``src/``
+only — tests legitimately register throwaway backends and ops, and must
+not pollute the registries the real tree is checked against.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.astutil import call_name, dotted_name
+from repro.lint.model import SourceFile
+
+__all__ = ["OpDecl", "ProjectIndex", "build_index"]
+
+#: Builtin exception names a project class may (transitively) subclass.
+_BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "RuntimeError",
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "OSError",
+        "ConnectionError",
+        "TimeoutError",
+        "ArithmeticError",
+        "LookupError",
+    }
+)
+
+
+@dataclass
+class OpDecl:
+    """Everything the index knows about one ``@rpc_op`` name."""
+
+    name: str
+    #: idempotency flags seen across declarations (True/False/None for
+    #: a non-literal flag); more than one distinct value is a conflict.
+    flags: set[bool | None] = field(default_factory=set)
+    sites: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def idempotent(self) -> bool:
+        return self.flags == {True}
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: its base names and where it lives."""
+
+    name: str
+    bases: tuple[str, ...]
+    rel: str
+    line: int
+
+
+@dataclass
+class ProjectIndex:
+    files: list[SourceFile] = field(default_factory=list)
+    #: op name -> declaration record (src/ only).
+    rpc_ops: dict[str, OpDecl] = field(default_factory=dict)
+    #: class name -> definition info (src/ only; last definition wins).
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: registry kind -> key -> registration sites (src/ only).
+    registry_keys: dict[str, dict[str, list[tuple[str, int]]]] = field(
+        default_factory=lambda: {
+            "backend": {},
+            "strategy": {},
+            "figure": {},
+            "driver": {},
+        }
+    )
+    #: TRACKED_BENCHMARKS keys -> site (from reports/schema.py if scanned).
+    tracked_benchmarks: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: EXTRA_INFO_FIELDS benchmark-name prefixes.
+    extra_info_prefixes: tuple[str, ...] = ()
+    has_schema: bool = False
+    #: test_* function names defined under benchmarks/.
+    benchmark_funcs: set[str] = field(default_factory=set)
+    has_benchmarks: bool = False
+    has_figures: bool = False
+    has_drivers: bool = False
+
+    def is_exception_like(self, name: str) -> bool:
+        """Does ``name``'s base chain reach a builtin exception?"""
+        return self._reaches(name, _BUILTIN_EXCEPTIONS)
+
+    def is_repro_error(self, name: str) -> bool:
+        """Is ``name`` ``ReproError`` or a transitive subclass of it?"""
+        return name == "ReproError" or self._reaches(name, {"ReproError"})
+
+    def _reaches(self, name: str, targets: frozenset[str] | set[str]) -> bool:
+        seen: set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            for base in info.bases:
+                if base in targets:
+                    return True
+                frontier.append(base)
+        return False
+
+
+def _class_attr_constants(tree: ast.Module) -> dict[str, dict[str, str]]:
+    """class name -> {attr: string constant} for simple class-body assigns.
+
+    Resolves the ``register_backend(NaiveBackend.name, NaiveBackend)``
+    idiom, where the registry key is a class attribute, not a literal.
+    """
+    out: dict[str, dict[str, str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        attrs: dict[str, str] = {}
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                attrs[stmt.targets[0].id] = stmt.value.value
+            elif (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                attrs[stmt.target.id] = stmt.value.value
+        out[node.name] = attrs
+    return out
+
+
+def _resolve_key(node: ast.expr, class_attrs: dict[str, dict[str, str]]) -> str | None:
+    """A registry-key expression as a string, if statically resolvable."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in class_attrs
+    ):
+        return class_attrs[node.value.id].get(node.attr)
+    return None
+
+
+_REGISTER_CALLS = {
+    "register_backend": "backend",
+    "register_strategy": "strategy",
+}
+_REGISTER_DECORATORS = {
+    "register_figure": "figure",
+    "register_driver": "driver",
+}
+
+
+def _index_src_file(index: ProjectIndex, file: SourceFile) -> None:
+    class_attrs = _class_attr_constants(file.tree)
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.ClassDef):
+            bases = tuple(
+                name
+                for base in node.bases
+                if (name := dotted_name(base)) is not None
+            )
+            base_tails = tuple(name.rsplit(".", 1)[-1] for name in bases)
+            index.classes[node.name] = ClassInfo(
+                name=node.name, bases=base_tails, rel=file.rel, line=node.lineno
+            )
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                if isinstance(decorator, ast.Call):
+                    _index_decorator(index, file, decorator)
+        if isinstance(node, ast.Call):
+            target = call_name(node)
+            tail = target.rsplit(".", 1)[-1] if target else None
+            if tail in _REGISTER_CALLS and node.args:
+                key = _resolve_key(node.args[0], class_attrs)
+                if key is not None:
+                    kind = _REGISTER_CALLS[tail]
+                    index.registry_keys[kind].setdefault(key, []).append(
+                        (file.rel, node.lineno)
+                    )
+
+    if file.rel == "src/repro/reports/schema.py":
+        _index_schema(index, file)
+    if file.rel == "src/repro/reports/figures.py":
+        index.has_figures = True
+    if file.rel == "src/repro/experiments/figures.py":
+        index.has_drivers = True
+
+
+def _index_decorator(index: ProjectIndex, file: SourceFile, call: ast.Call) -> None:
+    target = call_name(call)
+    tail = target.rsplit(".", 1)[-1] if target else None
+    if tail in _REGISTER_DECORATORS and call.args:
+        arg = call.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            kind = _REGISTER_DECORATORS[tail]
+            index.registry_keys[kind].setdefault(arg.value, []).append(
+                (file.rel, call.lineno)
+            )
+    elif tail == "rpc_op" and call.args:
+        arg = call.args[0]
+        if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+            return
+        flag: bool | None = None
+        for kw in call.keywords:
+            if kw.arg == "idempotent":
+                if isinstance(kw.value, ast.Constant) and isinstance(
+                    kw.value.value, bool
+                ):
+                    flag = kw.value.value
+        decl = index.rpc_ops.setdefault(arg.value, OpDecl(name=arg.value))
+        decl.flags.add(flag)
+        decl.sites.append((file.rel, call.lineno))
+
+
+def _index_schema(index: ProjectIndex, file: SourceFile) -> None:
+    index.has_schema = True
+    for node in ast.walk(file.tree):
+        target_name = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            if isinstance(node.targets[0], ast.Name):
+                target_name = node.targets[0].id
+                value = node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            target_name = node.target.id
+            value = node.value
+        if target_name == "TRACKED_BENCHMARKS" and isinstance(value, ast.Dict):
+            for key in value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    index.tracked_benchmarks[key.value] = (file.rel, key.lineno)
+        elif target_name == "EXTRA_INFO_FIELDS" and isinstance(value, ast.Dict):
+            prefixes = [
+                key.value
+                for key in value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ]
+            index.extra_info_prefixes = tuple(prefixes)
+
+
+def build_index(files: list[SourceFile]) -> ProjectIndex:
+    index = ProjectIndex(files=list(files))
+    for file in files:
+        if file.in_src:
+            _index_src_file(index, file)
+        elif file.is_benchmark:
+            index.has_benchmarks = True
+            for node in ast.walk(file.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node.name.startswith("test_"):
+                        index.benchmark_funcs.add(node.name)
+    return index

@@ -1,0 +1,127 @@
+"""The rule catalog: one :class:`~repro.lint.model.Rule` per RPL code.
+
+This registry is the single source for everything rule-shaped: the
+checkers key their violations off these codes, ``--list-rules`` prints
+them, and the generated table in ``docs/LINTING.md`` is rendered from
+:func:`rules_table` (via :mod:`repro.reports.docs_sync`), so the docs
+cannot drift from the codes the pass actually enforces.
+"""
+
+from __future__ import annotations
+
+from repro.lint.model import Rule
+
+__all__ = ["RULES", "rules_table"]
+
+RULES: dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        Rule(
+            code="RPL001",
+            name="wire-safety",
+            summary=(
+                "RPC payloads and shard tasks must be plain picklable data: "
+                "no lambdas, closures, or bound methods cross the wire, and "
+                "summary wire shapes are built only by detection/summaries.py"
+            ),
+            rationale=(
+                "The remote fabric pickles every payload; a closure that "
+                "happens to pickle in-process breaks on a real network "
+                "boundary, and ad-hoc summary tuples fork the wire format "
+                "the reduce stage depends on."
+            ),
+        ),
+        Rule(
+            code="RPL002",
+            name="retry-idempotency",
+            summary=(
+                "retryable=True submissions must name an op declared "
+                "@rpc_op(idempotent=True); retry intent is never free-form"
+            ),
+            rationale=(
+                "A retry of a non-idempotent op (an update delta) after a "
+                "lost reply double-applies its effect and silently breaks "
+                "the bit-exact equivalence anchor."
+            ),
+        ),
+        Rule(
+            code="RPL003",
+            name="determinism",
+            summary=(
+                "engine paths use no wall clocks or unseeded randomness, and "
+                "never iterate a set without sorted() where order can leak"
+            ),
+            rationale=(
+                "Serial/thread/process/remote executors must produce "
+                "bit-identical violations and repairs; one unordered set "
+                "iteration in a tie-break makes equivalence flaky."
+            ),
+        ),
+        Rule(
+            code="RPL004",
+            name="asyncio-hygiene",
+            summary=(
+                "no blocking calls in async def bodies, no un-awaited "
+                "coroutines, no fire-and-forget create_task"
+            ),
+            rationale=(
+                "One time.sleep in the worker's event loop stalls every "
+                "lane at once, and an unretained task is garbage-collected "
+                "mid-flight with its exception swallowed."
+            ),
+        ),
+        Rule(
+            code="RPL005",
+            name="sqlite-affinity",
+            summary=(
+                "sqlite3 stays confined to sanctioned modules and "
+                "connections are never captured into closures that may "
+                "cross executor threads"
+            ),
+            rationale=(
+                "SQLite connections are thread-affine; the fabric "
+                "guarantees this by pinning each shard state to one lane "
+                "thread, which only holds if no connection escapes."
+            ),
+        ),
+        Rule(
+            code="RPL006",
+            name="exception-taxonomy",
+            summary=(
+                "project exceptions subclass ReproError, and every "
+                "`except Exception` carries a `# noqa: BLE001 - <reason>`"
+            ),
+            rationale=(
+                "Callers dispatch on the ReproError hierarchy; an orphan "
+                "exception class or an unexplained blanket except hides "
+                "faults the chaos tests are designed to surface."
+            ),
+        ),
+        Rule(
+            code="RPL007",
+            name="registry-consistency",
+            summary=(
+                "string keys (backends, strategies, figures, drivers, RPC "
+                "ops, tracked benchmarks) resolve against their registries "
+                "with no duplicates or orphans"
+            ),
+            rationale=(
+                "Registries are stringly-typed on purpose (wire and CLI "
+                "friendly); the compensation is a static cross-check so a "
+                "typo fails the lint gate, not a production run."
+            ),
+        ),
+    )
+}
+
+
+def rules_table() -> str:
+    """The markdown rule table injected into ``docs/LINTING.md``."""
+    lines = [
+        "| Code | Name | Checks |",
+        "| --- | --- | --- |",
+    ]
+    for code in sorted(RULES):
+        rule = RULES[code]
+        lines.append(f"| `{rule.code}` | {rule.name} | {rule.summary} |")
+    return "\n".join(lines) + "\n"

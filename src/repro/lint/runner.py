@@ -1,0 +1,90 @@
+"""The lint runner: collect files, build the index, run every checker.
+
+Suppression and baseline filtering happen here, uniformly: a violation
+is dropped if its line carries ``# reprolint: disable=<its code>`` in
+the file it points at, and moved to ``baselined`` if its
+``(code, path, message)`` triple appears in the loaded baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.checks import FILE_CHECKS, PROJECT_CHECKS
+from repro.lint.model import SourceFile, Violation
+from repro.lint.project import build_index
+
+__all__ = ["LintResult", "collect_files", "run_lint"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "artifacts"}
+
+
+@dataclass
+class LintResult:
+    violations: list[Violation] = field(default_factory=list)
+    baselined: list[Violation] = field(default_factory=list)
+    #: ``(path, message)`` for files that failed to parse or decode.
+    errors: list[tuple[str, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+
+def collect_files(paths: list[Path], root: Path) -> tuple[list[SourceFile], list[tuple[str, str]]]:
+    """Parse every ``.py`` file under ``paths`` (files or directories)."""
+    candidates: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if not _SKIP_DIRS.intersection(p.parts)
+            )
+        elif path.suffix == ".py":
+            candidates.append(path)
+    files: list[SourceFile] = []
+    errors: list[tuple[str, str]] = []
+    seen: set[Path] = set()
+    for candidate in candidates:
+        resolved = candidate.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        try:
+            files.append(SourceFile.parse(candidate, root))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            rel = candidate.as_posix()
+            errors.append((rel, f"cannot parse: {exc}"))
+    return files, errors
+
+
+def run_lint(
+    paths: list[Path],
+    root: Path,
+    baseline: set[tuple[str, str, str]] | None = None,
+) -> LintResult:
+    files, errors = collect_files(paths, root)
+    result = LintResult(errors=errors, files_checked=len(files))
+    index = build_index(files)
+    by_rel = {file.rel: file for file in files}
+
+    raw: list[Violation] = []
+    for file in files:
+        for _code, check in FILE_CHECKS:
+            raw.extend(check(file, index))
+    for _code, check in PROJECT_CHECKS:
+        raw.extend(check(index))
+
+    baseline = baseline or set()
+    for violation in sorted(set(raw), key=Violation.sort_key):
+        owner = by_rel.get(violation.path)
+        if owner is not None and owner.suppressed(violation.code, violation.line):
+            continue
+        if violation.baseline_key() in baseline:
+            result.baselined.append(violation)
+        else:
+            result.violations.append(violation)
+    return result

@@ -37,7 +37,7 @@ from __future__ import annotations
 import asyncio
 import random
 import threading
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.parallel.remote import Address, parse_address
 from repro.parallel.transport import _LENGTH
@@ -280,7 +280,7 @@ def start_proxies(
     try:
         for offset, target in enumerate(targets):
             proxies.append(ChaosProxy(target, seed=seed + offset, **kwargs).start())
-    except Exception:
+    except Exception:  # noqa: BLE001 - stop the partial proxy fleet, then re-raise unchanged
         for proxy in proxies:
             proxy.stop()
         raise

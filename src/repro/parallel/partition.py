@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.instance import Relation

@@ -20,14 +20,16 @@
   coordinator catches to re-pin the lane and re-bootstrap its shard; a
   :class:`~repro.exceptions.RemoteCallError` means the worker is healthy
   and the *operation* raised, so it propagates;
-* idempotent operations (bootstrap, summaries, statistics, drops) may be
-  submitted ``retryable=True``: transport failures then reconnect to the
-  lane's pinned address and retry under the pool's
+* operations *declared idempotent* in the :func:`~repro.parallel.transport.rpc_op`
+  registry (bootstrap, summaries, statistics, drops) may be submitted
+  ``retryable=True``: transport failures then reconnect to the lane's
+  pinned address and retry under the pool's
   :class:`~repro.parallel.transport.RetryPolicy` before the lane is
-  declared lost.  Update operations are **never** retried — a reply lost
-  after execution would double-apply the delta — their failure path is
-  lane loss and re-bootstrap, which is exact because coordinator storage
-  receives every delta before the lanes do.
+  declared lost.  ``submit`` *refuses* ``retryable=True`` for any op not
+  registered idempotent — ``update`` is declared non-idempotent (a reply
+  lost after execution would double-apply the delta), so its failure path
+  is lane loss and re-bootstrap, which is exact because coordinator
+  storage receives every delta before the lanes do.
 
 :func:`spawn_local_workers` forks ``python -m repro.parallel.worker``
 subprocesses on localhost (ephemeral ports, parsed off the worker's
@@ -42,8 +44,9 @@ import os
 import subprocess
 import sys
 import threading
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from itertools import count as _counter
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import Any
 
 from repro.exceptions import FabricError, LaneFailedError, RemoteCallError
 from repro.parallel.transport import (
@@ -51,6 +54,7 @@ from repro.parallel.transport import (
     RetryPolicy,
     RpcConnection,
     TransportClosed,
+    is_idempotent,
 )
 
 __all__ = [
@@ -185,7 +189,7 @@ def spawn_local_workers(
     try:
         for _ in range(count):
             handles.append(LocalWorkerHandle.spawn(host, stderr=stderr))
-    except Exception:
+    except Exception:  # noqa: BLE001 - stop the partial fleet, then re-raise unchanged
         for handle in handles:
             handle.stop()
         raise
@@ -268,9 +272,20 @@ class RemoteWorkerPool:
         failures as :class:`~repro.exceptions.RemoteCallError` and collapses
         every transport-level failure into
         :class:`~repro.exceptions.LaneFailedError` naming the lane.
+
+        ``retryable=True`` is accepted only for ops *declared idempotent*
+        in the :func:`~repro.parallel.transport.rpc_op` registry — blind
+        retries of anything else could double-apply an effect, so the pool
+        fails fast instead of trusting the caller's claim.
         """
         if self._closed:
             raise FabricError("the remote worker pool is closed")
+        if retryable and not is_idempotent(op):
+            raise FabricError(
+                f"op {op!r} is not registered idempotent; refusing retryable "
+                "submission (declare it with @rpc_op(idempotent=True) if a "
+                "blind retry is genuinely safe)"
+            )
         future = asyncio.run_coroutine_threadsafe(
             self._invoke(lane, op, payload, retryable), self._loop
         )

@@ -97,9 +97,9 @@ when constructed with ``workers > 1``.
 from __future__ import annotations
 
 import os
+from collections.abc import Callable, Mapping, Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from itertools import count as _counter
-from typing import Callable, Mapping, Sequence
 
 from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.instance import Relation
@@ -126,6 +126,7 @@ from repro.parallel.remote import (
     spawn_local_workers,
 )
 from repro.parallel.summary import SummaryStore, summary_nbytes
+from repro.parallel.transport import is_idempotent, rpc_op
 
 __all__ = ["ShardedBackend", "DEFAULT_EXECUTOR", "detect_sharded"]
 
@@ -190,15 +191,18 @@ def _load_shard(
         backend.load_relation(shard)
 
 
+@rpc_op("detect_shard", idempotent=True)
 def _detect_shard(
     task: _ShardTask,
 ) -> tuple[ViolationSet, dict[int, dict[str, int]], Summary]:
     """Run one delegate backend over one shard (executes inside a worker).
 
-    Returns the shard's violation set (keyed by global constraint
-    identifiers), its per-constraint breakdown (empty unless requested —
-    for the SQL delegates it costs an extra grouped ``Q_sv`` pass) and its
-    group summaries for the summary fragments.
+    Stateless — the delegate is built, run and discarded — hence declared
+    idempotent: a retry after an ambiguous transport failure re-runs the
+    same pure computation.  Returns the shard's violation set (keyed by
+    global constraint identifiers), its per-constraint breakdown (empty
+    unless requested — for the SQL delegates it costs an extra grouped
+    ``Q_sv`` pass) and its group summaries for the summary fragments.
     """
     schema, factory, fragments, summary_fragments, rows, want_breakdown = task
     local_sigma = ECFDSet([fragment for _, fragment in fragments])
@@ -274,15 +278,19 @@ _UpdateTask = tuple[
 ]
 
 
+@rpc_op("bootstrap", idempotent=True)
 def _shard_bootstrap(task: _BootstrapTask) -> tuple[str, ViolationSet, Summary]:
     """Build one persistent shard state (runs inside the shard's lane).
 
     Loads the shard rows with their *global* tids, initialises the
     delegate's maintained state (for INCDETECT: the batch pass computing
     flags, Aux(D) and macro rows) and parks the live backend in
-    :data:`_SHARD_STATES` for later :func:`_shard_update` calls.  Returns
-    the shard's violation set on global constraint identifiers together
-    with its full group summary, which seeds the coordinator's store.
+    :data:`_SHARD_STATES` for later :func:`_shard_update` calls.  Declared
+    idempotent because a re-run *overwrites*: any previous state at the
+    key is dropped before the rebuild, so a retry after an ambiguous
+    failure lands on the same state.  Returns the shard's violation set on
+    global constraint identifiers together with its full group summary,
+    which seeds the coordinator's store.
     """
     key, schema, factory, fragments, summary_fragments, rows = task
     local_sigma = ECFDSet([fragment for _, fragment in fragments])
@@ -296,18 +304,22 @@ def _shard_bootstrap(task: _BootstrapTask) -> tuple[str, ViolationSet, Summary]:
     return key, _remap_cids(backend.detect(), mapping), summary
 
 
+@rpc_op("update", idempotent=False)
 def _shard_update(
     task: _UpdateTask,
 ) -> tuple[str, ViolationSet, SummaryDelta, dict | None]:
     """Apply one routed delta to a live shard state (runs inside its lane).
 
-    Work is INCDETECT's: a fixed number of SQL statements touching only the
-    affected groups of this shard, plus a pattern match per (delta tuple,
-    summary fragment) pair for the summary delta.  Inserted tuples keep
-    their coordinator-assigned global tids.  Returns the shard's *new*
-    violation set (maintained by flag deltas — readback proportional to
-    the affected groups), the summary delta of this slice, and the
-    delegate's readback diagnostics.
+    Declared **non-idempotent**: a reply lost after execution would
+    double-apply the delta on a blind retry, so this op is never retried —
+    its failure path is lane loss and re-bootstrap from coordinator
+    storage.  Work is INCDETECT's: a fixed number of SQL statements
+    touching only the affected groups of this shard, plus a pattern match
+    per (delta tuple, summary fragment) pair for the summary delta.
+    Inserted tuples keep their coordinator-assigned global tids.  Returns
+    the shard's *new* violation set (maintained by flag deltas — readback
+    proportional to the affected groups), the summary delta of this slice,
+    and the delegate's readback diagnostics.
     """
     key, delete_pairs, insert_pairs = task
     state = _SHARD_STATES[key]
@@ -328,6 +340,7 @@ def _shard_update(
     return key, _remap_cids(violations, state.mapping), delta, readback
 
 
+@rpc_op("breakdown", idempotent=True)
 def _shard_breakdown(key: str) -> tuple[str, dict[int, dict[str, int]]]:
     """Read one live shard's per-constraint statistics on global CIDs.
 
@@ -345,6 +358,7 @@ def _shard_breakdown(key: str) -> tuple[str, dict[int, dict[str, int]]]:
     }
 
 
+@rpc_op("state_stats", idempotent=True)
 def _shard_state_stats(key: str) -> tuple[str, dict[str, int]]:
     """Read one live shard's state statistics (tuples, Aux(D), macro rows)."""
     state = _SHARD_STATES[key]
@@ -354,6 +368,7 @@ def _shard_state_stats(key: str) -> tuple[str, dict[str, int]]:
     return key, {"tuples": state.backend.count()}
 
 
+@rpc_op("drop", idempotent=True)
 def _shard_drop(key: str) -> str:
     """Tear down one shard state (close its database, free its memory)."""
     state = _SHARD_STATES.pop(key, None)
@@ -362,12 +377,13 @@ def _shard_drop(key: str) -> str:
     return key
 
 
+@rpc_op("full_summary", idempotent=True)
 def _shard_full_summary(key: str) -> tuple[str, Summary]:
     """Re-emit one live shard's current full group summary (recovery path).
 
-    Read-only over the maintained state, hence idempotent — safe to retry
-    over a reconnect.  On a remote worker the summary is *held* for the
-    follow-up reduce instead of being returned (see
+    Read-only over the maintained state, hence declared idempotent — safe
+    to retry over a reconnect.  On a remote worker the summary is *held*
+    for the follow-up reduce instead of being returned (see
     :mod:`repro.parallel.worker`).
     """
     state = _SHARD_STATES[key]
@@ -380,30 +396,25 @@ def _shard_full_summary(key: str) -> tuple[str, Summary]:
 
 
 #: Remote fabric dispatch: the shard functions above, named as worker ops.
+#: Derived from the functions' ``@rpc_op`` declarations — the registry in
+#: :mod:`repro.parallel.transport` is the single source of truth for op
+#: names *and* idempotency, so whether a call may be retried is a declared,
+#: machine-checked fact (``is_idempotent``) instead of a hand-kept set.
 #: The remote executor sends the op name and the *same* task payload the
 #: in-host lanes pass positionally; :mod:`repro.parallel.worker` routes it
 #: back to the identical function on the worker's copy of this module.
 _REMOTE_OPS: dict[Callable, str] = {
-    _detect_shard: "detect_shard",
-    _shard_bootstrap: "bootstrap",
-    _shard_update: "update",
-    _shard_breakdown: "breakdown",
-    _shard_state_stats: "state_stats",
-    _shard_drop: "drop",
-    _shard_full_summary: "full_summary",
+    fn: fn.__rpc_op__.name
+    for fn in (
+        _detect_shard,
+        _shard_bootstrap,
+        _shard_update,
+        _shard_breakdown,
+        _shard_state_stats,
+        _shard_drop,
+        _shard_full_summary,
+    )
 }
-
-#: Ops safe to blind-retry over a reconnect: stateless (``detect_shard``),
-#: read-only (``breakdown`` / ``state_stats`` / ``full_summary``), or
-#: overwrite-on-rerun (``bootstrap`` drops any previous state at its key;
-#: ``drop`` of a dropped key is a no-op).  ``update`` is deliberately
-#: absent — a reply lost *after* execution would double-apply the delta, so
-#: its failure path is lane loss and re-bootstrap instead.
-#: ``reduce_summaries`` is also absent: it *pops* the held summaries, so a
-#: retry after an ambiguous failure would silently merge nothing.
-_IDEMPOTENT_OPS = frozenset(
-    {"detect_shard", "bootstrap", "breakdown", "state_stats", "drop", "full_summary"}
-)
 
 
 class ShardedBackend(InMemoryRelationBackend):
@@ -795,7 +806,7 @@ class ShardedBackend(InMemoryRelationBackend):
             pool = self._ensure_remote_pool()
             op = _REMOTE_OPS[fn]
             return [
-                pool.submit(lane, op, task, retryable=op in _IDEMPOTENT_OPS)
+                pool.submit(lane, op, task, retryable=is_idempotent(op))
                 for lane, task in tasks
             ]
         if self.executor == "serial" or self.workers <= 1:
@@ -854,7 +865,7 @@ class ShardedBackend(InMemoryRelationBackend):
             )
         try:
             results = self._run_in_lanes(_shard_bootstrap, tasks)
-        except Exception:
+        except Exception:  # noqa: BLE001 - invalidate the partial bootstrap, then re-raise unchanged
             # A partial bootstrap (some lanes built states, one failed)
             # must not linger: drop whatever was parked and start over on
             # the next call.
@@ -874,7 +885,7 @@ class ShardedBackend(InMemoryRelationBackend):
             # instead of one O(|shard|) summary per shard.
             try:
                 summary_bytes = self._reduce_held_summaries(dict(self._shard_layout))
-            except Exception:
+            except Exception:  # noqa: BLE001 - invalidate the partial bootstrap, then re-raise unchanged
                 self._invalidate_shard_states()
                 raise
         self._summary_trace = {
@@ -1078,7 +1089,7 @@ class ShardedBackend(InMemoryRelationBackend):
             ]
             try:
                 self._run_in_lanes(_shard_drop, tasks)
-            except Exception:
+            except Exception:  # noqa: BLE001 - teardown is best-effort
                 pass
         if self._lanes is not None:
             for lane in self._lanes:
@@ -1206,7 +1217,7 @@ class ShardedBackend(InMemoryRelationBackend):
                 results, recovery = self._collect_remote_updates(pending)
             else:
                 results = [collect() for collect in pending]
-        except Exception:
+        except Exception:  # noqa: BLE001 - invalidate shard state so the next call re-bootstraps, then re-raise
             self._invalidate_shard_states()
             self._last_violations = None
             raise

@@ -29,6 +29,15 @@ connection is poisoned (the reply stream can no longer be trusted) and the
 lane above it re-pins.  :class:`RetryPolicy` centralises the exponential
 backoff used for connection establishment and idempotent calls — the sleep
 function is injectable so tests drive it without wall-clock waits.
+
+Every operation that crosses this transport is **declared** with the
+:func:`rpc_op` decorator, which records its name and — crucially — whether
+it is idempotent.  Retries are only ever attached to registered-idempotent
+ops: :meth:`RemoteWorkerPool.submit <repro.parallel.remote.RemoteWorkerPool.submit>`
+refuses ``retryable=True`` for anything else at runtime, and the project
+linter (``python -m repro.lint``, rule RPL002) cross-checks the same
+invariant statically, so idempotency claims live in one machine-checked
+registry instead of docstrings.
 """
 
 from __future__ import annotations
@@ -36,8 +45,9 @@ from __future__ import annotations
 import asyncio
 import pickle
 import struct
+from collections.abc import Awaitable, Callable, Iterator
 from dataclasses import dataclass, field
-from typing import Any, Awaitable, Callable, Iterator
+from typing import Any, TypeVar
 
 from repro.exceptions import FabricError, RemoteCallError
 
@@ -47,8 +57,14 @@ __all__ = [
     "TransportClosed",
     "RetryPolicy",
     "RpcConnection",
+    "RpcOpSpec",
     "encode_frame",
+    "idempotent_ops",
+    "is_idempotent",
+    "op_spec",
     "read_frame",
+    "registered_ops",
+    "rpc_op",
 ]
 
 #: Hard bound on a single frame's payload (pickle) size.  Shard bootstraps
@@ -64,6 +80,83 @@ class FrameError(FabricError):
 
 class TransportClosed(FabricError):
     """The peer went away mid-conversation (EOF, reset, poisoned stream)."""
+
+
+# ----------------------------------------------------------------------
+# The RPC-op registry: idempotency as declared, machine-checked fact
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RpcOpSpec:
+    """One declared fabric operation.
+
+    ``idempotent=True`` asserts that re-running the op after an *ambiguous*
+    transport failure (the reply was lost — the op may or may not have
+    executed) lands on the same state: stateless, read-only, or
+    overwrite-on-rerun operations qualify.  Anything whose re-execution
+    could double-apply an effect must be declared ``idempotent=False`` and
+    is never retried — its failure path is lane loss and re-bootstrap.
+    """
+
+    name: str
+    idempotent: bool
+
+
+_RPC_OPS: dict[str, RpcOpSpec] = {}
+
+_C = TypeVar("_C", bound=Callable[..., Any])
+
+
+def rpc_op(name: str, *, idempotent: bool) -> Callable[[_C], _C]:
+    """Declare a fabric RPC op and tag the decorated handler with its spec.
+
+    Both halves of an operation carry the decorator — the coordinator-side
+    shard function in :mod:`repro.parallel.sharded` and the worker-side
+    handler in :mod:`repro.parallel.worker` — so either import populates
+    the registry.  Re-declaring a name is allowed only with the *same*
+    idempotency flag; a conflict raises :class:`~repro.exceptions.FabricError`
+    immediately (at import time), because two sides disagreeing on whether
+    an op may be retried is exactly the bug this registry exists to stop.
+    """
+
+    def decorate(handler: _C) -> _C:
+        spec = _RPC_OPS.get(name)
+        if spec is None:
+            spec = RpcOpSpec(name=name, idempotent=idempotent)
+            _RPC_OPS[name] = spec
+        elif spec.idempotent != idempotent:
+            raise FabricError(
+                f"RPC op {name!r} re-declared with conflicting idempotency "
+                f"(registered idempotent={spec.idempotent}, got {idempotent})"
+            )
+        handler.__rpc_op__ = spec  # type: ignore[attr-defined]
+        return handler
+
+    return decorate
+
+
+def op_spec(name: str) -> RpcOpSpec:
+    """The declared spec of op ``name``; unknown names raise."""
+    try:
+        return _RPC_OPS[name]
+    except KeyError:
+        known = ", ".join(sorted(_RPC_OPS)) or "(none declared)"
+        raise FabricError(f"unknown RPC op {name!r}; declared ops: {known}") from None
+
+
+def is_idempotent(name: str) -> bool:
+    """Whether ``name`` is a *declared idempotent* op (unknown names are not)."""
+    spec = _RPC_OPS.get(name)
+    return spec is not None and spec.idempotent
+
+
+def registered_ops() -> tuple[str, ...]:
+    """Every declared op name, sorted."""
+    return tuple(sorted(_RPC_OPS))
+
+
+def idempotent_ops() -> frozenset[str]:
+    """The declared-idempotent op names — the only ops a retry may touch."""
+    return frozenset(name for name, spec in _RPC_OPS.items() if spec.idempotent)
 
 
 def encode_frame(message: Any) -> bytes:
@@ -167,7 +260,7 @@ class RpcConnection:
     fabric's transport statistics.
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self._reader = reader
         self._writer = writer
         self._lock = asyncio.Lock()

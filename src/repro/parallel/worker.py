@@ -50,8 +50,9 @@ import asyncio
 import signal
 import threading
 import traceback
+from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Sequence
+from typing import Any
 
 from repro.detection.summaries import merge_summaries
 from repro.parallel import sharded as _sharded
@@ -60,6 +61,7 @@ from repro.parallel.transport import (
     TransportClosed,
     encode_frame,
     read_frame,
+    rpc_op,
 )
 
 __all__ = ["ShardWorker", "main"]
@@ -170,8 +172,11 @@ class ShardWorker:
                 pass
 
     # ------------------------------------------------------------------
-    # Operations (each runs on the request's lane thread)
+    # Operations (each runs on the request's lane thread).  Every handler
+    # carries its @rpc_op declaration — the idempotency flag is what the
+    # coordinator's retry layer and the RPL002 lint rule key off.
     # ------------------------------------------------------------------
+    @rpc_op("ping", idempotent=True)
     def _op_ping(self, lane: str, payload: Any) -> dict:
         return {
             "pong": True,
@@ -180,6 +185,7 @@ class ShardWorker:
             "states": len(_sharded._SHARD_STATES),
         }
 
+    @rpc_op("bootstrap", idempotent=True)
     def _op_bootstrap(self, lane: str, payload: Any) -> tuple:
         """Build one shard state; hold its summary for the reduce stage."""
         key = payload[0]
@@ -192,9 +198,11 @@ class ShardWorker:
             self._lane_keys.setdefault(lane, set()).add(key)
         return (key, violations, None)
 
+    @rpc_op("update", idempotent=False)
     def _op_update(self, lane: str, payload: Any) -> tuple:
         return _sharded._shard_update(payload)
 
+    @rpc_op("full_summary", idempotent=True)
     def _op_full_summary(self, lane: str, payload: str) -> str:
         """Re-emit one live shard's full summary (recovery); held for reduce."""
         state = _sharded._SHARD_STATES[payload]
@@ -207,6 +215,7 @@ class ShardWorker:
             self._held_summaries[payload] = summary
         return payload
 
+    @rpc_op("reduce_summaries", idempotent=False)
     def _op_reduce_summaries(self, lane: str, payload: Sequence[str]) -> dict:
         """Merge and release the held summaries of ``payload``'s state keys."""
         with self._held_lock:
@@ -217,15 +226,19 @@ class ShardWorker:
             ]
         return merge_summaries(parts)
 
+    @rpc_op("detect_shard", idempotent=True)
     def _op_detect_shard(self, lane: str, payload: Any) -> tuple:
         return _sharded._detect_shard(payload)
 
+    @rpc_op("breakdown", idempotent=True)
     def _op_breakdown(self, lane: str, payload: str) -> tuple:
         return _sharded._shard_breakdown(payload)
 
+    @rpc_op("state_stats", idempotent=True)
     def _op_state_stats(self, lane: str, payload: str) -> tuple:
         return _sharded._shard_state_stats(payload)
 
+    @rpc_op("drop", idempotent=True)
     def _op_drop(self, lane: str, payload: str) -> str:
         with self._held_lock:
             self._held_summaries.pop(payload, None)
@@ -233,21 +246,27 @@ class ShardWorker:
                 keys.discard(payload)
         return _sharded._shard_drop(payload)
 
+    @rpc_op("shutdown", idempotent=True)
     def _op_shutdown(self, lane: str, payload: Any) -> bool:
         return True
 
 
+#: op name -> handler, derived from the @rpc_op tags above — the registry
+#: is the single enumeration, so a declared-but-unrouted op cannot exist.
 _HANDLERS = {
-    "ping": ShardWorker._op_ping,
-    "bootstrap": ShardWorker._op_bootstrap,
-    "update": ShardWorker._op_update,
-    "full_summary": ShardWorker._op_full_summary,
-    "reduce_summaries": ShardWorker._op_reduce_summaries,
-    "detect_shard": ShardWorker._op_detect_shard,
-    "breakdown": ShardWorker._op_breakdown,
-    "state_stats": ShardWorker._op_state_stats,
-    "drop": ShardWorker._op_drop,
-    "shutdown": ShardWorker._op_shutdown,
+    handler.__rpc_op__.name: handler
+    for handler in (
+        ShardWorker._op_ping,
+        ShardWorker._op_bootstrap,
+        ShardWorker._op_update,
+        ShardWorker._op_full_summary,
+        ShardWorker._op_reduce_summaries,
+        ShardWorker._op_detect_shard,
+        ShardWorker._op_breakdown,
+        ShardWorker._op_state_stats,
+        ShardWorker._op_drop,
+        ShardWorker._op_shutdown,
+    )
 }
 
 

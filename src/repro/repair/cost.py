@@ -15,7 +15,7 @@ column costs more).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.core.schema import Value
 

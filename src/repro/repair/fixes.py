@@ -42,7 +42,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.core.ecfd import ECFD, ECFDSet, PatternTuple
 from repro.core.instance import Relation, RelationTuple

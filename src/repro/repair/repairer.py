@@ -32,7 +32,7 @@ data silently).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.analysis.satisfiability import is_satisfiable
 from repro.core.ecfd import ECFD, ECFDSet

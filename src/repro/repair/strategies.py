@@ -29,7 +29,8 @@ strategies differ in *cost*, never in outcome.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, ClassVar, Sequence
+from collections.abc import Callable, Sequence
+from typing import ClassVar
 
 from repro.analysis.satisfiability import is_satisfiable
 from repro.core.ecfd import ECFD, ECFDSet

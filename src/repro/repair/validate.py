@@ -28,7 +28,7 @@ Exactness has two halves:
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.instance import Relation

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.experiments.reporting import ExperimentResult
 from repro.reports.loaders import BenchRun, load_bench_dirs, load_experiment_dir

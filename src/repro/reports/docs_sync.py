@@ -68,6 +68,10 @@ def _trajectory_block(ctx: ReportContext) -> str:
 
 def generated_blocks(root: Path | None = None) -> dict[tuple[str, str], str]:
     """(document relpath, block name) → regenerated block content."""
+    # The lint rule catalog regenerates from the rule registry, so the
+    # documented rules cannot drift from what the pass enforces.
+    from repro.lint.registry import rules_table  # noqa: PLC0415
+
     root = root or repo_root()
     ctx = _context(root)
     trajectory = _trajectory_block(ctx)
@@ -75,6 +79,7 @@ def generated_blocks(root: Path | None = None) -> dict[tuple[str, str], str]:
         ("docs/PERFORMANCE.md", "tracked-hot-paths"): _tracked_hot_paths_table(root),
         ("docs/PERFORMANCE.md", "perf-trajectory"): trajectory,
         ("README.md", "perf-trajectory-sample"): trajectory,
+        ("docs/LINTING.md", "lint-rules"): rules_table().rstrip("\n"),
     }
 
 

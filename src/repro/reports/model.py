@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.exceptions import ReproError
+
 __all__ = [
     "ReportError",
     "ReportDataError",
@@ -22,7 +24,7 @@ __all__ = [
 ]
 
 
-class ReportError(Exception):
+class ReportError(ReproError):
     """Base class for reporting failures with a user-actionable message."""
 
 

@@ -11,7 +11,7 @@ check over the committed renders.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.reports.context import ReportContext
 from repro.reports.model import FigureData, UnknownFigureError

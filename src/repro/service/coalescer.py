@@ -35,7 +35,7 @@ Correctness rests on two invariants, both enforced here:
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.schema import Value
 

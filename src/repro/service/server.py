@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.exceptions import ServiceTimeoutError
 from repro.service.service import QualityService

@@ -42,7 +42,7 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.schema import RelationSchema, Value

@@ -14,7 +14,7 @@ import socket
 
 import pytest
 
-from repro.exceptions import RemoteCallError
+from repro.exceptions import FabricError, RemoteCallError
 from repro.parallel import transport as transport_module
 from repro.parallel.transport import (
     FrameError,
@@ -23,7 +23,12 @@ from repro.parallel.transport import (
     TransportClosed,
     _LENGTH,
     encode_frame,
+    idempotent_ops,
+    is_idempotent,
+    op_spec,
     read_frame,
+    registered_ops,
+    rpc_op,
 )
 from repro.parallel.worker import ShardWorker
 
@@ -317,3 +322,71 @@ class TestWorkerProtocol:
         message = (7, "lane:3", "update", ("key", [(1, {"A": "x"})], []))
         frame = encode_frame(message)
         assert pickle.loads(frame[_LENGTH.size:]) == message
+
+
+@pytest.fixture
+def scratch_op():
+    """Declare throwaway @rpc_op names; unregisters them on teardown."""
+    names: list[str] = []
+
+    def declare(name: str, *, idempotent: bool):
+        names.append(name)
+
+        @rpc_op(name, idempotent=idempotent)  # reprolint: disable=RPL002
+        def handler(payload):
+            return payload
+
+        return handler
+
+    yield declare
+    for name in names:
+        transport_module._RPC_OPS.pop(name, None)
+
+
+class TestRpcOpRegistry:
+    def test_fabric_ops_are_declared_with_their_retry_contract(self):
+        # The one non-idempotent op is the delta application: a retried
+        # reply loss would double-apply it.
+        assert set(registered_ops()) - idempotent_ops() == {"update", "reduce_summaries"}
+        assert is_idempotent("bootstrap")
+        assert is_idempotent("detect_shard")
+        assert not is_idempotent("update")
+
+    def test_unknown_op_is_never_idempotent(self):
+        assert not is_idempotent("no-such-op")
+        with pytest.raises(FabricError, match="unknown RPC op"):
+            op_spec("no-such-op")
+
+    def test_declaration_tags_the_handler(self, scratch_op):
+        handler = scratch_op("test-op-tagged", idempotent=True)
+        assert handler.__rpc_op__.name == "test-op-tagged"
+        assert handler.__rpc_op__.idempotent
+        assert is_idempotent("test-op-tagged")
+
+    def test_same_flag_redeclaration_is_allowed(self, scratch_op):
+        # The coordinator-side shard function and the worker-side handler
+        # both declare the same op; agreeing declarations share the spec.
+        first = scratch_op("test-op-shared", idempotent=True)
+        second = scratch_op("test-op-shared", idempotent=True)
+        assert first.__rpc_op__ is second.__rpc_op__
+
+    def test_conflicting_redeclaration_raises_at_import_time(self, scratch_op):
+        scratch_op("test-op-conflict", idempotent=True)
+        with pytest.raises(FabricError, match="conflicting idempotency"):
+            scratch_op("test-op-conflict", idempotent=False)
+
+    def test_worker_routing_table_is_derived_from_the_registry(self):
+        from repro.parallel.worker import _HANDLERS
+
+        for name, handler in _HANDLERS.items():
+            assert handler.__rpc_op__.name == name
+            assert name in registered_ops()
+
+    def test_pool_refuses_retryable_submission_of_non_idempotent_op(self):
+        from repro.parallel.remote import RemoteWorkerPool
+
+        pool = RemoteWorkerPool(["127.0.0.1:9"])
+        with pytest.raises(FabricError, match="not registered idempotent"):
+            pool.submit(0, "update", ("key", [], []), retryable=True)  # reprolint: disable=RPL002
+        with pytest.raises(FabricError, match="not registered idempotent"):
+            pool.submit(0, "no-such-op", None, retryable=True)  # reprolint: disable=RPL002,RPL007

@@ -1,0 +1,39 @@
+"""Fixtures for the repro.lint tests: throwaway project trees.
+
+Every rule test builds a tiny tree in ``tmp_path`` that *mirrors the
+real repo layout* (``src/repro/...``, ``benchmarks/``, ``tests/``) —
+the checkers scope on those paths, so fixtures must live at realistic
+relative locations.  The checkers are pure AST: fixture imports never
+resolve and don't need to.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint.runner import LintResult, run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` files and lint the resulting tree."""
+
+    trees = iter(range(1000))
+
+    def build(files: dict[str, str]) -> LintResult:
+        # A fresh subtree per call: one test may lint several trees.
+        root = tmp_path / f"tree{next(trees)}"
+        for rel, text in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        roots = [
+            root / part
+            for part in ("src", "benchmarks", "tests")
+            if (root / part).exists()
+        ]
+        return run_lint(roots, root)
+
+    return build

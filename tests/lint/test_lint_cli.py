@@ -1,0 +1,123 @@
+"""The repro.lint CLI: exit codes, suppressions, and baseline round-trip."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.registry import RULES
+
+CLEAN = """
+def double(rows):
+    return [row * 2 for row in rows]
+"""
+
+VIOLATING = """
+import time
+
+def stamp():
+    return time.time()
+"""
+
+SUPPRESSED = """
+import time
+
+def stamp():
+    return time.time()  # reprolint: disable=RPL003
+"""
+
+
+@pytest.fixture
+def project(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+
+    def write(rel: str, text: str) -> None:
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+
+    return write
+
+
+def test_clean_tree_exits_zero(project, capsys):
+    project("src/repro/engine/ops.py", CLEAN)
+    assert main(["src"]) == 0
+    assert "0 violations" in capsys.readouterr().out
+
+
+def test_violations_exit_one_with_location(project, capsys):
+    project("src/repro/engine/clock.py", VIOLATING)
+    assert main(["src"]) == 1
+    out = capsys.readouterr().out
+    assert "src/repro/engine/clock.py:5" in out
+    assert "RPL003" in out
+
+
+def test_missing_path_is_usage_error(project, capsys):
+    assert main(["no-such-dir"]) == 2
+
+
+def test_syntax_error_is_reported_not_raised(project, capsys):
+    project("src/repro/engine/broken.py", "def broken(:\n")
+    assert main(["src"]) == 1
+    assert "cannot parse" in capsys.readouterr().out
+
+
+def test_inline_suppression_silences_the_line(project, capsys):
+    project("src/repro/engine/clock.py", SUPPRESSED)
+    assert main(["src"]) == 0
+
+
+def test_json_output_shape(project, capsys):
+    project("src/repro/engine/clock.py", VIOLATING)
+    assert main(["src", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    [violation] = payload["violations"]
+    assert violation["code"] == "RPL003"
+    assert violation["path"] == "src/repro/engine/clock.py"
+    assert violation["line"] == 5
+
+
+def test_list_rules_prints_the_catalog(project, capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
+
+
+def test_baseline_round_trip(project, tmp_path, capsys):
+    project("src/repro/engine/clock.py", VIOLATING)
+    assert main(["src"]) == 1
+    capsys.readouterr()
+
+    # Write the findings to the default baseline, then re-run: the same
+    # finding is reported as baselined and no longer fails the run.
+    assert main(["src", "--write-baseline"]) == 0
+    assert (tmp_path / ".reprolint-baseline.json").exists()
+    capsys.readouterr()
+
+    assert main(["src"]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+
+    # A *new* violation still fails even with the baseline in place.
+    project("src/repro/engine/clock2.py", VIOLATING)
+    assert main(["src"]) == 1
+
+
+def test_baseline_matches_by_message_not_line(project, tmp_path, capsys):
+    project("src/repro/engine/clock.py", VIOLATING)
+    assert main(["src", "--write-baseline"]) == 0
+    # Shift the finding down two lines: still baselined.
+    project("src/repro/engine/clock.py", "\n\n" + textwrap.dedent(VIOLATING))
+    assert main(["src"]) == 0
+
+
+def test_corrupt_baseline_is_usage_error(project, tmp_path, capsys):
+    project("src/repro/engine/ops.py", CLEAN)
+    (tmp_path / ".reprolint-baseline.json").write_text("[]", encoding="utf-8")
+    assert main(["src"]) == 2

@@ -39,8 +39,8 @@ def test_all_figures_render_deterministically(bench_dir):
             try:
                 for figure in spec.generator(ctx):
                     out[figure.name] = render_svg(figure)
-            except Exception:
-                continue  # synthetic artifacts don't feed every figure
+            except Exception:  # noqa: BLE001 - synthetic artifacts don't feed every figure
+                continue
         return out
 
     first, second = render_all(), render_all()
