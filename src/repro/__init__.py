@@ -100,7 +100,7 @@ from repro.repair import (
     register_strategy,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "CFD",

@@ -1,6 +1,11 @@
-"""SQL-based eCFD violation detection on SQLite (paper Section V).
+"""SQL-based eCFD violation detection (paper Section V), cross-engine.
 
-* :mod:`repro.detection.database` — the RDBMS substrate (SQLite wrapper);
+* :mod:`repro.detection.dialect` — engine-specific SQL idioms
+  (:class:`SqlDialect` and the SQLite / DuckDB implementations);
+* :mod:`repro.detection.engines` — concrete engines (connections, driver
+  imports) behind the abstract :class:`SqlEngine` interface;
+* :mod:`repro.detection.database` — the RDBMS substrate (data table over an
+  abstract engine);
 * :mod:`repro.detection.encoding` — the ``enc`` / constant-table encoding of
   Σ (Fig. 3);
 * :mod:`repro.detection.sqlgen` — generation of the ``Q_sv`` / ``Q_mv``
@@ -12,6 +17,13 @@
 
 from repro.detection.batch import BatchDetector
 from repro.detection.database import BLANK, ECFDDatabase, quote_identifier
+from repro.detection.dialect import (
+    DuckDBDialect,
+    SQLiteDialect,
+    SqlDialect,
+    available_dialects,
+    get_dialect,
+)
 from repro.detection.encoding import (
     AUX_TABLE,
     ENC_TABLE,
@@ -19,6 +31,14 @@ from repro.detection.encoding import (
     ConstraintEncoding,
     encode_constraints,
     install_encoding,
+)
+from repro.detection.engines import (
+    DuckDBEngine,
+    SqlEngine,
+    SQLiteEngine,
+    available_engines,
+    create_engine,
+    duckdb_available,
 )
 from repro.detection.incremental import IncrementalDetector
 from repro.detection.naive import NaiveDetector
@@ -35,12 +55,23 @@ __all__ = [
     "BLANK",
     "BatchDetector",
     "ConstraintEncoding",
+    "DuckDBDialect",
+    "DuckDBEngine",
     "ECFDDatabase",
     "ENC_TABLE",
     "IncrementalDetector",
     "MACRO_TABLE",
     "NaiveDetector",
+    "SQLiteDialect",
+    "SQLiteEngine",
+    "SqlDialect",
+    "SqlEngine",
+    "available_dialects",
+    "available_engines",
+    "create_engine",
+    "duckdb_available",
     "encode_constraints",
+    "get_dialect",
     "group_query",
     "install_encoding",
     "macro_query",

@@ -30,7 +30,7 @@ from collections.abc import Sequence
 
 from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.violations import ViolationSet
-from repro.detection.database import ECFDDatabase, quote_identifier
+from repro.detection.database import ECFDDatabase
 from repro.detection.encoding import (
     AUX_TABLE,
     MACRO_TABLE,
@@ -57,7 +57,7 @@ class BatchDetector:
     Parameters
     ----------
     database:
-        The SQLite-backed data store (already loaded with the relation).
+        The engine-backed data store (already loaded with the relation).
     sigma:
         The eCFDs to check.  They are encoded into the database's auxiliary
         tables when the detector is constructed.
@@ -75,34 +75,39 @@ class BatchDetector:
     # ------------------------------------------------------------------
     def _create_auxiliary_tables(self) -> None:
         schema = self.database.schema
+        dialect = self.database.dialect
+        quote = dialect.quote_identifier
+        text = dialect.text_type
+        integer = dialect.integer_type
         value_columns = [
-            f"{quote_identifier(name)} TEXT NOT NULL" for name in aux_columns(schema)
+            f"{quote(name)} {text} NOT NULL" for name in aux_columns(schema)
         ]
 
-        self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(AUX_TABLE)}")
+        self.database.execute(dialect.drop_table(AUX_TABLE))
         self.database.execute(
-            f"CREATE TABLE {quote_identifier(AUX_TABLE)} ("
-            f"cid INTEGER NOT NULL, {', '.join(value_columns)}, xv_key TEXT NOT NULL)"
-        )
-        self.database.execute(
-            f"CREATE INDEX {quote_identifier('idx_' + AUX_TABLE + '_key')} "
-            f"ON {quote_identifier(AUX_TABLE)} (cid, xv_key)"
+            f"CREATE TABLE {quote(AUX_TABLE)} ("
+            f"cid {integer} NOT NULL, {', '.join(value_columns)}, "
+            f"xv_key {text} NOT NULL)"
         )
 
-        self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(MACRO_TABLE)}")
+        self.database.execute(dialect.drop_table(MACRO_TABLE))
         self.database.execute(
-            f"CREATE TABLE {quote_identifier(MACRO_TABLE)} ("
-            f"cid INTEGER NOT NULL, tid INTEGER NOT NULL, {', '.join(value_columns)}, "
-            f"xv_key TEXT NOT NULL, yv_key TEXT NOT NULL)"
+            f"CREATE TABLE {quote(MACRO_TABLE)} ("
+            f"cid {integer} NOT NULL, tid {integer} NOT NULL, "
+            f"{', '.join(value_columns)}, "
+            f"xv_key {text} NOT NULL, yv_key {text} NOT NULL)"
         )
-        self.database.execute(
-            f"CREATE INDEX {quote_identifier('idx_' + MACRO_TABLE + '_key')} "
-            f"ON {quote_identifier(MACRO_TABLE)} (cid, xv_key)"
-        )
-        self.database.execute(
-            f"CREATE INDEX {quote_identifier('idx_' + MACRO_TABLE + '_tid')} "
-            f"ON {quote_identifier(MACRO_TABLE)} (tid)"
-        )
+
+        # Index DDL is dialect-advised: the row store wants the group-key
+        # and tid indexes; a columnar engine declines them (returns None).
+        for name, table, columns in (
+            ("idx_" + AUX_TABLE + "_key", AUX_TABLE, ["cid", "xv_key"]),
+            ("idx_" + MACRO_TABLE + "_key", MACRO_TABLE, ["cid", "xv_key"]),
+            ("idx_" + MACRO_TABLE + "_tid", MACRO_TABLE, ["tid"]),
+        ):
+            ddl = dialect.create_index(name, table, columns)
+            if ddl is not None:
+                self.database.execute(ddl)
         self.database.commit()
 
     # ------------------------------------------------------------------
@@ -115,33 +120,35 @@ class BatchDetector:
         (re)computed from scratch.
         """
         schema = self.database.schema
+        dialect = self.database.dialect
+        quote = dialect.quote_identifier
         self.database.reset_flags()
 
         # Single-tuple violations (Q_sv).
-        self.database.execute(sv_update_statement(schema))
+        self.database.execute(sv_update_statement(schema, dialect=dialect))
 
         # Multiple-tuple violations: materialise macro, derive Aux(D), flag MV.
         macro_columns = (
             ["cid", "tid"]
-            + [quote_identifier(name) for name in aux_columns(schema)]
+            + [quote(name) for name in aux_columns(schema)]
             + ["xv_key", "yv_key"]
         )
-        self.database.execute(f"DELETE FROM {quote_identifier(MACRO_TABLE)}")
+        self.database.execute(f"DELETE FROM {quote(MACRO_TABLE)}")
         self.database.execute(
-            f"INSERT INTO {quote_identifier(MACRO_TABLE)} ({', '.join(macro_columns)})\n"
-            f"{macro_query(schema)}"
+            f"INSERT INTO {quote(MACRO_TABLE)} ({', '.join(macro_columns)})\n"
+            f"{macro_query(schema, dialect=dialect)}"
         )
 
         aux_insert_columns = (
-            ["cid"] + [quote_identifier(name) for name in aux_columns(schema)] + ["xv_key"]
+            ["cid"] + [quote(name) for name in aux_columns(schema)] + ["xv_key"]
         )
-        self.database.execute(f"DELETE FROM {quote_identifier(AUX_TABLE)}")
+        self.database.execute(f"DELETE FROM {quote(AUX_TABLE)}")
         self.database.execute(
-            f"INSERT INTO {quote_identifier(AUX_TABLE)} ({', '.join(aux_insert_columns)})\n"
-            f"{group_query(schema, quote_identifier(MACRO_TABLE))}"
+            f"INSERT INTO {quote(AUX_TABLE)} ({', '.join(aux_insert_columns)})\n"
+            f"{group_query(schema, quote(MACRO_TABLE), dialect=dialect)}"
         )
 
-        self.database.execute(mv_set_statement(schema, MACRO_TABLE, AUX_TABLE))
+        self.database.execute(mv_set_statement(schema, MACRO_TABLE, AUX_TABLE, dialect=dialect))
         self.database.commit()
         return self.database.violations()
 
@@ -154,13 +161,13 @@ class BatchDetector:
         The shard-side emission hook of single-pass sharded detection (see
         :mod:`repro.detection.summaries`): per fragment, one parameterised
         scan (:func:`~repro.detection.sqlgen.summary_scan_query`) filters
-        the LHS-matching tuples inside SQLite and Python folds the returned
+        the LHS-matching tuples inside the engine and Python folds the returned
         projections into ``(cid, xv) → (yv multiset, tids)`` groups.
         Bounded output — aggregated groups, never raw rows.
         """
         summary: Summary = {}
         for cid, fragment in fragments:
-            sql, parameters = summary_scan_query(fragment)
+            sql, parameters = summary_scan_query(fragment, dialect=self.database.dialect)
             groups: dict = {}
             split = 1 + len(fragment.lhs)
             for row in self.database.query(sql, parameters):
@@ -175,9 +182,10 @@ class BatchDetector:
     # ------------------------------------------------------------------
     def aux_rows(self) -> list[tuple]:
         """The current contents of the auxiliary relation (``(cid, p)`` rows)."""
-        columns = ["cid"] + [quote_identifier(name) for name in aux_columns(self.database.schema)]
+        quote = self.database.dialect.quote_identifier
+        columns = ["cid"] + [quote(name) for name in aux_columns(self.database.schema)]
         return self.database.query(
-            f"SELECT {', '.join(columns)} FROM {quote_identifier(AUX_TABLE)} ORDER BY cid"
+            f"SELECT {', '.join(columns)} FROM {quote(AUX_TABLE)} ORDER BY cid"
         )
 
     def violation_counts(self) -> dict[str, int]:

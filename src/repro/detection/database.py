@@ -1,23 +1,29 @@
-"""The RDBMS substrate: a thin SQLite wrapper used by the SQL detectors.
+"""The RDBMS substrate: one relation's data table over an abstract SQL engine.
 
 The detection algorithms of Section V are *SQL-generation* algorithms: the
 paper's point is that a fixed pair of SQL queries (plus a handful of update
 statements) detects all violations of an arbitrary set of eCFDs, so the work
 can be pushed into any RDBMS.  The authors ran a commercial DBMS; this
-reproduction uses SQLite through the standard-library :mod:`sqlite3` module,
-which preserves the property that matters (everything is expressed in SQL
-executed by the database engine) while remaining laptop-friendly and
-dependency-free.
+reproduction takes the claim literally and runs the same statements on
+interchangeable engines — the dependency-free :mod:`sqlite3` row store and
+the optional vectorized DuckDB column store — behind the
+:class:`~repro.detection.engines.base.SqlEngine` interface.  Everything
+engine-specific about the SQL *text* (quoting, type affinity, DDL forms,
+the blank marker) lives in the engine's
+:class:`~repro.detection.dialect.SqlDialect`; this module only knows the
+detection schema.
 
-:class:`ECFDDatabase` owns the connection and the data table:
+:class:`ECFDDatabase` owns the engine and the data table:
 
 * the data table is named after the relation schema and has an integer
   primary key ``tid`` (matching the tuple identifiers of
-  :class:`~repro.core.instance.Relation`), one ``TEXT`` column per attribute
-  and the two violation flags ``SV`` / ``MV`` of Section V;
-* helpers load in-memory relations or plain dictionaries, read violation
-  flags back as a :class:`~repro.core.violations.ViolationSet`, and expose
-  a tiny ``execute`` / ``query`` API used by the encoder and the detectors.
+  :class:`~repro.core.instance.Relation`), one text-typed column per
+  attribute and the two violation flags ``SV`` / ``MV`` of Section V;
+* helpers load in-memory relations or plain dictionaries (validating every
+  value against the dialect's blank marker and key separator on the way
+  in), read violation flags back as a
+  :class:`~repro.core.violations.ViolationSet`, and expose a tiny
+  ``execute`` / ``query`` API used by the encoder and the detectors.
 
 All attribute values are stored as text.  The paper's data (cities, area
 codes, zip codes, item titles) is string-typed; storing a single type keeps
@@ -26,46 +32,76 @@ value comparisons between the data table and the pattern tables exact.
 
 from __future__ import annotations
 
-import sqlite3
 from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
 
 from repro.core.instance import Relation, RelationTuple
 from repro.core.schema import RelationSchema, Value
 from repro.core.violations import ViolationSet
+from repro.detection.dialect import SQLiteDialect, SqlDialect
+from repro.detection.engines import SqlEngine, create_engine
 from repro.exceptions import DatabaseError
 
-__all__ = ["ECFDDatabase", "quote_identifier"]
+__all__ = ["ECFDDatabase", "quote_identifier", "BLANK"]
 
-#: Name of the blank marker used by the Q_mv GROUP BY trick (Section V-A):
-#: attributes irrelevant to an embedded FD are replaced by this constant,
-#: which must not occur in the data.  The paper uses "@".
-BLANK = "@"
+#: The blank marker of the Q_mv GROUP BY trick (Section V-A).  Owned by the
+#: dialects since the cross-engine split; re-exported here because the
+#: marker is dialect-invariant (group keys must be comparable across
+#: engines) and half the detection stack refers to it by this name.
+BLANK = SqlDialect.blank
+
+_DEFAULT_DIALECT = SQLiteDialect()
 
 
 def quote_identifier(name: str) -> str:
-    """Quote an SQL identifier (table or column name) for SQLite."""
-    escaped = name.replace('"', '""')
-    return f'"{escaped}"'
+    """Quote an SQL identifier for the default (SQLite) dialect.
+
+    Compatibility shim: quoting is dialect-owned now — engine-aware code
+    should call ``database.dialect.quote_identifier`` instead.
+    """
+    return _DEFAULT_DIALECT.quote_identifier(name)
 
 
 class ECFDDatabase:
-    """A SQLite-backed store for one relation plus the eCFD encoding tables.
+    """An engine-backed store for one relation plus the eCFD encoding tables.
 
     Parameters
     ----------
     schema:
         The relation schema of the data table.
     path:
-        SQLite database path; the default ``":memory:"`` keeps everything
+        Database storage path; the default ``":memory:"`` keeps everything
         in-process, which is what the tests and benchmarks use.
+    engine:
+        Either a registry name (``"sqlite"``, ``"duckdb"``) or an already
+        constructed :class:`~repro.detection.engines.base.SqlEngine`.
     """
 
-    def __init__(self, schema: RelationSchema, path: str = ":memory:"):
+    def __init__(
+        self,
+        schema: RelationSchema,
+        path: str = ":memory:",
+        engine: str | SqlEngine = "sqlite",
+    ):
         self.schema = schema
-        self.connection = sqlite3.connect(path)
-        self.connection.execute("PRAGMA journal_mode = MEMORY")
-        self.connection.execute("PRAGMA synchronous = OFF")
+        if isinstance(engine, SqlEngine):
+            self.engine = engine
+        else:
+            self.engine = create_engine(engine, path)
         self._create_data_table()
+
+    @property
+    def dialect(self) -> SqlDialect:
+        """The SQL dialect of the underlying engine."""
+        return self.engine.dialect
+
+    @property
+    def engine_name(self) -> str:
+        """Registry name of the underlying engine."""
+        return self.engine.name
+
+    def _quote(self, name: str) -> str:
+        return self.dialect.quote_identifier(name)
 
     # ------------------------------------------------------------------
     # Schema / DDL
@@ -76,15 +112,18 @@ class ECFDDatabase:
         return self.schema.name
 
     def _create_data_table(self) -> None:
+        text = self.dialect.text_type
+        integer = self.dialect.integer_type
         columns = ", ".join(
-            f"{quote_identifier(a)} TEXT" for a in self.schema.attribute_names
+            f"{self._quote(a)} {text}" for a in self.schema.attribute_names
         )
-        self.connection.execute(
-            f"CREATE TABLE IF NOT EXISTS {quote_identifier(self.table_name)} ("
-            f"tid INTEGER PRIMARY KEY, {columns}, SV INTEGER NOT NULL DEFAULT 0, "
-            f"MV INTEGER NOT NULL DEFAULT 0)"
+        self.engine.execute(
+            f"CREATE TABLE IF NOT EXISTS {self._quote(self.table_name)} ("
+            f"tid {integer} PRIMARY KEY, {columns}, "
+            f"SV {integer} NOT NULL DEFAULT 0, "
+            f"MV {integer} NOT NULL DEFAULT 0)"
         )
-        self.connection.commit()
+        self.engine.commit()
 
     # ------------------------------------------------------------------
     # Loading data
@@ -92,15 +131,19 @@ class ECFDDatabase:
     def load_relation(self, relation: Relation) -> int:
         """Load an in-memory relation, preserving its tuple identifiers.
 
-        Returns the number of rows inserted.
+        Every value is validated against the dialect's blank marker and key
+        separator (see :meth:`SqlDialect.validate_text_value`) — a colliding
+        value would corrupt the Q_mv group identities silently, so loading
+        fails loudly instead.  Returns the number of rows inserted.
         """
         if relation.schema != self.schema:
             raise DatabaseError(
                 f"relation over {relation.schema.name!r} cannot be loaded into a database "
                 f"for {self.schema.name!r}"
             )
+        stringify = self.dialect.stringify
         rows = [
-            (t.tid, *[str(t[a]) for a in self.schema.attribute_names])
+            (t.tid, *[stringify(t[a]) for a in self.schema.attribute_names])
             for t in relation.tuples()
         ]
         return self._insert_rows(rows)
@@ -121,33 +164,29 @@ class ECFDDatabase:
             assigned = list(tids)
             if len(assigned) != len(materialised):
                 raise DatabaseError("tids and rows must have the same length")
+        stringify = self.dialect.stringify
         packed = []
         for tid, row in zip(assigned, materialised):
-            packed.append((tid, *[str(row[a]) for a in self.schema.attribute_names]))
+            packed.append(
+                (tid, *[stringify(row[a]) for a in self.schema.attribute_names])
+            )
         self._insert_rows(packed)
         return assigned
 
     def _insert_rows(self, rows: list[tuple]) -> int:
-        placeholders = ", ".join(["?"] * (len(self.schema) + 1))
-        columns = ", ".join(
-            ["tid"] + [quote_identifier(a) for a in self.schema.attribute_names]
-        )
-        self.connection.executemany(
-            f"INSERT INTO {quote_identifier(self.table_name)} ({columns}) "
-            f"VALUES ({placeholders})",
-            rows,
-        )
-        self.connection.commit()
-        return len(rows)
+        columns = ["tid", *self.schema.attribute_names]
+        inserted = self.engine.bulk_insert(self.table_name, columns, rows)
+        self.engine.commit()
+        return inserted
 
     def update_cells(self, cells: Iterable[tuple[int, str, Value]]) -> int:
         """Overwrite single cells in place; returns the number of updates run.
 
         ``cells`` yields ``(tid, attribute, value)`` triples, applied in
-        order with values stored as text like every other ingestion path.
-        Tuple identifiers (and the SV/MV flag columns) are untouched — this
-        is the storage primitive of in-place repair.  Updating a tid that
-        does not exist raises (matching
+        order with values validated and stored as text like every other
+        ingestion path.  Tuple identifiers (and the SV/MV flag columns) are
+        untouched — this is the storage primitive of in-place repair.
+        Updating a tid that does not exist raises (matching
         :meth:`repro.core.instance.Relation.replace_cell`) — a silently
         dropped fix would break the cross-backend equivalence discipline.
         """
@@ -158,56 +197,54 @@ class ECFDDatabase:
                     f"cannot update unknown attribute {attribute!r} of "
                     f"{self.schema.name!r}"
                 )
-            cursor = self.connection.execute(
-                f"UPDATE {quote_identifier(self.table_name)} "
-                f"SET {quote_identifier(attribute)} = ? WHERE tid = ?",
-                (str(value), tid),
+            affected = self.engine.update_rowcount(
+                f"UPDATE {self._quote(self.table_name)} "
+                f"SET {self._quote(attribute)} = {self.dialect.placeholder} "
+                f"WHERE tid = {self.dialect.placeholder}",
+                (self.dialect.stringify(value), tid),
             )
-            if cursor.rowcount == 0:
-                self.connection.rollback()
+            if affected == 0:
+                self.engine.rollback()
                 raise DatabaseError(
                     f"table {self.table_name!r} has no tuple with tid={tid}"
                 )
             count += 1
-        self.connection.commit()
+        self.engine.commit()
         return count
 
     def delete_tuples(self, tids: Iterable[int]) -> int:
         """Delete the rows with the given identifiers; returns the count removed."""
         tid_list = list(tids)
-        self.connection.executemany(
-            f"DELETE FROM {quote_identifier(self.table_name)} WHERE tid = ?",
+        self.engine.executemany(
+            f"DELETE FROM {self._quote(self.table_name)} "
+            f"WHERE tid = {self.dialect.placeholder}",
             [(tid,) for tid in tid_list],
         )
-        self.connection.commit()
+        self.engine.commit()
         return len(tid_list)
 
     # ------------------------------------------------------------------
     # Generic SQL access (used by the encoder and detectors)
     # ------------------------------------------------------------------
-    def execute(self, sql: str, parameters: Sequence = ()) -> sqlite3.Cursor:
-        """Execute one SQL statement and return the cursor."""
-        return self.connection.execute(sql, parameters)
+    def execute(self, sql: str, parameters: Sequence = ()) -> Any:
+        """Execute one SQL statement; the return value is engine-native."""
+        return self.engine.execute(sql, parameters)
 
     def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
         """Execute one SQL statement for many parameter rows."""
-        self.connection.executemany(sql, rows)
-
-    def executescript(self, sql: str) -> None:
-        """Execute an SQL script (multiple ;-separated statements)."""
-        self.connection.executescript(sql)
+        self.engine.executemany(sql, rows)
 
     def query(self, sql: str, parameters: Sequence = ()) -> list[tuple]:
         """Execute a query and fetch all rows."""
-        return self.connection.execute(sql, parameters).fetchall()
+        return self.engine.query(sql, parameters)
 
     def commit(self) -> None:
         """Commit the current transaction."""
-        self.connection.commit()
+        self.engine.commit()
 
     def close(self) -> None:
-        """Close the underlying connection."""
-        self.connection.close()
+        """Close the underlying engine connection."""
+        self.engine.close()
 
     def __enter__(self) -> "ECFDDatabase":
         return self
@@ -220,27 +257,28 @@ class ECFDDatabase:
     # ------------------------------------------------------------------
     def count(self) -> int:
         """Number of rows in the data table."""
-        [(count,)] = self.query(f"SELECT COUNT(*) FROM {quote_identifier(self.table_name)}")
+        [(count,)] = self.query(f"SELECT COUNT(*) FROM {self._quote(self.table_name)}")
         return count
 
     def max_tid(self) -> int:
         """Largest tuple identifier in use (0 when the table is empty)."""
         [(value,)] = self.query(
-            f"SELECT COALESCE(MAX(tid), 0) FROM {quote_identifier(self.table_name)}"
+            f"SELECT COALESCE(MAX(tid), 0) FROM {self._quote(self.table_name)}"
         )
         return value
 
     def all_tids(self) -> list[int]:
         """All tuple identifiers, ascending."""
         return [tid for (tid,) in self.query(
-            f"SELECT tid FROM {quote_identifier(self.table_name)} ORDER BY tid"
+            f"SELECT tid FROM {self._quote(self.table_name)} ORDER BY tid"
         )]
 
     def fetch_row(self, tid: int) -> dict[str, str] | None:
         """The attribute values of one row as a dict, or ``None``."""
-        columns = ", ".join(quote_identifier(a) for a in self.schema.attribute_names)
+        columns = ", ".join(self._quote(a) for a in self.schema.attribute_names)
         rows = self.query(
-            f"SELECT {columns} FROM {quote_identifier(self.table_name)} WHERE tid = ?",
+            f"SELECT {columns} FROM {self._quote(self.table_name)} "
+            f"WHERE tid = {self.dialect.placeholder}",
             (tid,),
         )
         if not rows:
@@ -254,9 +292,9 @@ class ECFDDatabase:
         and in memory are directly comparable.
         """
         relation = Relation(self.schema)
-        columns = ", ".join(quote_identifier(a) for a in self.schema.attribute_names)
+        columns = ", ".join(self._quote(a) for a in self.schema.attribute_names)
         rows = self.query(
-            f"SELECT tid, {columns} FROM {quote_identifier(self.table_name)} ORDER BY tid"
+            f"SELECT tid, {columns} FROM {self._quote(self.table_name)} ORDER BY tid"
         )
         for tid, *values in rows:
             relation.insert_with_tid(tid, list(values))
@@ -269,7 +307,7 @@ class ECFDDatabase:
         recomputed by the next detection run.
         """
         removed = self.count()
-        self.execute(f"DELETE FROM {quote_identifier(self.table_name)}")
+        self.execute(f"DELETE FROM {self._quote(self.table_name)}")
         self.commit()
         return removed
 
@@ -278,28 +316,28 @@ class ECFDDatabase:
     # ------------------------------------------------------------------
     def reset_flags(self) -> None:
         """Set SV = MV = 0 on every row."""
-        self.execute(f"UPDATE {quote_identifier(self.table_name)} SET SV = 0, MV = 0")
+        self.execute(f"UPDATE {self._quote(self.table_name)} SET SV = 0, MV = 0")
         self.commit()
 
     def violations(self) -> ViolationSet:
         """Read the SV / MV flags back as a :class:`ViolationSet`."""
         sv = [tid for (tid,) in self.query(
-            f"SELECT tid FROM {quote_identifier(self.table_name)} WHERE SV = 1"
+            f"SELECT tid FROM {self._quote(self.table_name)} WHERE SV = 1"
         )]
         mv = [tid for (tid,) in self.query(
-            f"SELECT tid FROM {quote_identifier(self.table_name)} WHERE MV = 1"
+            f"SELECT tid FROM {self._quote(self.table_name)} WHERE MV = 1"
         )]
         return ViolationSet.from_flags(sv_tids=sv, mv_tids=mv)
 
     def flag_counts(self) -> dict[str, int]:
         """Counts of SV / MV / dirty rows straight from SQL (Fig. 7(b) series)."""
         [(sv,)] = self.query(
-            f"SELECT COUNT(*) FROM {quote_identifier(self.table_name)} WHERE SV = 1"
+            f"SELECT COUNT(*) FROM {self._quote(self.table_name)} WHERE SV = 1"
         )
         [(mv,)] = self.query(
-            f"SELECT COUNT(*) FROM {quote_identifier(self.table_name)} WHERE MV = 1"
+            f"SELECT COUNT(*) FROM {self._quote(self.table_name)} WHERE MV = 1"
         )
         [(dirty,)] = self.query(
-            f"SELECT COUNT(*) FROM {quote_identifier(self.table_name)} WHERE SV = 1 OR MV = 1"
+            f"SELECT COUNT(*) FROM {self._quote(self.table_name)} WHERE SV = 1 OR MV = 1"
         )
         return {"sv": sv, "mv": mv, "dirty": dirty}

@@ -1,0 +1,242 @@
+"""SQL dialects — the engine-specific half of the detection SQL stack.
+
+The paper's central claim (Section V) is that eCFD detection compiles to a
+*fixed pair of SQL queries* that any RDBMS can execute.  The query shapes in
+:mod:`repro.detection.sqlgen` are engine-agnostic; everything an engine is
+allowed to disagree about lives here, behind :class:`SqlDialect`:
+
+* identifier quoting and the type affinity of the data columns;
+* the string-concatenation idiom building the ``xv_key`` / ``yv_key``
+  group identities;
+* DDL forms: temporary tables, index creation (a row-store wants the
+  ``(cid, xv_key)`` and ``tid`` indexes; a columnar engine is faster
+  without them), and the upsert form used for idempotent reloads;
+* the blank marker of the ``Q_mv`` GROUP BY trick and the validation that
+  keeps it unambiguous (a data value equal to the marker, or containing
+  the key separator, would corrupt group identities *silently*).
+
+Two implementations ship: :class:`SQLiteDialect` (the row-at-a-time
+reference engine) and :class:`DuckDBDialect` (the vectorized columnar
+engine).  Dialects are pure SQL-text factories — connection handling lives
+in :mod:`repro.detection.engines`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import ClassVar
+
+from repro.core.schema import Value
+from repro.exceptions import DatabaseError, DetectionError
+
+__all__ = [
+    "KEY_SEPARATOR",
+    "SqlDialect",
+    "SQLiteDialect",
+    "DuckDBDialect",
+    "get_dialect",
+    "available_dialects",
+    "register_dialect",
+]
+
+#: Separator concatenated between blanked values in ``xv_key`` / ``yv_key``.
+#: An ASCII unit separator, rejected on ingestion (see
+#: :meth:`SqlDialect.validate_text_value`) so concatenated keys can never
+#: be ambiguous.
+KEY_SEPARATOR = "\x1f"
+
+
+class SqlDialect:
+    """Engine-specific SQL idioms shared by every detection query.
+
+    The base class *is* the portable core-SQL dialect (double-quoted
+    identifiers, ``||`` concatenation, ``?`` placeholders, standard
+    ``ON CONFLICT`` upserts); subclasses override only where their engine
+    genuinely differs.
+    """
+
+    #: Registry key of the dialect (set by subclasses).
+    name: ClassVar[str] = ""
+    #: Column type of the data/pattern value columns.
+    text_type: ClassVar[str] = "TEXT"
+    #: Column type of tuple/constraint identifiers.
+    integer_type: ClassVar[str] = "INTEGER"
+    #: Blank marker of the ``Q_mv`` GROUP BY trick (Section V-A): attributes
+    #: irrelevant to an embedded FD are replaced by this constant, which
+    #: must not occur in the data (the paper uses ``"@"``).
+    blank: ClassVar[str] = "@"
+    #: Parameter placeholder of the engine's prepared statements.
+    placeholder: ClassVar[str] = "?"
+
+    # ------------------------------------------------------------------
+    # Identifiers and expressions
+    # ------------------------------------------------------------------
+    def quote_identifier(self, name: str) -> str:
+        """Quote an SQL identifier (table or column name)."""
+        escaped = name.replace('"', '""')
+        return f'"{escaped}"'
+
+    def string_literal(self, value: str) -> str:
+        """A single-quoted SQL string literal."""
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+
+    def concat(self, parts: Sequence[str]) -> str:
+        """The expression concatenating ``parts`` with :data:`KEY_SEPARATOR`.
+
+        Builds the ``xv_key`` / ``yv_key`` group identities; both shipped
+        engines use the standard ``||`` operator over non-NULL text.
+        """
+        joiner = f" || {self.string_literal(KEY_SEPARATOR)} || "
+        return joiner.join(parts)
+
+    # ------------------------------------------------------------------
+    # DDL forms
+    # ------------------------------------------------------------------
+    def drop_table(self, table: str) -> str:
+        return f"DROP TABLE IF EXISTS {self.quote_identifier(table)}"
+
+    def create_temp_table(self, table: str, column_defs: Sequence[str]) -> str:
+        """``CREATE TEMP TABLE`` with explicit column definitions."""
+        return (
+            f"CREATE TEMP TABLE {self.quote_identifier(table)} "
+            f"({', '.join(column_defs)})"
+        )
+
+    def create_temp_table_as(self, table: str, select: str) -> str:
+        """``CREATE TEMP TABLE ... AS`` materialising a query result."""
+        return f"CREATE TEMP TABLE {self.quote_identifier(table)} AS {select}"
+
+    def create_index(
+        self, index_name: str, table: str, columns: Sequence[str]
+    ) -> str | None:
+        """Index DDL, or ``None`` when the engine should not build one.
+
+        Row stores need the ``(cid, xv_key)`` / ``tid`` indexes to keep the
+        incremental maintenance joins affected-part-proportional; columnar
+        engines answer the same joins from vectorized scans and only pay
+        index maintenance on every bulk append, so their dialects return
+        ``None`` and the caller skips the statement.
+        """
+        quoted = ", ".join(self.quote_identifier(column) for column in columns)
+        return (
+            f"CREATE INDEX IF NOT EXISTS {self.quote_identifier(index_name)} "
+            f"ON {self.quote_identifier(table)} ({quoted})"
+        )
+
+    def upsert(
+        self,
+        table: str,
+        columns: Sequence[str],
+        key_columns: Sequence[str],
+    ) -> str:
+        """``INSERT ... ON CONFLICT (keys) DO UPDATE`` parameterised statement.
+
+        The idempotent-reload form: engines replaying a load (e.g. a shard
+        re-bootstrap after a lost lane) can apply it twice without
+        duplicating rows.  Non-key columns take the incoming values.
+        """
+        keys = set(key_columns)
+        updates = [column for column in columns if column not in keys]
+        quoted_columns = ", ".join(self.quote_identifier(c) for c in columns)
+        placeholders = ", ".join(self.placeholder for _ in columns)
+        conflict = ", ".join(self.quote_identifier(c) for c in key_columns)
+        statement = (
+            f"INSERT INTO {self.quote_identifier(table)} ({quoted_columns}) "
+            f"VALUES ({placeholders}) ON CONFLICT ({conflict}) DO "
+        )
+        if not updates:
+            return statement + "NOTHING"
+        assignments = ", ".join(
+            f"{self.quote_identifier(c)} = excluded.{self.quote_identifier(c)}"
+            for c in updates
+        )
+        return statement + f"UPDATE SET {assignments}"
+
+    # ------------------------------------------------------------------
+    # Ingestion validation
+    # ------------------------------------------------------------------
+    def validate_text_value(self, value: str) -> str:
+        """Reject values that would corrupt the blanked group identities.
+
+        A stored value equal to the blank marker is indistinguishable from
+        a blanked attribute inside ``xv_key`` / ``yv_key``, and a value
+        containing :data:`KEY_SEPARATOR` can forge another tuple's key —
+        both would mis-group embedded-FD violations *silently*, so every
+        ingestion path routes through this check and fails loudly instead.
+        """
+        if value == self.blank:
+            raise DatabaseError(
+                f"value {value!r} equals the blank marker {self.blank!r} used "
+                "by the Q_mv GROUP BY encoding; it cannot be stored without "
+                "corrupting group identities"
+            )
+        if KEY_SEPARATOR in value:
+            raise DatabaseError(
+                f"value {value!r} contains the reserved key separator "
+                f"{KEY_SEPARATOR!r}; it cannot be stored without corrupting "
+                "xv_key/yv_key group identities"
+            )
+        return value
+
+    def stringify(self, value: Value) -> str:
+        """The validated text form a value is stored as (every engine stores text)."""
+        return self.validate_text_value(str(value))
+
+
+class SQLiteDialect(SqlDialect):
+    """The SQLite dialect — the reference row-store of this reproduction."""
+
+    name = "sqlite"
+    text_type = "TEXT"
+
+
+class DuckDBDialect(SqlDialect):
+    """The DuckDB dialect — vectorized columnar execution of the same queries."""
+
+    name = "duckdb"
+    text_type = "VARCHAR"
+
+    def create_index(
+        self, index_name: str, table: str, columns: Sequence[str]
+    ) -> str | None:
+        # DuckDB's vectorized hash joins and zone maps serve the detection
+        # joins without secondary indexes; ART index maintenance would tax
+        # every columnar bulk append for no scan benefit.
+        return None
+
+
+_DIALECTS: dict[str, SqlDialect] = {}
+
+
+def register_dialect(dialect: SqlDialect) -> None:
+    """Register a dialect instance under its ``name`` (last wins)."""
+    if not dialect.name:
+        raise DetectionError("dialect name must be a non-empty string")
+    _DIALECTS[dialect.name] = dialect
+
+
+def available_dialects() -> tuple[str, ...]:
+    """The registered dialect names, sorted."""
+    return tuple(sorted(_DIALECTS))
+
+
+def get_dialect(name: str) -> SqlDialect:
+    """The dialect registered under ``name``.
+
+    Raises
+    ------
+    DetectionError
+        For unknown names; the message lists what is available.
+    """
+    try:
+        return _DIALECTS[name]
+    except KeyError:
+        raise DetectionError(
+            f"unknown SQL dialect {name!r}; available: "
+            f"{', '.join(available_dialects())}"
+        ) from None
+
+
+register_dialect(SQLiteDialect())
+register_dialect(DuckDBDialect())

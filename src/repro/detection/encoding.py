@@ -40,7 +40,7 @@ from collections.abc import Sequence
 from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.patterns import ComplementSet, PatternValue, ValueSet, Wildcard
 from repro.core.schema import RelationSchema
-from repro.detection.database import ECFDDatabase, quote_identifier
+from repro.detection.database import ECFDDatabase
 from repro.exceptions import DetectionError
 
 __all__ = [
@@ -182,42 +182,47 @@ def encode_constraints(sigma: ECFDSet | Sequence[ECFD]) -> ConstraintEncoding:
 def install_encoding(database: ECFDDatabase, encoding: ConstraintEncoding) -> None:
     """Create and populate the encoding tables inside ``database``.
 
-    Existing encoding tables are dropped first, so re-installing a new Σ on
-    the same database is safe.
+    All DDL and DML are emitted through the database's dialect, so the same
+    encoding installs identically on every engine (index DDL is skipped when
+    the dialect declines it — columnar engines scan the tiny constant tables
+    faster than they maintain indexes on them).  Existing encoding tables
+    are dropped first, so re-installing a new Σ on the same database is
+    safe.
     """
     if database.schema != encoding.schema:
         raise DetectionError("encoding and database must share the same relation schema")
     schema = database.schema
+    dialect = database.dialect
+    quote = dialect.quote_identifier
+    integer = dialect.integer_type
+    text = dialect.text_type
 
     # enc relation ------------------------------------------------------
-    database.execute(f"DROP TABLE IF EXISTS {quote_identifier(ENC_TABLE)}")
-    enc_columns = ["CID INTEGER PRIMARY KEY"]
+    database.execute(dialect.drop_table(ENC_TABLE))
+    enc_columns = [f"CID {integer} PRIMARY KEY"]
     for attribute in schema.attribute_names:
-        enc_columns.append(f"{quote_identifier(enc_column(attribute, 'L'))} INTEGER NOT NULL")
-        enc_columns.append(f"{quote_identifier(enc_column(attribute, 'R'))} INTEGER NOT NULL")
+        enc_columns.append(f"{quote(enc_column(attribute, 'L'))} {integer} NOT NULL")
+        enc_columns.append(f"{quote(enc_column(attribute, 'R'))} {integer} NOT NULL")
     database.execute(
-        f"CREATE TABLE {quote_identifier(ENC_TABLE)} ({', '.join(enc_columns)})"
+        f"CREATE TABLE {quote(ENC_TABLE)} ({', '.join(enc_columns)})"
     )
-    placeholders = ", ".join(["?"] * (1 + 2 * len(schema)))
+    placeholders = ", ".join([dialect.placeholder] * (1 + 2 * len(schema)))
     database.executemany(
-        f"INSERT INTO {quote_identifier(ENC_TABLE)} VALUES ({placeholders})",
+        f"INSERT INTO {quote(ENC_TABLE)} VALUES ({placeholders})",
         encoding.enc_rows,
     )
 
     # per-attribute constant tables --------------------------------------
     for (attribute, side), rows in encoding.pattern_rows.items():
         table = pattern_table(attribute, side)
-        database.execute(f"DROP TABLE IF EXISTS {quote_identifier(table)}")
+        database.execute(dialect.drop_table(table))
         database.execute(
-            f"CREATE TABLE {quote_identifier(table)} "
-            f"(cid INTEGER NOT NULL, val TEXT NOT NULL)"
+            f"CREATE TABLE {quote(table)} "
+            f"(cid {integer} NOT NULL, val {text} NOT NULL)"
         )
         if rows:
-            database.executemany(
-                f"INSERT INTO {quote_identifier(table)} (cid, val) VALUES (?, ?)", rows
-            )
-        database.execute(
-            f"CREATE INDEX IF NOT EXISTS {quote_identifier('idx_' + table)} "
-            f"ON {quote_identifier(table)} (cid, val)"
-        )
+            database.engine.bulk_insert(table, ["cid", "val"], rows)
+        index_ddl = dialect.create_index("idx_" + table, table, ["cid", "val"])
+        if index_ddl is not None:
+            database.execute(index_ddl)
     database.commit()

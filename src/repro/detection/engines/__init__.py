@@ -1,0 +1,66 @@
+"""Concrete SQL engines and their registry.
+
+The only modules in the codebase allowed to import DB driver packages
+(:mod:`sqlite3`, :mod:`duckdb`) live in this package — lint rule RPL005
+(engine-affinity) enforces the confinement.  Everything above this layer
+speaks :class:`~repro.detection.engines.base.SqlEngine` plus the dialect.
+
+:class:`DuckDBEngine` is always importable; the :mod:`duckdb` package
+itself is only required at construction time, so the registry can list the
+engine even in dependency-free environments (construction then raises an
+actionable :class:`~repro.exceptions.DetectionError`).
+"""
+
+from __future__ import annotations
+
+from repro.detection.engines.base import SqlEngine
+from repro.detection.engines.duckdb_engine import DuckDBEngine, duckdb_available
+from repro.detection.engines.sqlite_engine import SQLiteEngine
+from repro.exceptions import DetectionError
+
+__all__ = [
+    "SqlEngine",
+    "SQLiteEngine",
+    "DuckDBEngine",
+    "duckdb_available",
+    "register_engine",
+    "available_engines",
+    "create_engine",
+]
+
+_ENGINES: dict[str, type[SqlEngine]] = {}
+
+
+def register_engine(engine_cls: type[SqlEngine]) -> None:
+    """Register an engine class under its ``name`` (last wins)."""
+    if not engine_cls.name:
+        raise DetectionError("engine name must be a non-empty string")
+    _ENGINES[engine_cls.name] = engine_cls
+
+
+def available_engines() -> tuple[str, ...]:
+    """The registered engine names, sorted."""
+    return tuple(sorted(_ENGINES))
+
+
+def create_engine(name: str, path: str = ":memory:") -> SqlEngine:
+    """Construct the engine registered under ``name``.
+
+    Raises
+    ------
+    DetectionError
+        For unknown names (the message lists what is available), or when
+        the engine's driver package is not installed.
+    """
+    try:
+        engine_cls = _ENGINES[name]
+    except KeyError:
+        raise DetectionError(
+            f"unknown SQL engine {name!r}; available: "
+            f"{', '.join(available_engines())}"
+        ) from None
+    return engine_cls(path)
+
+
+register_engine(SQLiteEngine)
+register_engine(DuckDBEngine)

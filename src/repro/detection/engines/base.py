@@ -1,0 +1,101 @@
+"""The abstract SQL engine interface behind :class:`ECFDDatabase`.
+
+An engine owns one DBMS connection and knows how to execute the dialect's
+SQL; everything *about* the detection schema (tables, flags, tids) stays in
+:class:`repro.detection.database.ECFDDatabase`, which is engine-agnostic.
+The split is deliberate: DB driver imports are confined to the concrete
+engine modules under ``repro/detection/engines/`` (enforced by lint rule
+RPL005), so the rest of the detection stack can be reasoned about as pure
+SQL over an abstract executor.
+
+Thread affinity: engine connections are *thread-affine* by contract —
+SQLite enforces it natively and DuckDB connections are not synchronised —
+which is why the parallel fabric pins each shard state to one lane thread.
+Engines must never be captured into closures that cross executors (also
+RPL005).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+from typing import Any, ClassVar
+
+from repro.detection.dialect import SqlDialect
+
+__all__ = ["SqlEngine"]
+
+
+class SqlEngine(ABC):
+    """One DBMS connection plus the dialect describing its SQL idioms.
+
+    Parameters
+    ----------
+    path:
+        Storage location; ``":memory:"`` (the default everywhere) keeps the
+        database in-process.
+    """
+
+    #: Registry key of the engine (set by subclasses).
+    name: ClassVar[str] = ""
+    #: The SQL dialect this engine's statements are generated through.
+    dialect: SqlDialect
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def execute(self, sql: str, parameters: Sequence = ()) -> Any:
+        """Execute one SQL statement; the return value is engine-native."""
+
+    @abstractmethod
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        """Execute one SQL statement for many parameter rows."""
+
+    @abstractmethod
+    def query(self, sql: str, parameters: Sequence = ()) -> list[tuple]:
+        """Execute a query and fetch all rows as tuples."""
+
+    @abstractmethod
+    def update_rowcount(self, sql: str, parameters: Sequence = ()) -> int:
+        """Execute an UPDATE/DELETE and return the number of affected rows.
+
+        Separate from :meth:`execute` because engines disagree on how the
+        count comes back (SQLite: ``cursor.rowcount``; DuckDB: a one-row
+        ``Count`` result set).
+        """
+
+    def bulk_insert(
+        self, table: str, columns: Sequence[str], rows: Sequence[Sequence]
+    ) -> int:
+        """Append many rows to ``table`` as fast as the engine can.
+
+        The default builds one prepared INSERT and drives it through
+        :meth:`executemany`; columnar engines override it with zero-copy
+        appends (Arrow registration) instead of per-row binds.  Returns the
+        number of rows appended.
+        """
+        if not rows:
+            return 0
+        quoted = ", ".join(self.dialect.quote_identifier(c) for c in columns)
+        placeholders = ", ".join(self.dialect.placeholder for _ in columns)
+        self.executemany(
+            f"INSERT INTO {self.dialect.quote_identifier(table)} "
+            f"({quoted}) VALUES ({placeholders})",
+            rows,
+        )
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def commit(self) -> None:
+        """Commit the current transaction (a no-op for autocommit engines)."""
+
+    def rollback(self) -> None:
+        """Roll back the current transaction (a no-op for autocommit engines)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Close the underlying connection."""

@@ -1,0 +1,53 @@
+"""The SQLite engine — the dependency-free reference executor.
+
+The original substrate of this reproduction: everything is expressed in
+SQL executed by the standard-library :mod:`sqlite3` module, preserving the
+paper's property that detection is a fixed pair of queries any RDBMS can
+run, while remaining laptop-friendly.  Row-at-a-time execution makes it
+the slowest interpreter of that claim — the columnar
+:class:`~repro.detection.engines.duckdb_engine.DuckDBEngine` runs the same
+statements vectorized.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterable, Sequence
+
+from repro.detection.dialect import get_dialect
+from repro.detection.engines.base import SqlEngine
+
+__all__ = ["SQLiteEngine"]
+
+
+class SQLiteEngine(SqlEngine):
+    """A :mod:`sqlite3` connection behind the abstract engine interface."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str = ":memory:"):
+        self.dialect = get_dialect("sqlite")
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA journal_mode = MEMORY")
+        self.connection.execute("PRAGMA synchronous = OFF")
+
+    def execute(self, sql: str, parameters: Sequence = ()) -> sqlite3.Cursor:
+        return self.connection.execute(sql, parameters)
+
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        self.connection.executemany(sql, rows)
+
+    def query(self, sql: str, parameters: Sequence = ()) -> list[tuple]:
+        return self.connection.execute(sql, parameters).fetchall()
+
+    def update_rowcount(self, sql: str, parameters: Sequence = ()) -> int:
+        return self.connection.execute(sql, parameters).rowcount
+
+    def commit(self) -> None:
+        self.connection.commit()
+
+    def rollback(self) -> None:
+        self.connection.rollback()
+
+    def close(self) -> None:
+        self.connection.close()

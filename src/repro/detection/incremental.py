@@ -47,7 +47,7 @@ from repro.core.ecfd import ECFD, ECFDSet
 from repro.core.schema import Value
 from repro.core.violations import ViolationSet
 from repro.detection.batch import BatchDetector
-from repro.detection.database import ECFDDatabase, quote_identifier
+from repro.detection.database import ECFDDatabase
 from repro.detection.encoding import AUX_TABLE, MACRO_TABLE
 from repro.detection.sqlgen import (
     aux_columns,
@@ -79,6 +79,8 @@ class IncrementalDetector:
 
     def __init__(self, database: ECFDDatabase, sigma: ECFDSet | Sequence[ECFD]):
         self.database = database
+        self._dialect = database.dialect
+        self._q = database.dialect.quote_identifier
         self.batch = BatchDetector(database, sigma)
         self.sigma = self.batch.sigma
         self._initialized = False
@@ -132,8 +134,8 @@ class IncrementalDetector:
         """
         if self._initialized:
             self.database.reset_flags()
-            self.database.execute(f"DELETE FROM {quote_identifier(AUX_TABLE)}")
-            self.database.execute(f"DELETE FROM {quote_identifier(MACRO_TABLE)}")
+            self.database.execute(f"DELETE FROM {self._q(AUX_TABLE)}")
+            self.database.execute(f"DELETE FROM {self._q(MACRO_TABLE)}")
             self.database.commit()
         self._initialized = False
         self._cached = None
@@ -165,7 +167,7 @@ class IncrementalDetector:
             self._cached = self.database.violations()
         return self._cached
 
-    #: IN-list chunk for the flag probes; far below any SQLite variable cap.
+    #: IN-list chunk for the flag probes; far below any engine's variable cap.
     _PROBE_CHUNK = 400
 
     def _flag_dropped(self, tids: Sequence[int], flag: str) -> set[int]:
@@ -174,12 +176,12 @@ class IncrementalDetector:
         Chunked primary-key probes — cost is linear in ``len(tids)`` with no
         scan of the data table or the macro relation.
         """
-        table = quote_identifier(self.database.schema.name)
-        column = quote_identifier(flag)
+        table = self._q(self.database.schema.name)
+        column = self._q(flag)
         dropped: set[int] = set()
         for start in range(0, len(tids), self._PROBE_CHUNK):
             chunk = tids[start : start + self._PROBE_CHUNK]
-            placeholders = ", ".join("?" for _ in chunk)
+            placeholders = ", ".join(self._dialect.placeholder for _ in chunk)
             dropped.update(
                 tid
                 for (tid,) in self.database.query(
@@ -189,6 +191,20 @@ class IncrementalDetector:
                 )
             )
         return dropped
+
+    def _fill_new_tids(self, tids: Sequence[int]) -> None:
+        """(Re)create the ΔD tid temp table and fill it with ``tids``."""
+        self.database.execute(self._dialect.drop_table(_NEW_TIDS))
+        self.database.execute(
+            self._dialect.create_temp_table(
+                _NEW_TIDS, [f"tid {self._dialect.integer_type} PRIMARY KEY"]
+            )
+        )
+        self.database.executemany(
+            f"INSERT INTO {self._q(_NEW_TIDS)} (tid) "
+            f"VALUES ({self._dialect.placeholder})",
+            [(tid,) for tid in tids],
+        )
 
     def _regroup_affected(self) -> None:
         """Re-derive the groups listed in the affected-groups temp table.
@@ -200,21 +216,22 @@ class IncrementalDetector:
         """
         schema = self.database.schema
         source = (
-            f"(SELECT m.* FROM {quote_identifier(MACRO_TABLE)} m "
-            f"JOIN {quote_identifier(_AFFECTED_GROUPS)} g ON {group_key_join('m', 'g')}) AS affected_macro"
+            f"(SELECT m.* FROM {self._q(MACRO_TABLE)} m "
+            f"JOIN {self._q(_AFFECTED_GROUPS)} g ON {group_key_join('m', 'g')}) AS affected_macro"
         )
-        self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(_REGROUPED)}")
+        self.database.execute(self._dialect.drop_table(_REGROUPED))
         self.database.execute(
-            f"CREATE TEMP TABLE {quote_identifier(_REGROUPED)} AS "
-            f"{group_query(schema, source)}"
+            self._dialect.create_temp_table_as(
+                _REGROUPED, group_query(schema, source, dialect=self._dialect)
+            )
         )
 
     def _aux_group_filter(self, groups_table: str, negate: bool = False) -> str:
         """An EXISTS filter testing Aux rows' membership in a groups temp table."""
         keyword = "NOT EXISTS" if negate else "EXISTS"
         return (
-            f"{keyword} (SELECT 1 FROM {quote_identifier(groups_table)} x "
-            f"WHERE {group_key_join('x', quote_identifier(AUX_TABLE))})"
+            f"{keyword} (SELECT 1 FROM {self._q(groups_table)} x "
+            f"WHERE {group_key_join('x', self._q(AUX_TABLE))})"
         )
 
     # ------------------------------------------------------------------
@@ -226,41 +243,38 @@ class IncrementalDetector:
         schema = self.database.schema
         tid_list = [int(tid) for tid in tids]
 
-        self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(_NEW_TIDS)}")
-        self.database.execute(
-            f"CREATE TEMP TABLE {quote_identifier(_NEW_TIDS)} (tid INTEGER PRIMARY KEY)"
-        )
-        self.database.executemany(
-            f"INSERT INTO {quote_identifier(_NEW_TIDS)} (tid) VALUES (?)",
-            [(tid,) for tid in tid_list],
-        )
+        self._fill_new_tids(tid_list)
 
         # Affected groups: the groups the deleted tuples belonged to.
-        self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(_AFFECTED_GROUPS)}")
+        self.database.execute(self._dialect.drop_table(_AFFECTED_GROUPS))
         self.database.execute(
-            f"CREATE TEMP TABLE {quote_identifier(_AFFECTED_GROUPS)} AS "
-            f"SELECT DISTINCT m.cid AS cid, m.xv_key AS xv_key "
-            f"FROM {quote_identifier(MACRO_TABLE)} m "
-            f"WHERE m.tid IN (SELECT tid FROM {quote_identifier(_NEW_TIDS)})"
+            self._dialect.create_temp_table_as(
+                _AFFECTED_GROUPS,
+                f"SELECT DISTINCT m.cid AS cid, m.xv_key AS xv_key "
+                f"FROM {self._q(MACRO_TABLE)} m "
+                f"WHERE m.tid IN (SELECT tid FROM {self._q(_NEW_TIDS)})",
+            )
         )
 
         # Remove the deleted tuples from the data and from the macro relation.
         self.database.execute(
-            f"DELETE FROM {quote_identifier(MACRO_TABLE)} "
-            f"WHERE tid IN (SELECT tid FROM {quote_identifier(_NEW_TIDS)})"
+            f"DELETE FROM {self._q(MACRO_TABLE)} "
+            f"WHERE tid IN (SELECT tid FROM {self._q(_NEW_TIDS)})"
         )
         self.database.delete_tuples(tid_list)
 
         # Re-derive the affected groups; drop auxiliary rows that stopped violating.
         self._regroup_affected()
         self.database.execute(
-            f"DELETE FROM {quote_identifier(AUX_TABLE)} "
+            f"DELETE FROM {self._q(AUX_TABLE)} "
             f"WHERE {self._aux_group_filter(_AFFECTED_GROUPS)} "
             f"AND {self._aux_group_filter(_REGROUPED, negate=True)}"
         )
 
         # Clear MV on flagged tuples that no longer belong to any violating group.
-        self.database.execute(mv_clear_statement(schema, MACRO_TABLE, AUX_TABLE))
+        self.database.execute(
+            mv_clear_statement(schema, MACRO_TABLE, AUX_TABLE, dialect=self._dialect)
+        )
         self.database.commit()
 
         # Delta readback: a deletion only ever *clears* flags — SV leaves
@@ -303,55 +317,56 @@ class IncrementalDetector:
         schema = self.database.schema
         new_tids = self.database.insert_tuples(rows, tids=tids)
 
-        self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(_NEW_TIDS)}")
-        self.database.execute(
-            f"CREATE TEMP TABLE {quote_identifier(_NEW_TIDS)} (tid INTEGER PRIMARY KEY)"
-        )
-        self.database.executemany(
-            f"INSERT INTO {quote_identifier(_NEW_TIDS)} (tid) VALUES (?)",
-            [(tid,) for tid in new_tids],
-        )
-        new_tid_restriction = f"t.tid IN (SELECT tid FROM {quote_identifier(_NEW_TIDS)})"
+        self._fill_new_tids(new_tids)
+        new_tid_restriction = f"t.tid IN (SELECT tid FROM {self._q(_NEW_TIDS)})"
 
         # Single-tuple violations among the inserted tuples only.
-        self.database.execute(sv_update_statement(schema, restriction=new_tid_restriction))
+        self.database.execute(
+            sv_update_statement(
+                schema, restriction=new_tid_restriction, dialect=self._dialect
+            )
+        )
 
         # Extend the macro relation with the new tuples' rows (a ΔD⁺-only scan).
         macro_columns = (
             ["cid", "tid"]
-            + [quote_identifier(name) for name in aux_columns(schema)]
+            + [self._q(name) for name in aux_columns(schema)]
             + ["xv_key", "yv_key"]
         )
         self.database.execute(
-            f"INSERT INTO {quote_identifier(MACRO_TABLE)} ({', '.join(macro_columns)})\n"
-            f"{macro_query(schema, restriction=new_tid_restriction)}"
+            f"INSERT INTO {self._q(MACRO_TABLE)} ({', '.join(macro_columns)})\n"
+            f"{macro_query(schema, restriction=new_tid_restriction, dialect=self._dialect)}"
         )
 
         # Affected groups: the groups the new tuples belong to.
-        self.database.execute(f"DROP TABLE IF EXISTS {quote_identifier(_AFFECTED_GROUPS)}")
+        self.database.execute(self._dialect.drop_table(_AFFECTED_GROUPS))
         self.database.execute(
-            f"CREATE TEMP TABLE {quote_identifier(_AFFECTED_GROUPS)} AS "
-            f"SELECT DISTINCT m.cid AS cid, m.xv_key AS xv_key "
-            f"FROM {quote_identifier(MACRO_TABLE)} m "
-            f"WHERE m.tid IN (SELECT tid FROM {quote_identifier(_NEW_TIDS)})"
+            self._dialect.create_temp_table_as(
+                _AFFECTED_GROUPS,
+                f"SELECT DISTINCT m.cid AS cid, m.xv_key AS xv_key "
+                f"FROM {self._q(MACRO_TABLE)} m "
+                f"WHERE m.tid IN (SELECT tid FROM {self._q(_NEW_TIDS)})",
+            )
         )
 
         # Re-derive the affected groups and merge them into Aux(D).
         self._regroup_affected()
         aux_insert_columns = (
-            ["cid"] + [quote_identifier(name) for name in aux_columns(schema)] + ["xv_key"]
+            ["cid"] + [self._q(name) for name in aux_columns(schema)] + ["xv_key"]
         )
         self.database.execute(
-            f"DELETE FROM {quote_identifier(AUX_TABLE)} "
+            f"DELETE FROM {self._q(AUX_TABLE)} "
             f"WHERE {self._aux_group_filter(_REGROUPED)}"
         )
         self.database.execute(
-            f"INSERT INTO {quote_identifier(AUX_TABLE)} ({', '.join(aux_insert_columns)}) "
-            f"SELECT {', '.join(aux_insert_columns)} FROM {quote_identifier(_REGROUPED)}"
+            f"INSERT INTO {self._q(AUX_TABLE)} ({', '.join(aux_insert_columns)}) "
+            f"SELECT {', '.join(aux_insert_columns)} FROM {self._q(_REGROUPED)}"
         )
 
         # Flag every tuple belonging to a (re)derived affected group.
-        self.database.execute(mv_set_statement(schema, MACRO_TABLE, _REGROUPED))
+        self.database.execute(
+            mv_set_statement(schema, MACRO_TABLE, _REGROUPED, dialect=self._dialect)
+        )
         self.database.commit()
 
         # Delta readback: an insertion sets SV only on the inserted tuples
@@ -359,12 +374,12 @@ class IncrementalDetector:
         # never clear a flag).  Read those back and patch the maintained
         # set — never a whole-table flag scan.
         new_flag_rows = self.database.query(
-            f"SELECT t.tid, t.SV FROM {quote_identifier(schema.name)} t "
-            f"JOIN {quote_identifier(_NEW_TIDS)} n ON n.tid = t.tid"
+            f"SELECT t.tid, t.SV FROM {self._q(schema.name)} t "
+            f"JOIN {self._q(_NEW_TIDS)} n ON n.tid = t.tid"
         )
         flagged_rows = self.database.query(
-            f"SELECT DISTINCT m.tid FROM {quote_identifier(MACRO_TABLE)} m "
-            f"JOIN {quote_identifier(_REGROUPED)} r ON {group_key_join('m', 'r')}"
+            f"SELECT DISTINCT m.tid FROM {self._q(MACRO_TABLE)} m "
+            f"JOIN {self._q(_REGROUPED)} r ON {group_key_join('m', 'r')}"
         )
         cached = self._current_violations()
         self._cached = ViolationSet.from_flags(
@@ -410,7 +425,7 @@ class IncrementalDetector:
         counts.
         """
         [(count,)] = self.database.query(
-            f"SELECT COUNT(*) FROM {quote_identifier(AUX_TABLE)}"
+            f"SELECT COUNT(*) FROM {self._q(AUX_TABLE)}"
         )
         return count
 
@@ -424,7 +439,7 @@ class IncrementalDetector:
         the sharded backend's per-shard statistics and the docs examples.
         """
         [(macro,)] = self.database.query(
-            f"SELECT COUNT(*) FROM {quote_identifier(MACRO_TABLE)}"
+            f"SELECT COUNT(*) FROM {self._q(MACRO_TABLE)}"
         )
         return {
             "tuples": self.database.count(),

@@ -8,6 +8,12 @@ condition group per attribute), never on the number of eCFDs, the number of
 pattern tuples, or the size of the constant sets — those live in the
 encoding tables of :mod:`repro.detection.encoding`.
 
+Every generator takes an optional :class:`~repro.detection.dialect.SqlDialect`
+and emits engine-specific idioms (identifier quoting, the blank marker, the
+``xv_key`` / ``yv_key`` concatenation, parameter placeholders) through it,
+defaulting to the SQLite dialect.  The query *shapes* are dialect-invariant —
+that is the paper's portability claim made concrete.
+
 ``Q_sv`` — single-tuple violations (Fig. 4, top)
     A tuple *matches the LHS pattern* of an encoded constraint when, for
     every attribute, either the attribute is not a set/complement LHS entry
@@ -43,7 +49,7 @@ from __future__ import annotations
 from repro.core.ecfd import ECFD
 from repro.core.patterns import ComplementSet
 from repro.core.schema import RelationSchema
-from repro.detection.database import BLANK, quote_identifier
+from repro.detection.dialect import KEY_SEPARATOR, SqlDialect, get_dialect
 from repro.detection.encoding import ENC_TABLE, enc_column, pattern_table
 from repro.exceptions import DetectionError
 
@@ -65,8 +71,14 @@ __all__ = [
 ]
 
 #: Separator used when concatenating blanked values into xv_key / yv_key.
-#: An ASCII unit separator never occurs in the generated or real data.
-XV_SEPARATOR = "\x1f"
+#: Owned by the dialect layer since the cross-engine split; re-exported under
+#: its historical name.
+XV_SEPARATOR = KEY_SEPARATOR
+
+
+def _resolve(dialect: SqlDialect | None) -> SqlDialect:
+    """The given dialect, or the SQLite reference dialect."""
+    return dialect if dialect is not None else get_dialect("sqlite")
 
 
 def aux_column(attribute: str) -> str:
@@ -79,83 +91,110 @@ def aux_columns(schema: RelationSchema) -> list[str]:
     return [aux_column(a) for a in schema.attribute_names]
 
 
-def _probe(attribute: str, side: str, data_alias: str, enc_alias: str) -> str:
+def _probe(
+    attribute: str, side: str, data_alias: str, enc_alias: str, dialect: SqlDialect
+) -> str:
     """The EXISTS probe of the constant table for one attribute/side."""
-    table = quote_identifier(pattern_table(attribute, side))
+    table = dialect.quote_identifier(pattern_table(attribute, side))
     return (
         f"SELECT 1 FROM {table} p WHERE p.cid = {enc_alias}.CID "
-        f"AND p.val = {data_alias}.{quote_identifier(attribute)}"
+        f"AND p.val = {data_alias}.{dialect.quote_identifier(attribute)}"
     )
 
 
 def lhs_match_condition(
-    schema: RelationSchema, data_alias: str = "t", enc_alias: str = "c"
+    schema: RelationSchema,
+    data_alias: str = "t",
+    enc_alias: str = "c",
+    dialect: SqlDialect | None = None,
 ) -> str:
     """The conjunction asserting ``t[X] ≍ tp[X]`` for the encoded constraint.
 
     One pair of guarded probes per attribute; attributes absent from the LHS
     (code 0) and wildcard entries (code 3) satisfy both guards vacuously.
     """
+    dialect = _resolve(dialect)
     parts = []
     for attribute in schema.attribute_names:
-        column = f"{enc_alias}.{quote_identifier(enc_column(attribute, 'L'))}"
-        probe = _probe(attribute, "L", data_alias, enc_alias)
+        column = f"{enc_alias}.{dialect.quote_identifier(enc_column(attribute, 'L'))}"
+        probe = _probe(attribute, "L", data_alias, enc_alias, dialect)
         parts.append(f"({column} <> 1 OR EXISTS ({probe}))")
         parts.append(f"({column} <> 2 OR NOT EXISTS ({probe}))")
     return "\n      AND ".join(parts)
 
 
 def rhs_violation_condition(
-    schema: RelationSchema, data_alias: str = "t", enc_alias: str = "c"
+    schema: RelationSchema,
+    data_alias: str = "t",
+    enc_alias: str = "c",
+    dialect: SqlDialect | None = None,
 ) -> str:
     """The disjunction asserting ``t[Y ∪ Yp] ⋬ tp[Y ∪ Yp]``.
 
     ``ABS`` folds the ``Yp`` sign convention (negative codes) into the same
     probes used for ``Y`` attributes.
     """
+    dialect = _resolve(dialect)
     parts = []
     for attribute in schema.attribute_names:
-        column = f"ABS({enc_alias}.{quote_identifier(enc_column(attribute, 'R'))})"
-        probe = _probe(attribute, "R", data_alias, enc_alias)
+        column = f"ABS({enc_alias}.{dialect.quote_identifier(enc_column(attribute, 'R'))})"
+        probe = _probe(attribute, "R", data_alias, enc_alias, dialect)
         parts.append(f"({column} = 1 AND NOT EXISTS ({probe}))")
         parts.append(f"({column} = 2 AND EXISTS ({probe}))")
     return "\n       OR ".join(parts)
 
 
-def qsv_query(schema: RelationSchema, restriction: str | None = None) -> str:
+def qsv_query(
+    schema: RelationSchema,
+    restriction: str | None = None,
+    dialect: SqlDialect | None = None,
+) -> str:
     """``Q_sv``: tids of tuples violating some pattern constraint.
 
     ``restriction`` is an optional extra SQL condition over the data alias
     ``t`` (the incremental detector passes ``t.tid IN (...)`` to scan only
     newly inserted tuples).
     """
-    data_table = quote_identifier(schema.name)
+    dialect = _resolve(dialect)
+    data_table = dialect.quote_identifier(schema.name)
     extra = f"\n      AND ({restriction})" if restriction else ""
     return (
         f"SELECT DISTINCT t.tid\n"
-        f"FROM {data_table} t, {quote_identifier(ENC_TABLE)} c\n"
-        f"WHERE {lhs_match_condition(schema)}\n"
-        f"      AND ({rhs_violation_condition(schema)}){extra}"
+        f"FROM {data_table} t, {dialect.quote_identifier(ENC_TABLE)} c\n"
+        f"WHERE {lhs_match_condition(schema, dialect=dialect)}\n"
+        f"      AND ({rhs_violation_condition(schema, dialect=dialect)}){extra}"
     )
 
 
-def sv_update_statement(schema: RelationSchema, restriction: str | None = None) -> str:
+def sv_update_statement(
+    schema: RelationSchema,
+    restriction: str | None = None,
+    dialect: SqlDialect | None = None,
+) -> str:
     """``UPDATE ... SET SV = 1`` for the tuples returned by ``Q_sv``."""
-    data_table = quote_identifier(schema.name)
+    dialect = _resolve(dialect)
+    data_table = dialect.quote_identifier(schema.name)
     return (
         f"UPDATE {data_table} SET SV = 1 WHERE tid IN (\n"
-        f"{qsv_query(schema, restriction)}\n)"
+        f"{qsv_query(schema, restriction, dialect=dialect)}\n)"
     )
 
 
-def _blanked_value(attribute: str, side: str, data_alias: str, enc_alias: str) -> str:
+def _blanked_value(
+    attribute: str, side: str, data_alias: str, enc_alias: str, dialect: SqlDialect
+) -> str:
     """The ``CASE`` expression blanking an attribute irrelevant to one FD side."""
-    code = f"{enc_alias}.{quote_identifier(enc_column(attribute, side))}"
-    value = f"{data_alias}.{quote_identifier(attribute)}"
-    return f"(CASE WHEN {code} > 0 THEN {value} ELSE '{BLANK}' END)"
+    code = f"{enc_alias}.{dialect.quote_identifier(enc_column(attribute, side))}"
+    value = f"{data_alias}.{dialect.quote_identifier(attribute)}"
+    blank = dialect.string_literal(dialect.blank)
+    return f"(CASE WHEN {code} > 0 THEN {value} ELSE {blank} END)"
 
 
-def macro_query(schema: RelationSchema, restriction: str | None = None) -> str:
+def macro_query(
+    schema: RelationSchema,
+    restriction: str | None = None,
+    dialect: SqlDialect | None = None,
+) -> str:
     """The ``macro`` query of Fig. 4, extended with tid and the two key columns.
 
     One output row per (tuple, encoded constraint) pair where the tuple
@@ -164,31 +203,32 @@ def macro_query(schema: RelationSchema, restriction: str | None = None) -> str:
     concatenated ``xv_key``) and the concatenated blanked RHS values
     (``yv_key``).
     """
-    data_table = quote_identifier(schema.name)
+    dialect = _resolve(dialect)
+    data_table = dialect.quote_identifier(schema.name)
     select_parts = ["c.CID AS cid", "t.tid AS tid"]
     xv_fragments = []
     yv_fragments = []
     for attribute in schema.attribute_names:
-        xv = _blanked_value(attribute, "L", "t", "c")
-        yv = _blanked_value(attribute, "R", "t", "c")
-        select_parts.append(f"{xv} AS {quote_identifier(aux_column(attribute))}")
+        xv = _blanked_value(attribute, "L", "t", "c", dialect)
+        yv = _blanked_value(attribute, "R", "t", "c", dialect)
+        select_parts.append(f"{xv} AS {dialect.quote_identifier(aux_column(attribute))}")
         xv_fragments.append(xv)
         yv_fragments.append(yv)
-    xv_key = f" || '{XV_SEPARATOR}' || ".join(xv_fragments)
-    yv_key = f" || '{XV_SEPARATOR}' || ".join(yv_fragments)
-    select_parts.append(f"({xv_key}) AS xv_key")
-    select_parts.append(f"({yv_key}) AS yv_key")
-    conditions = [lhs_match_condition(schema)]
+    select_parts.append(f"({dialect.concat(xv_fragments)}) AS xv_key")
+    select_parts.append(f"({dialect.concat(yv_fragments)}) AS yv_key")
+    conditions = [lhs_match_condition(schema, dialect=dialect)]
     if restriction:
         conditions.append(f"({restriction})")
     return (
         "SELECT " + ",\n       ".join(select_parts) + "\n"
-        f"FROM {data_table} t, {quote_identifier(ENC_TABLE)} c\n"
+        f"FROM {data_table} t, {dialect.quote_identifier(ENC_TABLE)} c\n"
         "WHERE " + "\n      AND ".join(conditions)
     )
 
 
-def group_query(schema: RelationSchema, source: str) -> str:
+def group_query(
+    schema: RelationSchema, source: str, dialect: SqlDialect | None = None
+) -> str:
     """The violating ``(cid, p)`` groups of a macro-shaped row source.
 
     ``source`` is either the name of a table with the macro columns (e.g.
@@ -196,7 +236,12 @@ def group_query(schema: RelationSchema, source: str) -> str:
     affected groups) or a parenthesised sub-select producing them.  A group
     is violating when it contains at least two distinct RHS combinations.
     """
-    columns = ["cid"] + [quote_identifier(name) for name in aux_columns(schema)] + ["xv_key"]
+    dialect = _resolve(dialect)
+    columns = (
+        ["cid"]
+        + [dialect.quote_identifier(name) for name in aux_columns(schema)]
+        + ["xv_key"]
+    )
     return (
         f"SELECT {', '.join(columns)}\n"
         f"FROM {source}\n"
@@ -205,9 +250,18 @@ def group_query(schema: RelationSchema, source: str) -> str:
     )
 
 
-def qmv_query(schema: RelationSchema, restriction: str | None = None) -> str:
+def qmv_query(
+    schema: RelationSchema,
+    restriction: str | None = None,
+    dialect: SqlDialect | None = None,
+) -> str:
     """``Q_mv``: the violating groups computed directly from the data table."""
-    return group_query(schema, f"(\n{macro_query(schema, restriction)}\n) AS macro")
+    dialect = _resolve(dialect)
+    return group_query(
+        schema,
+        f"(\n{macro_query(schema, restriction, dialect=dialect)}\n) AS macro",
+        dialect=dialect,
+    )
 
 
 def group_key_join(left_alias: str, right_alias: str) -> str:
@@ -218,23 +272,31 @@ def group_key_join(left_alias: str, right_alias: str) -> str:
     )
 
 
-def mv_set_statement(schema: RelationSchema, macro_table: str, groups_table: str) -> str:
+def mv_set_statement(
+    schema: RelationSchema,
+    macro_table: str,
+    groups_table: str,
+    dialect: SqlDialect | None = None,
+) -> str:
     """``UPDATE ... SET MV = 1`` for tuples belonging to a violating group.
 
     Driven by an index-assisted join between the materialised macro relation
     and the given groups table, so the cost is proportional to the number of
     tuples in those groups.
     """
-    data_table = quote_identifier(schema.name)
+    dialect = _resolve(dialect)
+    data_table = dialect.quote_identifier(schema.name)
     return (
         f"UPDATE {data_table} SET MV = 1 WHERE MV = 0 AND tid IN (\n"
-        f"  SELECT m.tid FROM {quote_identifier(macro_table)} m\n"
-        f"  JOIN {quote_identifier(groups_table)} g ON {group_key_join('m', 'g')}\n"
+        f"  SELECT m.tid FROM {dialect.quote_identifier(macro_table)} m\n"
+        f"  JOIN {dialect.quote_identifier(groups_table)} g ON {group_key_join('m', 'g')}\n"
         f")"
     )
 
 
-def summary_scan_query(fragment: ECFD) -> tuple[str, list[str]]:
+def summary_scan_query(
+    fragment: ECFD, dialect: SqlDialect | None = None
+) -> tuple[str, list[str]]:
     """The pushed-down scan behind a SQL detector's ``fd_group_summary`` hook.
 
     Selects ``tid`` plus the LHS and RHS projections of every data tuple
@@ -243,8 +305,10 @@ def summary_scan_query(fragment: ECFD) -> tuple[str, list[str]]:
     stringified exactly like the encoding's constant tables so the match
     semantics are identical to the encoded ``Q_sv`` / macro probes.  The
     grouping into ``(cid, xv) → (yv multiset, tids)`` summaries happens on
-    the (far smaller) result in Python; the filtering runs inside SQLite.
+    the (far smaller) result in Python; the filtering runs inside the
+    engine.
     """
+    dialect = _resolve(dialect)
     if len(fragment.tableau) != 1:
         raise DetectionError(
             "summary scans operate on normalized single-pattern fragments; "
@@ -258,30 +322,36 @@ def summary_scan_query(fragment: ECFD) -> tuple[str, list[str]]:
         if entry.is_wildcard:
             continue
         constants = sorted(entry.constants(), key=str)
-        placeholders = ", ".join("?" for _ in constants)
+        placeholders = ", ".join(dialect.placeholder for _ in constants)
         negate = "NOT " if isinstance(entry, ComplementSet) else ""
         conditions.append(
-            f"{quote_identifier(attribute)} {negate}IN ({placeholders})"
+            f"{dialect.quote_identifier(attribute)} {negate}IN ({placeholders})"
         )
         parameters.extend(str(value) for value in constants)
     columns = ["tid"] + [
-        quote_identifier(a) for a in fragment.lhs + fragment.rhs
+        dialect.quote_identifier(a) for a in fragment.lhs + fragment.rhs
     ]
     sql = (
         f"SELECT {', '.join(columns)} "
-        f"FROM {quote_identifier(fragment.schema.name)}"
+        f"FROM {dialect.quote_identifier(fragment.schema.name)}"
     )
     if conditions:
         sql += " WHERE " + " AND ".join(conditions)
     return sql, parameters
 
 
-def mv_clear_statement(schema: RelationSchema, macro_table: str, aux_table: str) -> str:
+def mv_clear_statement(
+    schema: RelationSchema,
+    macro_table: str,
+    aux_table: str,
+    dialect: SqlDialect | None = None,
+) -> str:
     """``UPDATE ... SET MV = 0`` for flagged tuples no longer in any violating group."""
-    data_table = quote_identifier(schema.name)
+    dialect = _resolve(dialect)
+    data_table = dialect.quote_identifier(schema.name)
     return (
         f"UPDATE {data_table} SET MV = 0 WHERE MV = 1 AND tid NOT IN (\n"
-        f"  SELECT m.tid FROM {quote_identifier(macro_table)} m\n"
-        f"  JOIN {quote_identifier(aux_table)} a ON {group_key_join('m', 'a')}\n"
+        f"  SELECT m.tid FROM {dialect.quote_identifier(macro_table)} m\n"
+        f"  JOIN {dialect.quote_identifier(aux_table)} a ON {group_key_join('m', 'a')}\n"
         f")"
     )

@@ -13,10 +13,10 @@ from __future__ import annotations
 from repro.lint.checks import (
     asyncio_hygiene,
     determinism,
+    engine_affinity,
     exception_taxonomy,
     registries,
     retry_idempotency,
-    sqlite_affinity,
     wire_safety,
 )
 
@@ -28,7 +28,7 @@ FILE_CHECKS = [
     (retry_idempotency.CODE, retry_idempotency.check_file),
     (determinism.CODE, determinism.check_file),
     (asyncio_hygiene.CODE, asyncio_hygiene.check_file),
-    (sqlite_affinity.CODE, sqlite_affinity.check_file),
+    (engine_affinity.CODE, engine_affinity.check_file),
     (exception_taxonomy.CODE, exception_taxonomy.check_file),
     (registries.CODE, registries.check_file),
 ]

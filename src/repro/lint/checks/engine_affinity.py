@@ -1,14 +1,16 @@
-"""RPL005 — SQLite thread affinity.
+"""RPL005 — DB engine thread affinity and driver confinement.
 
-SQLite connections are thread-affine; the fabric's whole execution model
-(one pinned lane thread per shard state) exists to honor that.  Two
-sub-checks over ``src/`` and ``benchmarks/``:
+Engine connections (SQLite natively, DuckDB by contract) are thread-affine;
+the fabric's whole execution model (one pinned lane thread per shard state)
+exists to honor that.  Two sub-checks over ``src/`` and ``benchmarks/``:
 
-* ``sqlite3`` is imported/used only in the sanctioned storage module;
-* a name bound from ``sqlite3.connect(...)`` (or ``*.connect(...)`` on
-  a sqlite3 attribute) is never referenced inside a lambda or nested
-  function in the same frame — a closure is exactly how a connection
-  leaks onto another executor's thread.
+* DB driver packages (``sqlite3``, ``duckdb``) are imported only in the
+  sanctioned engine modules under ``detection/engines/`` — everything else
+  speaks the abstract :class:`~repro.detection.engines.base.SqlEngine`;
+* a name bound from ``sqlite3.connect(...)`` / ``duckdb.connect(...)`` is
+  never referenced inside a lambda or nested function in the same frame —
+  a closure is exactly how a connection leaks onto another executor's
+  thread.
 """
 
 from __future__ import annotations
@@ -22,17 +24,21 @@ from repro.lint.project import ProjectIndex
 
 CODE = "RPL005"
 
-#: The only modules allowed to touch sqlite3 directly.
-SANCTIONED_SQLITE_MODULES = frozenset({"src/repro/detection/database.py"})
+#: DB driver packages the confinement applies to.
+DB_DRIVER_MODULES = frozenset({"sqlite3", "duckdb"})
+
+#: The only place allowed to import DB drivers directly.
+SANCTIONED_ENGINE_PREFIX = "src/repro/detection/engines/"
 
 
-def _sqlite_conn_names(scope: ast.AST) -> set[str]:
+def _driver_conn_names(scope: ast.AST) -> set[str]:
     names: set[str] = set()
     for node in ast.walk(scope):
         if (
             isinstance(node, ast.Assign)
             and isinstance(node.value, ast.Call)
-            and call_name(node.value) == "sqlite3.connect"
+            and call_name(node.value)
+            in {f"{driver}.connect" for driver in DB_DRIVER_MODULES}
         ):
             for target in node.targets:
                 if isinstance(target, ast.Name):
@@ -43,36 +49,39 @@ def _sqlite_conn_names(scope: ast.AST) -> set[str]:
 def check_file(file: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
     if not (file.in_src or file.is_benchmark):
         return
-    sanctioned = file.rel in SANCTIONED_SQLITE_MODULES
+    sanctioned = file.rel.startswith(SANCTIONED_ENGINE_PREFIX)
     if not sanctioned:
         for node in ast.walk(file.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    if alias.name.split(".")[0] == "sqlite3":
+                    driver = alias.name.split(".")[0]
+                    if driver in DB_DRIVER_MODULES:
                         yield Violation(
                             CODE,
                             file.rel,
                             node.lineno,
                             node.col_offset,
-                            "sqlite3 imported outside the sanctioned storage "
-                            "module — route storage through "
-                            "detection/database.py",
+                            f"DB driver {driver!r} imported outside the "
+                            "sanctioned engine modules — route storage "
+                            "through detection/engines/",
                         )
             elif isinstance(node, ast.ImportFrom):
-                if (node.module or "").split(".")[0] == "sqlite3":
+                driver = (node.module or "").split(".")[0]
+                if driver in DB_DRIVER_MODULES:
                     yield Violation(
                         CODE,
                         file.rel,
                         node.lineno,
                         node.col_offset,
-                        "sqlite3 imported outside the sanctioned storage "
-                        "module — route storage through detection/database.py",
+                        f"DB driver {driver!r} imported outside the "
+                        "sanctioned engine modules — route storage through "
+                        "detection/engines/",
                     )
 
-    # Closure-capture check applies everywhere, sanctioned module included:
-    # even database.py must not hand its connection to another thread.
+    # Closure-capture check applies everywhere, sanctioned modules included:
+    # even an engine module must not hand its connection to another thread.
     for func in iter_function_defs(file.tree):
-        conn_names = _sqlite_conn_names(func)
+        conn_names = _driver_conn_names(func)
         if not conn_names:
             continue
         for node in ast.walk(func):
@@ -93,7 +102,7 @@ def check_file(file: SourceFile, index: ProjectIndex) -> Iterator[Violation]:
                         file.rel,
                         ref.lineno,
                         ref.col_offset,
-                        f"sqlite3 connection {ref.id!r} captured in a "
+                        f"DB connection {ref.id!r} captured in a "
                         "closure — connections are thread-affine and must "
                         "not escape the frame that opened them",
                     )

@@ -72,16 +72,17 @@ RULES: dict[str, Rule] = {
         ),
         Rule(
             code="RPL005",
-            name="sqlite-affinity",
+            name="engine-affinity",
             summary=(
-                "sqlite3 stays confined to sanctioned modules and "
-                "connections are never captured into closures that may "
-                "cross executor threads"
+                "DB drivers (sqlite3, duckdb) stay confined to "
+                "detection/engines/ and connections are never captured "
+                "into closures that may cross executor threads"
             ),
             rationale=(
-                "SQLite connections are thread-affine; the fabric "
+                "Engine connections are thread-affine; the fabric "
                 "guarantees this by pinning each shard state to one lane "
-                "thread, which only holds if no connection escapes."
+                "thread, which only holds if no connection escapes the "
+                "sanctioned engine modules."
             ),
         ),
         Rule(

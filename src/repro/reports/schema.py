@@ -24,6 +24,7 @@ from typing import Any
 __all__ = [
     "ARTIFACT_PATTERN",
     "TRACKED_BENCHMARKS",
+    "OPTIONAL_BENCHMARK_REQUIRES",
     "EXTRA_INFO_FIELDS",
     "artifact_sha",
     "validate_benchmark_payload",
@@ -53,6 +54,21 @@ TRACKED_BENCHMARKS: dict[str, str] = {
         "admission + coalescing + the pump into INCDETECT "
         "(the streaming-serving path)"
     ),
+    "test_fig13_duckdb_batch_detect": (
+        "BATCHDETECT `detect()` at `REPRO_BENCH_SIZE` on the DuckDB "
+        "columnar engine (the cross-engine path; requires the optional "
+        "`duckdb` extra)"
+    ),
+}
+
+#: Tracked hot paths that depend on an optional package.  The perf gate
+#: *skips* (never fails) these entries when they are absent from a run —
+#: the core CI jobs stay dependency-free and only the ``engines`` job
+#: produces them.  A baseline entry for one of these may carry
+#: ``"mean": null`` (provisional: reported but not timing-compared) until a
+#: baseline is regenerated on a runner with the package installed.
+OPTIONAL_BENCHMARK_REQUIRES: dict[str, str] = {
+    "test_fig13_duckdb_batch_detect": "duckdb",
 }
 
 #: Where each benchmark family writes its ``extra_info`` readings.  Keys are
@@ -79,6 +95,10 @@ EXTRA_INFO_FIELDS: dict[str, tuple[str, ...]] = {
     "test_fig11": (
         "workers", "tuples", "updates_per_second", "p99_latency_ms",
         "mean_latency_ms", "ships", "shipped_batches", "coalesced_away",
+    ),
+    "test_fig13": (
+        "engine", "tuples", "dirty", "sqlite_seconds", "duckdb_seconds",
+        "speedup_vs_sqlite",
     ),
     "test_ablation_sql": ("tableau_size", "dirty"),
     "test_ablation_naive": ("tableau_size", "dirty"),

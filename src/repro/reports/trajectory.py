@@ -22,6 +22,7 @@ SERIES_LABELS: dict[str, str] = {
     "test_fig9_sharded_incremental_update[1]": "fig9 incremental update",
     "test_fig10_repair_convergence[incremental]": "fig10 repair",
     "test_fig11_service_sustained_throughput[1]": "fig11 service window",
+    "test_fig13_duckdb_batch_detect": "fig13 duckdb detect",
 }
 
 

@@ -1,0 +1,132 @@
+"""Unit tests for the SQL dialect layer (repro.detection.dialect)."""
+
+import pytest
+
+from repro.detection.dialect import (
+    KEY_SEPARATOR,
+    DuckDBDialect,
+    SqlDialect,
+    SQLiteDialect,
+    available_dialects,
+    get_dialect,
+    register_dialect,
+)
+from repro.exceptions import DatabaseError, DetectionError
+
+SQLITE = SQLiteDialect()
+DUCKDB = DuckDBDialect()
+
+
+class TestIdentifiersAndExpressions:
+    @pytest.mark.parametrize("dialect", [SQLITE, DUCKDB], ids=["sqlite", "duckdb"])
+    def test_quote_identifier_escapes_double_quotes(self, dialect):
+        assert dialect.quote_identifier("CT") == '"CT"'
+        assert dialect.quote_identifier('we"ird') == '"we""ird"'
+
+    @pytest.mark.parametrize("dialect", [SQLITE, DUCKDB], ids=["sqlite", "duckdb"])
+    def test_string_literal_escapes_single_quotes(self, dialect):
+        assert dialect.string_literal("plain") == "'plain'"
+        assert dialect.string_literal("O'Hare") == "'O''Hare'"
+
+    def test_concat_joins_with_the_key_separator(self):
+        expression = SQLITE.concat(['"A"', '"B"', '"C"'])
+        assert expression == f'"A" || \'{KEY_SEPARATOR}\' || "B" || \'{KEY_SEPARATOR}\' || "C"'
+
+    def test_concat_single_part_is_the_part(self):
+        assert SQLITE.concat(['"A"']) == '"A"'
+
+    def test_both_dialects_share_the_concat_idiom(self):
+        parts = ['"X"', '"Y"']
+        assert SQLITE.concat(parts) == DUCKDB.concat(parts)
+
+
+class TestTypeAffinity:
+    def test_sqlite_types(self):
+        assert SQLITE.text_type == "TEXT"
+        assert SQLITE.integer_type == "INTEGER"
+        assert SQLITE.placeholder == "?"
+
+    def test_duckdb_types(self):
+        assert DUCKDB.text_type == "VARCHAR"
+        assert DUCKDB.integer_type == "INTEGER"
+        assert DUCKDB.placeholder == "?"
+
+    def test_blank_marker_is_shared(self):
+        # The blank marker is part of the encoding, not the engine: both
+        # dialects must agree or cross-engine violation sets would diverge.
+        assert SQLITE.blank == DUCKDB.blank == "@"
+
+
+class TestDdlForms:
+    def test_drop_table(self):
+        assert SQLITE.drop_table("aux") == 'DROP TABLE IF EXISTS "aux"'
+
+    def test_create_temp_table(self):
+        ddl = SQLITE.create_temp_table("new_tids", ["tid INTEGER PRIMARY KEY"])
+        assert ddl == 'CREATE TEMP TABLE "new_tids" (tid INTEGER PRIMARY KEY)'
+
+    def test_create_temp_table_as(self):
+        ddl = DUCKDB.create_temp_table_as("groups", "SELECT 1 AS one")
+        assert ddl == 'CREATE TEMP TABLE "groups" AS SELECT 1 AS one'
+
+    def test_sqlite_builds_secondary_indexes(self):
+        ddl = SQLITE.create_index("idx_aux", "aux", ["cid", "xv_key"])
+        assert ddl == 'CREATE INDEX IF NOT EXISTS "idx_aux" ON "aux" ("cid", "xv_key")'
+
+    def test_duckdb_skips_secondary_indexes(self):
+        assert DUCKDB.create_index("idx_aux", "aux", ["cid", "xv_key"]) is None
+
+
+class TestUpsertForms:
+    def test_upsert_updates_non_key_columns(self):
+        statement = SQLITE.upsert("data", ["tid", "CT", "ZIP"], ["tid"])
+        assert statement == (
+            'INSERT INTO "data" ("tid", "CT", "ZIP") VALUES (?, ?, ?) '
+            'ON CONFLICT ("tid") DO UPDATE SET '
+            '"CT" = excluded."CT", "ZIP" = excluded."ZIP"'
+        )
+
+    def test_upsert_all_key_columns_does_nothing_on_conflict(self):
+        statement = DUCKDB.upsert("seen", ["cid", "val"], ["cid", "val"])
+        assert statement == (
+            'INSERT INTO "seen" ("cid", "val") VALUES (?, ?) '
+            'ON CONFLICT ("cid", "val") DO NOTHING'
+        )
+
+
+class TestIngestionValidation:
+    @pytest.mark.parametrize("dialect", [SQLITE, DUCKDB], ids=["sqlite", "duckdb"])
+    def test_blank_marker_is_rejected(self, dialect):
+        with pytest.raises(DatabaseError, match="blank marker"):
+            dialect.validate_text_value(dialect.blank)
+
+    @pytest.mark.parametrize("dialect", [SQLITE, DUCKDB], ids=["sqlite", "duckdb"])
+    def test_key_separator_is_rejected(self, dialect):
+        with pytest.raises(DatabaseError, match="separator"):
+            dialect.validate_text_value(f"a{KEY_SEPARATOR}b")
+
+    def test_values_containing_at_are_fine(self):
+        # Only the exact marker is ambiguous; "user@host" is ordinary data.
+        assert SQLITE.validate_text_value("user@host") == "user@host"
+
+    def test_stringify_coerces_and_validates(self):
+        assert SQLITE.stringify(42) == "42"
+        with pytest.raises(DatabaseError):
+            SQLITE.stringify("@")
+
+
+class TestRegistry:
+    def test_builtin_dialects_are_registered(self):
+        assert set(available_dialects()) >= {"sqlite", "duckdb"}
+        assert isinstance(get_dialect("sqlite"), SQLiteDialect)
+        assert isinstance(get_dialect("duckdb"), DuckDBDialect)
+
+    def test_unknown_dialect_lists_the_registry(self):
+        with pytest.raises(DetectionError) as excinfo:
+            get_dialect("postgres")
+        message = str(excinfo.value)
+        assert "postgres" in message and "sqlite" in message and "duckdb" in message
+
+    def test_register_requires_a_name(self):
+        with pytest.raises(DetectionError):
+            register_dialect(SqlDialect())

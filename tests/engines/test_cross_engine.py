@@ -1,0 +1,260 @@
+"""Cross-engine equivalence: the same pipeline on SQLite and DuckDB.
+
+The dialect layer's contract is that the generated detection SQL means
+the same thing on every registered engine: for any Σ and any data, the
+``batch-duckdb`` / ``incremental-duckdb`` backends must produce
+*bit-identical* ViolationSets (and per-constraint breakdowns) to their
+SQLite counterparts.  These tests stress that anchor with randomly
+structured constraint sets — overlapping, disjoint and empty LHS sets,
+value-set and complement-set patterns, and int-vs-string pattern
+constants (both engines store text; an int constant ``42`` must match
+the stored value ``"42"`` on both) — plus deletion-heavy incremental
+update streams and sharded lanes.
+
+Everything touching a real DuckDB connection skips cleanly when the
+optional ``duckdb`` package is absent; the registry, error-message and
+blank-marker tests run everywhere.
+"""
+
+import random
+import sys
+
+import pytest
+
+from repro.core import ECFD, ECFDSet
+from repro.core.patterns import ComplementSet
+from repro.core.schema import cust_ext_schema
+from repro.detection.database import ECFDDatabase
+from repro.detection.engines import (
+    available_engines,
+    create_engine,
+    duckdb_available,
+)
+from repro.engine import DataQualityEngine, available_backends
+from repro.exceptions import DatabaseError, DetectionError
+
+SCHEMA = cust_ext_schema()
+requires_duckdb = pytest.mark.skipif(
+    not duckdb_available(),
+    reason="duckdb not installed — install the optional 'repro[duckdb]' extra",
+)
+
+#: Attributes drawn into random LHS/RHS sets.  PRICE's domain is *numeric
+#: strings* so random pattern constants can be issued as Python ints: the
+#: int-vs-string affinity trap a columnar engine could fall into.
+ATTR_POOL = ["CT", "ZIP", "AC", "ITEM_TYPE", "ITEM_TITLE", "PRICE"]
+CARDINALITY = {
+    "AC": 5, "PN": 40, "NM": 30, "STR": 25, "CT": 4, "ZIP": 6,
+    "ITEM_TYPE": 3, "ITEM_TITLE": 8, "PRICE": 5,
+}
+NUMERIC_ATTRS = {"PRICE", "ZIP"}
+
+
+def _value(attribute: str, index: int) -> str:
+    if attribute in NUMERIC_ATTRS:
+        return str(100 + index)
+    return f"{attribute.lower()}-{index}"
+
+
+def _constant(rng: random.Random, attribute: str, index: int):
+    """A pattern constant — randomly an int for numeric-string domains."""
+    value = _value(attribute, index)
+    if attribute in NUMERIC_ATTRS and rng.random() < 0.5:
+        return int(value)
+    return value
+
+
+def _random_rows(rng: random.Random, count: int) -> list[dict]:
+    return [
+        {
+            attribute: _value(attribute, rng.randrange(CARDINALITY[attribute]))
+            for attribute in SCHEMA.attribute_names
+        }
+        for _ in range(count)
+    ]
+
+
+def _random_lhs_pattern(rng: random.Random, attribute: str):
+    roll = rng.random()
+    if roll < 0.6:
+        return "_"
+    values = {
+        _constant(rng, attribute, i)
+        for i in rng.sample(range(CARDINALITY[attribute]), k=rng.randint(1, 2))
+    }
+    if roll < 0.85:
+        return values
+    return ComplementSet(values)
+
+
+def _random_sigma(rng: random.Random) -> ECFDSet:
+    """3-6 constraints: embedded FDs (some empty-LHS) plus pattern riders."""
+    ecfds = []
+    for _ in range(rng.randint(2, 4)):
+        lhs = rng.sample(ATTR_POOL, k=rng.choice([0, 1, 1, 1, 2]))
+        rhs = [rng.choice([a for a in ATTR_POOL if a not in lhs])]
+        tableau = [(
+            {a: _random_lhs_pattern(rng, a) for a in lhs},
+            {a: "_" for a in rhs},
+        )]
+        ecfds.append(ECFD(SCHEMA, lhs=lhs, rhs=rhs, tableau=tableau))
+    for _ in range(rng.randint(1, 2)):
+        lhs = [rng.choice(ATTR_POOL)]
+        yp = rng.choice([a for a in ATTR_POOL if a not in lhs])
+        allowed = {
+            _constant(rng, yp, i)
+            for i in rng.sample(range(CARDINALITY[yp]), k=rng.randint(1, 3))
+        }
+        ecfds.append(
+            ECFD(
+                SCHEMA, lhs=lhs, rhs=[], pattern_rhs=[yp],
+                tableau=[({a: _random_lhs_pattern(rng, a) for a in lhs}, {yp: allowed})],
+            )
+        )
+    return ECFDSet(ecfds)
+
+
+def _detect(sigma: ECFDSet, rows: list[dict], backend: str, **kwargs):
+    engine = DataQualityEngine(SCHEMA, sigma, backend=backend, **kwargs)
+    engine.load(rows)
+    result = engine.detect(with_breakdown=True)
+    engine.close()
+    return result
+
+
+class TestEngineRegistry:
+    def test_builtin_engines_are_registered(self):
+        assert set(available_engines()) >= {"sqlite", "duckdb"}
+
+    def test_unknown_engine_lists_the_registry(self):
+        with pytest.raises(DetectionError) as excinfo:
+            create_engine("postgres", ":memory:")
+        message = str(excinfo.value)
+        assert "postgres" in message and "sqlite" in message and "duckdb" in message
+
+    def test_duckdb_backends_are_registered(self):
+        assert {"batch-duckdb", "incremental-duckdb"} <= set(available_backends())
+
+    def test_missing_duckdb_error_is_actionable(self, monkeypatch):
+        # Simulate the package being absent even on duckdb-equipped runners:
+        # a None sys.modules entry makes `import duckdb` raise ImportError.
+        monkeypatch.setitem(sys.modules, "duckdb", None)
+        with pytest.raises(DetectionError) as excinfo:
+            create_engine("duckdb", ":memory:")
+        message = str(excinfo.value)
+        assert "repro[duckdb]" in message
+        assert "sqlite" in message  # points at the engines that still work
+
+    def test_missing_duckdb_error_surfaces_through_the_facade(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "duckdb", None)
+        sigma = _random_sigma(random.Random(0))
+        with pytest.raises(DetectionError, match=r"repro\[duckdb\]"):
+            DataQualityEngine(SCHEMA, sigma, backend="batch-duckdb")
+
+
+class TestBlankMarkerValidation:
+    """Ingestion rejects values that would corrupt blanked group keys."""
+
+    def test_database_rejects_the_blank_marker(self):
+        with ECFDDatabase(SCHEMA) as database:
+            row = {a: "x" for a in SCHEMA.attribute_names}
+            row["CT"] = database.dialect.blank
+            with pytest.raises(DatabaseError, match="blank marker"):
+                database.insert_tuples([row])
+
+    def test_database_rejects_the_key_separator(self):
+        with ECFDDatabase(SCHEMA) as database:
+            row = {a: "x" for a in SCHEMA.attribute_names}
+            row["ZIP"] = "12\x1f345"
+            with pytest.raises(DatabaseError, match="separator"):
+                database.insert_tuples([row])
+
+    def test_facade_load_rejects_the_blank_marker(self):
+        sigma = _random_sigma(random.Random(1))
+        engine = DataQualityEngine(SCHEMA, sigma, backend="batch")
+        rows = _random_rows(random.Random(1), 3)
+        rows[1]["CT"] = "@"
+        with pytest.raises(DatabaseError, match="blank marker"):
+            engine.load(rows)
+        engine.close()
+
+
+@requires_duckdb
+class TestCrossEngineEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_batch_bit_exact_on_random_sigma(self, seed):
+        rng = random.Random(seed)
+        sigma = _random_sigma(rng)
+        rows = _random_rows(rng, 250)
+        reference = _detect(sigma, rows, "batch")
+        result = _detect(sigma, rows, "batch-duckdb")
+        assert result.violations == reference.violations
+        assert result.per_constraint == reference.per_constraint
+
+    def test_empty_lhs_heavy_sigma(self):
+        sigma = ECFDSet([
+            ECFD(SCHEMA, lhs=[], rhs=["CT"], tableau=[({}, {"CT": "_"})]),
+            ECFD(SCHEMA, lhs=[], rhs=["ITEM_TYPE"], tableau=[({}, {"ITEM_TYPE": "_"})]),
+            ECFD(SCHEMA, lhs=["AC"], rhs=["ZIP"], tableau=[({"AC": "_"}, {"ZIP": "_"})]),
+        ])
+        rows = _random_rows(random.Random(42), 200)
+        reference = _detect(sigma, rows, "batch")
+        result = _detect(sigma, rows, "batch-duckdb")
+        assert result.violations == reference.violations
+
+    def test_int_constants_match_stored_numeric_strings(self):
+        # The stored PRICE value is the string "103"; the constraint names
+        # the constant as the int 103.  Both engines must treat them as the
+        # same value — and as different from, say, "103.0".
+        sigma = ECFDSet([
+            ECFD(
+                SCHEMA, lhs=["PRICE"], rhs=["ITEM_TYPE"],
+                tableau=[({"PRICE": {103, "104"}}, {"ITEM_TYPE": "_"})],
+            ),
+            ECFD(
+                SCHEMA, lhs=["CT"], rhs=[], pattern_rhs=["ZIP"],
+                tableau=[({"CT": "_"}, {"ZIP": {101, 102}})],
+            ),
+        ])
+        rows = _random_rows(random.Random(7), 150)
+        reference = _detect(sigma, rows, "batch")
+        result = _detect(sigma, rows, "batch-duckdb")
+        assert reference.dirty_count > 0  # the sigma actually bites
+        assert result.violations == reference.violations
+        assert result.per_constraint == reference.per_constraint
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_incremental_stream_bit_exact(self, seed):
+        rng = random.Random(100 + seed)
+        sigma = _random_sigma(rng)
+        rows = _random_rows(rng, 150)
+
+        reference = DataQualityEngine(SCHEMA, sigma, backend="incremental")
+        engine = DataQualityEngine(SCHEMA, sigma, backend="incremental-duckdb")
+        for instance in (reference, engine):
+            instance.load(rows)
+            instance.detect()
+
+        for _ in range(3):
+            tids = reference.tids()
+            deletes = rng.sample(tids, k=min(10, len(tids)))
+            inserts = _random_rows(rng, 12)
+            expected = reference.apply_update(delete_tids=deletes, insert_rows=inserts)
+            result = engine.apply_update(delete_tids=deletes, insert_rows=inserts)
+            assert result.violations == expected.violations
+        reference.close()
+        engine.close()
+
+    def test_sharded_lanes_run_on_duckdb(self):
+        rng = random.Random(5)
+        sigma = _random_sigma(rng)
+        rows = _random_rows(rng, 200)
+        reference = _detect(sigma, rows, "batch")
+
+        engine = DataQualityEngine(
+            SCHEMA, sigma, backend="batch-duckdb", workers=3, executor="serial"
+        )
+        engine.load(rows)
+        result = engine.detect()
+        assert result.violations == reference.violations
+        engine.close()

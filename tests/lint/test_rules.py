@@ -317,10 +317,10 @@ class TestAsyncioHygiene:
 
 
 # ----------------------------------------------------------------------
-# RPL005 — SQLite thread affinity
+# RPL005 — DB engine thread affinity
 # ----------------------------------------------------------------------
-class TestSqliteAffinity:
-    def test_import_outside_sanctioned_module_fires(self, lint_tree):
+class TestEngineAffinity:
+    def test_sqlite_import_outside_engine_modules_fires(self, lint_tree):
         result = lint_tree(
             {
                 "src/repro/parallel/cache.py": """
@@ -333,10 +333,24 @@ class TestSqliteAffinity:
         )
         assert codes(result) == ["RPL005"]
 
-    def test_connection_captured_in_closure_fires(self, lint_tree):
+    def test_duckdb_import_outside_engine_modules_fires(self, lint_tree):
         result = lint_tree(
             {
                 "src/repro/detection/database.py": """
+                import duckdb
+
+                def open_store(path):
+                    return duckdb.connect(path)
+                """
+            }
+        )
+        assert codes(result) == ["RPL005"]
+        assert "duckdb" in result.violations[0].message
+
+    def test_connection_captured_in_closure_fires(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/detection/engines/sqlite_engine.py": """
                 import sqlite3
 
                 def make_runner(path):
@@ -348,17 +362,40 @@ class TestSqliteAffinity:
         assert codes(result) == ["RPL005"]
         assert "closure" in result.violations[0].message
 
-    def test_sanctioned_module_without_capture_is_clean(self, lint_tree):
+    def test_duckdb_connection_captured_in_closure_fires(self, lint_tree):
         result = lint_tree(
             {
-                "src/repro/detection/database.py": """
+                "src/repro/detection/engines/duckdb_engine.py": """
+                import duckdb
+
+                def make_runner(path):
+                    conn = duckdb.connect(path)
+                    def run(sql):
+                        return conn.execute(sql)
+                    return run
+                """
+            }
+        )
+        assert codes(result) == ["RPL005"]
+
+    def test_engine_modules_without_capture_are_clean(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/detection/engines/sqlite_engine.py": """
                 import sqlite3
 
                 def open_db(path):
                     conn = sqlite3.connect(path)
                     conn.execute("PRAGMA journal_mode=WAL")
                     return conn
-                """
+                """,
+                "src/repro/detection/engines/duckdb_engine.py": """
+                import duckdb
+
+                def open_columnar(path):
+                    conn = duckdb.connect(path)
+                    return conn
+                """,
             }
         )
         assert codes(result) == []

@@ -45,7 +45,7 @@ def test_select_all_by_default():
 
 def test_select_by_group():
     selected = select_figures(["growth"])
-    assert {spec.name for spec in selected} == {"fig8", "fig9", "fig10", "fig11"}
+    assert {spec.name for spec in selected} == {"fig8", "fig9", "fig10", "fig11", "fig13"}
 
 
 def test_select_by_name_and_group_combined():
